@@ -1,0 +1,29 @@
+//! Benchmarks the Fig. 12/13 kernel: the flow under shrinking routing-layer
+//! budgets (`repro fig12` / `repro fig13` regenerate the figures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffet_core::{designs, run_flow, FlowConfig};
+use ffet_tech::{RoutingPattern, TechKind};
+use std::hint::black_box;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_util_layers");
+    group.sample_size(10);
+
+    for n in [12u8, 6, 3] {
+        let config = FlowConfig {
+            pattern: RoutingPattern::new(n, n).expect("n <= 12"),
+            back_pin_ratio: 0.5,
+            ..FlowConfig::baseline(TechKind::Ffet3p5t)
+        };
+        let library = config.build_library();
+        let netlist = designs::counter_pipeline(&library, 24);
+        group.bench_function(format!("flow_fm{n}bm{n}"), |b| {
+            b.iter(|| black_box(run_flow(&netlist, &library, &config).expect("flow runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks the Fig. 8 kernel: one full flow run per technology at a
+//! fixed utilization (the area-vs-utilization experiment is this kernel
+//! swept over a grid — `repro fig8` regenerates the actual figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffet_core::{designs, run_flow, FlowConfig};
+use ffet_tech::{RoutingPattern, TechKind};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_area_utilization");
+    group.sample_size(10);
+
+    for (name, config) in [
+        ("cfet_fm12", FlowConfig::baseline(TechKind::Cfet4t)),
+        ("ffet_fm12", FlowConfig::baseline(TechKind::Ffet3p5t)),
+        (
+            "ffet_fm12bm12",
+            FlowConfig {
+                pattern: RoutingPattern::new(12, 12).expect("static"),
+                back_pin_ratio: 0.5,
+                ..FlowConfig::baseline(TechKind::Ffet3p5t)
+            },
+        ),
+    ] {
+        let library = config.build_library();
+        let netlist = designs::counter_pipeline(&library, 24);
+        group.bench_function(format!("flow_{name}_util70"), |b| {
+            b.iter(|| black_box(run_flow(&netlist, &library, &config).expect("flow runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

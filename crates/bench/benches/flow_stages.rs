@@ -1,0 +1,94 @@
+//! Per-stage performance of the physical-implementation flow on the real
+//! RV32 benchmark: placement, CTS, dual-sided routing, DEF merge, RC
+//! extraction and STA — the numbers that determine how long the paper's
+//! experiment sweeps take.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffet_cells::Library;
+use ffet_core::designs;
+use ffet_lefdef::merge_defs;
+use ffet_pnr::{
+    decompose_nets, export_defs, floorplan, place, powerplan, route_nets, synthesize_clock_tree,
+    RoutingGrid,
+};
+use ffet_rcx::extract_net;
+use ffet_sta::{analyze_timing, StaConfig};
+use ffet_tech::{RoutingPattern, Technology};
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_stages");
+    group.sample_size(10);
+
+    let mut library = Library::new(Technology::ffet_3p5t());
+    library.redistribute_input_pins(0.5, 42).expect("ffet");
+    let pattern = RoutingPattern::new(6, 6).expect("static");
+
+    // Shared pre-computed stages (built once, benched individually).
+    let mut netlist = designs::rv32_core(&library);
+    let fp = floorplan(&netlist, &library, 0.7, 1.0).expect("floorplan");
+    let pp = powerplan(&fp, &library, pattern);
+
+    group.bench_function("rv32_generate", |b| {
+        b.iter(|| black_box(designs::rv32_core(&library)));
+    });
+    group.bench_function("placement_rv32", |b| {
+        b.iter(|| black_box(place(&netlist, &library, &fp, &pp, 42)));
+    });
+
+    let pl = place(&netlist, &library, &fp, &pp, 42);
+    group.bench_function("cts_rv32", |b| {
+        b.iter(|| {
+            let mut nl = netlist.clone();
+            black_box(synthesize_clock_tree(&mut nl, &library, &pl))
+        });
+    });
+    synthesize_clock_tree(&mut netlist, &library, &pl);
+    let fp = floorplan(&netlist, &library, 0.7, 1.0).expect("floorplan");
+    let pp = powerplan(&fp, &library, pattern);
+    let pl = place(&netlist, &library, &fp, &pp, 42);
+    let side_nets = decompose_nets(&netlist, &library, &pl, pattern).expect("decompose");
+
+    group.bench_function("dual_sided_routing_rv32", |b| {
+        b.iter(|| {
+            let mut grid = RoutingGrid::new(library.tech(), fp.die, pattern);
+            black_box(route_nets(library.tech(), &mut grid, &side_nets, pattern))
+        });
+    });
+
+    let mut grid = RoutingGrid::new(library.tech(), fp.die, pattern);
+    let routing = route_nets(library.tech(), &mut grid, &side_nets, pattern);
+    let (front, back) = export_defs(&netlist, &library, &fp, &pp, &pl, &routing);
+    group.bench_function("def_merge_rv32", |b| {
+        b.iter(|| black_box(merge_defs(&front, &back).expect("merge")));
+    });
+
+    let merged = merge_defs(&front, &back).expect("merge");
+    group.bench_function("rc_extraction_rv32", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for net in &merged.nets {
+                // Extraction without pin mapping: source at the first wire end.
+                if let Some(w) = net.wires.first() {
+                    let p = extract_net(net, library.tech(), w.from, &[w.to]);
+                    total += p.total_cap_ff;
+                }
+            }
+            black_box(total)
+        });
+    });
+
+    let parasitics = vec![None; netlist.nets().len()];
+    group.bench_function("sta_rv32_no_wires", |b| {
+        b.iter(|| {
+            black_box(
+                analyze_timing(&netlist, &library, &parasitics, &StaConfig::default())
+                    .expect("levelizes"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

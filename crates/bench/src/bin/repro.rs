@@ -1,0 +1,210 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>   # table1 table2 fig4 fig8 fig9 fig10 fig11 table3 fig12 fig13
+//! repro all            # everything (minutes)
+//! repro sanity         # one FFET + one CFET baseline run, printed verbosely
+//! ```
+
+use ffet_core::experiments::{self, ExpTable};
+use std::env;
+use std::time::Instant;
+
+/// Prints the table and drops its CSV into `results/` for plotting.
+fn emit(name: &str, table: &ExpTable) {
+    table.print();
+    if std::fs::create_dir_all("results").is_ok() {
+        let path = format!("results/{name}.csv");
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("could not write {path}: {e}");
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn run_one(name: &str) -> bool {
+    match name {
+        "table1" => emit(name, &experiments::table1().table),
+        "table2" => emit(name, &experiments::table2().table),
+        "fig4" => emit(name, &experiments::fig4().table),
+        "fig8" => emit(name, &experiments::fig8().table),
+        "fig9" => emit(name, &experiments::fig9().table),
+        "fig10" => emit(name, &experiments::fig10().table),
+        "fig11" => emit(name, &experiments::fig11().table),
+        "table3" => emit(name, &experiments::table3().table),
+        "fig12" => emit(name, &experiments::fig12().table),
+        "fig13" => emit(name, &experiments::fig13().table),
+        "ablation" => emit(name, &experiments::bridging_ablation().table),
+        _ => return false,
+    }
+    true
+}
+
+const ALL: [&str; 11] = [
+    "table1", "table2", "fig4", "fig8", "fig9", "fig10", "fig11", "table3", "fig12", "fig13",
+    "ablation",
+];
+
+fn main() {
+    let arg = env::args().nth(1).unwrap_or_else(|| "help".to_owned());
+    let t0 = Instant::now();
+    match arg.as_str() {
+        "sanity" => sanity(),
+        "calib" => calib(),
+        "hotspots" => hotspots(),
+        "critpath" => critpath(),
+        "all" => {
+            for name in ALL {
+                let t = Instant::now();
+                run_one(name);
+                eprintln!("[{name}: {:?}]", t.elapsed());
+            }
+        }
+        other if run_one(other) => {}
+        _ => {
+            eprintln!(
+                "usage: repro <sanity|calib|hotspots|critpath|table1|table2|fig4|fig8|fig9|fig10|fig11|table3|fig12|fig13|ablation|all>"
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[{:?}] done", t0.elapsed());
+}
+
+fn calib() {
+    use ffet_core::{designs, run_flow, FlowConfig};
+    use ffet_tech::{RoutingPattern, TechKind};
+    let configs = [
+        ("CFET-FM12", FlowConfig::baseline(TechKind::Cfet4t)),
+        ("FFET-FM12", FlowConfig::baseline(TechKind::Ffet3p5t)),
+        (
+            "FFET-12+12",
+            FlowConfig {
+                pattern: RoutingPattern::new(12, 12).expect("static"),
+                back_pin_ratio: 0.5,
+                ..FlowConfig::baseline(TechKind::Ffet3p5t)
+            },
+        ),
+    ];
+    println!("config      util  drv(route+place)  overflow  peak  wl_mm  freq  power");
+    for (label, base) in configs {
+        let library = base.build_library();
+        let netlist = designs::rv32_core(&library);
+        for util in [0.60, 0.68, 0.72, 0.76, 0.80, 0.84, 0.88, 0.92] {
+            let mut rows: Vec<(u32, u32, f64, f64, f64, f64, f64)> = Vec::new();
+            for seed in [42u64, 1042, 9042] {
+                let config = FlowConfig { utilization: util, seed, ..base.clone() };
+                match run_flow(&netlist, &library, &config) {
+                    Ok(o) => rows.push((
+                        o.pnr.routing.drv_count,
+                        o.pnr.placement.violations,
+                        o.pnr.routing.overflow_tracks,
+                        o.pnr.routing.peak_congestion,
+                        o.report.wirelength_mm,
+                        o.report.achieved_freq_ghz,
+                        o.report.power_mw,
+                    )),
+                    Err(e) => println!("{label:11} {util:.2}  ERROR {e}"),
+                }
+            }
+            if rows.is_empty() {
+                continue;
+            }
+            rows.sort_by_key(|r| r.0 + r.1);
+            let m = rows[0];
+            println!(
+                "{label:11} {util:.2}  {:5}+{:<5}       {:8.1}  {:.2}  {:5.2}  {:.3}  {:.3}   (all drv: {:?})",
+                m.0, m.1, m.2, m.3, m.4, m.5, m.6,
+                rows.iter().map(|r| r.0 + r.1).collect::<Vec<_>>(),
+            );
+        }
+    }
+}
+
+fn sanity() {
+    use ffet_core::{designs, run_flow, FlowConfig};
+    use ffet_tech::{RoutingPattern, TechKind};
+
+    for (label, config) in [
+        ("CFET FM12 baseline", FlowConfig::baseline(TechKind::Cfet4t)),
+        ("FFET FM12 single-sided", FlowConfig::baseline(TechKind::Ffet3p5t)),
+        (
+            "FFET FM12BM12 FP0.5BP0.5",
+            FlowConfig {
+                pattern: RoutingPattern::new(12, 12).expect("static"),
+                back_pin_ratio: 0.5,
+                ..FlowConfig::baseline(TechKind::Ffet3p5t)
+            },
+        ),
+    ] {
+        let t = Instant::now();
+        let library = config.build_library();
+        let netlist = designs::rv32_core(&library);
+        match run_flow(&netlist, &library, &config) {
+            Ok(outcome) => {
+                println!("{label}: {}", outcome.report.summary());
+                println!(
+                    "  wl {:.3} mm (back {:.3}), hpwl {:.3} mm, peak cong {:.2}, vias {}, cells {}, [{:?}]",
+                    outcome.report.wirelength_mm,
+                    outcome.report.back_wirelength_mm,
+                    outcome.pnr.placement.hpwl_nm as f64 / 1e6,
+                    outcome.pnr.routing.peak_congestion,
+                    outcome.report.vias,
+                    outcome.report.cells,
+                    t.elapsed()
+                );
+            }
+            Err(e) => println!("{label}: ERROR {e}"),
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn hotspots() {
+    use ffet_core::{designs, run_flow, FlowConfig};
+    use ffet_tech::{RoutingPattern, TechKind};
+    // Configurable via env for congestion debugging.
+    let fm: u8 = std::env::var("FFET_FM").ok().and_then(|v| v.parse().ok()).unwrap_or(12).clamp(1, 12);
+    let bm: u8 = std::env::var("FFET_BM").ok().and_then(|v| v.parse().ok()).unwrap_or(0).min(12);
+    let bp: f64 = std::env::var("FFET_BP").ok().and_then(|v| v.parse().ok()).unwrap_or(0.0);
+    let util: f64 = std::env::var("FFET_UTIL").ok().and_then(|v| v.parse().ok()).unwrap_or(0.76);
+    let config = FlowConfig {
+        utilization: util,
+        pattern: RoutingPattern::new(fm, bm).expect("legal"),
+        back_pin_ratio: bp,
+        ..FlowConfig::baseline(TechKind::Ffet3p5t)
+    };
+    let library = config.build_library();
+    let netlist = designs::rv32_core(&library);
+    let o = run_flow(&netlist, &library, &config).expect("flow");
+    let grid_info = &o.pnr.routing;
+    println!("die {:?} overflow {:.0} wl {:.2}mm", o.pnr.floorplan.die, grid_info.overflow_tracks, o.report.wirelength_mm);
+    for (x, y, side, h, v) in &grid_info.hot_gcells {
+        println!("gcell ({x},{y}) {side:?}: H {h:.1} V {v:.1}");
+    }
+}
+
+fn critpath() {
+    use ffet_core::{designs, run_flow, FlowConfig};
+    use ffet_tech::TechKind;
+    let config = FlowConfig { utilization: 0.76, ..FlowConfig::baseline(TechKind::Ffet3p5t) };
+    let library = config.build_library();
+    let netlist = designs::rv32_core(&library);
+    let o = run_flow(&netlist, &library, &config).expect("flow");
+    println!(
+        "achieved {:.3} GHz, critical path {:.1} ps over {} stages",
+        o.report.achieved_freq_ghz,
+        o.timing.critical_path_ps,
+        o.timing.path.len()
+    );
+    let total_cell: f64 = o.timing.path.iter().map(|s| s.cell_delay_ps).sum();
+    let total_wire: f64 = o.timing.path.iter().map(|s| s.wire_delay_ps).sum();
+    println!("cell delay {total_cell:.1} ps, wire delay {total_wire:.1} ps");
+    for s in o.timing.path.iter().rev().take(25) {
+        println!(
+            "  {:>9.1} ps  cell {:>7.1}  wire {:>7.1}  fo {:>3}  {:8} {}",
+            s.arrival_ps, s.cell_delay_ps, s.wire_delay_ps, s.fanout, s.cell, s.net
+        );
+    }
+}

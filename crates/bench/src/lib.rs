@@ -1,0 +1,6 @@
+//! Benchmark harness for the FFET evaluation framework.
+//!
+//! The `repro` binary regenerates every table and figure of the paper;
+//! the Criterion benches under `benches/` measure the flow stages and the
+//! headline experiments. See `EXPERIMENTS.md` at the repository root for
+//! the paper-vs-measured record.

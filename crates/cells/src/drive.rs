@@ -1,0 +1,74 @@
+/// Drive strength of a library cell (transistor-width multiple of D1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum DriveStrength {
+    /// Unit drive.
+    #[default]
+    D1,
+    /// Double drive.
+    D2,
+    /// Quadruple drive.
+    D4,
+    /// Octuple drive.
+    D8,
+}
+
+impl DriveStrength {
+    /// All strengths, weakest first.
+    pub const ALL: [DriveStrength; 4] = [
+        DriveStrength::D1,
+        DriveStrength::D2,
+        DriveStrength::D4,
+        DriveStrength::D8,
+    ];
+
+    /// Width multiple relative to D1.
+    #[must_use]
+    pub fn multiple(&self) -> f64 {
+        match self {
+            DriveStrength::D1 => 1.0,
+            DriveStrength::D2 => 2.0,
+            DriveStrength::D4 => 4.0,
+            DriveStrength::D8 => 8.0,
+        }
+    }
+
+    /// Next stronger drive, or `None` at D8. Used by the sizing loop.
+    #[must_use]
+    pub fn upsized(&self) -> Option<DriveStrength> {
+        match self {
+            DriveStrength::D1 => Some(DriveStrength::D2),
+            DriveStrength::D2 => Some(DriveStrength::D4),
+            DriveStrength::D4 => Some(DriveStrength::D8),
+            DriveStrength::D8 => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DriveStrength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveStrength::D1 => f.write_str("D1"),
+            DriveStrength::D2 => f.write_str("D2"),
+            DriveStrength::D4 => f.write_str("D4"),
+            DriveStrength::D8 => f.write_str("D8"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsizing_chain_terminates() {
+        let mut d = DriveStrength::D1;
+        let mut steps = 0;
+        while let Some(next) = d.upsized() {
+            assert!(next.multiple() > d.multiple());
+            d = next;
+            steps += 1;
+        }
+        assert_eq!(steps, 3);
+        assert_eq!(d, DriveStrength::D8);
+    }
+}

@@ -1,0 +1,212 @@
+use crate::drive::DriveStrength;
+use crate::function::CellFunction;
+use crate::geometry::width_cpp;
+use ffet_liberty::CellElectrical;
+use ffet_tech::TechKind;
+
+/// Intrinsic two-fin transistor drive resistances at D1, kΩ. Both
+/// technologies share these — the paper assumes "the same two-fin
+/// transistor structure and the same intrinsic transistor characteristics".
+const R_PFET_KOHM: f64 = 6.5;
+const R_NFET_KOHM: f64 = 5.0;
+
+/// Gate capacitance of one two-fin input at D1, fF (identical across
+/// technologies for the same reason).
+const C_GATE_FF: f64 = 0.45;
+
+/// Leakage of one D1 inverter-equivalent, nW (identical across
+/// technologies — Table I reports exactly 0.0% difference).
+const LEAKAGE_NW: f64 = 0.8;
+
+/// Output-node parasitic per CPP of cell width, fF. Nearly equal between
+/// the technologies: the CFET output pays the supervia landing, the FFET
+/// output pays the Drain Merge — which is why Table I shows INV transition
+/// power within ±0.3%.
+const C_OUT_PER_CPP_CFET: f64 = 0.120;
+const C_OUT_PER_CPP_FFET: f64 = 0.122;
+
+/// Internal-node parasitic per CPP, fF. This is where the technologies
+/// differ: CFET internal nodes must hop between the stacked devices through
+/// supervias, FFET internal nodes stay on a single side. The gap drives the
+/// large BUF/DFF gains of Table I.
+const C_INT_PER_CPP_CFET: f64 = 0.115;
+const C_INT_PER_CPP_FFET: f64 = 0.070;
+
+/// Fixed series via resistance in each switching path, kΩ at D1 (scaled by
+/// √drive as wider cells parallel more via cuts).
+///
+/// CFET: the M0 output track connects to the stacked pair through the
+/// supervia stack, penalising the pull-down loop most in this library
+/// style; FFET connects the frontside nFET directly to frontside M0 and
+/// pays only the Drain Merge on the pull-up.
+const VIA_UP_CFET: f64 = 0.25;
+const VIA_DOWN_CFET: f64 = 0.45;
+const VIA_UP_FFET: f64 = 0.15;
+const VIA_DOWN_FFET: f64 = 0.05;
+
+/// Worst-case pull-network resistance multipliers `(up, down)` relative to
+/// a single transistor, from the series stacking of each function.
+fn network_factors(function: CellFunction) -> (f64, f64) {
+    use CellFunction::*;
+    match function {
+        Inv | Buf | ClkBuf | Bridge | TieHi | TieLo => (1.0, 1.0),
+        Nand2 => (1.0, 2.0),
+        Nand3 => (1.0, 3.0),
+        Nor2 => (2.0, 1.0),
+        Nor3 => (3.0, 1.0),
+        And2 => (1.0, 2.0),
+        Or2 => (2.0, 1.0),
+        // Transmission-gate based: one TG in series with a drive stage.
+        Xor2 | Xnor2 | Mux2 | Mux4 | Dff => (1.5, 1.5),
+        Aoi21 | Oai21 => (2.0, 2.0),
+        Aoi22 | Oai22 => (2.0, 2.0),
+        PowerTap | Filler => (1.0, 1.0),
+    }
+}
+
+/// Number of cascaded stages in the delay path of each function.
+fn stage_count(function: CellFunction) -> usize {
+    use CellFunction::*;
+    match function {
+        Buf | ClkBuf | Bridge | And2 | Or2 | Xor2 | Xnor2 | Mux2 => 2,
+        Mux4 => 3,
+        Dff => 3,
+        _ => 1,
+    }
+}
+
+/// Setup requirement of sequential cells at D1, ps.
+const DFF_SETUP_PS: f64 = 16.0;
+
+/// Builds the electrical model of one library cell for the given
+/// technology. This is the single place where the FFET/CFET physical
+/// differences (supervia vs Drain Merge, single- vs dual-sided intra-cell
+/// routing) enter the library.
+#[must_use]
+pub fn electrical(
+    kind: TechKind,
+    function: CellFunction,
+    drive: DriveStrength,
+) -> CellElectrical {
+    let m = drive.multiple();
+    let (fu, fd) = network_factors(function);
+    let w1 = width_cpp(kind, function, DriveStrength::D1) as f64;
+    let (c_out_per, c_int_per, via_up, via_down) = match kind {
+        TechKind::Cfet4t => (
+            C_OUT_PER_CPP_CFET,
+            C_INT_PER_CPP_CFET,
+            VIA_UP_CFET,
+            VIA_DOWN_CFET,
+        ),
+        TechKind::Ffet3p5t => (
+            C_OUT_PER_CPP_FFET,
+            C_INT_PER_CPP_FFET,
+            VIA_UP_FFET,
+            VIA_DOWN_FFET,
+        ),
+    };
+    let via_scale = m.sqrt();
+    CellElectrical {
+        inputs: function.input_count(),
+        drive: m,
+        pull_up_res_kohm: R_PFET_KOHM * fu,
+        pull_down_res_kohm: R_NFET_KOHM * fd,
+        pull_up_via_kohm: via_up / via_scale * fu,
+        pull_down_via_kohm: via_down / via_scale * fd,
+        output_parasitic_ff: c_out_per * w1,
+        internal_parasitic_ff: c_int_per * w1,
+        input_cap_ff: C_GATE_FF,
+        leakage_nw: LEAKAGE_NW * stage_count(function) as f64
+            * (function.input_count().max(1) as f64).sqrt(),
+        stages: stage_count(function),
+        is_sequential: function.is_sequential(),
+        setup_ps: if function.is_sequential() { DFF_SETUP_PS } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_liberty::{characterize, CharacterizeConfig};
+
+    fn kpis(kind: TechKind, f: CellFunction, d: DriveStrength) -> (f64, f64, f64, f64) {
+        let cfg = CharacterizeConfig::default();
+        let t = characterize(&electrical(kind, f, d), &cfg);
+        let arc = &t.arcs[0];
+        let (s, l) = (10.0, 4.0 * d.multiple());
+        (
+            arc.delay_rise.lookup(s, l),
+            arc.delay_fall.lookup(s, l),
+            t.transition_energy(s, l),
+            t.leakage_nw,
+        )
+    }
+
+    #[test]
+    fn leakage_identical_across_technologies() {
+        // Table I: leakage diff is exactly 0.0% for every cell.
+        for f in [CellFunction::Inv, CellFunction::Buf, CellFunction::Dff] {
+            for d in [DriveStrength::D1, DriveStrength::D4] {
+                let (_, _, _, lc) = kpis(TechKind::Cfet4t, f, d);
+                let (_, _, _, lf) = kpis(TechKind::Ffet3p5t, f, d);
+                assert_eq!(lc, lf, "{f:?} {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn ffet_inverter_faster_especially_on_fall() {
+        // Table I: INVD1 rise −2.5%, fall −8.1%.
+        let (rc, fc, _, _) = kpis(TechKind::Cfet4t, CellFunction::Inv, DriveStrength::D1);
+        let (rf, ff, _, _) = kpis(TechKind::Ffet3p5t, CellFunction::Inv, DriveStrength::D1);
+        let rise_diff = rf / rc - 1.0;
+        let fall_diff = ff / fc - 1.0;
+        assert!(rise_diff < 0.0, "rise diff {rise_diff}");
+        assert!(fall_diff < rise_diff, "fall should improve more: {fall_diff} vs {rise_diff}");
+        assert!(fall_diff > -0.25, "fall diff too extreme: {fall_diff}");
+    }
+
+    #[test]
+    fn ffet_buffer_gains_exceed_inverter_gains() {
+        // Table I: BUF timing improves by 10–16%, INV by 2–14%; BUF
+        // transition power improves 3–12% while INV stays ~flat.
+        let (_, fc_i, ec_i, _) = kpis(TechKind::Cfet4t, CellFunction::Inv, DriveStrength::D2);
+        let (_, ff_i, ef_i, _) = kpis(TechKind::Ffet3p5t, CellFunction::Inv, DriveStrength::D2);
+        let (_, fc_b, ec_b, _) = kpis(TechKind::Cfet4t, CellFunction::Buf, DriveStrength::D2);
+        let (_, ff_b, ef_b, _) = kpis(TechKind::Ffet3p5t, CellFunction::Buf, DriveStrength::D2);
+
+        let inv_energy_diff = (ef_i / ec_i - 1.0).abs();
+        let buf_energy_diff = ef_b / ec_b - 1.0;
+        assert!(inv_energy_diff < 0.05, "INV transition power ~flat: {inv_energy_diff}");
+        assert!(buf_energy_diff < -0.03, "BUF transition power improves: {buf_energy_diff}");
+
+        let inv_fall = ff_i / fc_i - 1.0;
+        let buf_fall = ff_b / fc_b - 1.0;
+        assert!(buf_fall < inv_fall, "BUF fall {buf_fall} vs INV fall {inv_fall}");
+    }
+
+    #[test]
+    fn stacked_networks_slow_the_matching_edge() {
+        let cfg = CharacterizeConfig::default();
+        let nand = characterize(
+            &electrical(TechKind::Ffet3p5t, CellFunction::Nand2, DriveStrength::D1),
+            &cfg,
+        );
+        let inv = characterize(
+            &electrical(TechKind::Ffet3p5t, CellFunction::Inv, DriveStrength::D1),
+            &cfg,
+        );
+        // NAND2 pull-down is two series nFETs: fall is slower than INV's.
+        assert!(
+            nand.arcs[0].delay_fall.lookup(10.0, 4.0) > inv.arcs[0].delay_fall.lookup(10.0, 4.0)
+        );
+    }
+
+    #[test]
+    fn dff_is_sequential_with_setup() {
+        let e = electrical(TechKind::Ffet3p5t, CellFunction::Dff, DriveStrength::D1);
+        assert!(e.is_sequential);
+        assert!(e.setup_ps > 0.0);
+        assert_eq!(e.stages, 3);
+    }
+}

@@ -1,0 +1,318 @@
+/// Logic function of a standard cell.
+///
+/// The set mirrors the paper's Fig. 4 library (INV/BUF/NAND/NOR/AOI/OAI/
+/// XOR/XNOR/MUX/DFF) plus the auxiliary cells the flow needs: tie cells,
+/// clock buffers, the FFET Power Tap Cell and filler.
+///
+/// Input ordering conventions (used by [`CellFunction::eval`] and the
+/// netlist builders) are documented per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellFunction {
+    /// `Y = !A`.
+    Inv,
+    /// `Y = A`.
+    Buf,
+    /// `Y = !(A & B)`.
+    Nand2,
+    /// `Y = !(A & B & C)`.
+    Nand3,
+    /// `Y = !(A | B)`.
+    Nor2,
+    /// `Y = !(A | B | C)`.
+    Nor3,
+    /// `Y = A & B`.
+    And2,
+    /// `Y = A | B`.
+    Or2,
+    /// `Y = A ^ B`.
+    Xor2,
+    /// `Y = !(A ^ B)`.
+    Xnor2,
+    /// `Y = !((A1 & A2) | B)`; inputs `[A1, A2, B]`.
+    Aoi21,
+    /// `Y = !((A1 & A2) | (B1 & B2))`; inputs `[A1, A2, B1, B2]`.
+    Aoi22,
+    /// `Y = !((A1 | A2) & B)`; inputs `[A1, A2, B]`.
+    Oai21,
+    /// `Y = !((A1 | A2) & (B1 | B2))`; inputs `[A1, A2, B1, B2]`.
+    Oai22,
+    /// `Y = S ? B : A`; inputs `[A, B, S]`. Transmission-gate based —
+    /// benefits from the FFET Split Gate.
+    Mux2,
+    /// `Y = S1 ? (S0 ? D3 : D2) : (S0 ? D1 : D0)`; inputs
+    /// `[D0, D1, D2, D3, S0, S1]`.
+    Mux4,
+    /// Rising-edge D flip-flop; inputs `[D, CK]`, output `Q`. Built from
+    /// transmission gates and C²MOS — the paper's flagship Split Gate cell.
+    Dff,
+    /// Constant logic 1.
+    TieHi,
+    /// Constant logic 0.
+    TieLo,
+    /// Clock buffer (`Y = A`), balanced rise/fall for CTS.
+    ClkBuf,
+    /// Bridging cell (`Y = A`): a buffer whose *input* pin sits on the
+    /// wafer backside, used by conventional flows to transfer a signal
+    /// between the sides. The FFET's inherent dual-sided output pins make
+    /// it unnecessary (paper §III.A) — it exists here for the ablation.
+    Bridge,
+    /// FFET Power Tap Cell: connects the frontside VSS rail to the BSPDN.
+    /// No signal pins; placed by the powerplan, fixed during placement.
+    PowerTap,
+    /// Filler cell occupying otherwise-empty sites.
+    Filler,
+}
+
+impl CellFunction {
+    /// All functions that appear in the Fig. 4 library comparison, in the
+    /// paper's plot order.
+    pub const FIG4_SET: [CellFunction; 14] = [
+        CellFunction::Inv,
+        CellFunction::Buf,
+        CellFunction::Nand2,
+        CellFunction::Nor2,
+        CellFunction::Nand3,
+        CellFunction::Nor3,
+        CellFunction::And2,
+        CellFunction::Or2,
+        CellFunction::Xor2,
+        CellFunction::Xnor2,
+        CellFunction::Aoi22,
+        CellFunction::Oai22,
+        CellFunction::Mux2,
+        CellFunction::Dff,
+    ];
+
+    /// Number of signal input pins.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        match self {
+            CellFunction::Inv | CellFunction::Buf | CellFunction::ClkBuf | CellFunction::Bridge => 1,
+            CellFunction::Nand2
+            | CellFunction::Nor2
+            | CellFunction::And2
+            | CellFunction::Or2
+            | CellFunction::Xor2
+            | CellFunction::Xnor2
+            | CellFunction::Dff => 2,
+            CellFunction::Nand3
+            | CellFunction::Nor3
+            | CellFunction::Aoi21
+            | CellFunction::Oai21
+            | CellFunction::Mux2 => 3,
+            CellFunction::Aoi22 | CellFunction::Oai22 => 4,
+            CellFunction::Mux4 => 6,
+            CellFunction::TieHi | CellFunction::TieLo | CellFunction::PowerTap | CellFunction::Filler => 0,
+        }
+    }
+
+    /// Whether the cell has an output pin.
+    #[must_use]
+    pub fn has_output(&self) -> bool {
+        !matches!(self, CellFunction::PowerTap | CellFunction::Filler)
+    }
+
+    /// Whether the cell is a sequential element (state-holding).
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, CellFunction::Dff)
+    }
+
+    /// Whether the FFET implementation of this cell uses the Split Gate
+    /// (transmission gates / C²MOS with complementary clocks), which is
+    /// where the extra area savings of Fig. 4 come from.
+    #[must_use]
+    pub fn uses_split_gate(&self) -> bool {
+        matches!(
+            self,
+            CellFunction::Mux2 | CellFunction::Mux4 | CellFunction::Dff
+                | CellFunction::Xor2 | CellFunction::Xnor2
+        )
+    }
+
+    /// Whether the FFET implementation needs an extra Drain Merge via,
+    /// costing area relative to CFET (the AOI22/OAI22 penalty the paper
+    /// admits to).
+    #[must_use]
+    pub fn extra_drain_merge(&self) -> bool {
+        matches!(self, CellFunction::Aoi22 | CellFunction::Oai22)
+    }
+
+    /// Input pin names in the conventional library order.
+    #[must_use]
+    pub fn input_names(&self) -> Vec<&'static str> {
+        match self {
+            CellFunction::Inv
+            | CellFunction::Buf
+            | CellFunction::ClkBuf
+            | CellFunction::Bridge => vec!["A"],
+            CellFunction::Nand2
+            | CellFunction::Nor2
+            | CellFunction::And2
+            | CellFunction::Or2
+            | CellFunction::Xor2
+            | CellFunction::Xnor2 => vec!["A", "B"],
+            CellFunction::Nand3 | CellFunction::Nor3 => vec!["A", "B", "C"],
+            CellFunction::Aoi21 | CellFunction::Oai21 => vec!["A1", "A2", "B"],
+            CellFunction::Aoi22 | CellFunction::Oai22 => vec!["A1", "A2", "B1", "B2"],
+            CellFunction::Mux2 => vec!["A", "B", "S"],
+            CellFunction::Mux4 => vec!["D0", "D1", "D2", "D3", "S0", "S1"],
+            CellFunction::Dff => vec!["D", "CK"],
+            CellFunction::TieHi
+            | CellFunction::TieLo
+            | CellFunction::PowerTap
+            | CellFunction::Filler => vec![],
+        }
+    }
+
+    /// Library name stem, e.g. `INV`, `AOI22`, `DFF`.
+    #[must_use]
+    pub fn stem(&self) -> &'static str {
+        match self {
+            CellFunction::Inv => "INV",
+            CellFunction::Buf => "BUF",
+            CellFunction::Nand2 => "ND2",
+            CellFunction::Nand3 => "ND3",
+            CellFunction::Nor2 => "NR2",
+            CellFunction::Nor3 => "NR3",
+            CellFunction::And2 => "AN2",
+            CellFunction::Or2 => "OR2",
+            CellFunction::Xor2 => "XOR2",
+            CellFunction::Xnor2 => "XNR2",
+            CellFunction::Aoi21 => "AOI21",
+            CellFunction::Aoi22 => "AOI22",
+            CellFunction::Oai21 => "OAI21",
+            CellFunction::Oai22 => "OAI22",
+            CellFunction::Mux2 => "MUX2",
+            CellFunction::Mux4 => "MUX4",
+            CellFunction::Dff => "DFF",
+            CellFunction::TieHi => "TIEH",
+            CellFunction::TieLo => "TIEL",
+            CellFunction::ClkBuf => "CKBUF",
+            CellFunction::Bridge => "BRIDGE",
+            CellFunction::PowerTap => "PWRTAP",
+            CellFunction::Filler => "FILL",
+        }
+    }
+
+    /// Evaluates the combinational function for the given inputs (in the
+    /// [`input_names`](Self::input_names) order).
+    ///
+    /// For the DFF this evaluates the *next-state* function (returns `D`);
+    /// the simulator applies it on clock edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match [`input_count`](Self::input_count),
+    /// or when called on a cell without an output (power tap, filler).
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "wrong input count for {self:?}"
+        );
+        match self {
+            CellFunction::Inv => !inputs[0],
+            CellFunction::Buf | CellFunction::ClkBuf | CellFunction::Bridge => inputs[0],
+            CellFunction::Nand2 => !(inputs[0] & inputs[1]),
+            CellFunction::Nand3 => !(inputs[0] & inputs[1] & inputs[2]),
+            CellFunction::Nor2 => !(inputs[0] | inputs[1]),
+            CellFunction::Nor3 => !(inputs[0] | inputs[1] | inputs[2]),
+            CellFunction::And2 => inputs[0] & inputs[1],
+            CellFunction::Or2 => inputs[0] | inputs[1],
+            CellFunction::Xor2 => inputs[0] ^ inputs[1],
+            CellFunction::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellFunction::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            CellFunction::Aoi22 => !((inputs[0] & inputs[1]) | (inputs[2] & inputs[3])),
+            CellFunction::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+            CellFunction::Oai22 => !((inputs[0] | inputs[1]) & (inputs[2] | inputs[3])),
+            CellFunction::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellFunction::Mux4 => {
+                let sel = (inputs[5] as usize) << 1 | inputs[4] as usize;
+                inputs[sel]
+            }
+            CellFunction::Dff => inputs[0],
+            CellFunction::TieHi => true,
+            CellFunction::TieLo => false,
+            CellFunction::PowerTap | CellFunction::Filler => {
+                panic!("{self:?} has no logic output")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CellFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.stem())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        use CellFunction::*;
+        assert!(Inv.eval(&[false]));
+        assert!(!Inv.eval(&[true]));
+        assert!(Nand2.eval(&[true, false]));
+        assert!(!Nand2.eval(&[true, true]));
+        assert!(!Nor2.eval(&[true, false]));
+        assert!(Nor2.eval(&[false, false]));
+        assert!(Xor2.eval(&[true, false]));
+        assert!(!Xor2.eval(&[true, true]));
+        assert!(Xnor2.eval(&[true, true]));
+        // AOI21: !((A1&A2)|B)
+        assert!(!Aoi21.eval(&[true, true, false]));
+        assert!(Aoi21.eval(&[true, false, false]));
+        // OAI22: !((A1|A2)&(B1|B2))
+        assert!(Oai22.eval(&[false, false, true, true]));
+        assert!(!Oai22.eval(&[true, false, false, true]));
+        // MUX2 selects B when S is high.
+        assert!(Mux2.eval(&[false, true, true]));
+        assert!(!Mux2.eval(&[false, true, false]));
+        // MUX4 decodes S1:S0.
+        assert!(Mux4.eval(&[false, false, true, false, false, true]));
+        assert!(TieHi.eval(&[]));
+        assert!(!TieLo.eval(&[]));
+    }
+
+    #[test]
+    fn mux4_exhaustive_select() {
+        for sel in 0..4usize {
+            let mut inputs = [false; 6];
+            inputs[sel] = true;
+            inputs[4] = sel & 1 != 0;
+            inputs[5] = sel & 2 != 0;
+            assert!(CellFunction::Mux4.eval(&inputs), "sel = {sel}");
+        }
+    }
+
+    #[test]
+    fn input_counts_match_names() {
+        use CellFunction::*;
+        for f in [
+            Inv, Buf, Nand2, Nand3, Nor2, Nor3, And2, Or2, Xor2, Xnor2, Aoi21, Aoi22, Oai21,
+            Oai22, Mux2, Mux4, Dff, TieHi, TieLo, ClkBuf, PowerTap, Filler,
+        ] {
+            assert_eq!(f.input_names().len(), f.input_count(), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn split_gate_cells_are_the_sequential_and_tg_ones() {
+        assert!(CellFunction::Dff.uses_split_gate());
+        assert!(CellFunction::Mux2.uses_split_gate());
+        assert!(!CellFunction::Nand2.uses_split_gate());
+        assert!(CellFunction::Aoi22.extra_drain_merge());
+        assert!(!CellFunction::Inv.extra_drain_merge());
+    }
+}

@@ -1,0 +1,262 @@
+use crate::drive::DriveStrength;
+use crate::function::CellFunction;
+use ffet_geom::Nm;
+use ffet_tech::{Side, TechKind, Technology};
+
+/// Footprint widths in CPP at D1 for one cell function: `(cfet, ffet,
+/// slope)`. Width at drive `m` is `base + slope × (m − 1)` CPP.
+///
+/// The bases encode Fig. 4: most cells share the same CPP count in both
+/// technologies (the FFET saving is then the 0.5T height), the Split Gate
+/// cells (XOR/XNOR/MUX/DFF) are narrower in FFET, and AOI22/OAI22 pay one
+/// extra CPP in FFET for the additional Drain Merge.
+fn width_model(function: CellFunction) -> (i64, i64, i64) {
+    use CellFunction::*;
+    match function {
+        Inv => (2, 2, 1),
+        Buf | ClkBuf => (3, 3, 1),
+        // Bridging cells pay extra CPP for the side-transfer hookup.
+        Bridge => (4, 4, 1),
+        Nand2 | Nor2 => (3, 3, 1),
+        Nand3 | Nor3 => (4, 4, 1),
+        And2 | Or2 => (4, 4, 1),
+        Xor2 => (6, 5, 1),
+        Xnor2 => (6, 5, 1),
+        Aoi21 | Oai21 => (4, 4, 1),
+        Aoi22 | Oai22 => (5, 6, 1),
+        Mux2 => (7, 6, 1),
+        Mux4 => (15, 13, 2),
+        Dff => (16, 13, 2),
+        TieHi | TieLo => (2, 2, 0),
+        PowerTap => (2, 2, 0),
+        Filler => (1, 1, 0),
+    }
+}
+
+/// Cell width in CPP for the given technology and drive.
+#[must_use]
+pub fn width_cpp(kind: TechKind, function: CellFunction, drive: DriveStrength) -> i64 {
+    let (cfet, ffet, slope) = width_model(function);
+    let base = match kind {
+        TechKind::Cfet4t => cfet,
+        TechKind::Ffet3p5t => ffet,
+    };
+    base + slope * (drive.multiple() as i64 - 1)
+}
+
+/// Cell area in nm² for the given technology and drive.
+#[must_use]
+pub fn area_nm2(tech: &Technology, function: CellFunction, drive: DriveStrength) -> i128 {
+    let w = width_cpp(tech.kind(), function, drive) * tech.cpp();
+    i128::from(w) * i128::from(tech.cell_height())
+}
+
+/// One row of the Fig. 4 cell-area comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaComparison {
+    /// Cell function compared.
+    pub function: CellFunction,
+    /// 4T CFET cell area, nm².
+    pub cfet_nm2: i128,
+    /// 3.5T FFET cell area, nm².
+    pub ffet_nm2: i128,
+    /// Relative FFET scaling, `1 − ffet/cfet` (positive = FFET smaller).
+    pub scaling: f64,
+}
+
+/// Computes the Fig. 4 area comparison for the paper's cell set at D1.
+#[must_use]
+pub fn fig4_area_comparison() -> Vec<AreaComparison> {
+    let ffet = Technology::ffet_3p5t();
+    let cfet = Technology::cfet_4t();
+    CellFunction::FIG4_SET
+        .iter()
+        .map(|&f| {
+            let c = area_nm2(&cfet, f, DriveStrength::D1);
+            let s = area_nm2(&ffet, f, DriveStrength::D1);
+            AreaComparison {
+                function: f,
+                cfet_nm2: c,
+                ffet_nm2: s,
+                scaling: 1.0 - s as f64 / c as f64,
+            }
+        })
+        .collect()
+}
+
+/// Geometric shape of one pin on a cell template.
+///
+/// Pin positions are kept in CPP offsets from the cell's left edge; the
+/// vertical position is the cell mid-height (pins land on M0 tracks that
+/// the router reaches through via stacks, so only the horizontal position
+/// matters for inter-cell routing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinShape {
+    /// Pin name (library convention, e.g. `A1`, `CK`, `Y`).
+    pub name: String,
+    /// Signal direction.
+    pub direction: PinDirection,
+    /// Wafer side(s) the pin is accessible from. Output pins of FFET cells
+    /// are dual-sided (Drain Merge); input pins live on exactly one side.
+    pub sides: PinSides,
+    /// Horizontal offset from the cell's left edge, in CPP.
+    pub offset_cpp: i64,
+}
+
+/// Direction of a pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinDirection {
+    /// Signal input.
+    Input,
+    /// Signal output.
+    Output,
+}
+
+/// Which wafer side(s) a pin is accessible from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinSides {
+    /// Accessible from one side only.
+    One(Side),
+    /// Accessible from both sides (the FFET dual-sided output pin).
+    Both,
+}
+
+impl PinSides {
+    /// Whether the pin can be reached from `side`.
+    #[must_use]
+    pub fn accessible_from(&self, side: Side) -> bool {
+        match self {
+            PinSides::One(s) => *s == side,
+            PinSides::Both => true,
+        }
+    }
+
+    /// The single side, if one-sided.
+    #[must_use]
+    pub fn single(&self) -> Option<Side> {
+        match self {
+            PinSides::One(s) => Some(*s),
+            PinSides::Both => None,
+        }
+    }
+}
+
+/// Builds default pin shapes for a cell: inputs spread across the cell
+/// width on the front side, output near the right edge (dual-sided when
+/// the technology supports backside pins).
+#[must_use]
+pub fn default_pins(
+    tech: &Technology,
+    function: CellFunction,
+    drive: DriveStrength,
+) -> Vec<PinShape> {
+    let width = width_cpp(tech.kind(), function, drive);
+    let names = function.input_names();
+    let n = names.len() as i64;
+    // Bridging cells receive on the backside — that transfer is their
+    // entire purpose (only meaningful where backside pins exist).
+    let input_side = if function == CellFunction::Bridge && tech.supports_pins_on(Side::Back) {
+        Side::Back
+    } else {
+        Side::Front
+    };
+    let mut pins: Vec<PinShape> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| PinShape {
+            name: (*name).to_owned(),
+            direction: PinDirection::Input,
+            sides: PinSides::One(input_side),
+            offset_cpp: (i as i64 + 1) * width / (n + 1),
+        })
+        .collect();
+    if function.has_output() {
+        let sides = if tech.supports_pins_on(Side::Back) {
+            PinSides::Both
+        } else {
+            PinSides::One(Side::Front)
+        };
+        pins.push(PinShape {
+            name: if function.is_sequential() { "Q" } else { "Y" }.to_owned(),
+            direction: PinDirection::Output,
+            sides,
+            offset_cpp: (width - 1).max(0),
+        });
+    }
+    pins
+}
+
+/// Converts a pin's CPP offset to a physical x offset in nm.
+#[must_use]
+pub fn pin_x_nm(tech: &Technology, pin: &PinShape) -> Nm {
+    pin.offset_cpp * tech.cpp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_area_scaling_is_pure_height() {
+        let rows = fig4_area_comparison();
+        let inv = rows.iter().find(|r| r.function == CellFunction::Inv).unwrap();
+        assert!((inv.scaling - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_gate_cells_save_extra_area() {
+        let rows = fig4_area_comparison();
+        let inv = rows.iter().find(|r| r.function == CellFunction::Inv).unwrap();
+        let dff = rows.iter().find(|r| r.function == CellFunction::Dff).unwrap();
+        let mux = rows.iter().find(|r| r.function == CellFunction::Mux2).unwrap();
+        assert!(dff.scaling > inv.scaling + 0.1, "dff scaling {}", dff.scaling);
+        assert!(mux.scaling > inv.scaling + 0.1, "mux scaling {}", mux.scaling);
+    }
+
+    #[test]
+    fn aoi22_pays_drain_merge_penalty() {
+        let rows = fig4_area_comparison();
+        let aoi = rows.iter().find(|r| r.function == CellFunction::Aoi22).unwrap();
+        // FFET AOI22 is wider, so its area scaling is below the 12.5% height
+        // scaling (it can even be negative).
+        assert!(aoi.scaling < 0.125);
+    }
+
+    #[test]
+    fn width_grows_with_drive() {
+        for kind in [TechKind::Ffet3p5t, TechKind::Cfet4t] {
+            let mut last = 0;
+            for d in DriveStrength::ALL {
+                let w = width_cpp(kind, CellFunction::Inv, d);
+                assert!(w > last);
+                last = w;
+            }
+        }
+    }
+
+    #[test]
+    fn ffet_output_pins_are_dual_sided() {
+        let ffet = Technology::ffet_3p5t();
+        let pins = default_pins(&ffet, CellFunction::Nand2, DriveStrength::D1);
+        let out = pins.iter().find(|p| p.direction == PinDirection::Output).unwrap();
+        assert_eq!(out.sides, PinSides::Both);
+
+        let cfet = Technology::cfet_4t();
+        let pins = default_pins(&cfet, CellFunction::Nand2, DriveStrength::D1);
+        let out = pins.iter().find(|p| p.direction == PinDirection::Output).unwrap();
+        assert_eq!(out.sides, PinSides::One(Side::Front));
+    }
+
+    #[test]
+    fn pins_fit_inside_cell() {
+        let ffet = Technology::ffet_3p5t();
+        for f in CellFunction::FIG4_SET {
+            for d in [DriveStrength::D1, DriveStrength::D4] {
+                let w = width_cpp(ffet.kind(), f, d);
+                for p in default_pins(&ffet, f, d) {
+                    assert!(p.offset_cpp >= 0 && p.offset_cpp < w, "{f:?} {d} pin {}", p.name);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Dual-sided standard-cell library for 3.5T FFET and 4T CFET.
+//!
+//! Models the cell libraries of the paper:
+//!
+//! * per-cell footprints following the Fig. 4 area comparison (FFET saves
+//!   0.5T of height everywhere, extra width in the Split Gate cells
+//!   MUX/DFF/XOR, and pays one CPP in AOI22/OAI22 for the extra Drain
+//!   Merge),
+//! * dual-sided pins: every FFET output pin is accessible from both wafer
+//!   sides through its Drain Merge, and input pins can be *redistributed*
+//!   between front and back — the `FPx BPy` design-of-experiments knob,
+//! * characterized NLDM timing (via [`ffet_liberty`]) whose FFET-vs-CFET
+//!   differences reproduce the paper's Table I mechanisms.
+//!
+//! # Example
+//!
+//! ```
+//! use ffet_cells::{Library, CellKind, CellFunction, DriveStrength};
+//! use ffet_tech::Technology;
+//!
+//! let mut lib = Library::new(Technology::ffet_3p5t());
+//! lib.redistribute_input_pins(0.5, 42)?; // FP0.5 BP0.5
+//! let inv = lib.cell_by_kind(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+//!     .expect("INVD1 exists");
+//! assert_eq!(inv.name, "INVD1");
+//! # Ok::<(), ffet_cells::RedistributeError>(())
+//! ```
+
+mod drive;
+mod electrical;
+mod function;
+mod geometry;
+mod library;
+
+pub use drive::DriveStrength;
+pub use electrical::electrical;
+pub use function::CellFunction;
+pub use geometry::{
+    area_nm2, default_pins, fig4_area_comparison, pin_x_nm, width_cpp, AreaComparison,
+    PinDirection, PinShape, PinSides,
+};
+pub use library::{Cell, CellId, CellKind, Library, RedistributeError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_tech::Technology;
+
+    #[test]
+    fn fig4_average_scaling_near_12p5_percent_for_combinational() {
+        let rows = fig4_area_comparison();
+        let comb: Vec<_> = rows
+            .iter()
+            .filter(|r| !r.function.uses_split_gate() && !r.function.extra_drain_merge())
+            .collect();
+        let avg = comb.iter().map(|r| r.scaling).sum::<f64>() / comb.len() as f64;
+        assert!((avg - 0.125).abs() < 0.01, "avg = {avg}");
+    }
+
+    #[test]
+    fn both_libraries_build() {
+        let f = Library::new(Technology::ffet_3p5t());
+        let c = Library::new(Technology::cfet_4t());
+        assert_eq!(f.cells().len(), c.cells().len());
+    }
+}

@@ -1,0 +1,451 @@
+use crate::drive::DriveStrength;
+use crate::electrical::electrical;
+use crate::function::CellFunction;
+use crate::geometry::{default_pins, width_cpp, PinDirection, PinShape, PinSides};
+use ffet_liberty::{characterize, CellTiming, CharacterizeConfig};
+use ffet_tech::{Side, Technology};
+use std::collections::HashMap;
+
+/// Identifies a library cell template (index into [`Library::cells`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+/// A (function, drive) pair naming one library cell, e.g. `INV` × `D2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKind {
+    /// Logic function.
+    pub function: CellFunction,
+    /// Drive strength.
+    pub drive: DriveStrength,
+}
+
+impl CellKind {
+    /// Creates a kind.
+    #[must_use]
+    pub fn new(function: CellFunction, drive: DriveStrength) -> CellKind {
+        CellKind { function, drive }
+    }
+
+    /// Library cell name, e.g. `INVD4`; fixed-function cells (ties, power
+    /// tap, filler) have no drive suffix.
+    #[must_use]
+    pub fn name(&self) -> String {
+        if self.function.input_count() == 0 && !self.function.has_output()
+            || matches!(self.function, CellFunction::TieHi | CellFunction::TieLo)
+        {
+            self.function.stem().to_owned()
+        } else {
+            format!("{}{}", self.function.stem(), self.drive)
+        }
+    }
+}
+
+impl std::fmt::Display for CellKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A fully characterized library cell: geometry, pins and timing.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Function and drive.
+    pub kind: CellKind,
+    /// Library name (`INVD1`…).
+    pub name: String,
+    /// Footprint width in CPP (placement sites).
+    pub width_cpp: i64,
+    /// Pin templates, inputs first (library order), then the output.
+    pub pins: Vec<PinShape>,
+    /// Characterized NLDM timing/power.
+    pub timing: CellTiming,
+}
+
+impl Cell {
+    /// Index of the output pin in [`Cell::pins`], if any.
+    #[must_use]
+    pub fn output_pin(&self) -> Option<usize> {
+        self.pins
+            .iter()
+            .position(|p| p.direction == PinDirection::Output)
+    }
+
+    /// Input pin shapes in library order.
+    pub fn input_pins(&self) -> impl Iterator<Item = &PinShape> {
+        self.pins
+            .iter()
+            .filter(|p| p.direction == PinDirection::Input)
+    }
+
+    /// Input capacitance (fF) of input pin `index`.
+    #[must_use]
+    pub fn input_cap(&self, index: usize) -> f64 {
+        self.timing.input_caps.get(index).copied().unwrap_or(0.0)
+    }
+}
+
+/// Error from [`Library::redistribute_input_pins`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedistributeError {
+    /// The technology has no backside signal pins (CFET).
+    BacksideUnsupported,
+    /// Ratio outside `0.0..=1.0`.
+    InvalidRatio(f64),
+}
+
+impl std::fmt::Display for RedistributeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RedistributeError::BacksideUnsupported => {
+                f.write_str("technology does not support backside input pins")
+            }
+            RedistributeError::InvalidRatio(r) => {
+                write!(f, "backside pin ratio {r} outside 0.0..=1.0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RedistributeError {}
+
+/// A characterized dual-sided standard-cell library for one technology.
+///
+/// Construction characterizes every cell; [`Library::redistribute_input_pins`]
+/// implements the paper's "input pin redistribution": rewriting the pin
+/// sides in the (virtual) LEF so that a chosen fraction of input pins sits
+/// on the wafer backside. Clock pins (`CK`) always stay frontside so that
+/// the conventional CTS stage is unaffected.
+#[derive(Debug, Clone)]
+pub struct Library {
+    tech: Technology,
+    cells: Vec<Cell>,
+    index: HashMap<CellKind, CellId>,
+    back_ratio: f64,
+}
+
+impl Library {
+    /// Builds and characterizes the full library for `tech`. All input pins
+    /// start on the frontside (`FP1.0 BP0.0`).
+    #[must_use]
+    pub fn new(tech: Technology) -> Library {
+        let cfg = CharacterizeConfig::default();
+        let mut cells = Vec::new();
+        let mut index = HashMap::new();
+        for function in ALL_FUNCTIONS {
+            for drive in drives_for(function) {
+                let kind = CellKind::new(function, drive);
+                let id = CellId(cells.len() as u32);
+                let timing = characterize(&electrical(tech.kind(), function, drive), &cfg);
+                cells.push(Cell {
+                    kind,
+                    name: kind.name(),
+                    width_cpp: width_cpp(tech.kind(), function, drive),
+                    pins: default_pins(&tech, function, drive),
+                    timing,
+                });
+                index.insert(kind, id);
+            }
+        }
+        Library {
+            tech,
+            cells,
+            index,
+            back_ratio: 0.0,
+        }
+    }
+
+    /// The library's technology.
+    #[must_use]
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// All cells, in id order.
+    #[must_use]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Looks up a cell template id by kind.
+    #[must_use]
+    pub fn id(&self, kind: CellKind) -> Option<CellId> {
+        self.index.get(&kind).copied()
+    }
+
+    /// The cell template for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this library.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Convenience: the cell for a kind.
+    #[must_use]
+    pub fn cell_by_kind(&self, kind: CellKind) -> Option<&Cell> {
+        self.id(kind).map(|id| self.cell(id))
+    }
+
+    /// The configured backside input-pin density ratio (`BPx` of the DoEs).
+    #[must_use]
+    pub fn backside_pin_ratio(&self) -> f64 {
+        self.back_ratio
+    }
+
+    /// Redistributes input pins so that a fraction `back_ratio` of all
+    /// redistributable input pins sits on the backside, deterministically
+    /// from `seed`. Returns the number of pins placed on the backside.
+    ///
+    /// This is the paper's LEF rewrite: "their locations defined in the
+    /// modified standard cell LEF files can be flexibly adjusted". Clock
+    /// pins are excluded (CTS stays conventional).
+    ///
+    /// # Errors
+    ///
+    /// [`RedistributeError::BacksideUnsupported`] on CFET with nonzero
+    /// ratio; [`RedistributeError::InvalidRatio`] for ratios outside 0..=1.
+    pub fn redistribute_input_pins(
+        &mut self,
+        back_ratio: f64,
+        seed: u64,
+    ) -> Result<usize, RedistributeError> {
+        if !(0.0..=1.0).contains(&back_ratio) {
+            return Err(RedistributeError::InvalidRatio(back_ratio));
+        }
+        if back_ratio > 0.0 && !self.tech.supports_pins_on(Side::Back) {
+            return Err(RedistributeError::BacksideUnsupported);
+        }
+        // Collect all redistributable pins, reset them to front.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for (ci, cell) in self.cells.iter_mut().enumerate() {
+            if cell.kind.function == CellFunction::Bridge {
+                continue; // a bridge's backside input IS its function
+            }
+            for (pi, pin) in cell.pins.iter_mut().enumerate() {
+                if pin.direction == PinDirection::Input && pin.name != "CK" {
+                    pin.sides = PinSides::One(Side::Front);
+                    candidates.push((ci, pi));
+                }
+            }
+        }
+        // Deterministic shuffle, then flip the first `k` to the backside.
+        let mut rng = SplitMix64::new(seed);
+        for i in (1..candidates.len()).rev() {
+            let j = (rng.next() % (i as u64 + 1)) as usize;
+            candidates.swap(i, j);
+        }
+        let k = (back_ratio * candidates.len() as f64).round() as usize;
+        for &(ci, pi) in candidates.iter().take(k) {
+            self.cells[ci].pins[pi].sides = PinSides::One(Side::Back);
+        }
+        self.back_ratio = back_ratio;
+        Ok(k)
+    }
+
+    /// Exports the characterized library as Liberty (`.lib`) text.
+    ///
+    /// ```
+    /// use ffet_cells::Library;
+    /// use ffet_tech::Technology;
+    /// let lib = Library::new(Technology::ffet_3p5t());
+    /// let text = lib.to_liberty();
+    /// assert!(text.contains("cell (INVD1)"));
+    /// ```
+    #[must_use]
+    pub fn to_liberty(&self) -> String {
+        let name = match self.tech.kind() {
+            ffet_tech::TechKind::Ffet3p5t => "ffet_3p5t",
+            ffet_tech::TechKind::Cfet4t => "cfet_4t",
+        };
+        let cells: Vec<(String, ffet_liberty::CellTiming)> = self
+            .cells
+            .iter()
+            .filter(|c| c.kind.function.has_output())
+            .map(|c| (c.name.clone(), c.timing.clone()))
+            .collect();
+        ffet_liberty::write_liberty(name, &cells)
+    }
+
+    /// Measured fraction of redistributable input pins currently on the
+    /// backside (for verifying a redistribution).
+    #[must_use]
+    pub fn measured_backside_ratio(&self) -> f64 {
+        let mut total = 0usize;
+        let mut back = 0usize;
+        for cell in &self.cells {
+            if cell.kind.function == CellFunction::Bridge {
+                continue;
+            }
+            for pin in &cell.pins {
+                if pin.direction == PinDirection::Input && pin.name != "CK" {
+                    total += 1;
+                    if pin.sides == PinSides::One(Side::Back) {
+                        back += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            back as f64 / total as f64
+        }
+    }
+}
+
+/// Functions instantiated in every library.
+const ALL_FUNCTIONS: [CellFunction; 23] = [
+    CellFunction::Inv,
+    CellFunction::Buf,
+    CellFunction::Nand2,
+    CellFunction::Nand3,
+    CellFunction::Nor2,
+    CellFunction::Nor3,
+    CellFunction::And2,
+    CellFunction::Or2,
+    CellFunction::Xor2,
+    CellFunction::Xnor2,
+    CellFunction::Aoi21,
+    CellFunction::Aoi22,
+    CellFunction::Oai21,
+    CellFunction::Oai22,
+    CellFunction::Mux2,
+    CellFunction::Mux4,
+    CellFunction::Dff,
+    CellFunction::TieHi,
+    CellFunction::TieLo,
+    CellFunction::ClkBuf,
+    CellFunction::Bridge,
+    CellFunction::PowerTap,
+    CellFunction::Filler,
+];
+
+/// Drive strengths offered per function: INV/BUF/CKBUF get the full D1–D8
+/// range (they are the sizing/buffering workhorses), logic gets D1–D4,
+/// fixed cells a single variant.
+fn drives_for(function: CellFunction) -> Vec<DriveStrength> {
+    use CellFunction::*;
+    match function {
+        Inv | Buf | ClkBuf => DriveStrength::ALL.to_vec(),
+        TieHi | TieLo | PowerTap | Filler => vec![DriveStrength::D1],
+        _ => vec![DriveStrength::D1, DriveStrength::D2, DriveStrength::D4],
+    }
+}
+
+/// Small deterministic RNG (splitmix64) so pin redistribution never depends
+/// on an external crate or global state.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_tech::TechKind;
+
+    #[test]
+    fn library_builds_with_expected_cell_count() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        // 3 full-range (4 drives) + 4 fixed (1) + 16 others (3 drives).
+        assert_eq!(lib.cells().len(), 3 * 4 + 4 + 16 * 3);
+        assert_eq!(lib.tech().kind(), TechKind::Ffet3p5t);
+    }
+
+    #[test]
+    fn lookup_by_kind() {
+        let lib = Library::new(Technology::cfet_4t());
+        let kind = CellKind::new(CellFunction::Nand2, DriveStrength::D2);
+        let cell = lib.cell_by_kind(kind).expect("ND2D2 exists");
+        assert_eq!(cell.name, "ND2D2");
+        assert_eq!(cell.pins.len(), 3);
+        assert!(lib
+            .cell_by_kind(CellKind::new(CellFunction::Nand2, DriveStrength::D8))
+            .is_none());
+    }
+
+    #[test]
+    fn redistribution_hits_requested_ratio() {
+        let mut lib = Library::new(Technology::ffet_3p5t());
+        for ratio in [0.04, 0.16, 0.3, 0.4, 0.5] {
+            let moved = lib.redistribute_input_pins(ratio, 42).expect("ffet supports backside");
+            assert!(moved > 0);
+            let measured = lib.measured_backside_ratio();
+            assert!(
+                (measured - ratio).abs() < 0.02,
+                "requested {ratio}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn redistribution_is_deterministic() {
+        let mut a = Library::new(Technology::ffet_3p5t());
+        let mut b = Library::new(Technology::ffet_3p5t());
+        a.redistribute_input_pins(0.5, 7).unwrap();
+        b.redistribute_input_pins(0.5, 7).unwrap();
+        for (ca, cb) in a.cells().iter().zip(b.cells()) {
+            for (pa, pb) in ca.pins.iter().zip(&cb.pins) {
+                assert_eq!(pa.sides, pb.sides, "{} {}", ca.name, pa.name);
+            }
+        }
+    }
+
+    #[test]
+    fn clock_pins_never_move() {
+        let mut lib = Library::new(Technology::ffet_3p5t());
+        lib.redistribute_input_pins(1.0, 3).unwrap();
+        let dff = lib
+            .cell_by_kind(CellKind::new(CellFunction::Dff, DriveStrength::D1))
+            .unwrap();
+        let ck = dff.pins.iter().find(|p| p.name == "CK").unwrap();
+        assert_eq!(ck.sides, PinSides::One(Side::Front));
+        // But the data pin did move.
+        let d = dff.pins.iter().find(|p| p.name == "D").unwrap();
+        assert_eq!(d.sides, PinSides::One(Side::Back));
+    }
+
+    #[test]
+    fn cfet_rejects_backside_ratio() {
+        let mut lib = Library::new(Technology::cfet_4t());
+        assert_eq!(
+            lib.redistribute_input_pins(0.5, 1),
+            Err(RedistributeError::BacksideUnsupported)
+        );
+        assert!(lib.redistribute_input_pins(0.0, 1).is_ok());
+    }
+
+    #[test]
+    fn invalid_ratio_rejected() {
+        let mut lib = Library::new(Technology::ffet_3p5t());
+        assert!(matches!(
+            lib.redistribute_input_pins(1.5, 1),
+            Err(RedistributeError::InvalidRatio(_))
+        ));
+    }
+
+    #[test]
+    fn output_pins_found() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        for cell in lib.cells() {
+            if cell.kind.function.has_output() {
+                assert!(cell.output_pin().is_some(), "{}", cell.name);
+            } else {
+                assert!(cell.output_pin().is_none(), "{}", cell.name);
+            }
+        }
+    }
+}

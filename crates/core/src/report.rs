@@ -1,0 +1,109 @@
+//! PPA report types shared by all experiments.
+
+use ffet_tech::RoutingPattern;
+
+/// The post-P&R, post-extraction PPA of one flow run — one data point of
+/// the paper's evaluation plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpaReport {
+    /// Technology name (`3.5T FFET` / `4T CFET`).
+    pub tech: String,
+    /// Routing pattern used.
+    pub pattern: RoutingPattern,
+    /// Backside input-pin density (`BPy`).
+    pub back_pin_ratio: f64,
+    /// Synthesis target frequency, GHz.
+    pub target_freq_ghz: f64,
+    /// Requested placement utilization.
+    pub utilization: f64,
+    /// Core area, µm².
+    pub core_area_um2: f64,
+    /// Achieved (post-extraction) maximum frequency, GHz.
+    pub achieved_freq_ghz: f64,
+    /// Total power at the achieved frequency, mW.
+    pub power_mw: f64,
+    /// Leakage component, mW.
+    pub leakage_mw: f64,
+    /// Clock-network component, mW.
+    pub clock_mw: f64,
+    /// Total DRV count (routing overflow + placement violations).
+    pub drv: u32,
+    /// Whether the run passes the `<10 DRVs` validity rule.
+    pub valid: bool,
+    /// Total signal wirelength, mm.
+    pub wirelength_mm: f64,
+    /// Backside share of the wirelength, mm.
+    pub back_wirelength_mm: f64,
+    /// Total via count.
+    pub vias: usize,
+    /// Instance count after synthesis + CTS.
+    pub cells: usize,
+}
+
+impl PpaReport {
+    /// Power efficiency, GHz/mW (paper Fig. 13 metric).
+    #[must_use]
+    pub fn efficiency_ghz_per_mw(&self) -> f64 {
+        self.achieved_freq_ghz / self.power_mw
+    }
+
+    /// One-line summary for experiment logs.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} {} BP{:.2} util {:.0}% target {:.2}GHz → {:.3}GHz, {:.3}mW, {:.1}µm², drv {}{}",
+            self.tech,
+            self.pattern,
+            self.back_pin_ratio,
+            self.utilization * 100.0,
+            self.target_freq_ghz,
+            self.achieved_freq_ghz,
+            self.power_mw,
+            self.core_area_um2,
+            self.drv,
+            if self.valid { "" } else { " (INVALID)" },
+        )
+    }
+}
+
+/// Percentage difference helper used throughout the experiment tables:
+/// `(new - base) / base` in percent.
+#[must_use]
+pub fn pct_diff(new: f64, base: f64) -> f64 {
+    (new - base) / base * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_diff_signs() {
+        assert!((pct_diff(1.25, 1.0) - 25.0).abs() < 1e-12);
+        assert!((pct_diff(0.9, 1.0) + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_validity() {
+        let r = PpaReport {
+            tech: "3.5T FFET".into(),
+            pattern: RoutingPattern::new(6, 6).unwrap(),
+            back_pin_ratio: 0.5,
+            target_freq_ghz: 1.5,
+            utilization: 0.76,
+            core_area_um2: 100.0,
+            achieved_freq_ghz: 2.0,
+            power_mw: 4.0,
+            leakage_mw: 0.1,
+            clock_mw: 0.5,
+            drv: 12,
+            valid: false,
+            wirelength_mm: 1.0,
+            back_wirelength_mm: 0.4,
+            vias: 1000,
+            cells: 5000,
+        };
+        assert!(r.summary().contains("INVALID"));
+        assert!((r.efficiency_ghz_per_mw() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,263 @@
+//! Synthesis-lite: high-fanout buffering and target-frequency-driven gate
+//! sizing.
+//!
+//! The paper sweeps a *synthesis target frequency* (500 MHz–3 GHz) in its
+//! commercial flow; this module reproduces the mechanism that sweep relies
+//! on — tighter targets produce larger drives and buffer trees, costing
+//! area and power while improving achieved frequency.
+
+use ffet_cells::{CellFunction, CellKind, DriveStrength, Library};
+use ffet_netlist::{NetId, Netlist};
+
+/// Synthesis-lite configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Target clock frequency, GHz.
+    pub target_freq_ghz: f64,
+    /// Maximum signal-net fanout before a buffer tree is inserted.
+    pub max_fanout: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig::for_target(1.5)
+    }
+}
+
+impl SynthConfig {
+    /// Synthesis settings for a target frequency: tighter targets buffer
+    /// more aggressively (lower fanout bound), trading area/power for
+    /// speed — the mechanism behind the paper's target-frequency sweeps.
+    #[must_use]
+    pub fn for_target(target_freq_ghz: f64) -> SynthConfig {
+        SynthConfig {
+            target_freq_ghz,
+            max_fanout: (24.0 / target_freq_ghz.max(0.25)).clamp(5.0, 40.0) as usize,
+        }
+    }
+}
+
+/// What synthesis-lite did to the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SynthStats {
+    /// Buffers inserted for fanout control.
+    pub buffers_inserted: usize,
+    /// Instances upsized above D1.
+    pub cells_upsized: usize,
+}
+
+/// Allowable output load per unit drive at the reference 1.5 GHz target, fF.
+const LOAD_PER_DRIVE_FF: f64 = 2.4;
+/// Estimated wire capacitance contributed per fanout pin before placement,
+/// fF (used only for sizing decisions).
+const WIRE_CAP_PER_FANOUT_FF: f64 = 0.28;
+
+/// Runs fanout buffering then load-based sizing, mutating `netlist`.
+#[must_use]
+pub fn synthesize(netlist: &mut Netlist, library: &Library, config: &SynthConfig) -> SynthStats {
+    SynthStats {
+        buffers_inserted: buffer_high_fanout(netlist, library, config.max_fanout),
+        cells_upsized: size_cells(netlist, library, config.target_freq_ghz),
+    }
+}
+
+/// Splits nets with more than `max_fanout` sinks by inserting one BUFD4
+/// per sink group. One level suffices for this design scale; pathological
+/// fanouts would recurse via repeated calls.
+fn buffer_high_fanout(netlist: &mut Netlist, library: &Library, max_fanout: usize) -> usize {
+    let buf = library
+        .id(CellKind::new(CellFunction::Buf, DriveStrength::D4))
+        .expect("BUFD4 in library");
+    let mut inserted = 0;
+    let net_count = netlist.nets().len();
+    for ni in 0..net_count {
+        let net_id = NetId(ni as u32);
+        {
+            let net = netlist.net(net_id);
+            if net.is_clock || net.sinks.len() <= max_fanout {
+                continue;
+            }
+        }
+        let sinks: Vec<_> = netlist.net(net_id).sinks.clone();
+        for (gi, group) in sinks.chunks(max_fanout).enumerate().skip(1) {
+            let out = netlist.add_net(format!("_fob{inserted}_{gi}_{ni}"));
+            netlist.add_instance(
+                library,
+                format!("fobuf_{ni}_{gi}"),
+                buf,
+                &[Some(net_id), Some(out)],
+            );
+            for &pin in group {
+                netlist.move_sink(net_id, pin, out);
+            }
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+/// Upsizes every cell whose estimated output load exceeds what its drive
+/// can handle at the target frequency.
+fn size_cells(netlist: &mut Netlist, library: &Library, target_ghz: f64) -> usize {
+    let allowable_per_drive = LOAD_PER_DRIVE_FF * (1.5 / target_ghz.max(0.1));
+    let mut upsized = 0;
+    for ii in 0..netlist.instances().len() {
+        let inst = &netlist.instances()[ii];
+        let cell = library.cell(inst.cell);
+        let function = cell.kind.function;
+        if !function.has_output() || function.input_count() == 0 {
+            continue;
+        }
+        let Some(out_pin) = cell.output_pin() else { continue };
+        let Some(out_net) = inst.conns[out_pin] else { continue };
+        // Estimated load: sink pin caps + pre-placement wire estimate.
+        let net = netlist.net(out_net);
+        let mut load = net.sinks.len() as f64 * WIRE_CAP_PER_FANOUT_FF;
+        for s in &net.sinks {
+            let scell = library.cell(netlist.instances()[s.inst.0 as usize].cell);
+            load += scell.input_cap(s.pin.min(scell.timing.input_caps.len().saturating_sub(1)));
+        }
+        let mut drive = cell.kind.drive;
+        let mut changed = false;
+        while load > drive.multiple() * allowable_per_drive {
+            let Some(next) = drive.upsized() else { break };
+            if library.id(CellKind::new(function, next)).is_none() {
+                break;
+            }
+            drive = next;
+            changed = true;
+        }
+        if changed {
+            let new_cell = library
+                .id(CellKind::new(function, drive))
+                .expect("checked above");
+            swap_cell(netlist, library, ii, new_cell);
+            upsized += 1;
+        }
+    }
+    upsized
+}
+
+/// Replaces instance `ii`'s template with `new_cell` (same pin order by
+/// library construction), keeping all connections.
+fn swap_cell(netlist: &mut Netlist, library: &Library, ii: usize, new_cell: ffet_cells::CellId) {
+    debug_assert_eq!(
+        library.cell(netlist.instances()[ii].cell).pins.len(),
+        library.cell(new_cell).pins.len(),
+        "drive variants share the pin list"
+    );
+    netlist.instance_mut(ffet_netlist::InstId(ii as u32)).cell = new_cell;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_netlist::NetlistBuilder;
+    use ffet_tech::Technology;
+
+    fn fanout_heavy(lib: &Library, fanout: usize) -> Netlist {
+        let mut b = NetlistBuilder::new(lib, "fan");
+        let x = b.input("x");
+        let src = b.not(x);
+        let mut outs = Vec::new();
+        for _ in 0..fanout {
+            outs.push(b.not(src));
+        }
+        let last = b.and_tree(&outs);
+        b.output("y", last);
+        b.finish()
+    }
+
+    #[test]
+    fn buffers_split_high_fanout_nets() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut nl = fanout_heavy(&lib, 50);
+        let stats = synthesize(&mut nl, &lib, &SynthConfig::default());
+        assert!(stats.buffers_inserted >= 2, "{stats:?}");
+        nl.check_consistency(&lib).unwrap();
+        for net in nl.nets() {
+            assert!(
+                net.sinks.len() <= 16 + 3, // groups + inserted buffer pins
+                "net {} fanout {}",
+                net.name,
+                net.sinks.len()
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_target_means_bigger_cells() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut slow = fanout_heavy(&lib, 12);
+        let mut fast = fanout_heavy(&lib, 12);
+        let s1 = synthesize(
+            &mut slow,
+            &lib,
+            &SynthConfig {
+                target_freq_ghz: 0.5,
+                max_fanout: 16,
+            },
+        );
+        let s2 = synthesize(
+            &mut fast,
+            &lib,
+            &SynthConfig {
+                target_freq_ghz: 3.0,
+                max_fanout: 16,
+            },
+        );
+        assert!(s2.cells_upsized >= s1.cells_upsized, "{s1:?} vs {s2:?}");
+        let area = |nl: &Netlist| -> i64 {
+            nl.instances()
+                .iter()
+                .map(|i| lib.cell(i.cell).width_cpp)
+                .sum()
+        };
+        assert!(area(&fast) > area(&slow));
+    }
+
+    #[test]
+    fn functionality_preserved_after_synthesis() {
+        use ffet_netlist::Simulator;
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut nl = fanout_heavy(&lib, 40);
+        let x = nl.net_by_name("x").unwrap();
+        let y = nl.ports().iter().find(|p| p.name == "y").unwrap().net;
+        // Behaviour before.
+        let mut before = Vec::new();
+        {
+            let mut sim = Simulator::new(&nl, &lib).unwrap();
+            for v in [false, true] {
+                sim.set(x, v);
+                sim.settle();
+                before.push(sim.get(y));
+            }
+        }
+        let _ = synthesize(&mut nl, &lib, &SynthConfig::default());
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        for (i, v) in [false, true].into_iter().enumerate() {
+            sim.set(x, v);
+            sim.settle();
+            assert_eq!(sim.get(y), before[i], "input {v}");
+        }
+    }
+
+    #[test]
+    fn clock_nets_never_buffered_by_synthesis() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "clk_fan");
+        let clk = b.input("clk");
+        b.netlist_mut().mark_clock(clk);
+        let d = b.input("d");
+        let mut q = d;
+        for _ in 0..40 {
+            q = b.dff(q, clk);
+        }
+        b.output("q", q);
+        let mut nl = b.finish();
+        let stats = synthesize(&mut nl, &lib, &SynthConfig::default());
+        assert_eq!(stats.buffers_inserted, 0, "CTS owns the clock");
+        let clk_net = nl.net_by_name("clk").unwrap();
+        assert_eq!(nl.net(clk_net).sinks.len(), 40);
+    }
+}

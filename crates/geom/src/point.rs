@@ -1,0 +1,113 @@
+use crate::Nm;
+
+/// A point in the plane, in integer nanometres.
+///
+/// ```
+/// use ffet_geom::Point;
+/// let p = Point::new(30, 40);
+/// assert_eq!(p.manhattan(Point::ORIGIN), 70);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Point {
+    /// X coordinate in nanometres.
+    pub x: Nm,
+    /// Y coordinate in nanometres.
+    pub y: Nm,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    #[must_use]
+    pub const fn new(x: Nm, y: Nm) -> Point {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// Routed wirelength between two points on a Manhattan routing grid is
+    /// bounded below by this distance, which is why half-perimeter wirelength
+    /// estimates are built from it.
+    #[must_use]
+    pub fn manhattan(self, other: Point) -> Nm {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Component-wise translation by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(self, dx: Nm, dy: Nm) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({} {})", self.x, self.y)
+    }
+}
+
+impl std::ops::Add for Point {
+    type Output = Point;
+
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl std::ops::Sub for Point {
+    type Output = Point;
+
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl From<(Nm, Nm)> for Point {
+    fn from((x, y): (Nm, Nm)) -> Point {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn manhattan_of_axis_aligned_pairs() {
+        assert_eq!(Point::new(0, 0).manhattan(Point::new(5, 0)), 5);
+        assert_eq!(Point::new(0, 0).manhattan(Point::new(0, -5)), 5);
+        assert_eq!(Point::new(2, 3).manhattan(Point::new(2, 3)), 0);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = Point::new(7, -3);
+        let b = Point::new(-2, 11);
+        assert_eq!(a + b - b, a);
+    }
+
+    proptest! {
+        #[test]
+        fn manhattan_symmetric(ax in -1_000_000i64..1_000_000, ay in -1_000_000i64..1_000_000,
+                               bx in -1_000_000i64..1_000_000, by in -1_000_000i64..1_000_000) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        }
+
+        #[test]
+        fn manhattan_triangle_inequality(
+            ax in -100_000i64..100_000, ay in -100_000i64..100_000,
+            bx in -100_000i64..100_000, by in -100_000i64..100_000,
+            cx in -100_000i64..100_000, cy in -100_000i64..100_000,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        }
+    }
+}

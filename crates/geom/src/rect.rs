@@ -1,0 +1,255 @@
+use crate::{Nm, Point};
+
+/// An axis-aligned rectangle, half-open in neither direction: `lo` and `hi`
+/// are both inclusive corner coordinates of the covered region
+/// (`lo.x <= hi.x`, `lo.y <= hi.y`).
+///
+/// Rectangles model cell outlines, pin shapes, routing blockages and die
+/// areas. A zero-width or zero-height rectangle is valid and models a wire
+/// centreline or an on-track pin access point.
+///
+/// ```
+/// use ffet_geom::Rect;
+/// let die = Rect::new(0, 0, 10_000, 8_000);
+/// assert_eq!(die.width(), 10_000);
+/// assert_eq!(die.area(), 80_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from corner coordinates, normalising the corners
+    /// so that `lo` is the lower-left and `hi` the upper-right.
+    #[must_use]
+    pub fn new(x1: Nm, y1: Nm, x2: Nm, y2: Nm) -> Rect {
+        Rect {
+            lo: Point::new(x1.min(x2), y1.min(y2)),
+            hi: Point::new(x1.max(x2), y1.max(y2)),
+        }
+    }
+
+    /// Creates a rectangle from its lower-left corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    #[must_use]
+    pub fn from_origin_size(origin: Point, width: Nm, height: Nm) -> Rect {
+        assert!(width >= 0 && height >= 0, "negative rectangle size");
+        Rect {
+            lo: origin,
+            hi: Point::new(origin.x + width, origin.y + height),
+        }
+    }
+
+    /// Width along the x axis.
+    #[must_use]
+    pub fn width(&self) -> Nm {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height along the y axis.
+    #[must_use]
+    pub fn height(&self) -> Nm {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area in nm².
+    #[must_use]
+    pub fn area(&self) -> i128 {
+        i128::from(self.width()) * i128::from(self.height())
+    }
+
+    /// Centre point (rounded toward `lo` for odd sizes).
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.lo.x + self.width() / 2,
+            self.lo.y + self.height() / 2,
+        )
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Whether `other` lies entirely inside or on the boundary of `self`.
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(other.lo) && self.contains(other.hi)
+    }
+
+    /// Whether the two rectangles share any point (boundary touch counts).
+    #[must_use]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// Whether the two rectangles share interior area (boundary touch does
+    /// not count). This is the test used for placement-overlap checks, where
+    /// abutting cells are legal.
+    #[must_use]
+    pub fn overlaps_strictly(&self, other: &Rect) -> bool {
+        self.lo.x < other.hi.x
+            && other.lo.x < self.hi.x
+            && self.lo.y < other.hi.y
+            && other.lo.y < self.hi.y
+    }
+
+    /// Intersection of the two rectangles, or `None` if they are disjoint.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Rect {
+            lo: Point::new(self.lo.x.max(other.lo.x), self.lo.y.max(other.lo.y)),
+            hi: Point::new(self.hi.x.min(other.hi.x), self.hi.y.min(other.hi.y)),
+        })
+    }
+
+    /// Smallest rectangle covering both inputs.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x.min(other.lo.x), self.lo.y.min(other.lo.y)),
+            hi: Point::new(self.hi.x.max(other.hi.x), self.hi.y.max(other.hi.y)),
+        }
+    }
+
+    /// Rectangle grown by `margin` on every side (shrunk for negative
+    /// margins; the result is normalised so it never inverts).
+    #[must_use]
+    pub fn inflated(&self, margin: Nm) -> Rect {
+        Rect::new(
+            self.lo.x - margin,
+            self.lo.y - margin,
+            (self.hi.x + margin).max(self.lo.x - margin),
+            (self.hi.y + margin).max(self.lo.y - margin),
+        )
+    }
+
+    /// Rectangle translated by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: Nm, dy: Nm) -> Rect {
+        Rect {
+            lo: self.lo.translated(dx, dy),
+            hi: self.hi.translated(dx, dy),
+        }
+    }
+
+    /// Half-perimeter of the bounding box: the classic HPWL wirelength
+    /// estimate when applied to a net's pin bounding box.
+    #[must_use]
+    pub fn half_perimeter(&self) -> Nm {
+        self.width() + self.height()
+    }
+
+    /// Bounding box of a set of points; `None` for an empty iterator.
+    pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut r = Rect { lo: first, hi: first };
+        for p in iter {
+            r.lo.x = r.lo.x.min(p.x);
+            r.lo.y = r.lo.y.min(p.y);
+            r.hi.x = r.hi.x.max(p.x);
+            r.hi.y = r.hi.y.max(p.y);
+        }
+        Some(r)
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalises_corners() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!(r.lo, Point::new(0, 5));
+        assert_eq!(r.hi, Point::new(10, 20));
+    }
+
+    #[test]
+    fn disjoint_rects_do_not_intersect() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(11, 11, 20, 20);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn abutting_rects_touch_but_do_not_strictly_overlap() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps_strictly(&b));
+    }
+
+    #[test]
+    fn bounding_of_points() {
+        let bb = Rect::bounding([Point::new(3, 9), Point::new(-1, 4), Point::new(7, 5)]).unwrap();
+        assert_eq!(bb, Rect::new(-1, 4, 7, 9));
+        assert_eq!(Rect::bounding(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn zero_area_rect_is_valid() {
+        let wire = Rect::new(0, 5, 100, 5);
+        assert_eq!(wire.height(), 0);
+        assert_eq!(wire.area(), 0);
+        assert!(wire.contains(Point::new(50, 5)));
+    }
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (-10_000i64..10_000, -10_000i64..10_000, -10_000i64..10_000, -10_000i64..10_000)
+            .prop_map(|(a, b, c, d)| Rect::new(a, b, c, d))
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains_rect(&i));
+                prop_assert!(b.contains_rect(&i));
+            }
+        }
+
+        #[test]
+        fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+            let u = a.union(&b);
+            prop_assert!(u.contains_rect(&a));
+            prop_assert!(u.contains_rect(&b));
+        }
+
+        #[test]
+        fn overlap_symmetric(a in arb_rect(), b in arb_rect()) {
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+            prop_assert_eq!(a.overlaps_strictly(&b), b.overlaps_strictly(&a));
+        }
+
+        #[test]
+        fn inflate_then_deflate_is_identity_for_large_rects(a in arb_rect(), m in 0i64..100) {
+            prop_assume!(a.width() > 0 && a.height() > 0);
+            prop_assert_eq!(a.inflated(m).inflated(-m), a);
+        }
+    }
+}

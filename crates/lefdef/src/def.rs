@@ -1,0 +1,174 @@
+use ffet_geom::{Nm, Orientation, Point, Rect};
+use ffet_tech::LayerId;
+
+/// A placed component in a DEF: one standard-cell instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefComponent {
+    /// Instance name.
+    pub name: String,
+    /// Library macro (cell) name.
+    pub macro_name: String,
+    /// Lower-left placement origin, nm.
+    pub origin: Point,
+    /// Placement orientation.
+    pub orient: Orientation,
+    /// `FIXED` (Power Tap Cells) vs `PLACED`.
+    pub fixed: bool,
+}
+
+/// One axis-aligned routed wire segment on a metal layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefWire {
+    /// Metal layer.
+    pub layer: LayerId,
+    /// Segment start, nm.
+    pub from: Point,
+    /// Segment end, nm (equal to `from` for via landing points).
+    pub to: Point,
+}
+
+impl DefWire {
+    /// Manhattan length of the segment.
+    #[must_use]
+    pub fn length(&self) -> Nm {
+        self.from.manhattan(self.to)
+    }
+}
+
+/// A via connecting two adjacent metal layers at a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefVia {
+    /// Location, nm.
+    pub at: Point,
+    /// Lower layer.
+    pub from_layer: LayerId,
+    /// Upper layer.
+    pub to_layer: LayerId,
+}
+
+/// Connection of a net to an instance pin (or, with instance `"PIN"`, to a
+/// top-level port).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefConnection {
+    /// Instance name, or `PIN` for a top-level port.
+    pub instance: String,
+    /// Pin name on the instance (port name for `PIN`).
+    pub pin: String,
+}
+
+/// A routed signal net.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DefNet {
+    /// Net name.
+    pub name: String,
+    /// Connected pins.
+    pub connections: Vec<DefConnection>,
+    /// Routed segments.
+    pub wires: Vec<DefWire>,
+    /// Vias.
+    pub vias: Vec<DefVia>,
+}
+
+impl DefNet {
+    /// Total routed wirelength, nm.
+    #[must_use]
+    pub fn wirelength(&self) -> Nm {
+        self.wires.iter().map(DefWire::length).sum()
+    }
+}
+
+/// A power/ground special net (PDN stripes, rails).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DefSpecialNet {
+    /// `VDD` or `VSS`.
+    pub name: String,
+    /// Stripe/rail shapes per layer.
+    pub shapes: Vec<(LayerId, Rect)>,
+}
+
+/// A simplified DEF database: die, placed components, routed nets, PDN.
+///
+/// One DEF describes one wafer side's routing (the dual-sided flow emits
+/// two — see [`crate::merge_defs`]) or, after merging, both.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Def {
+    /// Design name.
+    pub design: String,
+    /// Database units per micron (this framework always writes 1000 = 1 nm).
+    pub dbu_per_micron: i64,
+    /// Die area.
+    pub die: Rect,
+    /// Placed components.
+    pub components: Vec<DefComponent>,
+    /// Signal nets.
+    pub nets: Vec<DefNet>,
+    /// Power/ground nets.
+    pub special_nets: Vec<DefSpecialNet>,
+}
+
+impl Def {
+    /// Creates an empty DEF for `design` with a 1 nm database unit.
+    #[must_use]
+    pub fn new(design: impl Into<String>, die: Rect) -> Def {
+        Def {
+            design: design.into(),
+            dbu_per_micron: 1000,
+            die,
+            components: Vec::new(),
+            nets: Vec::new(),
+            special_nets: Vec::new(),
+        }
+    }
+
+    /// Total signal wirelength over all nets, nm.
+    #[must_use]
+    pub fn total_wirelength(&self) -> Nm {
+        self.nets.iter().map(DefNet::wirelength).sum()
+    }
+
+    /// Total via count over all nets.
+    #[must_use]
+    pub fn total_vias(&self) -> usize {
+        self.nets.iter().map(|n| n.vias.len()).sum()
+    }
+
+    /// Looks up a component by instance name.
+    #[must_use]
+    pub fn component(&self, name: &str) -> Option<&DefComponent> {
+        self.components.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_tech::Side;
+
+    #[test]
+    fn wirelength_accumulates() {
+        let mut def = Def::new("t", Rect::new(0, 0, 1000, 1000));
+        def.nets.push(DefNet {
+            name: "n1".into(),
+            connections: vec![],
+            wires: vec![
+                DefWire {
+                    layer: LayerId::new(Side::Front, 2),
+                    from: Point::new(0, 0),
+                    to: Point::new(100, 0),
+                },
+                DefWire {
+                    layer: LayerId::new(Side::Front, 3),
+                    from: Point::new(100, 0),
+                    to: Point::new(100, 50),
+                },
+            ],
+            vias: vec![DefVia {
+                at: Point::new(100, 0),
+                from_layer: LayerId::new(Side::Front, 2),
+                to_layer: LayerId::new(Side::Front, 3),
+            }],
+        });
+        assert_eq!(def.total_wirelength(), 150);
+        assert_eq!(def.total_vias(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+use ffet_cells::{Library, PinDirection, PinSides};
+use ffet_tech::Side;
+use std::fmt::Write as _;
+
+/// Writes the library as LEF-style text — the "modified standard cell LEF"
+/// of the paper, whose pin records carry the wafer side.
+///
+/// Pins are annotated with `LAYER FM0` / `LAYER BM0` according to their
+/// (possibly redistributed) side; dual-sided output pins emit one PORT per
+/// side. This is the artifact a dual-side-aware router consumes.
+#[must_use]
+pub fn write_lef(library: &Library) -> String {
+    let tech = library.tech();
+    let mut s = String::new();
+    let _ = writeln!(s, "VERSION 5.8 ;");
+    let _ = writeln!(s, "BUSBITCHARS \"[]\" ;");
+    let _ = writeln!(
+        s,
+        "SITE coreSite SIZE {} BY {} ; END coreSite",
+        nm_to_um(tech.cpp()),
+        nm_to_um(tech.cell_height())
+    );
+    for cell in library.cells() {
+        let width = cell.width_cpp * tech.cpp();
+        let _ = writeln!(s, "MACRO {}", cell.name);
+        let _ = writeln!(
+            s,
+            "  SIZE {} BY {} ;",
+            nm_to_um(width),
+            nm_to_um(tech.cell_height())
+        );
+        for pin in &cell.pins {
+            let dir = match pin.direction {
+                PinDirection::Input => "INPUT",
+                PinDirection::Output => "OUTPUT",
+            };
+            let _ = writeln!(s, "  PIN {}", pin.name);
+            let _ = writeln!(s, "    DIRECTION {dir} ;");
+            let sides: Vec<Side> = match pin.sides {
+                PinSides::One(side) => vec![side],
+                PinSides::Both => vec![Side::Front, Side::Back],
+            };
+            for side in sides {
+                let x = pin.offset_cpp * tech.cpp();
+                let _ = writeln!(s, "    PORT");
+                let _ = writeln!(
+                    s,
+                    "      LAYER {}M0 ; RECT {} {} {} {} ;",
+                    side.prefix(),
+                    nm_to_um(x),
+                    nm_to_um(tech.cell_height() / 2 - 7),
+                    nm_to_um(x + 14),
+                    nm_to_um(tech.cell_height() / 2 + 7),
+                );
+                let _ = writeln!(s, "    END");
+            }
+            let _ = writeln!(s, "  END {}", pin.name);
+        }
+        let _ = writeln!(s, "END {}", cell.name);
+    }
+    let _ = writeln!(s, "END LIBRARY");
+    s
+}
+
+/// Formats nanometres as LEF microns.
+fn nm_to_um(nm: i64) -> String {
+    format!("{:.3}", nm as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_tech::Technology;
+
+    #[test]
+    fn ffet_lef_has_dual_sided_outputs() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let lef = write_lef(&lib);
+        assert!(lef.contains("MACRO INVD1"));
+        // The INVD1 output pin Y has ports on both FM0 and BM0.
+        let inv = lef.split("MACRO INVD1").nth(1).unwrap();
+        let inv = inv.split("END INVD1").next().unwrap();
+        assert!(inv.contains("LAYER FM0"));
+        assert!(inv.contains("LAYER BM0"));
+    }
+
+    #[test]
+    fn cfet_lef_is_frontside_only() {
+        let lib = Library::new(Technology::cfet_4t());
+        let lef = write_lef(&lib);
+        assert!(!lef.contains("LAYER BM0"));
+    }
+
+    #[test]
+    fn redistributed_pins_change_sides() {
+        let mut lib = Library::new(Technology::ffet_3p5t());
+        lib.redistribute_input_pins(1.0, 1).unwrap();
+        let lef = write_lef(&lib);
+        // With every input on the backside, ND2D1's A pin port is on BM0.
+        let nd2 = lef.split("MACRO ND2D1").nth(1).unwrap();
+        let pin_a = nd2.split("PIN A").nth(1).unwrap().split("END A").next().unwrap();
+        assert!(pin_a.contains("LAYER BM0"));
+        assert!(!pin_a.contains("LAYER FM0"));
+    }
+}

@@ -1,0 +1,364 @@
+use crate::def::{Def, DefComponent, DefConnection, DefNet, DefSpecialNet, DefVia, DefWire};
+use ffet_geom::{Point, Rect};
+use ffet_tech::LayerId;
+
+/// Error from [`parse_def`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDefError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DEF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDefError {}
+
+struct Cursor<'a> {
+    tokens: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Cursor<'a> {
+        let tokens = text
+            .lines()
+            .enumerate()
+            .flat_map(|(ln, line)| line.split_whitespace().map(move |t| (ln + 1, t)))
+            .collect();
+        Cursor { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.pos).map(|&(_, t)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |&(l, _)| l)
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let t = self.peek();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &str) -> Result<(), ParseDefError> {
+        let line = self.line();
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            got => Err(ParseDefError {
+                line,
+                message: format!("expected `{want}`, got {got:?}"),
+            }),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, ParseDefError> {
+        let line = self.line();
+        let t = self.next().ok_or(ParseDefError {
+            line,
+            message: "expected integer, got end of file".into(),
+        })?;
+        t.parse().map_err(|_| ParseDefError {
+            line,
+            message: format!("expected integer, got `{t}`"),
+        })
+    }
+
+    fn point(&mut self) -> Result<Point, ParseDefError> {
+        self.expect("(")?;
+        let x = self.int()?;
+        let y = self.int()?;
+        self.expect(")")?;
+        Ok(Point::new(x, y))
+    }
+
+    fn layer(&mut self) -> Result<LayerId, ParseDefError> {
+        let line = self.line();
+        let t = self.next().ok_or(ParseDefError {
+            line,
+            message: "expected layer name".into(),
+        })?;
+        LayerId::parse(t).ok_or(ParseDefError {
+            line,
+            message: format!("unknown layer `{t}`"),
+        })
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseDefError {
+        ParseDefError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses the DEF subset produced by [`crate::write_def`].
+///
+/// # Errors
+///
+/// Returns [`ParseDefError`] with a line number on malformed input.
+pub fn parse_def(text: &str) -> Result<Def, ParseDefError> {
+    let mut c = Cursor::new(text);
+    let mut def = Def {
+        dbu_per_micron: 1000,
+        ..Def::default()
+    };
+
+    loop {
+        let tok_line = c.line();
+        let Some(tok) = c.next() else { break };
+        match tok {
+            "VERSION" => {
+                c.next();
+                c.expect(";")?;
+            }
+            "DESIGN" => {
+                def.design = c.next().ok_or_else(|| c.err("missing design name"))?.to_owned();
+                c.expect(";")?;
+            }
+            "UNITS" => {
+                c.expect("DISTANCE")?;
+                c.expect("MICRONS")?;
+                def.dbu_per_micron = c.int()?;
+                c.expect(";")?;
+            }
+            "DIEAREA" => {
+                let lo = c.point()?;
+                let hi = c.point()?;
+                c.expect(";")?;
+                def.die = Rect::new(lo.x, lo.y, hi.x, hi.y);
+            }
+            "COMPONENTS" => {
+                let _count = c.int()?;
+                c.expect(";")?;
+                loop {
+                    match c.peek() {
+                        Some("END") => {
+                            c.next();
+                            c.expect("COMPONENTS")?;
+                            break;
+                        }
+                        Some("-") => {
+                            c.next();
+                            let name = c.next().ok_or_else(|| c.err("component name"))?.to_owned();
+                            let macro_name =
+                                c.next().ok_or_else(|| c.err("macro name"))?.to_owned();
+                            c.expect("+")?;
+                            let kind = c.next().ok_or_else(|| c.err("placement kind"))?;
+                            let fixed = match kind {
+                                "FIXED" => true,
+                                "PLACED" => false,
+                                other => return Err(c.err(format!("bad placement `{other}`"))),
+                            };
+                            let origin = c.point()?;
+                            let orient = c
+                                .next()
+                                .ok_or_else(|| c.err("orientation"))?
+                                .parse()
+                                .map_err(|e| c.err(format!("{e}")))?;
+                            c.expect(";")?;
+                            def.components.push(DefComponent {
+                                name,
+                                macro_name,
+                                origin,
+                                orient,
+                                fixed,
+                            });
+                        }
+                        other => return Err(c.err(format!("unexpected token {other:?}"))),
+                    }
+                }
+            }
+            "SPECIALNETS" => {
+                let _count = c.int()?;
+                c.expect(";")?;
+                loop {
+                    match c.peek() {
+                        Some("END") => {
+                            c.next();
+                            c.expect("SPECIALNETS")?;
+                            break;
+                        }
+                        Some("-") => {
+                            c.next();
+                            let name = c.next().ok_or_else(|| c.err("net name"))?.to_owned();
+                            let mut sn = DefSpecialNet {
+                                name,
+                                shapes: Vec::new(),
+                            };
+                            while c.peek() == Some("+") {
+                                c.next();
+                                c.expect("RECT")?;
+                                let layer = c.layer()?;
+                                let lo = c.point()?;
+                                let hi = c.point()?;
+                                sn.shapes.push((layer, Rect::new(lo.x, lo.y, hi.x, hi.y)));
+                            }
+                            c.expect(";")?;
+                            def.special_nets.push(sn);
+                        }
+                        other => return Err(c.err(format!("unexpected token {other:?}"))),
+                    }
+                }
+            }
+            "NETS" => {
+                let _count = c.int()?;
+                c.expect(";")?;
+                loop {
+                    match c.peek() {
+                        Some("END") => {
+                            c.next();
+                            c.expect("NETS")?;
+                            break;
+                        }
+                        Some("-") => {
+                            c.next();
+                            let name = c.next().ok_or_else(|| c.err("net name"))?.to_owned();
+                            let mut net = DefNet {
+                                name,
+                                ..DefNet::default()
+                            };
+                            while c.peek() == Some("(") {
+                                c.next();
+                                let instance =
+                                    c.next().ok_or_else(|| c.err("instance"))?.to_owned();
+                                let pin = c.next().ok_or_else(|| c.err("pin"))?.to_owned();
+                                c.expect(")")?;
+                                net.connections.push(DefConnection { instance, pin });
+                            }
+                            while c.peek() == Some("+") {
+                                c.next();
+                                match c.next() {
+                                    Some("ROUTED") => {
+                                        let layer = c.layer()?;
+                                        let from = c.point()?;
+                                        let to = c.point()?;
+                                        net.wires.push(DefWire { layer, from, to });
+                                    }
+                                    Some("VIA") => {
+                                        let from_layer = c.layer()?;
+                                        let to_layer = c.layer()?;
+                                        let at = c.point()?;
+                                        net.vias.push(DefVia {
+                                            at,
+                                            from_layer,
+                                            to_layer,
+                                        });
+                                    }
+                                    other => {
+                                        return Err(c.err(format!("bad net clause {other:?}")))
+                                    }
+                                }
+                            }
+                            c.expect(";")?;
+                            def.nets.push(net);
+                        }
+                        other => return Err(c.err(format!("unexpected token {other:?}"))),
+                    }
+                }
+            }
+            "END" => {
+                c.expect("DESIGN")?;
+                break;
+            }
+            other => {
+                return Err(ParseDefError {
+                    line: tok_line,
+                    message: format!("unexpected section `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(def)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_def;
+    use ffet_geom::Orientation;
+    use ffet_tech::Side;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_small() {
+        let mut def = Def::new("core", Rect::new(0, 0, 5000, 4000));
+        def.components.push(DefComponent {
+            name: "u1".into(),
+            macro_name: "ND2D2".into(),
+            origin: Point::new(150, 210),
+            orient: Orientation::FlippedSouth,
+            fixed: false,
+        });
+        def.nets.push(DefNet {
+            name: "n1".into(),
+            connections: vec![DefConnection {
+                instance: "u1".into(),
+                pin: "A".into(),
+            }],
+            wires: vec![DefWire {
+                layer: LayerId::new(Side::Back, 4),
+                from: Point::new(0, 0),
+                to: Point::new(0, 300),
+            }],
+            vias: vec![],
+        });
+        let parsed = parse_def(&write_def(&def)).expect("roundtrip parses");
+        assert_eq!(parsed, def);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let bad = "VERSION 5.8 ;\nGARBAGE\n";
+        let err = parse_def(bad).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn roundtrip_random_defs(
+            n_comp in 0usize..8,
+            n_net in 0usize..8,
+            coords in proptest::collection::vec((0i64..100_000, 0i64..100_000), 32),
+        ) {
+            let mut def = Def::new("rand", Rect::new(0, 0, 100_000, 100_000));
+            for i in 0..n_comp {
+                let (x, y) = coords[i % coords.len()];
+                def.components.push(DefComponent {
+                    name: format!("u{i}"),
+                    macro_name: "INVD1".into(),
+                    origin: Point::new(x, y),
+                    orient: if i % 2 == 0 { Orientation::North } else { Orientation::FlippedSouth },
+                    fixed: i % 3 == 0,
+                });
+            }
+            for i in 0..n_net {
+                let (x, y) = coords[(i + 7) % coords.len()];
+                def.nets.push(DefNet {
+                    name: format!("net{i}"),
+                    connections: vec![DefConnection { instance: format!("u{i}"), pin: "A".into() }],
+                    wires: vec![DefWire {
+                        layer: LayerId::new(if i % 2 == 0 { Side::Front } else { Side::Back }, (i % 12 + 1) as u8),
+                        from: Point::new(x, y),
+                        to: Point::new(x + 100, y),
+                    }],
+                    vias: vec![],
+                });
+            }
+            let parsed = parse_def(&write_def(&def)).expect("roundtrip");
+            prop_assert_eq!(parsed, def);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+use crate::table::Table2d;
+use crate::timing::{CellTiming, TimingArc, TimingSense};
+use crate::VDD;
+
+/// ln 2 — the step-response 50% crossing factor of a first-order RC stage.
+const LN2: f64 = std::f64::consts::LN_2;
+/// 10–90% slew of a first-order RC stage is 2.2·RC.
+const SLEW_RC: f64 = 2.197;
+/// Fraction of the driving input slew that leaks into stage delay.
+const SLEW_TO_DELAY: f64 = 0.22;
+/// Short-circuit energy per ps of input slew, fJ/ps.
+const SHORT_CIRCUIT_FJ_PER_PS: f64 = 0.002;
+
+/// Switch-level electrical description of a standard cell, the input to
+/// [`characterize`].
+///
+/// The technology dependence enters through the parasitic fields: the CFET
+/// variant of a cell carries supervia resistance/capacitance on its internal
+/// nodes (the bottom pFET must reach the frontside), while the FFET variant
+/// only pays the Drain Merge via on its n–p common drain. Both share the
+/// same intrinsic transistor model, so drive resistances and leakage match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellElectrical {
+    /// Number of data input pins.
+    pub inputs: usize,
+    /// Drive-strength multiple (D1 = 1.0, D2 = 2.0, …). Scales transistor
+    /// widths: resistances divide by it, input/parasitic caps multiply.
+    pub drive: f64,
+    /// Pull-up network resistance at D1, kΩ.
+    pub pull_up_res_kohm: f64,
+    /// Pull-down network resistance at D1, kΩ.
+    pub pull_down_res_kohm: f64,
+    /// Fixed series via resistance in the pull-up path, kΩ (Drain Merge for
+    /// FFET; supervia for CFET). Does not scale with drive.
+    pub pull_up_via_kohm: f64,
+    /// Fixed series via resistance in the pull-down path, kΩ.
+    pub pull_down_via_kohm: f64,
+    /// Intra-cell parasitic capacitance on the output node at D1, fF.
+    pub output_parasitic_ff: f64,
+    /// Parasitic capacitance on each internal (inter-stage) node at D1, fF.
+    pub internal_parasitic_ff: f64,
+    /// Gate capacitance of one input pin at D1, fF.
+    pub input_cap_ff: f64,
+    /// Leakage power at D1, nW (identical across technologies).
+    pub leakage_nw: f64,
+    /// Number of cascaded inverting stages (1 = INV/NAND, 2 = BUF/AND,
+    /// 3 = clk→Q path of a DFF).
+    pub stages: usize,
+    /// Whether the cell is a sequential element.
+    pub is_sequential: bool,
+    /// Setup requirement at D1, ps (sequential cells only).
+    pub setup_ps: f64,
+}
+
+impl CellElectrical {
+    /// A generic inverter-like cell at the given drive, with parasitics in
+    /// the FFET range. Useful for tests and examples.
+    #[must_use]
+    pub fn inverter_like(drive: f64) -> CellElectrical {
+        CellElectrical {
+            inputs: 1,
+            drive,
+            pull_up_res_kohm: 6.5,
+            pull_down_res_kohm: 5.0,
+            pull_up_via_kohm: 0.25,
+            pull_down_via_kohm: 0.05,
+            output_parasitic_ff: 0.35,
+            internal_parasitic_ff: 0.25,
+            input_cap_ff: 0.45,
+            leakage_nw: 0.8,
+            stages: 1,
+            is_sequential: false,
+            setup_ps: 0.0,
+        }
+    }
+
+    fn r_up(&self) -> f64 {
+        self.pull_up_res_kohm / self.drive + self.pull_up_via_kohm
+    }
+
+    fn r_down(&self) -> f64 {
+        self.pull_down_res_kohm / self.drive + self.pull_down_via_kohm
+    }
+
+    fn c_out(&self) -> f64 {
+        self.output_parasitic_ff * self.drive
+    }
+
+    fn c_internal(&self) -> f64 {
+        self.internal_parasitic_ff * self.drive + self.input_cap_ff * self.drive
+    }
+}
+
+/// Characterization grid and conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeConfig {
+    /// Input-slew axis, ps.
+    pub slew_axis: Vec<f64>,
+    /// Output-load axis, fF.
+    pub load_axis: Vec<f64>,
+}
+
+impl Default for CharacterizeConfig {
+    fn default() -> CharacterizeConfig {
+        CharacterizeConfig {
+            slew_axis: vec![2.0, 5.0, 10.0, 20.0, 40.0, 80.0],
+            load_axis: vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+        }
+    }
+}
+
+/// One RC stage's 50% delay and output slew.
+fn stage(r_kohm: f64, c_ff: f64, slew_in_ps: f64) -> (f64, f64) {
+    let rc = r_kohm * c_ff;
+    (LN2 * rc + SLEW_TO_DELAY * slew_in_ps, SLEW_RC * rc)
+}
+
+/// Propagates a transition through `n` cascaded stages, the last of which
+/// drives `load_ff`; earlier stages drive the cell's internal node cap.
+/// Alternating stages invert the edge, so pull-up/pull-down alternate.
+///
+/// Returns total delay and final output slew for the requested *output*
+/// edge (`rising_output`).
+fn cascade(
+    cell: &CellElectrical,
+    rising_output: bool,
+    slew_in_ps: f64,
+    load_ff: f64,
+) -> (f64, f64) {
+    let mut delay = 0.0;
+    let mut slew = slew_in_ps;
+    // Work backwards over edges: the last stage produces the requested edge.
+    // Stage k (0-based, k = stages-1 is last) produces a rising edge iff
+    // rising_output XOR (stages-1-k is odd).
+    for k in 0..cell.stages {
+        let from_last = cell.stages - 1 - k;
+        let rising_here = rising_output == from_last.is_multiple_of(2);
+        let r = if rising_here { cell.r_up() } else { cell.r_down() };
+        let c = if k == cell.stages - 1 {
+            cell.c_out() + load_ff
+        } else {
+            cell.c_internal()
+        };
+        let (d, s) = stage(r, c, slew);
+        delay += d;
+        slew = s;
+    }
+    (delay, slew)
+}
+
+/// Characterizes a cell into NLDM tables.
+///
+/// Delay/slew use a cascaded first-order RC model; internal energy charges
+/// the intra-cell parasitics (plus a slew-dependent short-circuit term);
+/// leakage passes through unchanged — matching the paper's observation that
+/// leakage is set by the intrinsic transistors and is identical between
+/// FFET and CFET.
+#[must_use]
+pub fn characterize(cell: &CellElectrical, config: &CharacterizeConfig) -> CellTiming {
+    let sx = config.slew_axis.clone();
+    let lx = config.load_axis.clone();
+
+    let delay_rise = Table2d::from_fn(sx.clone(), lx.clone(), |s, l| cascade(cell, true, s, l).0);
+    let delay_fall = Table2d::from_fn(sx.clone(), lx.clone(), |s, l| cascade(cell, false, s, l).0);
+    let slew_rise = Table2d::from_fn(sx.clone(), lx.clone(), |s, l| cascade(cell, true, s, l).1);
+    let slew_fall = Table2d::from_fn(sx.clone(), lx.clone(), |s, l| cascade(cell, false, s, l).1);
+
+    // Internal energy: every internal node swings once per output
+    // transition; the output node's parasitic (not the external load —
+    // that is counted by the power analysis against the net cap) swings too.
+    let internal_c = cell.c_internal() * (cell.stages.saturating_sub(1)) as f64 + cell.c_out();
+    let energy = move |s: f64, _l: f64| internal_c * VDD * VDD + SHORT_CIRCUIT_FJ_PER_PS * s;
+    let energy_rise = Table2d::from_fn(sx.clone(), lx.clone(), energy);
+    let energy_fall = Table2d::from_fn(sx.clone(), lx.clone(), energy);
+
+    let sense = if cell.stages % 2 == 1 {
+        TimingSense::NegativeUnate
+    } else {
+        TimingSense::PositiveUnate
+    };
+
+    let arcs = (0..cell.inputs.max(1))
+        .map(|i| TimingArc {
+            from_input: i,
+            sense,
+            delay_rise: delay_rise.clone(),
+            delay_fall: delay_fall.clone(),
+            slew_rise: slew_rise.clone(),
+            slew_fall: slew_fall.clone(),
+        })
+        .collect();
+
+    CellTiming {
+        arcs,
+        input_caps: vec![cell.input_cap_ff * cell.drive; cell.inputs.max(1)],
+        energy_rise,
+        energy_fall,
+        leakage_nw: cell.leakage_nw * cell.drive,
+        setup_ps: cell.setup_ps,
+        is_sequential: cell.is_sequential,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_drive_is_faster_under_load() {
+        let cfg = CharacterizeConfig::default();
+        let d1 = characterize(&CellElectrical::inverter_like(1.0), &cfg);
+        let d4 = characterize(&CellElectrical::inverter_like(4.0), &cfg);
+        let load = 16.0;
+        assert!(d4.worst_delay(10.0, load) < d1.worst_delay(10.0, load));
+    }
+
+    #[test]
+    fn higher_drive_costs_more_leakage_and_cap() {
+        let cfg = CharacterizeConfig::default();
+        let d1 = characterize(&CellElectrical::inverter_like(1.0), &cfg);
+        let d2 = characterize(&CellElectrical::inverter_like(2.0), &cfg);
+        assert!(d2.leakage_nw > d1.leakage_nw);
+        assert!(d2.total_input_cap() > d1.total_input_cap());
+    }
+
+    #[test]
+    fn delay_monotone_in_load_and_slew() {
+        let cfg = CharacterizeConfig::default();
+        let t = characterize(&CellElectrical::inverter_like(1.0), &cfg);
+        let arc = &t.arcs[0];
+        assert!(arc.delay_rise.lookup(5.0, 8.0) > arc.delay_rise.lookup(5.0, 1.0));
+        assert!(arc.delay_rise.lookup(40.0, 4.0) > arc.delay_rise.lookup(5.0, 4.0));
+    }
+
+    #[test]
+    fn two_stage_cell_is_slower_unloaded_but_less_sensitive_to_load() {
+        let cfg = CharacterizeConfig::default();
+        let mut buf = CellElectrical::inverter_like(1.0);
+        buf.stages = 2;
+        let inv_t = characterize(&CellElectrical::inverter_like(1.0), &cfg);
+        let buf_t = characterize(&buf, &cfg);
+        assert!(buf_t.worst_delay(5.0, 0.5) > inv_t.worst_delay(5.0, 0.5));
+        let inv_sens = inv_t.worst_delay(5.0, 32.0) - inv_t.worst_delay(5.0, 0.5);
+        let buf_sens = buf_t.worst_delay(5.0, 32.0) - buf_t.worst_delay(5.0, 0.5);
+        // Same last-stage drive here, so sensitivity is equal; with the
+        // larger last stage used by real BUF cells it would be smaller.
+        assert!(buf_sens <= inv_sens + 1e-9);
+    }
+
+    #[test]
+    fn smaller_parasitics_mean_faster_and_lower_energy() {
+        // This is the Table I mechanism: FFET cells have smaller intra-cell
+        // parasitics than CFET cells and so are faster and cheaper to switch.
+        let cfg = CharacterizeConfig::default();
+        let mut ffet_like = CellElectrical::inverter_like(1.0);
+        let mut cfet_like = ffet_like.clone();
+        cfet_like.output_parasitic_ff *= 1.3;
+        cfet_like.internal_parasitic_ff *= 1.4;
+        cfet_like.pull_up_via_kohm += 0.3; // supervia
+        ffet_like.stages = 2;
+        cfet_like.stages = 2;
+        let f = characterize(&ffet_like, &cfg);
+        let c = characterize(&cfet_like, &cfg);
+        assert!(f.worst_delay(10.0, 4.0) < c.worst_delay(10.0, 4.0));
+        assert!(f.transition_energy(10.0, 4.0) < c.transition_energy(10.0, 4.0));
+        assert_eq!(f.leakage_nw, c.leakage_nw);
+    }
+}

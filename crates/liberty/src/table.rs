@@ -1,0 +1,198 @@
+/// A two-dimensional NLDM lookup table indexed by input slew (ps) and
+/// output load (fF), with bilinear interpolation inside the grid and
+/// clamped-gradient extrapolation outside it.
+///
+/// ```
+/// use ffet_liberty::Table2d;
+/// let t = Table2d::new(
+///     vec![1.0, 10.0],
+///     vec![1.0, 4.0],
+///     vec![vec![2.0, 5.0], vec![3.0, 6.0]],
+/// );
+/// assert_eq!(t.lookup(1.0, 1.0), 2.0);
+/// assert_eq!(t.lookup(5.5, 2.5), 4.0); // centre of the grid
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2d {
+    slew_axis: Vec<f64>,
+    load_axis: Vec<f64>,
+    /// `values[i][j]` corresponds to `slew_axis[i]`, `load_axis[j]`.
+    values: Vec<Vec<f64>>,
+}
+
+impl Table2d {
+    /// Creates a table from its axes and values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if axes are empty, not strictly increasing, or the value grid
+    /// does not match the axis lengths.
+    #[must_use]
+    pub fn new(slew_axis: Vec<f64>, load_axis: Vec<f64>, values: Vec<Vec<f64>>) -> Table2d {
+        assert!(!slew_axis.is_empty() && !load_axis.is_empty(), "empty axis");
+        assert!(
+            slew_axis.windows(2).all(|w| w[0] < w[1]),
+            "slew axis must be strictly increasing"
+        );
+        assert!(
+            load_axis.windows(2).all(|w| w[0] < w[1]),
+            "load axis must be strictly increasing"
+        );
+        assert_eq!(values.len(), slew_axis.len(), "row count mismatch");
+        assert!(
+            values.iter().all(|row| row.len() == load_axis.len()),
+            "column count mismatch"
+        );
+        Table2d {
+            slew_axis,
+            load_axis,
+            values,
+        }
+    }
+
+    /// Builds a table by evaluating `f(slew, load)` at every grid point.
+    #[must_use]
+    pub fn from_fn<F: FnMut(f64, f64) -> f64>(
+        slew_axis: Vec<f64>,
+        load_axis: Vec<f64>,
+        mut f: F,
+    ) -> Table2d {
+        let values = slew_axis
+            .iter()
+            .map(|&s| load_axis.iter().map(|&l| f(s, l)).collect())
+            .collect();
+        Table2d::new(slew_axis, load_axis, values)
+    }
+
+    /// Interpolated table value at the given input slew and output load.
+    ///
+    /// Outside the characterized grid the boundary gradient is extended
+    /// linearly (standard Liberty extrapolation), so STA on heavily loaded
+    /// nets still sees monotone behaviour.
+    #[must_use]
+    pub fn lookup(&self, slew_ps: f64, load_ff: f64) -> f64 {
+        let (i, tx) = Self::locate(&self.slew_axis, slew_ps);
+        let (j, ty) = Self::locate(&self.load_axis, load_ff);
+        // Clamp the upper index so single-point axes degenerate gracefully
+        // (their interpolation parameter is 0, so the value is unaffected).
+        let i1 = (i + 1).min(self.slew_axis.len() - 1);
+        let j1 = (j + 1).min(self.load_axis.len() - 1);
+        let v00 = self.values[i][j];
+        let v01 = self.values[i][j1];
+        let v10 = self.values[i1][j];
+        let v11 = self.values[i1][j1];
+        let a = v00 + (v01 - v00) * ty;
+        let b = v10 + (v11 - v10) * ty;
+        a + (b - a) * tx
+    }
+
+    /// Finds the interpolation segment for `x` on `axis`: returns the lower
+    /// index and the (possibly <0 or >1) interpolation parameter.
+    fn locate(axis: &[f64], x: f64) -> (usize, f64) {
+        if axis.len() == 1 {
+            return (0, 0.0);
+        }
+        let last = axis.len() - 2;
+        let i = match axis.iter().position(|&a| a > x) {
+            Some(0) => 0,
+            Some(p) => (p - 1).min(last),
+            None => last,
+        };
+        let t = (x - axis[i]) / (axis[i + 1] - axis[i]);
+        (i, t)
+    }
+
+    /// The input-slew axis (ps).
+    #[must_use]
+    pub fn slew_axis(&self) -> &[f64] {
+        &self.slew_axis
+    }
+
+    /// The output-load axis (fF).
+    #[must_use]
+    pub fn load_axis(&self) -> &[f64] {
+        &self.load_axis
+    }
+
+    /// Applies `f` to every value, returning the transformed table. Used by
+    /// library-level derating.
+    #[must_use]
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Table2d {
+        Table2d {
+            slew_axis: self.slew_axis.clone(),
+            load_axis: self.load_axis.clone(),
+            values: self
+                .values
+                .iter()
+                .map(|row| row.iter().map(|&v| f(v)).collect())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Table2d {
+        Table2d::new(
+            vec![1.0, 10.0, 100.0],
+            vec![1.0, 4.0, 16.0],
+            vec![
+                vec![2.0, 5.0, 14.0],
+                vec![3.0, 6.0, 15.0],
+                vec![8.0, 11.0, 20.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        let t = sample();
+        assert_eq!(t.lookup(1.0, 1.0), 2.0);
+        assert_eq!(t.lookup(100.0, 16.0), 20.0);
+        assert_eq!(t.lookup(10.0, 4.0), 6.0);
+    }
+
+    #[test]
+    fn extrapolates_beyond_grid() {
+        let t = sample();
+        // Above the largest load the boundary gradient continues.
+        let inside = t.lookup(1.0, 16.0);
+        let outside = t.lookup(1.0, 28.0);
+        assert!(outside > inside);
+        // Below the smallest slew likewise.
+        assert!(t.lookup(0.1, 1.0) < t.lookup(1.0, 1.0));
+    }
+
+    #[test]
+    fn single_point_axis_is_constant() {
+        let t = Table2d::new(vec![5.0], vec![2.0], vec![vec![7.0]]);
+        assert_eq!(t.lookup(0.0, 100.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_axis() {
+        let _ = Table2d::new(vec![2.0, 1.0], vec![1.0], vec![vec![0.0], vec![0.0]]);
+    }
+
+    proptest! {
+        #[test]
+        fn interpolation_bounded_inside_grid(s in 1.0f64..100.0, l in 1.0f64..16.0) {
+            let t = sample();
+            let v = t.lookup(s, l);
+            prop_assert!((2.0..=20.0).contains(&v), "v = {v}");
+        }
+
+        #[test]
+        fn monotone_table_interpolates_monotonically(
+            s in 1.0f64..100.0, l1 in 1.0f64..16.0, l2 in 1.0f64..16.0
+        ) {
+            let t = sample();
+            prop_assume!(l1 < l2);
+            prop_assert!(t.lookup(s, l1) <= t.lookup(s, l2));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+use crate::table::Table2d;
+
+/// Unateness of a timing arc: how an input transition propagates to the
+/// output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimingSense {
+    /// Rising input → rising output (buffers, AND-type paths).
+    PositiveUnate,
+    /// Rising input → falling output (inverters, NAND/NOR-type paths).
+    NegativeUnate,
+    /// Both output transitions possible (XOR, MUX select).
+    NonUnate,
+}
+
+/// One combinational (or clock→Q) timing arc of a cell: delay and
+/// output-slew tables for both output transitions.
+///
+/// `delay_rise` is the delay to a *rising output* transition (and
+/// `slew_rise` its slew), regardless of the input edge that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingArc {
+    /// Input pin index the arc starts from (library pin order).
+    pub from_input: usize,
+    /// Unateness of the arc.
+    pub sense: TimingSense,
+    /// Delay (ps) to a rising output, by input slew (ps) × load (fF).
+    pub delay_rise: Table2d,
+    /// Delay (ps) to a falling output.
+    pub delay_fall: Table2d,
+    /// Output slew (ps) of a rising output.
+    pub slew_rise: Table2d,
+    /// Output slew (ps) of a falling output.
+    pub slew_fall: Table2d,
+}
+
+impl TimingArc {
+    /// Worst (max over rise/fall) delay at the given slew and load — the
+    /// quantity used for library KPI comparisons.
+    #[must_use]
+    pub fn worst_delay(&self, slew_ps: f64, load_ff: f64) -> f64 {
+        self.delay_rise
+            .lookup(slew_ps, load_ff)
+            .max(self.delay_fall.lookup(slew_ps, load_ff))
+    }
+}
+
+/// Characterized timing/power view of one library cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// Combinational input→output arcs, one per input pin (for sequential
+    /// cells this is the clock→Q arc followed by setup-modelled data arcs).
+    pub arcs: Vec<TimingArc>,
+    /// Input pin capacitance per input pin, fF.
+    pub input_caps: Vec<f64>,
+    /// Internal switching energy (fJ) per output transition: rise.
+    pub energy_rise: Table2d,
+    /// Internal switching energy (fJ) per output transition: fall.
+    pub energy_fall: Table2d,
+    /// Leakage power, nW.
+    pub leakage_nw: f64,
+    /// Setup time (ps) for sequential cells, 0 for combinational.
+    pub setup_ps: f64,
+    /// Clock-to-Q base delay contribution baked into the arcs for
+    /// sequential cells (informational).
+    pub is_sequential: bool,
+}
+
+impl CellTiming {
+    /// Total transition energy (rise + fall) at nominal conditions — the
+    /// "transition power" KPI of the paper's Table I.
+    #[must_use]
+    pub fn transition_energy(&self, slew_ps: f64, load_ff: f64) -> f64 {
+        self.energy_rise.lookup(slew_ps, load_ff) + self.energy_fall.lookup(slew_ps, load_ff)
+    }
+
+    /// Worst propagation delay over all arcs at nominal conditions.
+    #[must_use]
+    pub fn worst_delay(&self, slew_ps: f64, load_ff: f64) -> f64 {
+        self.arcs
+            .iter()
+            .map(|a| a.worst_delay(slew_ps, load_ff))
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of all input pin capacitances, fF.
+    #[must_use]
+    pub fn total_input_cap(&self) -> f64 {
+        self.input_caps.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(v: f64) -> Table2d {
+        Table2d::new(vec![1.0, 10.0], vec![1.0, 10.0], vec![vec![v; 2]; 2])
+    }
+
+    fn arc(rise: f64, fall: f64) -> TimingArc {
+        TimingArc {
+            from_input: 0,
+            sense: TimingSense::NegativeUnate,
+            delay_rise: flat(rise),
+            delay_fall: flat(fall),
+            slew_rise: flat(rise / 2.0),
+            slew_fall: flat(fall / 2.0),
+        }
+    }
+
+    #[test]
+    fn worst_delay_takes_max_edge() {
+        let a = arc(3.0, 7.0);
+        assert_eq!(a.worst_delay(1.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn cell_worst_delay_over_arcs() {
+        let cell = CellTiming {
+            arcs: vec![arc(3.0, 4.0), arc(9.0, 2.0)],
+            input_caps: vec![0.5, 0.7],
+            energy_rise: flat(1.0),
+            energy_fall: flat(2.0),
+            leakage_nw: 1.0,
+            setup_ps: 0.0,
+            is_sequential: false,
+        };
+        assert_eq!(cell.worst_delay(1.0, 1.0), 9.0);
+        assert_eq!(cell.transition_energy(1.0, 1.0), 3.0);
+        assert!((cell.total_input_cap() - 1.2).abs() < 1e-12);
+    }
+}

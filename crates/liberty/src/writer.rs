@@ -1,0 +1,193 @@
+//! Liberty (`.lib`) text export of characterized timing.
+//!
+//! Emits the industry-familiar view of a characterized cell: lookup-table
+//! templates, per-pin capacitances, timing arcs with rise/fall delay and
+//! transition tables, internal power and leakage. The output is meant for
+//! inspection and interchange with text-based tooling; it deliberately
+//! sticks to the NLDM constructs this crate models.
+
+use crate::table::Table2d;
+use crate::timing::{CellTiming, TimingSense};
+use std::fmt::Write as _;
+
+/// Writes one `.lib` library containing the given `(name, timing)` cells.
+///
+/// ```
+/// use ffet_liberty::{characterize, write_liberty, CellElectrical, CharacterizeConfig};
+///
+/// let inv = characterize(&CellElectrical::inverter_like(1.0), &CharacterizeConfig::default());
+/// let lib = write_liberty("demo", &[("INVD1".to_owned(), inv)]);
+/// assert!(lib.contains("cell (INVD1)"));
+/// ```
+#[must_use]
+pub fn write_liberty(library_name: &str, cells: &[(String, CellTiming)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "library ({library_name}) {{");
+    let _ = writeln!(s, "  delay_model : table_lookup;");
+    let _ = writeln!(s, "  time_unit : \"1ps\";");
+    let _ = writeln!(s, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(s, "  voltage_unit : \"1V\";");
+    let _ = writeln!(s, "  leakage_power_unit : \"1nW\";");
+    let _ = writeln!(s, "  nom_voltage : {};", crate::VDD);
+
+    // One shared template per distinct table shape (cells share the
+    // characterization grid, so in practice this is a single template).
+    if let Some((_, first)) = cells.first() {
+        if let Some(arc) = first.arcs.first() {
+            let _ = writeln!(s, "  lu_table_template (delay_template) {{");
+            let _ = writeln!(s, "    variable_1 : input_net_transition;");
+            let _ = writeln!(s, "    variable_2 : total_output_net_capacitance;");
+            let _ = writeln!(s, "    index_1 ({});", fmt_axis(arc.delay_rise.slew_axis()));
+            let _ = writeln!(s, "    index_2 ({});", fmt_axis(arc.delay_rise.load_axis()));
+            let _ = writeln!(s, "  }}");
+        }
+    }
+
+    for (name, timing) in cells {
+        let _ = writeln!(s, "  cell ({name}) {{");
+        let _ = writeln!(s, "    cell_leakage_power : {:.4};", timing.leakage_nw);
+        if timing.is_sequential {
+            let _ = writeln!(s, "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}");
+        }
+        let pin_name = |i: usize| -> String {
+            if timing.is_sequential {
+                // The library's DFF convention: data first, clock second.
+                if i == 0 { "D".to_owned() } else { "CK".to_owned() }
+            } else {
+                format!("I{i}")
+            }
+        };
+        for (i, cap) in timing.input_caps.iter().enumerate() {
+            let _ = writeln!(s, "    pin ({}) {{", pin_name(i));
+            let _ = writeln!(s, "      direction : input;");
+            let _ = writeln!(s, "      capacitance : {cap:.4};");
+            if timing.is_sequential && timing.setup_ps > 0.0 && i == 0 {
+                let _ = writeln!(s, "      timing () {{");
+                let _ = writeln!(s, "        timing_type : setup_rising;");
+                let _ = writeln!(s, "        related_pin : \"CK\";");
+                let _ = writeln!(
+                    s,
+                    "        rise_constraint (scalar) {{ values (\"{:.2}\"); }}",
+                    timing.setup_ps
+                );
+                let _ = writeln!(s, "      }}");
+            }
+            let _ = writeln!(s, "    }}");
+        }
+        let _ = writeln!(s, "    pin (Z) {{");
+        let _ = writeln!(s, "      direction : output;");
+        for arc in &timing.arcs {
+            let _ = writeln!(s, "      timing () {{");
+            let related = if timing.is_sequential {
+                // Sequential arcs are clock→Q.
+                "CK".to_owned()
+            } else {
+                pin_name(arc.from_input)
+            };
+            let _ = writeln!(s, "        related_pin : \"{related}\";");
+            let sense = match arc.sense {
+                TimingSense::PositiveUnate => "positive_unate",
+                TimingSense::NegativeUnate => "negative_unate",
+                TimingSense::NonUnate => "non_unate",
+            };
+            let _ = writeln!(s, "        timing_sense : {sense};");
+            write_table(&mut s, "cell_rise", &arc.delay_rise);
+            write_table(&mut s, "cell_fall", &arc.delay_fall);
+            write_table(&mut s, "rise_transition", &arc.slew_rise);
+            write_table(&mut s, "fall_transition", &arc.slew_fall);
+            let _ = writeln!(s, "      }}");
+        }
+        let _ = writeln!(s, "      internal_power () {{");
+        write_table(&mut s, "rise_power", &timing.energy_rise);
+        write_table(&mut s, "fall_power", &timing.energy_fall);
+        let _ = writeln!(s, "      }}");
+        let _ = writeln!(s, "    }}");
+        let _ = writeln!(s, "  }}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn fmt_axis(axis: &[f64]) -> String {
+    let joined = axis
+        .iter()
+        .map(|v| format!("{v:.3}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("\"{joined}\"")
+}
+
+fn write_table(s: &mut String, label: &str, table: &Table2d) {
+    let _ = writeln!(s, "        {label} (delay_template) {{");
+    let _ = writeln!(s, "          index_1 ({});", fmt_axis(table.slew_axis()));
+    let _ = writeln!(s, "          index_2 ({});", fmt_axis(table.load_axis()));
+    let _ = writeln!(s, "          values ( \\");
+    let rows: Vec<String> = table
+        .slew_axis()
+        .iter()
+        .map(|&slew| {
+            let cells: Vec<String> = table
+                .load_axis()
+                .iter()
+                .map(|&load| format!("{:.4}", table.lookup(slew, load)))
+                .collect();
+            format!("            \"{}\"", cells.join(", "))
+        })
+        .collect();
+    let _ = writeln!(s, "{} );", rows.join(", \\\n"));
+    let _ = writeln!(s, "        }}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{characterize, CellElectrical, CharacterizeConfig};
+
+    fn sample() -> Vec<(String, CellTiming)> {
+        let cfg = CharacterizeConfig::default();
+        let inv = characterize(&CellElectrical::inverter_like(1.0), &cfg);
+        let mut dff_model = CellElectrical::inverter_like(1.0);
+        dff_model.inputs = 2;
+        dff_model.stages = 3;
+        dff_model.is_sequential = true;
+        dff_model.setup_ps = 16.0;
+        let dff = characterize(&dff_model, &cfg);
+        vec![("INVD1".to_owned(), inv), ("DFFD1".to_owned(), dff)]
+    }
+
+    #[test]
+    fn emits_library_structure() {
+        let lib = write_liberty("ffet_3p5t", &sample());
+        assert!(lib.starts_with("library (ffet_3p5t) {"));
+        assert!(lib.contains("cell (INVD1)"));
+        assert!(lib.contains("cell (DFFD1)"));
+        assert!(lib.contains("lu_table_template (delay_template)"));
+        assert!(lib.contains("timing_sense : negative_unate;"));
+        assert!(lib.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn sequential_cells_get_ff_group_and_setup() {
+        let lib = write_liberty("l", &sample());
+        let dff = lib.split("cell (DFFD1)").nth(1).expect("dff section");
+        assert!(dff.contains("ff (IQ, IQN)"));
+        assert!(dff.contains("setup_rising"));
+        assert!(dff.contains("16.00"));
+    }
+
+    #[test]
+    fn tables_have_matching_dimensions() {
+        let lib = write_liberty("l", &sample());
+        // 6 slew points → 6 quoted value rows per table.
+        let cell_rise = lib.split("cell_rise").nth(1).unwrap();
+        let values = cell_rise.split("values (").nth(1).unwrap();
+        let block = values.split(");").next().unwrap();
+        assert_eq!(block.matches('"').count(), 12, "6 rows, quoted twice");
+    }
+
+    #[test]
+    fn braces_balance() {
+        let lib = write_liberty("l", &sample());
+        assert_eq!(lib.matches('{').count(), lib.matches('}').count());
+    }
+}

@@ -1,0 +1,350 @@
+use crate::ids::NetId;
+use crate::netlist::{Netlist, PortDirection};
+use ffet_cells::{CellFunction, CellKind, DriveStrength, Library};
+
+/// Ergonomic builder for gate-level logic on top of a [`Netlist`].
+///
+/// Gate helpers create an instance plus its output net and return the
+/// output [`NetId`], so combinational logic composes like expressions:
+///
+/// ```
+/// use ffet_netlist::NetlistBuilder;
+/// use ffet_cells::Library;
+/// use ffet_tech::Technology;
+///
+/// let lib = Library::new(Technology::ffet_3p5t());
+/// let mut b = NetlistBuilder::new(&lib, "adder_bit");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let sum = b.xor2(a, c);
+/// b.output("sum", sum);
+/// let nl = b.finish();
+/// assert_eq!(nl.instances().len(), 1);
+/// ```
+pub struct NetlistBuilder<'a> {
+    library: &'a Library,
+    netlist: Netlist,
+    default_drive: DriveStrength,
+    auto_net: u64,
+    auto_inst: u64,
+}
+
+impl<'a> NetlistBuilder<'a> {
+    /// Starts building a design named `name` over `library`.
+    #[must_use]
+    pub fn new(library: &'a Library, name: impl Into<String>) -> NetlistBuilder<'a> {
+        NetlistBuilder {
+            library,
+            netlist: Netlist::new(name),
+            default_drive: DriveStrength::D1,
+            auto_net: 0,
+            auto_inst: 0,
+        }
+    }
+
+    /// Sets the drive strength used by subsequent gate helpers.
+    pub fn set_default_drive(&mut self, drive: DriveStrength) {
+        self.default_drive = drive;
+    }
+
+    /// The library this builder maps to.
+    #[must_use]
+    pub fn library(&self) -> &'a Library {
+        self.library
+    }
+
+    /// Finishes and returns the netlist.
+    #[must_use]
+    pub fn finish(self) -> Netlist {
+        self.netlist
+    }
+
+    fn fresh_net(&mut self) -> NetId {
+        let id = self.auto_net;
+        self.auto_net += 1;
+        self.netlist.add_net(format!("_n{id}"))
+    }
+
+    fn fresh_inst_name(&mut self, stem: &str) -> String {
+        let id = self.auto_inst;
+        self.auto_inst += 1;
+        format!("{stem}_{id}")
+    }
+
+    /// Adds a primary input and returns its net.
+    pub fn input(&mut self, name: &str) -> NetId {
+        let net = self.netlist.add_net(name);
+        self.netlist.add_port(name, PortDirection::Input, net);
+        net
+    }
+
+    /// Adds a `width`-bit primary input bus `name[0..width]`, LSB first.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width)
+            .map(|i| self.input(&format!("{name}[{i}]")))
+            .collect()
+    }
+
+    /// Exposes `net` as the primary output `name`.
+    pub fn output(&mut self, name: &str, net: NetId) {
+        self.netlist.add_port(name, PortDirection::Output, net);
+    }
+
+    /// Exposes a bus of nets as primary outputs `name[i]`, LSB first.
+    pub fn output_bus(&mut self, name: &str, nets: &[NetId]) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.output(&format!("{name}[{i}]"), n);
+        }
+    }
+
+    /// Instantiates `function` at the builder's default drive with the
+    /// given input nets; returns the new output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the function or the library
+    /// lacks the cell.
+    pub fn gate(&mut self, function: CellFunction, inputs: &[NetId]) -> NetId {
+        self.gate_with_drive(function, self.default_drive, inputs)
+    }
+
+    /// Like [`gate`](Self::gate) with an explicit drive strength.
+    pub fn gate_with_drive(
+        &mut self,
+        function: CellFunction,
+        drive: DriveStrength,
+        inputs: &[NetId],
+    ) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            function.input_count(),
+            "{function:?} takes {} inputs",
+            function.input_count()
+        );
+        let kind = CellKind::new(function, drive);
+        let cell = self
+            .library
+            .id(kind)
+            .unwrap_or_else(|| panic!("library lacks {kind}"));
+        let out = self.fresh_net();
+        let mut conns: Vec<Option<NetId>> = inputs.iter().map(|&n| Some(n)).collect();
+        conns.push(Some(out));
+        let name = self.fresh_inst_name(function.stem());
+        self.netlist.add_instance(self.library, name, cell, &conns);
+        out
+    }
+
+    /// `!a`.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.gate(CellFunction::Inv, &[a])
+    }
+
+    /// Buffer of `a`.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.gate(CellFunction::Buf, &[a])
+    }
+
+    /// `a & b`.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellFunction::And2, &[a, b])
+    }
+
+    /// `a | b`.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellFunction::Or2, &[a, b])
+    }
+
+    /// `!(a & b)`.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellFunction::Nand2, &[a, b])
+    }
+
+    /// `!(a | b)`.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellFunction::Nor2, &[a, b])
+    }
+
+    /// `a ^ b`.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellFunction::Xor2, &[a, b])
+    }
+
+    /// `!(a ^ b)`.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellFunction::Xnor2, &[a, b])
+    }
+
+    /// `s ? b : a`.
+    pub fn mux2(&mut self, a: NetId, b: NetId, s: NetId) -> NetId {
+        self.gate(CellFunction::Mux2, &[a, b, s])
+    }
+
+    /// `!((a1 & a2) | b)`.
+    pub fn aoi21(&mut self, a1: NetId, a2: NetId, b: NetId) -> NetId {
+        self.gate(CellFunction::Aoi21, &[a1, a2, b])
+    }
+
+    /// `!((a1 | a2) & b)`.
+    pub fn oai21(&mut self, a1: NetId, a2: NetId, b: NetId) -> NetId {
+        self.gate(CellFunction::Oai21, &[a1, a2, b])
+    }
+
+    /// Rising-edge D flip-flop; returns `Q`.
+    pub fn dff(&mut self, d: NetId, clk: NetId) -> NetId {
+        self.gate(CellFunction::Dff, &[d, clk])
+    }
+
+    /// Constant logic 1.
+    pub fn one(&mut self) -> NetId {
+        self.gate(CellFunction::TieHi, &[])
+    }
+
+    /// Constant logic 0.
+    pub fn zero(&mut self) -> NetId {
+        self.gate(CellFunction::TieLo, &[])
+    }
+
+    /// Wide AND via a balanced tree of 2-input gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty input list.
+    pub fn and_tree(&mut self, inputs: &[NetId]) -> NetId {
+        self.tree(inputs, CellFunction::And2)
+    }
+
+    /// Wide OR via a balanced tree of 2-input gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty input list.
+    pub fn or_tree(&mut self, inputs: &[NetId]) -> NetId {
+        self.tree(inputs, CellFunction::Or2)
+    }
+
+    /// Wide XOR via a balanced tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty input list.
+    pub fn xor_tree(&mut self, inputs: &[NetId]) -> NetId {
+        self.tree(inputs, CellFunction::Xor2)
+    }
+
+    fn tree(&mut self, inputs: &[NetId], f: CellFunction) -> NetId {
+        assert!(!inputs.is_empty(), "tree over empty inputs");
+        let mut level: Vec<NetId> = inputs.to_vec();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        self.gate(f, &[pair[0], pair[1]])
+                    } else {
+                        pair[0]
+                    }
+                })
+                .collect();
+        }
+        level[0]
+    }
+
+    /// `width`-bit 2:1 mux over buses, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bus widths differ.
+    pub fn mux2_bus(&mut self, a: &[NetId], b: &[NetId], s: NetId) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len(), "mux bus width mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux2(x, y, s))
+            .collect()
+    }
+
+    /// Ripple-carry adder over two buses; returns (sum bus, carry out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bus widths differ or are zero.
+    pub fn adder(&mut self, a: &[NetId], b: &[NetId], carry_in: NetId) -> (Vec<NetId>, NetId) {
+        assert_eq!(a.len(), b.len(), "adder width mismatch");
+        assert!(!a.is_empty(), "zero-width adder");
+        let mut carry = carry_in;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            // Full adder: s = x ^ y ^ c; c' = majority(x, y, c).
+            let p = self.xor2(x, y);
+            sum.push(self.xor2(p, carry));
+            let g = self.and2(x, y);
+            let t = self.and2(p, carry);
+            carry = self.or2(g, t);
+        }
+        (sum, carry)
+    }
+
+    /// Direct access to the netlist under construction (for operations the
+    /// helpers do not cover, e.g. marking the clock net).
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.netlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_tech::Technology;
+
+    #[test]
+    fn builds_expression_dag() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.and2(x, y);
+        let t = b.not(s);
+        b.output("t", t);
+        let nl = b.finish();
+        assert_eq!(nl.instances().len(), 2);
+        assert_eq!(nl.ports().len(), 3);
+        nl.check_consistency(&lib).unwrap();
+    }
+
+    #[test]
+    fn trees_reduce_wide_inputs() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let ins = b.input_bus("a", 8);
+        let out = b.and_tree(&ins);
+        b.output("y", out);
+        let nl = b.finish();
+        // 8-input AND tree uses 7 two-input gates.
+        assert_eq!(nl.instances().len(), 7);
+        nl.check_consistency(&lib).unwrap();
+    }
+
+    #[test]
+    fn adder_gate_count() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 4);
+        let zero = b.zero();
+        let (sum, cout) = b.adder(&a, &c, zero);
+        b.output_bus("s", &sum);
+        b.output("cout", cout);
+        let nl = b.finish();
+        // 5 gates per full-adder bit + 1 tie cell.
+        assert_eq!(nl.instances().len(), 4 * 5 + 1);
+        nl.check_consistency(&lib).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 inputs")]
+    fn wrong_arity_panics() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input("x");
+        let _ = b.gate(CellFunction::Nand2, &[x]);
+    }
+}

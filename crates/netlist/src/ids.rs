@@ -1,0 +1,41 @@
+/// Identifies an instance within a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+/// Identifies a net within a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// Identifies a top-level port within a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u32);
+
+/// A reference to one pin of one instance: the `pin` index addresses the
+/// instance's library-cell pin list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PinRef {
+    /// The instance.
+    pub inst: InstId,
+    /// Pin index in the library cell's `pins` list.
+    pub pin: usize,
+}
+
+impl PinRef {
+    /// Creates a pin reference.
+    #[must_use]
+    pub fn new(inst: InstId, pin: usize) -> PinRef {
+        PinRef { inst, pin }
+    }
+}
+
+impl std::fmt::Display for InstId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl std::fmt::Display for NetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}

@@ -1,0 +1,171 @@
+use crate::ids::InstId;
+use crate::netlist::Netlist;
+use ffet_cells::Library;
+
+/// Result of levelizing a netlist: combinational instances in evaluation
+/// order plus the per-instance logic level.
+#[derive(Debug, Clone)]
+pub struct Levelization {
+    /// Combinational instances in a valid topological evaluation order.
+    pub order: Vec<InstId>,
+    /// Logic level per instance (0 for instances fed only by sources);
+    /// sequential and source cells get level 0.
+    pub levels: Vec<u32>,
+    /// Maximum logic level (combinational depth).
+    pub depth: u32,
+}
+
+/// Error: the netlist contains a combinational loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombLoopError {
+    /// Name of one instance on the loop.
+    pub instance: String,
+}
+
+impl std::fmt::Display for CombLoopError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "combinational loop through instance {}", self.instance)
+    }
+}
+
+impl std::error::Error for CombLoopError {}
+
+/// Computes a topological order of the combinational instances.
+///
+/// Sequential cells (DFFs) break the graph: their outputs are treated as
+/// sources and their inputs as sinks, so a legal synchronous design always
+/// levelizes.
+///
+/// # Errors
+///
+/// Returns [`CombLoopError`] if a combinational cycle exists.
+pub fn levelize(netlist: &Netlist, library: &Library) -> Result<Levelization, CombLoopError> {
+    let n = netlist.instances().len();
+    let mut indegree = vec![0u32; n];
+    let mut is_comb = vec![false; n];
+
+    for (i, inst) in netlist.instances().iter().enumerate() {
+        let f = library.cell(inst.cell).kind.function;
+        is_comb[i] = !f.is_sequential() && f.has_output() && f.input_count() > 0;
+    }
+
+    // Edges: comb driver -> comb sink, counted per sink input pin.
+    for net in netlist.nets() {
+        let Some(driver) = net.driver else { continue };
+        if !is_comb[driver.inst.0 as usize] {
+            continue;
+        }
+        for sink in &net.sinks {
+            if is_comb[sink.inst.0 as usize] {
+                indegree[sink.inst.0 as usize] += 1;
+            }
+        }
+    }
+
+    let mut levels = vec![0u32; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue: Vec<InstId> = (0..n)
+        .filter(|&i| is_comb[i] && indegree[i] == 0)
+        .map(|i| InstId(i as u32))
+        .collect();
+
+    while let Some(inst) = queue.pop() {
+        order.push(inst);
+        let conns = &netlist.instance(inst).conns;
+        let template = library.cell(netlist.instance(inst).cell);
+        let Some(out_pin) = template.output_pin() else { continue };
+        let Some(out_net) = conns[out_pin] else { continue };
+        let my_level = levels[inst.0 as usize];
+        for sink in &netlist.net(out_net).sinks {
+            let si = sink.inst.0 as usize;
+            if !is_comb[si] {
+                continue;
+            }
+            levels[si] = levels[si].max(my_level + 1);
+            indegree[si] -= 1;
+            if indegree[si] == 0 {
+                queue.push(sink.inst);
+            }
+        }
+    }
+
+    let comb_count = is_comb.iter().filter(|&&c| c).count();
+    if order.len() != comb_count {
+        let stuck = (0..n)
+            .find(|&i| is_comb[i] && indegree[i] > 0)
+            .expect("some instance is stuck on the loop");
+        return Err(CombLoopError {
+            instance: netlist.instances()[stuck].name.clone(),
+        });
+    }
+
+    let depth = order.iter().map(|i| levels[i.0 as usize]).max().unwrap_or(0);
+    Ok(Levelization {
+        order,
+        levels,
+        depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use ffet_cells::{CellFunction, CellKind, DriveStrength};
+    use ffet_tech::Technology;
+
+    #[test]
+    fn chain_levelizes_in_order() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let x = b.input("x");
+        let a = b.not(x);
+        let c = b.not(a);
+        let d = b.not(c);
+        b.output("y", d);
+        let nl = b.finish();
+        let lv = levelize(&nl, &lib).unwrap();
+        assert_eq!(lv.order.len(), 3);
+        assert_eq!(lv.depth, 2);
+        // Order respects dependencies.
+        let pos: Vec<usize> = (0..3)
+            .map(|i| lv.order.iter().position(|o| o.0 == i).unwrap())
+            .collect();
+        assert!(pos[0] < pos[1] && pos[1] < pos[2]);
+    }
+
+    #[test]
+    fn dffs_break_cycles() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let clk = b.input("clk");
+        // q = dff(!q): a toggle flop — sequential loop, combinationally fine.
+        let nl = {
+            let q_feedback = b.netlist_mut().add_net("qb_loop");
+            let inv = lib.id(CellKind::new(CellFunction::Inv, DriveStrength::D1)).unwrap();
+            let dff = lib.id(CellKind::new(CellFunction::Dff, DriveStrength::D1)).unwrap();
+            let q = b.netlist_mut().add_net("q");
+            let library = b.library();
+            b.netlist_mut()
+                .add_instance(library, "u_inv", inv, &[Some(q), Some(q_feedback)]);
+            b.netlist_mut()
+                .add_instance(library, "u_dff", dff, &[Some(q_feedback), Some(clk), Some(q)]);
+            b.finish()
+        };
+        let lv = levelize(&nl, &lib).unwrap();
+        assert_eq!(lv.order.len(), 1); // just the inverter
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let inv = lib.id(CellKind::new(CellFunction::Inv, DriveStrength::D1)).unwrap();
+        let mut nl = crate::Netlist::new("loop");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_instance(&lib, "u1", inv, &[Some(a), Some(b)]);
+        nl.add_instance(&lib, "u2", inv, &[Some(b), Some(a)]);
+        let err = levelize(&nl, &lib).unwrap_err();
+        assert!(err.instance.starts_with('u'));
+    }
+}

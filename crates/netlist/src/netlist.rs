@@ -1,0 +1,364 @@
+use crate::ids::{InstId, NetId, PinRef, PortId};
+use ffet_cells::{CellId, Library, PinDirection};
+use std::collections::HashMap;
+
+/// Direction of a top-level port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDirection {
+    /// Primary input (drives its net).
+    Input,
+    /// Primary output (sinks its net).
+    Output,
+}
+
+/// A top-level port of the design.
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Port name (`clk`, `pc[3]`, …).
+    pub name: String,
+    /// Direction.
+    pub direction: PortDirection,
+    /// The net the port connects to.
+    pub net: NetId,
+}
+
+/// One placed-or-placeable cell instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance name, unique within the netlist.
+    pub name: String,
+    /// Library cell template.
+    pub cell: CellId,
+    /// Net connected to each library pin (indexed like `Cell::pins`);
+    /// `None` for unconnected pins.
+    pub conns: Vec<Option<NetId>>,
+    /// Fixed instances (Power Tap Cells) may not be moved by placement.
+    pub fixed: bool,
+}
+
+/// One signal net: a single driver and any number of sinks.
+#[derive(Debug, Clone, Default)]
+pub struct Net {
+    /// Net name, unique within the netlist.
+    pub name: String,
+    /// Driving instance pin, if driven by a cell (otherwise a primary
+    /// input drives it).
+    pub driver: Option<PinRef>,
+    /// Sink instance pins.
+    pub sinks: Vec<PinRef>,
+    /// Whether this net is the clock network (routed by CTS, not the
+    /// signal router).
+    pub is_clock: bool,
+}
+
+impl Net {
+    /// Number of connected pins (driver + sinks).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.sinks.len() + usize::from(self.driver.is_some())
+    }
+}
+
+/// A flat gate-level netlist over a [`Library`].
+///
+/// The netlist stores only topology; geometry lives in the placement/
+/// routing results and electrical data in the library, so one netlist can
+/// be implemented under many technologies and DoE configurations.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    instances: Vec<Instance>,
+    nets: Vec<Net>,
+    ports: Vec<Port>,
+    net_names: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            instances: Vec::new(),
+            nets: Vec::new(),
+            ports: Vec::new(),
+            net_names: HashMap::new(),
+        }
+    }
+
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All instances, indexable by [`InstId`].
+    #[must_use]
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// All nets, indexable by [`NetId`].
+    #[must_use]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All ports.
+    #[must_use]
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// The instance for `id`.
+    #[must_use]
+    pub fn instance(&self, id: InstId) -> &Instance {
+        &self.instances[id.0 as usize]
+    }
+
+    /// The net for `id`.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Mutable net access (used by buffering transforms).
+    pub fn net_mut(&mut self, id: NetId) -> &mut Net {
+        &mut self.nets[id.0 as usize]
+    }
+
+    /// Mutable instance access (used by sizing transforms).
+    pub fn instance_mut(&mut self, id: InstId) -> &mut Instance {
+        &mut self.instances[id.0 as usize]
+    }
+
+    /// Looks a net up by name.
+    #[must_use]
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.net_names.get(name).copied()
+    }
+
+    /// Adds a net; names must be unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        let id = NetId(self.nets.len() as u32);
+        let prev = self.net_names.insert(name.clone(), id);
+        assert!(prev.is_none(), "duplicate net name {name}");
+        self.nets.push(Net {
+            name,
+            ..Net::default()
+        });
+        id
+    }
+
+    /// Adds an instance of `cell`, connecting `conns[i]` to library pin
+    /// `i`. Driver/sink lists of the touched nets are updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conns` is longer than the cell's pin list or if an output
+    /// pin lands on an already-driven net.
+    pub fn add_instance(
+        &mut self,
+        library: &Library,
+        name: impl Into<String>,
+        cell: CellId,
+        conns: &[Option<NetId>],
+    ) -> InstId {
+        let template = library.cell(cell);
+        assert!(
+            conns.len() <= template.pins.len(),
+            "too many connections for {}",
+            template.name
+        );
+        let id = InstId(self.instances.len() as u32);
+        let mut padded = conns.to_vec();
+        padded.resize(template.pins.len(), None);
+        for (pin_idx, conn) in padded.iter().enumerate() {
+            let Some(net) = conn else { continue };
+            let pin_ref = PinRef::new(id, pin_idx);
+            match template.pins[pin_idx].direction {
+                PinDirection::Output => {
+                    let n = &mut self.nets[net.0 as usize];
+                    assert!(
+                        n.driver.is_none(),
+                        "net {} already driven",
+                        n.name
+                    );
+                    n.driver = Some(pin_ref);
+                }
+                PinDirection::Input => {
+                    self.nets[net.0 as usize].sinks.push(pin_ref);
+                }
+            }
+        }
+        self.instances.push(Instance {
+            name: name.into(),
+            cell,
+            conns: padded,
+            fixed: false,
+        });
+        id
+    }
+
+    /// Adds a top-level port bound to `net`.
+    pub fn add_port(
+        &mut self,
+        name: impl Into<String>,
+        direction: PortDirection,
+        net: NetId,
+    ) -> PortId {
+        let id = PortId(self.ports.len() as u32);
+        self.ports.push(Port {
+            name: name.into(),
+            direction,
+            net,
+        });
+        id
+    }
+
+    /// Marks `net` (typically the clock root) and everything it drives
+    /// through clock buffers as clock nets. Only the root is marked here;
+    /// CTS marks its buffered subtree as it builds it.
+    pub fn mark_clock(&mut self, net: NetId) {
+        self.nets[net.0 as usize].is_clock = true;
+    }
+
+    /// Rewires one sink pin from its current net to `to`. Used by buffering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is not currently a sink of `from`.
+    pub fn move_sink(&mut self, from: NetId, pin: PinRef, to: NetId) {
+        let f = &mut self.nets[from.0 as usize];
+        let pos = f
+            .sinks
+            .iter()
+            .position(|p| *p == pin)
+            .expect("pin is a sink of `from`");
+        f.sinks.swap_remove(pos);
+        self.nets[to.0 as usize].sinks.push(pin);
+        self.instances[pin.inst.0 as usize].conns[pin.pin] = Some(to);
+    }
+
+    /// Verifies structural invariants: every pin connection is mirrored in
+    /// the net driver/sink lists and vice versa. Returns the number of
+    /// checked connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_consistency(&self, library: &Library) -> Result<usize, String> {
+        let mut checked = 0;
+        for (i, inst) in self.instances.iter().enumerate() {
+            let template = library.cell(inst.cell);
+            if inst.conns.len() != template.pins.len() {
+                return Err(format!("instance {} pin count mismatch", inst.name));
+            }
+            for (pi, conn) in inst.conns.iter().enumerate() {
+                let Some(net) = conn else { continue };
+                let pin_ref = PinRef::new(InstId(i as u32), pi);
+                let n = &self.nets[net.0 as usize];
+                let listed = match template.pins[pi].direction {
+                    PinDirection::Output => n.driver == Some(pin_ref),
+                    PinDirection::Input => n.sinks.contains(&pin_ref),
+                };
+                if !listed {
+                    return Err(format!(
+                        "pin {}.{} connects to {} but is not listed there",
+                        inst.name, template.pins[pi].name, n.name
+                    ));
+                }
+                checked += 1;
+            }
+        }
+        for net in &self.nets {
+            if let Some(d) = net.driver {
+                if self.instances[d.inst.0 as usize].conns[d.pin] != self.net_names.get(&net.name).copied() {
+                    return Err(format!("net {} driver back-reference broken", net.name));
+                }
+            }
+            for s in &net.sinks {
+                let inst = &self.instances[s.inst.0 as usize];
+                if inst.conns[s.pin].map(|n| &self.nets[n.0 as usize].name) != Some(&net.name) {
+                    return Err(format!("net {} sink back-reference broken", net.name));
+                }
+            }
+        }
+        Ok(checked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_cells::{CellFunction, CellKind, DriveStrength};
+    use ffet_tech::Technology;
+
+    fn lib() -> Library {
+        Library::new(Technology::ffet_3p5t())
+    }
+
+    #[test]
+    fn wiring_updates_driver_and_sinks() {
+        let lib = lib();
+        let inv = lib.id(CellKind::new(CellFunction::Inv, DriveStrength::D1)).unwrap();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let y = nl.add_net("y");
+        let i = nl.add_instance(&lib, "u1", inv, &[Some(a), Some(y)]);
+        assert_eq!(nl.net(y).driver, Some(PinRef::new(i, 1)));
+        assert_eq!(nl.net(a).sinks, vec![PinRef::new(i, 0)]);
+        assert_eq!(nl.check_consistency(&lib).unwrap(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already driven")]
+    fn double_driver_rejected() {
+        let lib = lib();
+        let inv = lib.id(CellKind::new(CellFunction::Inv, DriveStrength::D1)).unwrap();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let y = nl.add_net("y");
+        nl.add_instance(&lib, "u1", inv, &[Some(a), Some(y)]);
+        nl.add_instance(&lib, "u2", inv, &[Some(a), Some(y)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate net name")]
+    fn duplicate_net_name_rejected() {
+        let mut nl = Netlist::new("t");
+        nl.add_net("a");
+        nl.add_net("a");
+    }
+
+    #[test]
+    fn move_sink_rewires() {
+        let lib = lib();
+        let inv = lib.id(CellKind::new(CellFunction::Inv, DriveStrength::D1)).unwrap();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let y = nl.add_net("y");
+        let i = nl.add_instance(&lib, "u1", inv, &[Some(a), Some(y)]);
+        let pin = PinRef::new(i, 0);
+        nl.move_sink(a, pin, b);
+        assert!(nl.net(a).sinks.is_empty());
+        assert_eq!(nl.net(b).sinks, vec![pin]);
+        assert_eq!(nl.instance(i).conns[0], Some(b));
+        nl.check_consistency(&lib).unwrap();
+    }
+
+    #[test]
+    fn ports_attach_to_nets() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        nl.add_port("a", PortDirection::Input, a);
+        assert_eq!(nl.ports().len(), 1);
+        assert_eq!(nl.ports()[0].net, a);
+    }
+}

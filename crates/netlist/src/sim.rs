@@ -1,0 +1,266 @@
+use crate::ids::{InstId, NetId};
+use crate::level::{levelize, CombLoopError, Levelization};
+use crate::netlist::Netlist;
+use ffet_cells::{CellFunction, Library};
+
+/// Two-value, cycle-accurate gate-level simulator.
+///
+/// Evaluation is levelized (all combinational gates re-evaluated in
+/// topological order per step), which is simple, deterministic, and fast
+/// enough for cosimulating the RV32 core against its reference model.
+///
+/// Driving convention: set primary inputs with [`Simulator::set`], then
+/// [`Simulator::settle`] to propagate, and [`Simulator::clock_edge`] to
+/// advance all flip-flops by one rising edge (inputs are sampled from the
+/// settled pre-edge values, as in synchronous hardware).
+///
+/// ```
+/// use ffet_netlist::{NetlistBuilder, Simulator};
+/// use ffet_cells::Library;
+/// use ffet_tech::Technology;
+///
+/// let lib = Library::new(Technology::ffet_3p5t());
+/// let mut b = NetlistBuilder::new(&lib, "t");
+/// let x = b.input("x");
+/// let y = b.not(x);
+/// b.output("y", y);
+/// let nl = b.finish();
+/// let mut sim = Simulator::new(&nl, &lib)?;
+/// sim.set(x, true);
+/// sim.settle();
+/// assert!(!sim.get(y));
+/// # Ok::<(), ffet_netlist::CombLoopError>(())
+/// ```
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    library: &'a Library,
+    levelization: Levelization,
+    values: Vec<bool>,
+    /// DFF instances and their (d_net, q_net).
+    dffs: Vec<(InstId, NetId, NetId)>,
+    state: Vec<bool>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator; levelizes the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CombLoopError`] if the design has a combinational loop.
+    pub fn new(netlist: &'a Netlist, library: &'a Library) -> Result<Simulator<'a>, CombLoopError> {
+        let levelization = levelize(netlist, library)?;
+        let mut dffs = Vec::new();
+        for (i, inst) in netlist.instances().iter().enumerate() {
+            let cell = library.cell(inst.cell);
+            if cell.kind.function == CellFunction::Dff {
+                let d = inst.conns[0].expect("DFF D connected");
+                let q = inst.conns[2].expect("DFF Q connected");
+                dffs.push((InstId(i as u32), d, q));
+            }
+        }
+        let state = vec![false; dffs.len()];
+        Ok(Simulator {
+            netlist,
+            library,
+            levelization,
+            values: vec![false; netlist.nets().len()],
+            dffs,
+            state,
+        })
+    }
+
+    /// Sets the value of a net (normally a primary input).
+    pub fn set(&mut self, net: NetId, value: bool) {
+        self.values[net.0 as usize] = value;
+    }
+
+    /// Current value of a net (valid after [`settle`](Self::settle)).
+    #[must_use]
+    pub fn get(&self, net: NetId) -> bool {
+        self.values[net.0 as usize]
+    }
+
+    /// Reads a bus of nets as an integer, LSB first.
+    #[must_use]
+    pub fn get_bus(&self, nets: &[NetId]) -> u64 {
+        nets.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &n)| acc | (u64::from(self.get(n)) << i))
+    }
+
+    /// Drives a bus of nets from an integer, LSB first.
+    pub fn set_bus(&mut self, nets: &[NetId], value: u64) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.set(n, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Propagates all combinational logic from the current inputs and DFF
+    /// states to every net.
+    pub fn settle(&mut self) {
+        // Sources first: flip-flop state on Q nets, constants from ties
+        // (ties have no inputs, so they sit outside the levelized order).
+        for (idx, &(_, _, q)) in self.dffs.iter().enumerate() {
+            self.values[q.0 as usize] = self.state[idx];
+        }
+        for inst in self.netlist.instances() {
+            let cell = self.library.cell(inst.cell);
+            let constant = match cell.kind.function {
+                CellFunction::TieHi => true,
+                CellFunction::TieLo => false,
+                _ => continue,
+            };
+            if let Some(net) = inst.conns[cell.output_pin().expect("tie output")] {
+                self.values[net.0 as usize] = constant;
+            }
+        }
+        // One pass in topological order settles every combinational net.
+        for &inst_id in &self.levelization.order {
+            let inst = self.netlist.instance(inst_id);
+            let cell = self.library.cell(inst.cell);
+            let f = cell.kind.function;
+            let n_in = f.input_count();
+            let mut inputs = [false; 8];
+            for (i, slot) in inputs.iter_mut().take(n_in).enumerate() {
+                if let Some(net) = inst.conns[i] {
+                    *slot = self.values[net.0 as usize];
+                }
+            }
+            let out = f.eval(&inputs[..n_in]);
+            if let Some(out_pin) = cell.output_pin() {
+                if let Some(net) = inst.conns[out_pin] {
+                    self.values[net.0 as usize] = out;
+                }
+            }
+        }
+    }
+
+    /// Applies one rising clock edge: samples every DFF's D from the
+    /// settled values, updates state, and re-settles.
+    pub fn clock_edge(&mut self) {
+        let sampled: Vec<bool> = self
+            .dffs
+            .iter()
+            .map(|&(_, d, _)| self.values[d.0 as usize])
+            .collect();
+        self.state.copy_from_slice(&sampled);
+        self.settle();
+    }
+
+    /// Forces the internal state of every DFF (reset modelling).
+    pub fn reset_state(&mut self, value: bool) {
+        for s in &mut self.state {
+            *s = value;
+        }
+        self.settle();
+    }
+
+    /// Number of flip-flops in the design.
+    #[must_use]
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Combinational depth (logic levels) of the design.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.levelization.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use ffet_tech::Technology;
+
+    #[test]
+    fn adder_computes_correct_sums() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let a = b.input_bus("a", 8);
+        let c = b.input_bus("b", 8);
+        let zero = b.zero();
+        let (sum, cout) = b.adder(&a, &c, zero);
+        b.output_bus("s", &sum);
+        b.output("cout", cout);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        for (x, y) in [(0u64, 0u64), (1, 1), (200, 100), (255, 255), (170, 85)] {
+            sim.set_bus(&a, x);
+            sim.set_bus(&c, y);
+            sim.settle();
+            let got = sim.get_bus(&sum) | (u64::from(sim.get(cout)) << 8);
+            assert_eq!(got, x + y, "{x} + {y}");
+        }
+    }
+
+    #[test]
+    fn toggle_flop_toggles() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let clk = b.input("clk");
+        let q = {
+            let nl = b.netlist_mut();
+            nl.add_net("q")
+        };
+        let qb = b.not(q);
+        {
+            use ffet_cells::{CellFunction, CellKind, DriveStrength};
+            let dff = lib.id(CellKind::new(CellFunction::Dff, DriveStrength::D1)).unwrap();
+            let library = b.library();
+            b.netlist_mut()
+                .add_instance(library, "u_dff", dff, &[Some(qb), Some(clk), Some(q)]);
+        }
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        sim.reset_state(false);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            sim.clock_edge();
+            seen.push(sim.get(q));
+        }
+        assert_eq!(seen, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn register_holds_value_between_edges() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let q = b.dff(d, clk);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        sim.reset_state(false);
+        sim.set(d, true);
+        sim.settle();
+        assert!(!sim.get(q), "value not latched before edge");
+        sim.clock_edge();
+        assert!(sim.get(q));
+        sim.set(d, false);
+        sim.settle();
+        assert!(sim.get(q), "holds until next edge");
+        sim.clock_edge();
+        assert!(!sim.get(q));
+    }
+
+    #[test]
+    fn tie_cells_drive_constants() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let one = b.one();
+        let zero = b.zero();
+        let y = b.and2(one, zero);
+        let z = b.or2(one, zero);
+        b.output("y", y);
+        b.output("z", z);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        sim.settle();
+        assert!(!sim.get(y));
+        assert!(sim.get(z));
+    }
+}

@@ -1,0 +1,83 @@
+use crate::netlist::Netlist;
+use ffet_cells::{CellFunction, Library};
+use std::collections::BTreeMap;
+
+/// Aggregate statistics of a netlist under a library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Instance count per cell function.
+    pub by_function: BTreeMap<String, usize>,
+    /// Total instance count.
+    pub instances: usize,
+    /// Sequential (DFF) instance count.
+    pub sequential: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Total standard-cell area, nm².
+    pub cell_area_nm2: i128,
+    /// Average net degree (pins per net).
+    pub avg_net_degree: f64,
+    /// Total pin count over all connected instance pins.
+    pub pins: usize,
+}
+
+/// Computes [`NetlistStats`].
+#[must_use]
+pub fn stats(netlist: &Netlist, library: &Library) -> NetlistStats {
+    let tech = library.tech();
+    let mut by_function = BTreeMap::new();
+    let mut sequential = 0;
+    let mut area: i128 = 0;
+    let mut pins = 0;
+    for inst in netlist.instances() {
+        let cell = library.cell(inst.cell);
+        *by_function
+            .entry(cell.kind.function.stem().to_owned())
+            .or_insert(0) += 1;
+        if cell.kind.function == CellFunction::Dff {
+            sequential += 1;
+        }
+        area += i128::from(cell.width_cpp * tech.cpp()) * i128::from(tech.cell_height());
+        pins += inst.conns.iter().flatten().count();
+    }
+    let degrees: usize = netlist.nets().iter().map(|n| n.degree()).sum();
+    NetlistStats {
+        by_function,
+        instances: netlist.instances().len(),
+        sequential,
+        nets: netlist.nets().len(),
+        cell_area_nm2: area,
+        avg_net_degree: if netlist.nets().is_empty() {
+            0.0
+        } else {
+            degrees as f64 / netlist.nets().len() as f64
+        },
+        pins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use ffet_tech::Technology;
+
+    #[test]
+    fn stats_count_functions_and_area() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let clk = b.input("clk");
+        let x = b.input("x");
+        let y = b.not(x);
+        let q = b.dff(y, clk);
+        b.output("q", q);
+        let nl = b.finish();
+        let s = stats(&nl, &lib);
+        assert_eq!(s.instances, 2);
+        assert_eq!(s.sequential, 1);
+        assert_eq!(s.by_function["INV"], 1);
+        assert_eq!(s.by_function["DFF"], 1);
+        assert!(s.cell_area_nm2 > 0);
+        assert_eq!(s.pins, 2 + 3);
+    }
+}

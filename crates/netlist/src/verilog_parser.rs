@@ -1,0 +1,260 @@
+use crate::netlist::{Netlist, PortDirection};
+use ffet_cells::Library;
+use std::collections::HashMap;
+
+/// Error from [`from_verilog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVerilogError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "verilog parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseVerilogError {}
+
+/// Parses the structural-Verilog subset emitted by [`crate::to_verilog`]:
+/// one module with scalar (possibly escaped `\name `) ports and wires, and
+/// named-connection instantiations of library cells.
+///
+/// Exact inverse of the writer: `from_verilog(to_verilog(n)) == n` up to
+/// net/instance ordering (which the writer preserves, so round trips are
+/// in fact identical).
+///
+/// # Errors
+///
+/// [`ParseVerilogError`] with a line number on malformed input, unknown
+/// cells, or connection mistakes (duplicate drivers surface as panics in
+/// the netlist builder — the writer never produces them).
+pub fn from_verilog(text: &str, library: &Library) -> Result<Netlist, ParseVerilogError> {
+    let cell_by_name: HashMap<&str, ffet_cells::CellId> = library
+        .cells()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), ffet_cells::CellId(i as u32)))
+        .collect();
+
+    let mut netlist: Option<Netlist> = None;
+    let mut pending_ports: Vec<(String, PortDirection)> = Vec::new();
+    let mut declared: HashMap<String, crate::ids::NetId> = HashMap::new();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = ln + 1;
+        let stmt = raw.trim();
+        if stmt.is_empty() || stmt.starts_with("//") {
+            continue;
+        }
+        let err = |message: String| ParseVerilogError { line, message };
+
+        if let Some(rest) = stmt.strip_prefix("module ") {
+            let name = rest
+                .split('(')
+                .next()
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| err("missing module name".into()))?;
+            netlist = Some(Netlist::new(unescape(name)));
+            continue;
+        }
+        if stmt == "endmodule" {
+            break;
+        }
+        let nl = netlist
+            .as_mut()
+            .ok_or_else(|| err("statement before module header".into()))?;
+
+        if let Some(rest) = stmt.strip_prefix("input ") {
+            // Binding is deferred to endmodule: an assign may alias this
+            // port onto a differently-named net.
+            let name = unescape(rest.trim_end_matches(';').trim());
+            pending_ports.push((name, PortDirection::Input));
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("output ") {
+            let name = unescape(rest.trim_end_matches(';').trim());
+            pending_ports.push((name, PortDirection::Output));
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("assign ") {
+            // `assign port = net ;` — the port aliases an existing net.
+            let body = rest.trim_end_matches(';').trim();
+            let (lhs, rhs) = body
+                .split_once('=')
+                .ok_or_else(|| err(format!("bad assign `{body}`")))?;
+            let (lhs, rhs) = (unescape(lhs), unescape(rhs));
+            let net = *declared
+                .entry(rhs.clone())
+                .or_insert_with(|| nl.add_net(rhs));
+            declared.insert(lhs, net);
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("wire ") {
+            let name = unescape(rest.trim_end_matches(';').trim());
+            declared
+                .entry(name.clone())
+                .or_insert_with(|| nl.add_net(name));
+            continue;
+        }
+
+        // Instance: CELLNAME inst_name (.PIN(net), ...);
+        let open = stmt
+            .find('(')
+            .ok_or_else(|| err("expected instantiation".into()))?;
+        let head: Vec<&str> = stmt[..open].split_whitespace().collect();
+        if head.len() != 2 {
+            return Err(err(format!("bad instance header `{}`", &stmt[..open])));
+        }
+        let cell = *cell_by_name
+            .get(head[0])
+            .ok_or_else(|| err(format!("unknown cell `{}`", head[0])))?;
+        let inst_name = unescape(head[1]);
+        let tail = stmt[open + 1..].trim_end();
+        let body = tail
+            .strip_suffix(';')
+            .map(str::trim_end)
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| err("instance not terminated with `);`".into()))?;
+        let template = library.cell(cell);
+        let mut conns = vec![None; template.pins.len()];
+        for part in split_connections(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (pin_name, net_name) = part
+                .strip_prefix('.')
+                .and_then(|p| p.split_once('('))
+                .map(|(pin, rest)| (pin.trim(), rest.trim_end_matches(')').trim()))
+                .ok_or_else(|| err(format!("bad connection `{part}`")))?;
+            if net_name.is_empty() {
+                // `.PIN()` — explicitly unconnected.
+                continue;
+            }
+            let pin_idx = template
+                .pins
+                .iter()
+                .position(|p| p.name == pin_name)
+                .ok_or_else(|| err(format!("cell {} has no pin {pin_name}", template.name)))?;
+            let net_name = unescape(net_name);
+            let net = *declared
+                .entry(net_name.clone())
+                .or_insert_with(|| nl.add_net(net_name));
+            conns[pin_idx] = Some(net);
+        }
+        nl.add_instance(library, inst_name, cell, &conns);
+    }
+
+    let mut nl = netlist.ok_or(ParseVerilogError {
+        line: 0,
+        message: "no module found".into(),
+    })?;
+    for (name, dir) in pending_ports {
+        // Unreferenced ports (e.g. an unused input) still need a net.
+        let net = match declared.get(&name) {
+            Some(&n) => n,
+            None => {
+                let n = nl.add_net(name.clone());
+                declared.insert(name.clone(), n);
+                n
+            }
+        };
+        nl.add_port(name, dir, net);
+    }
+    Ok(nl)
+}
+
+/// Splits an instance body at top-level commas (names cannot contain
+/// commas in this subset, so a plain split suffices).
+fn split_connections(body: &str) -> impl Iterator<Item = &str> {
+    body.split("),").map(|p| {
+        let p = p.trim();
+        if p.ends_with(')') {
+            p
+        } else {
+            // split removed the closing paren; the caller re-trims it.
+            p
+        }
+    })
+}
+
+/// Strips the `\name ` escape used for bus-bit identifiers.
+fn unescape(name: &str) -> String {
+    name.trim()
+        .strip_prefix('\\')
+        .map_or_else(|| name.trim().to_owned(), |n| n.trim().to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::verilog::to_verilog;
+    use ffet_tech::Technology;
+
+    #[test]
+    fn roundtrip_small_design() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "top");
+        let clk = b.input("clk");
+        let bus = b.input_bus("data", 4);
+        let x = b.xor_tree(&bus);
+        let q = b.dff(x, clk);
+        b.output("q", q);
+        let original = b.finish();
+
+        let text = to_verilog(&original, &lib);
+        let parsed = from_verilog(&text, &lib).expect("parses");
+        assert_eq!(parsed.name(), original.name());
+        assert_eq!(parsed.instances().len(), original.instances().len());
+        assert_eq!(parsed.nets().len(), original.nets().len());
+        assert_eq!(parsed.ports().len(), original.ports().len());
+        parsed.check_consistency(&lib).expect("consistent");
+        // Behavioural equivalence via simulation.
+        let bus_a: Vec<_> = (0..4)
+            .map(|i| original.net_by_name(&format!("data[{i}]")).unwrap())
+            .collect();
+        let bus_b: Vec<_> = (0..4)
+            .map(|i| parsed.net_by_name(&format!("data[{i}]")).unwrap())
+            .collect();
+        let q_a = original.ports().iter().find(|p| p.name == "q").unwrap().net;
+        let q_b = parsed.ports().iter().find(|p| p.name == "q").unwrap().net;
+        let mut sim_a = crate::sim::Simulator::new(&original, &lib).unwrap();
+        let mut sim_b = crate::sim::Simulator::new(&parsed, &lib).unwrap();
+        for value in 0..16u64 {
+            sim_a.set_bus(&bus_a, value);
+            sim_a.settle();
+            sim_a.clock_edge();
+            sim_b.set_bus(&bus_b, value);
+            sim_b.settle();
+            sim_b.clock_edge();
+            assert_eq!(sim_a.get(q_a), sim_b.get(q_b), "value {value}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let bad = "module t (a);\n  input a;\n  BOGUS u1 (.A(a));\nendmodule\n";
+        let e = from_verilog(bad, &lib).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("BOGUS"));
+    }
+
+    #[test]
+    fn unknown_pin_rejected() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let bad = "module t (a);\n  input a;\n  wire y;\n  INVD1 u1 (.Q(a), .Y(y));\nendmodule\n";
+        let e = from_verilog(bad, &lib).unwrap_err();
+        assert!(e.message.contains("no pin Q"), "{e}");
+    }
+}

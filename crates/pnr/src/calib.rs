@@ -1,0 +1,63 @@
+//! Calibration constants of the physical-implementation models.
+//!
+//! Every quantity here abstracts a detailed-router or legalizer effect that
+//! our flow models statistically rather than exactly. With the exception of
+//! [`CFET_SUPERVIA_BLOCKAGE`] (a structural property of the CFET cell
+//! architecture), they are shared by both technologies — the FFET/CFET
+//! differences come from the PDK data (cell sizes, pin sides, layer
+//! stacks), not from these knobs.
+
+/// Fraction of theoretical routing tracks usable by the global router
+/// (losses to via landing pads, wrong-way jogs, PDN pass-throughs and
+/// rule-driven spacing; pin-access cost is charged separately through
+/// [`PIN_ACCESS_DEMAND`]).
+pub const CAPACITY_DERATE: f64 = 1.0;
+
+/// Routing-track demand added per cell pin inside a GCell (pin-access
+/// cost). Pin-dense regions congest first — the mechanism that limits the
+/// single-sided FFET FM12 before the CFET (paper Fig. 8c).
+pub const PIN_ACCESS_DEMAND: f64 = 1.35;
+
+/// Routing-track demand added per *CFET* cell, modelling the supervia
+/// stacks and BPR shadow that block lower-metal tracks above every
+/// ultra-scaled CFET cell ("very high pin density, thus worse
+/// routability" — the paper's ref. \[11\], Zografos et al., DATE 2022).
+/// FFET cells pay nothing here: the symmetric dual-sided M0 eliminates
+/// supervias (paper §II.B).
+pub const CFET_SUPERVIA_BLOCKAGE: f64 = 0.5;
+
+/// Maximum horizontal displacement (in CPP) the legalizer may apply to a
+/// cell relative to its global-placement position before reporting a
+/// placement violation. Bounded displacement is what makes Power-Tap-Cell
+/// fragmentation bite at high utilization (paper Fig. 8a: 86% ceiling).
+pub const MAX_LEGALIZE_DISPLACEMENT_CPP: i64 = 12;
+
+/// Fraction of a routed step's track demand actually consumed, accounting
+/// for Steiner sharing the MST decomposition cannot see (same-net trunks
+/// double-counted by 2-pin paths, detailed-route trunk merging) and the
+/// residual wirelength gap between this placer and the commercial
+/// reference flow. Pin-access demand is *not* scaled: it is the
+/// layer-count-independent cost that keeps the maximum utilization flat
+/// as layers shrink (paper Fig. 12) until wire demand takes over.
+pub const STEINER_SHARING: f64 = 0.61;
+
+/// Number of rip-up-and-reroute refinement iterations of the global router.
+pub const REROUTE_ITERATIONS: usize = 12;
+
+/// GCell width in CPP (horizontal extent of one congestion bin).
+pub const GCELL_WIDTH_CPP: i64 = 16;
+
+/// GCell height in cell rows.
+pub const GCELL_ROWS: i64 = 8;
+
+/// History-cost weight of the negotiated-congestion router.
+pub const HISTORY_WEIGHT: f64 = 2.5;
+
+/// Present-congestion penalty weight.
+pub const CONGESTION_WEIGHT: f64 = 8.0;
+
+/// Outer iterations of the SimPL-style quadratic placement loop.
+pub const PLACEMENT_ITERATIONS: usize = 32;
+
+/// Clock buffer maximum fanout before the CTS splits a level.
+pub const CTS_MAX_FANOUT: usize = 24;

@@ -1,0 +1,231 @@
+use crate::calib::CTS_MAX_FANOUT;
+use crate::placement::Placement;
+use ffet_cells::{CellFunction, CellKind, DriveStrength, Library};
+use ffet_geom::Point;
+use ffet_netlist::{InstId, NetId, Netlist, PinRef};
+
+/// Result of clock-tree synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockTree {
+    /// Inserted clock-buffer instances.
+    pub buffers: Vec<InstId>,
+    /// Tree depth in buffer levels.
+    pub levels: u32,
+    /// Number of clock sinks (DFF CK pins) served.
+    pub sink_count: usize,
+}
+
+/// Synthesizes a buffered clock tree for every net marked `is_clock`.
+///
+/// Recursive geometric bisection: sink groups larger than the fanout bound
+/// are split by the median along their bounding box's longer axis, with a
+/// `CKBUFD4` driving each group from its centroid. The netlist is mutated
+/// in place (new buffer instances and clock nets); re-run placement
+/// afterwards so the buffers get legal sites.
+///
+/// This stage is deliberately conventional — the paper: "the CTS stage is
+/// performed, which is the same as the conventional flow". Clock pins stay
+/// frontside (see [`ffet_cells::Library::redistribute_input_pins`]).
+pub fn synthesize_clock_tree(
+    netlist: &mut Netlist,
+    library: &Library,
+    placement: &Placement,
+) -> ClockTree {
+    let clock_roots: Vec<NetId> = netlist
+        .nets()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_clock && n.degree() > 0)
+        .map(|(i, _)| NetId(i as u32))
+        .collect();
+
+    let ckbuf = library
+        .id(CellKind::new(CellFunction::ClkBuf, DriveStrength::D4))
+        .expect("CKBUFD4 in library");
+    let tech = library.tech();
+    let row_h = tech.cell_height();
+
+    let mut buffers = Vec::new();
+    let mut max_levels = 0;
+    let mut sink_count = 0;
+    let mut next_id = 0usize;
+
+    for root in clock_roots {
+        let sinks: Vec<(PinRef, Point)> = netlist
+            .net(root)
+            .sinks
+            .iter()
+            .map(|&p| {
+                let inst = p.inst.0 as usize;
+                let cell = library.cell(netlist.instances()[inst].cell);
+                let w = cell.width_cpp * tech.cpp();
+                (p, placement.center(inst, w, row_h))
+            })
+            .collect();
+        sink_count += sinks.len();
+        if sinks.len() <= 1 {
+            continue;
+        }
+        let levels = build_level(
+            netlist,
+            library,
+            ckbuf,
+            root,
+            root,
+            sinks,
+            &mut buffers,
+            &mut next_id,
+            0,
+        );
+        max_levels = max_levels.max(levels);
+    }
+
+    ClockTree {
+        buffers,
+        levels: max_levels,
+        sink_count,
+    }
+}
+
+/// Recursively buffers `sinks` under `source_net`; returns tree depth.
+/// `origin` is the net the sink pins are still attached to (they are only
+/// re-wired once, at the leaf level).
+#[allow(clippy::too_many_arguments)]
+fn build_level(
+    netlist: &mut Netlist,
+    library: &Library,
+    ckbuf: ffet_cells::CellId,
+    source_net: NetId,
+    origin: NetId,
+    sinks: Vec<(PinRef, Point)>,
+    buffers: &mut Vec<InstId>,
+    next_id: &mut usize,
+    depth: u32,
+) -> u32 {
+    if sinks.len() <= CTS_MAX_FANOUT {
+        // Leaf level: one buffer drives the sinks directly.
+        let out = insert_buffer(netlist, library, ckbuf, source_net, buffers, next_id);
+        for (pin, _) in &sinks {
+            netlist.move_sink(origin, *pin, out);
+        }
+        return depth + 1;
+    }
+    // Split by median along the longer axis of the sink bounding box.
+    let bb = ffet_geom::Rect::bounding(sinks.iter().map(|&(_, p)| p)).expect("non-empty sinks");
+    let mut sorted = sinks;
+    if bb.width() >= bb.height() {
+        sorted.sort_by_key(|&(_, p)| p.x);
+    } else {
+        sorted.sort_by_key(|&(_, p)| p.y);
+    }
+    let right = sorted.split_off(sorted.len() / 2);
+    let out = insert_buffer(netlist, library, ckbuf, source_net, buffers, next_id);
+    let d1 = build_level(
+        netlist, library, ckbuf, out, origin, sorted, buffers, next_id, depth + 1,
+    );
+    let d2 = build_level(
+        netlist, library, ckbuf, out, origin, right, buffers, next_id, depth + 1,
+    );
+    d1.max(d2)
+}
+
+/// Adds one clock buffer fed from `source_net`; returns its output net.
+fn insert_buffer(
+    netlist: &mut Netlist,
+    library: &Library,
+    ckbuf: ffet_cells::CellId,
+    source_net: NetId,
+    buffers: &mut Vec<InstId>,
+    next_id: &mut usize,
+) -> NetId {
+    let id = *next_id;
+    *next_id += 1;
+    let out = netlist.add_net(format!("_clk_{id}"));
+    netlist.mark_clock(out);
+    let inst = netlist.add_instance(
+        library,
+        format!("ctsbuf_{id}"),
+        ckbuf,
+        &[Some(source_net), Some(out)],
+    );
+    buffers.push(inst);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::floorplan;
+    use crate::placement::place;
+    use crate::powerplan::powerplan;
+    use ffet_cells::Library;
+    use ffet_netlist::NetlistBuilder;
+    use ffet_tech::{RoutingPattern, Technology};
+
+    fn dff_bank(lib: &Library, n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new(lib, "bank");
+        let clk = b.input("clk");
+        b.netlist_mut().mark_clock(clk);
+        let d = b.input("d");
+        let mut q = d;
+        for _ in 0..n {
+            q = b.dff(q, clk);
+        }
+        b.output("q", q);
+        b.finish()
+    }
+
+    fn run_cts(n: usize) -> (Library, Netlist, ClockTree) {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut nl = dff_bank(&lib, n);
+        let fp = floorplan(&nl, &lib, 0.6, 1.0).unwrap();
+        let pp = powerplan(&fp, &lib, RoutingPattern::new(12, 12).unwrap());
+        let pl = place(&nl, &lib, &fp, &pp, 1);
+        let tree = synthesize_clock_tree(&mut nl, &lib, &pl);
+        (lib, nl, tree)
+    }
+
+    #[test]
+    fn small_bank_gets_single_buffer() {
+        let (lib, nl, tree) = run_cts(10);
+        assert_eq!(tree.buffers.len(), 1);
+        assert_eq!(tree.sink_count, 10);
+        assert_eq!(tree.levels, 1);
+        nl.check_consistency(&lib).unwrap();
+        // The clock root now drives exactly the one buffer.
+        let root = nl.net_by_name("clk").unwrap();
+        assert_eq!(nl.net(root).sinks.len(), 1);
+    }
+
+    #[test]
+    fn large_bank_builds_multilevel_tree() {
+        let (lib, nl, tree) = run_cts(200);
+        assert!(tree.buffers.len() > 8, "buffers {}", tree.buffers.len());
+        assert!(tree.levels >= 3, "levels {}", tree.levels);
+        nl.check_consistency(&lib).unwrap();
+        // Every DFF CK pin hangs off a clock net with bounded fanout.
+        for net in nl.nets().iter().filter(|n| n.is_clock) {
+            assert!(
+                net.sinks.len() <= crate::calib::CTS_MAX_FANOUT,
+                "net {} fanout {}",
+                net.name,
+                net.sinks.len()
+            );
+        }
+    }
+
+    #[test]
+    fn all_dffs_still_clocked() {
+        let (lib, nl, _) = run_cts(100);
+        for inst in nl.instances() {
+            if library_is_dff(&lib, inst) {
+                let ck_net = inst.conns[1].expect("CK connected");
+                assert!(nl.net(ck_net).is_clock, "CK on non-clock net");
+            }
+        }
+    }
+
+    fn library_is_dff(lib: &Library, inst: &ffet_netlist::Instance) -> bool {
+        lib.cell(inst.cell).kind.function == CellFunction::Dff
+    }
+}

@@ -1,0 +1,255 @@
+//! Dual-sided net decomposition — the paper's Algorithm 1.
+//!
+//! Every FFET output pin is dual-sided (Drain Merge), so a net can be split
+//! into a frontside net and a backside net according to where each sink's
+//! (redistributed) input pin lives. The two sub-nets are then routed
+//! independently on their own layer stacks, with no bridging cells.
+
+use crate::placement::Placement;
+use ffet_cells::{Library, PinSides};
+use ffet_geom::Point;
+use ffet_netlist::{NetId, Netlist, PinRef};
+use ffet_tech::{RoutingPattern, Side};
+
+/// One single-sided routing job produced by the decomposition: the source
+/// (always first) plus the sinks of one wafer side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SideNet {
+    /// The original netlist net.
+    pub net: NetId,
+    /// Which side this sub-net routes on.
+    pub side: Side,
+    /// Pin positions; `pins[0]` is the source (driver output or input
+    /// port), the rest are sinks.
+    pub pins: Vec<Point>,
+    /// Whether this sub-net is part of the clock network.
+    pub is_clock: bool,
+}
+
+/// Error from [`decompose_nets`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecomposeError {
+    /// A sink pin sits on the backside but the routing pattern has no
+    /// backside layers (and this flow uses no bridging cells).
+    BacksidePinUnroutable {
+        /// The offending net.
+        net: String,
+    },
+}
+
+impl std::fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecomposeError::BacksidePinUnroutable { net } => write!(
+                f,
+                "net `{net}` has backside sinks but the pattern has no backside layers \
+                 (bridging cells are disabled)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+/// Physical position of an instance pin.
+#[must_use]
+pub fn pin_position(
+    netlist: &Netlist,
+    library: &Library,
+    placement: &Placement,
+    pin: PinRef,
+) -> Point {
+    let tech = library.tech();
+    let inst = &netlist.instances()[pin.inst.0 as usize];
+    let cell = library.cell(inst.cell);
+    let origin = placement.origins[pin.inst.0 as usize];
+    Point::new(
+        origin.x + cell.pins[pin.pin].offset_cpp * tech.cpp(),
+        origin.y + tech.cell_height() / 2,
+    )
+}
+
+/// Wafer side(s) of an instance pin per the (possibly redistributed)
+/// library.
+#[must_use]
+pub fn pin_sides(netlist: &Netlist, library: &Library, pin: PinRef) -> PinSides {
+    let inst = &netlist.instances()[pin.inst.0 as usize];
+    library.cell(inst.cell).pins[pin.pin].sides
+}
+
+/// Decomposes every routable net into per-side routing jobs (Algorithm 1).
+///
+/// * The source (a dual-sided output pin in FFET) joins both sub-nets.
+/// * Sinks go to the side of their input pin.
+/// * Top-level ports anchor on the frontside (package pins bond out
+///   through the carrier-side bumps only at the block level; block pins
+///   stay front).
+///
+/// # Errors
+///
+/// [`DecomposeError::BacksidePinUnroutable`] when a backside sink exists
+/// without backside routing layers.
+pub fn decompose_nets(
+    netlist: &Netlist,
+    library: &Library,
+    placement: &Placement,
+    pattern: RoutingPattern,
+) -> Result<Vec<SideNet>, DecomposeError> {
+    let mut out = Vec::new();
+    for (ni, net) in netlist.nets().iter().enumerate() {
+        let net_id = NetId(ni as u32);
+        // Source: driver output pin, or an input port position.
+        let mut source: Option<Point> = net
+            .driver
+            .map(|d| pin_position(netlist, library, placement, d));
+        let mut port_sinks: Vec<Point> = Vec::new();
+        for (pi, port) in netlist.ports().iter().enumerate() {
+            if port.net != net_id {
+                continue;
+            }
+            match port.direction {
+                ffet_netlist::PortDirection::Input => {
+                    source.get_or_insert(placement.port_positions[pi]);
+                }
+                ffet_netlist::PortDirection::Output => {
+                    port_sinks.push(placement.port_positions[pi]);
+                }
+            }
+        }
+        let Some(source) = source else { continue };
+
+        let mut front: Vec<Point> = Vec::new();
+        let mut back: Vec<Point> = Vec::new();
+        for sink in &net.sinks {
+            let pos = pin_position(netlist, library, placement, *sink);
+            match pin_sides(netlist, library, *sink) {
+                PinSides::One(Side::Back) => {
+                    if pattern.back_layers() == 0 {
+                        return Err(DecomposeError::BacksidePinUnroutable {
+                            net: net.name.clone(),
+                        });
+                    }
+                    back.push(pos);
+                }
+                _ => front.push(pos),
+            }
+        }
+        front.extend(port_sinks);
+
+        if !front.is_empty() {
+            let mut pins = Vec::with_capacity(front.len() + 1);
+            pins.push(source);
+            pins.extend(front);
+            out.push(SideNet {
+                net: net_id,
+                side: Side::Front,
+                pins,
+                is_clock: net.is_clock,
+            });
+        }
+        if !back.is_empty() {
+            let mut pins = Vec::with_capacity(back.len() + 1);
+            pins.push(source);
+            pins.extend(back);
+            out.push(SideNet {
+                net: net_id,
+                side: Side::Back,
+                pins,
+                is_clock: net.is_clock,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::floorplan;
+    use crate::placement::place;
+    use crate::powerplan::powerplan;
+    use ffet_netlist::NetlistBuilder;
+    use ffet_tech::Technology;
+
+    fn fanout_netlist(lib: &Library) -> Netlist {
+        let mut b = NetlistBuilder::new(lib, "fan");
+        let x = b.input("x");
+        let src = b.not(x);
+        let mut last = src;
+        for _ in 0..20 {
+            last = b.nand2(src, last);
+        }
+        b.output("y", last);
+        b.finish()
+    }
+
+    fn placed(lib: &Library, nl: &Netlist) -> Placement {
+        let fp = floorplan(nl, lib, 0.6, 1.0).unwrap();
+        let pp = powerplan(&fp, lib, lib.tech().max_routing_pattern());
+        place(nl, lib, &fp, &pp, 1)
+    }
+
+    #[test]
+    fn all_front_when_pins_front() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let nl = fanout_netlist(&lib);
+        let pl = placed(&lib, &nl);
+        let nets =
+            decompose_nets(&nl, &lib, &pl, RoutingPattern::new(12, 0).unwrap()).unwrap();
+        assert!(nets.iter().all(|n| n.side == Side::Front));
+    }
+
+    #[test]
+    fn balanced_redistribution_splits_nets() {
+        let lib = {
+            let mut l = Library::new(Technology::ffet_3p5t());
+            l.redistribute_input_pins(0.5, 42).unwrap();
+            l
+        };
+        let nl = fanout_netlist(&lib);
+        let pl = placed(&lib, &nl);
+        let nets =
+            decompose_nets(&nl, &lib, &pl, RoutingPattern::new(6, 6).unwrap()).unwrap();
+        let back = nets.iter().filter(|n| n.side == Side::Back).count();
+        let front = nets.iter().filter(|n| n.side == Side::Front).count();
+        assert!(back > 0, "some sub-nets must land on the backside");
+        assert!(front > 0);
+        // Every sub-net has a source plus at least one sink.
+        assert!(nets.iter().all(|n| n.pins.len() >= 2));
+    }
+
+    #[test]
+    fn backside_pins_without_layers_is_an_error() {
+        let lib = {
+            let mut l = Library::new(Technology::ffet_3p5t());
+            l.redistribute_input_pins(0.5, 42).unwrap();
+            l
+        };
+        let nl = fanout_netlist(&lib);
+        let pl = placed(&lib, &nl);
+        let err = decompose_nets(&nl, &lib, &pl, RoutingPattern::new(12, 0).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, DecomposeError::BacksidePinUnroutable { .. }));
+    }
+
+    #[test]
+    fn sink_counts_preserved_across_decomposition() {
+        let lib = {
+            let mut l = Library::new(Technology::ffet_3p5t());
+            l.redistribute_input_pins(0.3, 7).unwrap();
+            l
+        };
+        let nl = fanout_netlist(&lib);
+        let pl = placed(&lib, &nl);
+        let nets =
+            decompose_nets(&nl, &lib, &pl, RoutingPattern::new(8, 4).unwrap()).unwrap();
+        let decomposed_sinks: usize = nets.iter().map(|n| n.pins.len() - 1).sum();
+        let original_sinks: usize = nl.nets().iter().map(|n| n.sinks.len()).sum();
+        let port_outputs = nl
+            .ports()
+            .iter()
+            .filter(|p| p.direction == ffet_netlist::PortDirection::Output)
+            .count();
+        assert_eq!(decomposed_sinks, original_sinks + port_outputs);
+    }
+}

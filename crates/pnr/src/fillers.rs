@@ -1,0 +1,268 @@
+//! Filler insertion and placement-legality checking.
+//!
+//! After legalization the rows contain gaps (spacing slack, tap
+//! fragmentation); production flows fill them with filler cells so the
+//! power rails and wells stay continuous. The legality checker is the
+//! flow's own referee: every placement the framework produces must pass it.
+
+use crate::floorplan::Floorplan;
+use crate::placement::Placement;
+use crate::powerplan::PowerPlan;
+use ffet_cells::{CellFunction, CellKind, DriveStrength, Library};
+use ffet_geom::{Point, Rect};
+use ffet_netlist::Netlist;
+
+/// A filler cell to drop into a row gap (DEF `FILL`-style record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filler {
+    /// Library cell name (`FILLD1`-class).
+    pub macro_name: String,
+    /// Lower-left origin, nm.
+    pub origin: Point,
+    /// Width in sites.
+    pub width_sites: i64,
+}
+
+/// Computes the filler cells needed to plug every gap between placed cells
+/// and Power Tap Cells. Fillers are 1-CPP wide, so any integer gap fills
+/// exactly.
+#[must_use]
+pub fn insert_fillers(
+    netlist: &Netlist,
+    library: &Library,
+    floorplan: &Floorplan,
+    powerplan: &PowerPlan,
+    placement: &Placement,
+) -> Vec<Filler> {
+    let tech = library.tech();
+    let cpp = tech.cpp();
+    let fill_name = library
+        .cell_by_kind(CellKind::new(CellFunction::Filler, DriveStrength::D1))
+        .map_or_else(|| "FILL".to_owned(), |c| c.name.clone());
+
+    // Occupied intervals (in absolute sites) per row.
+    let mut occupied: Vec<Vec<(i64, i64)>> = vec![Vec::new(); floorplan.rows.len()];
+    let row_of = |y: i64| -> Option<usize> {
+        floorplan
+            .rows
+            .iter()
+            .position(|r| r.y == y)
+    };
+    for (i, inst) in netlist.instances().iter().enumerate() {
+        let Some(r) = row_of(placement.origins[i].y) else { continue };
+        let start = placement.origins[i].x / cpp;
+        let w = library.cell(inst.cell).width_cpp;
+        occupied[r].push((start, start + w));
+    }
+    for tap in &powerplan.taps {
+        occupied[tap.row].push((tap.site, tap.site + tap.width_sites));
+    }
+
+    let mut fillers = Vec::new();
+    for (r, row) in floorplan.rows.iter().enumerate() {
+        let base = row.x / cpp;
+        let end = base + row.sites;
+        let mut spans = occupied[r].clone();
+        spans.sort_unstable();
+        let mut cursor = base;
+        for (s, e) in spans {
+            if s > cursor {
+                fillers.push(Filler {
+                    macro_name: fill_name.clone(),
+                    origin: Point::new(cursor * cpp, row.y),
+                    width_sites: s - cursor,
+                });
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < end {
+            fillers.push(Filler {
+                macro_name: fill_name.clone(),
+                origin: Point::new(cursor * cpp, row.y),
+                width_sites: end - cursor,
+            });
+        }
+    }
+    fillers
+}
+
+/// A placement-legality violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegalityViolation {
+    /// Instance not aligned to a placement site or row.
+    OffGrid {
+        /// Offending instance name.
+        instance: String,
+    },
+    /// Instance extends outside its row.
+    OutOfRow {
+        /// Offending instance name.
+        instance: String,
+    },
+    /// Two instances overlap.
+    Overlap {
+        /// First instance name.
+        a: String,
+        /// Second instance name.
+        b: String,
+    },
+    /// Instance overlaps a Power Tap Cell.
+    TapOverlap {
+        /// Offending instance name.
+        instance: String,
+    },
+}
+
+/// Checks placement legality: site/row alignment, row bounds, no cell–cell
+/// or cell–tap overlaps. Returns every violation found (empty = legal).
+///
+/// Instances counted as placement violations by the legalizer may overlap;
+/// the caller decides whether those are acceptable (the flow treats them
+/// as DRVs).
+#[must_use]
+pub fn check_legality(
+    netlist: &Netlist,
+    library: &Library,
+    floorplan: &Floorplan,
+    powerplan: &PowerPlan,
+    placement: &Placement,
+) -> Vec<LegalityViolation> {
+    let tech = library.tech();
+    let cpp = tech.cpp();
+    let row_h = tech.cell_height();
+    let mut violations = Vec::new();
+
+    // Per-row sweep for overlaps: collect (start, end, index) per row.
+    let mut by_row: std::collections::HashMap<i64, Vec<(i64, i64, usize)>> =
+        std::collections::HashMap::new();
+    for (i, inst) in netlist.instances().iter().enumerate() {
+        let o = placement.origins[i];
+        let w = library.cell(inst.cell).width_cpp * cpp;
+        if o.x % cpp != 0 || !floorplan.rows.iter().any(|r| r.y == o.y) {
+            violations.push(LegalityViolation::OffGrid {
+                instance: inst.name.clone(),
+            });
+            continue;
+        }
+        let row = floorplan
+            .rows
+            .iter()
+            .find(|r| r.y == o.y)
+            .expect("checked above");
+        if o.x < row.x || o.x + w > row.x + row.sites * cpp {
+            violations.push(LegalityViolation::OutOfRow {
+                instance: inst.name.clone(),
+            });
+        }
+        by_row.entry(o.y).or_default().push((o.x, o.x + w, i));
+    }
+
+    let tap_rects: Vec<Rect> = powerplan
+        .taps
+        .iter()
+        .map(|t| {
+            Rect::from_origin_size(
+                Point::new(t.site * cpp, floorplan.rows[t.row].y),
+                t.width_sites * cpp,
+                row_h,
+            )
+        })
+        .collect();
+
+    for (y, mut spans) in by_row {
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[0].1 > w[1].0 {
+                violations.push(LegalityViolation::Overlap {
+                    a: netlist.instances()[w[0].2].name.clone(),
+                    b: netlist.instances()[w[1].2].name.clone(),
+                });
+            }
+        }
+        for &(x0, x1, i) in &spans {
+            let r = Rect::new(x0, y, x1, y + row_h);
+            if tap_rects.iter().any(|t| t.overlaps_strictly(&r)) {
+                violations.push(LegalityViolation::TapOverlap {
+                    instance: netlist.instances()[i].name.clone(),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::floorplan;
+    use crate::placement::place;
+    use crate::powerplan::powerplan;
+    use ffet_netlist::NetlistBuilder;
+    use ffet_tech::{RoutingPattern, Technology};
+
+    fn setup() -> (Library, Netlist, Floorplan, PowerPlan, Placement) {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let mut x = b.input("x");
+        for _ in 0..500 {
+            x = b.not(x);
+        }
+        b.output("y", x);
+        let nl = b.finish();
+        let fp = floorplan(&nl, &lib, 0.7, 1.0).unwrap();
+        let pp = powerplan(&fp, &lib, RoutingPattern::new(12, 12).unwrap());
+        let pl = place(&nl, &lib, &fp, &pp, 1);
+        (lib, nl, fp, pp, pl)
+    }
+
+    #[test]
+    fn produced_placements_are_legal() {
+        let (lib, nl, fp, pp, pl) = setup();
+        assert_eq!(pl.violations, 0);
+        let v = check_legality(&nl, &lib, &fp, &pp, &pl);
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn fillers_complete_every_row_exactly() {
+        let (lib, nl, fp, pp, pl) = setup();
+        let fillers = insert_fillers(&nl, &lib, &fp, &pp, &pl);
+        // Total sites = cells + taps + fillers.
+        let tech = lib.tech();
+        let cell_sites: i64 = nl
+            .instances()
+            .iter()
+            .map(|i| lib.cell(i.cell).width_cpp)
+            .sum();
+        let tap_sites = pp.tap_sites();
+        let fill_sites: i64 = fillers.iter().map(|f| f.width_sites).sum();
+        assert_eq!(cell_sites + tap_sites + fill_sites, fp.total_sites());
+        // Every filler is on-grid and inside its row.
+        for f in &fillers {
+            assert_eq!(f.origin.x % tech.cpp(), 0);
+            assert!(fp.rows.iter().any(|r| r.y == f.origin.y));
+            assert!(f.width_sites > 0);
+        }
+    }
+
+    #[test]
+    fn checker_catches_manufactured_overlap() {
+        let (lib, nl, fp, pp, mut pl) = setup();
+        // Force instance 1 on top of instance 0.
+        pl.origins[1] = pl.origins[0];
+        let v = check_legality(&nl, &lib, &fp, &pp, &pl);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, LegalityViolation::Overlap { .. })));
+    }
+
+    #[test]
+    fn checker_catches_off_grid() {
+        let (lib, nl, fp, pp, mut pl) = setup();
+        pl.origins[0].x += 7; // not a multiple of CPP
+        let v = check_legality(&nl, &lib, &fp, &pp, &pl);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, LegalityViolation::OffGrid { .. })));
+    }
+}

@@ -1,0 +1,230 @@
+use ffet_cells::Library;
+use ffet_geom::{Nm, Orientation, Rect};
+use ffet_netlist::Netlist;
+
+/// One placement row of the core area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Bottom edge of the row, nm.
+    pub y: Nm,
+    /// Leftmost site x, nm.
+    pub x: Nm,
+    /// Number of placement sites (CPP-wide).
+    pub sites: i64,
+    /// Orientation of cells in the row (alternating N/FS so power rails
+    /// abut).
+    pub orient: Orientation,
+}
+
+/// Routing margin between the core (placement rows) and the die boundary,
+/// nm. Boundary ports land on the die edge; the margin gives the pin-access
+/// band routing capacity without cell demand underneath — the core-to-IO
+/// halo every real floorplan keeps.
+pub const CORE_MARGIN_NM: Nm = 1_700;
+
+/// The floorplan: die, core rows, and the utilization bookkeeping the
+/// experiments sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Die area (core plus the IO routing margin).
+    pub die: Rect,
+    /// Core area (the placement rows' bounding box).
+    pub core: Rect,
+    /// Placement rows, bottom-up.
+    pub rows: Vec<Row>,
+    /// Requested utilization (cell area / core area).
+    pub target_utilization: f64,
+    /// Total standard-cell area of the design, nm².
+    pub cell_area_nm2: i128,
+}
+
+impl Floorplan {
+    /// Core area in nm² (the paper's utilization denominator).
+    #[must_use]
+    pub fn core_area_nm2(&self) -> i128 {
+        self.core.area()
+    }
+
+    /// Actually achieved utilization (cell area over core area).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.cell_area_nm2 as f64 / self.core_area_nm2() as f64
+    }
+
+    /// Total placement sites over all rows.
+    #[must_use]
+    pub fn total_sites(&self) -> i64 {
+        self.rows.iter().map(|r| r.sites).sum()
+    }
+}
+
+/// Error from [`floorplan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloorplanError {
+    /// Utilization outside `(0, 1]`.
+    InvalidUtilization(f64),
+    /// The netlist has no instances.
+    EmptyDesign,
+}
+
+impl std::fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FloorplanError::InvalidUtilization(u) => {
+                write!(f, "utilization {u} outside (0, 1]")
+            }
+            FloorplanError::EmptyDesign => f.write_str("cannot floorplan an empty netlist"),
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
+/// Builds a floorplan for `netlist` at the target utilization and aspect
+/// ratio (width/height), with the die snapped to whole sites and rows.
+///
+/// The core area is `cell_area / utilization`, exactly the paper's
+/// definition when it sweeps "utilization from 46% to 76%".
+///
+/// # Errors
+///
+/// [`FloorplanError`] on invalid utilization or an empty design.
+pub fn floorplan(
+    netlist: &Netlist,
+    library: &Library,
+    utilization: f64,
+    aspect_ratio: f64,
+) -> Result<Floorplan, FloorplanError> {
+    if !(utilization > 0.0 && utilization <= 1.0) {
+        return Err(FloorplanError::InvalidUtilization(utilization));
+    }
+    if netlist.instances().is_empty() {
+        return Err(FloorplanError::EmptyDesign);
+    }
+    let tech = library.tech();
+    let cpp = tech.cpp();
+    let row_h = tech.cell_height();
+
+    let total_width_cpp: i64 = netlist
+        .instances()
+        .iter()
+        .map(|inst| library.cell(inst.cell).width_cpp)
+        .sum();
+    let cell_area_nm2 = i128::from(total_width_cpp * cpp) * i128::from(row_h);
+
+    // Core area = cell area / utilization; solve W·H = A with W/H = aspect.
+    let core_area = cell_area_nm2 as f64 / utilization;
+    let height = (core_area / aspect_ratio).sqrt();
+    let width = height * aspect_ratio;
+    let n_rows = (height / row_h as f64).ceil().max(1.0) as i64;
+    let sites_per_row = (width / cpp as f64).ceil().max(1.0) as i64;
+
+    let m = CORE_MARGIN_NM;
+    let core = Rect::new(m, m, m + sites_per_row * cpp, m + n_rows * row_h);
+    let die = core.inflated(m);
+    let rows = (0..n_rows)
+        .map(|r| Row {
+            y: m + r * row_h,
+            x: m,
+            sites: sites_per_row,
+            orient: if r % 2 == 0 {
+                Orientation::North
+            } else {
+                Orientation::FlippedSouth
+            },
+        })
+        .collect();
+    Ok(Floorplan {
+        die,
+        core,
+        rows,
+        target_utilization: utilization,
+        cell_area_nm2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_netlist::NetlistBuilder;
+    use ffet_tech::Technology;
+
+    fn small_netlist(lib: &Library) -> Netlist {
+        let mut b = NetlistBuilder::new(lib, "t");
+        let mut x = b.input("x");
+        for _ in 0..100 {
+            x = b.not(x);
+        }
+        b.output("y", x);
+        b.finish()
+    }
+
+    #[test]
+    fn utilization_close_to_target() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let nl = small_netlist(&lib);
+        for util in [0.4, 0.6, 0.86] {
+            let fp = floorplan(&nl, &lib, util, 1.0).unwrap();
+            let achieved = fp.utilization();
+            assert!(
+                (achieved - util).abs() / util < 0.15,
+                "target {util}, achieved {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_utilization_shrinks_core() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let nl = small_netlist(&lib);
+        let lo = floorplan(&nl, &lib, 0.5, 1.0).unwrap();
+        let hi = floorplan(&nl, &lib, 0.8, 1.0).unwrap();
+        assert!(hi.core_area_nm2() < lo.core_area_nm2());
+        assert_eq!(lo.cell_area_nm2, hi.cell_area_nm2);
+    }
+
+    #[test]
+    fn aspect_ratio_respected() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let nl = small_netlist(&lib);
+        let fp = floorplan(&nl, &lib, 0.6, 2.0).unwrap();
+        let ratio = fp.core.width() as f64 / fp.core.height() as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rows_alternate_orientation() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let nl = small_netlist(&lib);
+        let fp = floorplan(&nl, &lib, 0.6, 1.0).unwrap();
+        assert!(fp.rows.len() >= 2);
+        assert_ne!(fp.rows[0].orient, fp.rows[1].orient);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let nl = small_netlist(&lib);
+        assert!(matches!(
+            floorplan(&nl, &lib, 0.0, 1.0),
+            Err(FloorplanError::InvalidUtilization(_))
+        ));
+        let empty = Netlist::new("e");
+        assert_eq!(
+            floorplan(&empty, &lib, 0.5, 1.0),
+            Err(FloorplanError::EmptyDesign)
+        );
+    }
+
+    #[test]
+    fn ffet_core_smaller_than_cfet_at_same_utilization() {
+        // The Fig. 8 area gap at equal utilization comes from cell area.
+        let ffet_lib = Library::new(Technology::ffet_3p5t());
+        let cfet_lib = Library::new(Technology::cfet_4t());
+        let nl_f = small_netlist(&ffet_lib);
+        let nl_c = small_netlist(&cfet_lib);
+        let f = floorplan(&nl_f, &ffet_lib, 0.7, 1.0).unwrap();
+        let c = floorplan(&nl_c, &cfet_lib, 0.7, 1.0).unwrap();
+        assert!(f.core_area_nm2() < c.core_area_nm2());
+    }
+}

@@ -1,0 +1,180 @@
+//! Static IR-drop analysis of the backside power-delivery network.
+//!
+//! The paper's powerplan (§III.B) exists to "ensure the power integrity and
+//! the even distribution of power supply across both sides of the chip".
+//! This module quantifies that: a resistive model of the two supply paths,
+//!
+//! * **VDD** — backside M0 rail → backside stripe → bump (direct),
+//! * **VSS** — *frontside* M0 rail → **Power Tap Cell** → backside VSS
+//!   stripe → bump (the FFET's extra hop; CFET reaches its BPR through an
+//!   nTSV instead),
+//!
+//! with the block current drawn uniformly across the rows. The worst drop
+//! is the figure of merit: Power Tap Cells at the 64-CPP stripe pitch keep
+//! the frontside rail excursion bounded by the half-pitch rail resistance.
+
+use crate::floorplan::Floorplan;
+use crate::powerplan::PowerPlan;
+use ffet_cells::Library;
+use ffet_liberty::VDD;
+use ffet_tech::TechKind;
+
+/// Result of the PDN IR-drop analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdnReport {
+    /// Worst VSS-path drop, mV (frontside rail → tap → stripe for FFET).
+    pub worst_vss_drop_mv: f64,
+    /// Worst VDD-path drop, mV (direct backside connection).
+    pub worst_vdd_drop_mv: f64,
+    /// Total block current, mA.
+    pub total_current_ma: f64,
+    /// Current through the single most-loaded Power Tap Cell, mA.
+    pub worst_tap_current_ma: f64,
+    /// Number of Power Tap Cells carrying the VSS return (0 for CFET,
+    /// whose nTSVs live under the BPR instead).
+    pub tap_count: usize,
+}
+
+/// Per-nm resistance of an M0 power rail, Ω (wider than signal M0).
+const RAIL_OHM_PER_NM: f64 = 0.03;
+/// Per-nm resistance of a backside power stripe, Ω (thick backside metal).
+const STRIPE_OHM_PER_NM: f64 = 0.002;
+/// Resistance of one Power Tap Cell's intra-cell hookup, Ω.
+const TAP_RES_OHM: f64 = 45.0;
+/// Resistance of one CFET nTSV (BPR → backside PDN), Ω.
+const NTSV_RES_OHM: f64 = 30.0;
+/// nTSV pitch along the BPR for CFET, nm (one per power-stripe crossing).
+const BPR_SEGMENT_NM: f64 = 3_200.0;
+
+/// Analyzes the PDN for a powered block.
+///
+/// `total_power_mw` is the block power (e.g. from the flow's power
+/// analysis); the block current `P/VDD` is distributed uniformly over the
+/// core rows.
+#[must_use]
+pub fn analyze_pdn(
+    floorplan: &Floorplan,
+    powerplan: &PowerPlan,
+    library: &Library,
+    total_power_mw: f64,
+) -> PdnReport {
+    let tech = library.tech();
+    let total_current_ma = total_power_mw / VDD;
+    let n_rows = floorplan.rows.len().max(1);
+    let row_current_ma = total_current_ma / n_rows as f64;
+
+    // Worst lateral rail excursion: half the distance between adjacent
+    // connection points (taps for FFET VSS; stripe crossings otherwise).
+    let stripe_pitch = tech.power_stripe_pitch() as f64;
+    // VSS and VDD stripes alternate, so same-polarity stripes sit at twice
+    // the interleave distance.
+    let same_polarity_pitch = 2.0 * stripe_pitch;
+    let rail_half_span = same_polarity_pitch / 2.0;
+    // Current collected by one connection point: the row current share of
+    // one same-polarity pitch of row length.
+    let row_len = floorplan.core.width().max(1) as f64;
+    let conn_current_ma = row_current_ma * (same_polarity_pitch / row_len).min(1.0);
+    // Lateral drop along the rail: uniformly drawn current into one point
+    // gives I·R/2 over the half-span.
+    let rail_drop =
+        |current_ma: f64| current_ma * 1e-3 * (rail_half_span * RAIL_OHM_PER_NM) / 2.0 * 1e3;
+
+    // Vertical collection: stripe from the row to the bump at the die edge
+    // (worst row is the farthest, carrying the accumulated stripe current).
+    let stripe_len = floorplan.core.height() as f64;
+    let taps_per_stripe = n_rows as f64;
+    let stripe_current_ma = conn_current_ma * taps_per_stripe;
+    // Uniform collection into a centre bump: effective resistance L·R/8.
+    let stripe_drop_mv = stripe_current_ma * 1e-3 * (stripe_len * STRIPE_OHM_PER_NM) / 8.0 * 1e3;
+
+    let (vss_hop_mv, tap_count, worst_tap_current_ma) = match tech.kind() {
+        TechKind::Ffet3p5t => {
+            let tap_count = powerplan.taps.len();
+            let tap_drop_mv = conn_current_ma * 1e-3 * TAP_RES_OHM * 1e3;
+            (tap_drop_mv, tap_count, conn_current_ma)
+        }
+        TechKind::Cfet4t => {
+            // nTSV under the BPR, one per stripe crossing.
+            let seg_current =
+                row_current_ma * (BPR_SEGMENT_NM / row_len).min(1.0) * taps_per_stripe;
+            let ntsv_drop_mv = seg_current * 1e-3 * NTSV_RES_OHM * 1e3 / taps_per_stripe;
+            (ntsv_drop_mv, 0, 0.0)
+        }
+    };
+
+    let worst_vdd_drop_mv = rail_drop(conn_current_ma) + stripe_drop_mv;
+    let worst_vss_drop_mv = rail_drop(conn_current_ma) + vss_hop_mv + stripe_drop_mv;
+
+    PdnReport {
+        worst_vss_drop_mv,
+        worst_vdd_drop_mv,
+        total_current_ma,
+        worst_tap_current_ma,
+        tap_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::floorplan;
+    use crate::powerplan::powerplan;
+    use ffet_netlist::NetlistBuilder;
+    use ffet_tech::Technology;
+
+    fn setup(tech: Technology) -> (Library, Floorplan, PowerPlan) {
+        let lib = Library::new(tech);
+        let mut b = NetlistBuilder::new(&lib, "p");
+        let mut x = b.input("x");
+        for _ in 0..3000 {
+            x = b.not(x);
+        }
+        b.output("y", x);
+        let nl = b.finish();
+        let fp = floorplan(&nl, &lib, 0.7, 1.0).unwrap();
+        let pattern = lib.tech().max_routing_pattern();
+        let pp = powerplan(&fp, &lib, pattern);
+        (lib, fp, pp)
+    }
+
+    #[test]
+    fn drop_scales_with_power() {
+        let (lib, fp, pp) = setup(Technology::ffet_3p5t());
+        let low = analyze_pdn(&fp, &pp, &lib, 5.0);
+        let high = analyze_pdn(&fp, &pp, &lib, 20.0);
+        assert!(high.worst_vss_drop_mv > low.worst_vss_drop_mv * 3.5);
+        assert!((high.total_current_ma / low.total_current_ma - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ffet_vss_pays_the_tap_hop() {
+        // The FFET's frontside VSS must cross through the Power Tap Cell,
+        // so its drop strictly exceeds the direct backside VDD path.
+        let (lib, fp, pp) = setup(Technology::ffet_3p5t());
+        let r = analyze_pdn(&fp, &pp, &lib, 10.0);
+        assert!(r.worst_vss_drop_mv > r.worst_vdd_drop_mv);
+        assert!(r.tap_count > 0);
+        assert!(r.worst_tap_current_ma > 0.0);
+    }
+
+    #[test]
+    fn drops_stay_in_plausible_range() {
+        // A ~10mW block at this die size should see single-digit-mV drops —
+        // the powerplan exists precisely to keep it there.
+        let (lib, fp, pp) = setup(Technology::ffet_3p5t());
+        let r = analyze_pdn(&fp, &pp, &lib, 10.0);
+        assert!(
+            r.worst_vss_drop_mv > 0.01 && r.worst_vss_drop_mv < 50.0,
+            "vss drop {} mV",
+            r.worst_vss_drop_mv
+        );
+    }
+
+    #[test]
+    fn cfet_uses_ntsvs_not_taps() {
+        let (lib, fp, pp) = setup(Technology::cfet_4t());
+        let r = analyze_pdn(&fp, &pp, &lib, 10.0);
+        assert_eq!(r.tap_count, 0);
+        assert!(r.worst_vss_drop_mv >= r.worst_vdd_drop_mv);
+    }
+}

@@ -1,0 +1,210 @@
+use crate::floorplan::Floorplan;
+use ffet_cells::{CellFunction, CellKind, DriveStrength, Library};
+use ffet_geom::Rect;
+use ffet_lefdef::DefSpecialNet;
+use ffet_tech::{LayerId, RoutingPattern, Side, TechKind};
+
+/// A Power Tap Cell placement: connects a frontside VSS rail to the BSPDN
+/// (FFET only). Fixed before placement; standard cells must avoid it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapCell {
+    /// Row index in the floorplan.
+    pub row: usize,
+    /// First site (CPP index) the tap occupies.
+    pub site: i64,
+    /// Number of sites occupied.
+    pub width_sites: i64,
+}
+
+/// The power plan: BSPDN stripes and (for FFET) the Power Tap Cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerPlan {
+    /// PDN stripe geometry (interleaved VSS/VDD for FFET; BM1/BM2 grid for
+    /// CFET), as DEF special nets.
+    pub special_nets: Vec<DefSpecialNet>,
+    /// Fixed Power Tap Cells (empty for CFET).
+    pub taps: Vec<TapCell>,
+    /// Stripe x positions (nm) of the VSS stripes (tap columns).
+    pub vss_stripe_x: Vec<i64>,
+}
+
+impl PowerPlan {
+    /// Sites lost to Power Tap Cells.
+    #[must_use]
+    pub fn tap_sites(&self) -> i64 {
+        self.taps.iter().map(|t| t.width_sites).sum()
+    }
+}
+
+/// Builds the power plan for a floorplanned die.
+///
+/// FFET (paper §III.B): backside VSS and VDD stripes alternate at the
+/// 64-CPP power-stripe pitch; backside M0 VDD rails connect straight up,
+/// while the frontside VSS M0 rails need a Power Tap Cell in every row at
+/// every VSS stripe. CFET: BSPDN on BM1/BM2 reaches the buried power rail
+/// through nTSVs, costing no placement sites.
+#[must_use]
+pub fn powerplan(
+    floorplan: &Floorplan,
+    library: &Library,
+    pattern: RoutingPattern,
+) -> PowerPlan {
+    let tech = library.tech();
+    let cpp = tech.cpp();
+    let stripe_pitch = tech.power_stripe_pitch();
+    let die = floorplan.die;
+
+    let mut vss = DefSpecialNet {
+        name: "VSS".into(),
+        shapes: Vec::new(),
+    };
+    let mut vdd = DefSpecialNet {
+        name: "VDD".into(),
+        shapes: Vec::new(),
+    };
+    let stripe_width = 8 * cpp / 10; // 0.8 CPP wide stripes
+
+    // For the FFET the PDN sits just above the highest backside signal
+    // layer; for the CFET it is the dedicated BM1/BM2 pair.
+    let (layer_a, layer_b) = match tech.kind() {
+        TechKind::Ffet3p5t => {
+            let base = (pattern.back_layers() + 1).clamp(2, 11);
+            (
+                LayerId::new(Side::Back, base),
+                LayerId::new(Side::Back, base + 1),
+            )
+        }
+        TechKind::Cfet4t => (LayerId::new(Side::Back, 1), LayerId::new(Side::Back, 2)),
+    };
+
+    // Stripes cover the core at the 64-CPP pitch, starting on the core's
+    // left edge (the IO margin needs no PDN).
+    let core = floorplan.core;
+    let mut vss_stripe_x = Vec::new();
+    let mut x = core.lo.x;
+    let mut k = 0;
+    while x <= core.hi.x {
+        let shape = Rect::new(x, die.lo.y, (x + stripe_width).min(die.hi.x), die.hi.y);
+        if k % 2 == 0 {
+            vss.shapes.push((layer_a, shape));
+            vss_stripe_x.push(x);
+        } else {
+            vdd.shapes.push((layer_a, shape));
+        }
+        x += stripe_pitch;
+        k += 1;
+    }
+    // A horizontal distribution spine on the next layer up ties the stripes.
+    vss.shapes.push((
+        layer_b,
+        Rect::new(die.lo.x, die.lo.y, die.hi.x, die.lo.y + stripe_width),
+    ));
+    vdd.shapes.push((
+        layer_b,
+        Rect::new(die.lo.x, die.hi.y - stripe_width, die.hi.x, die.hi.y),
+    ));
+
+    // Power Tap Cells: FFET only, one per row per VSS stripe.
+    let mut taps = Vec::new();
+    if tech.kind() == TechKind::Ffet3p5t {
+        let tap_width = library
+            .cell_by_kind(CellKind::new(CellFunction::PowerTap, DriveStrength::D1))
+            .map_or(tech.rules().power_tap_width_cpp, |c| c.width_cpp);
+        for (row_idx, row) in floorplan.rows.iter().enumerate() {
+            // Sites are in absolute CPP units; the row spans
+            // [row.x/cpp, row.x/cpp + row.sites).
+            let base = row.x / cpp;
+            let row_end = base + row.sites;
+            for &sx in &vss_stripe_x {
+                let site = (sx / cpp).clamp(base, (row_end - tap_width).max(base));
+                if site + tap_width <= row_end && sx >= row.x && sx <= row.x + row.sites * cpp {
+                    taps.push(TapCell {
+                        row: row_idx,
+                        site,
+                        width_sites: tap_width,
+                    });
+                }
+            }
+        }
+    }
+
+    PowerPlan {
+        special_nets: vec![vss, vdd],
+        taps,
+        vss_stripe_x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::floorplan;
+    use ffet_netlist::NetlistBuilder;
+    use ffet_tech::Technology;
+
+    fn nl(lib: &Library, n: usize) -> ffet_netlist::Netlist {
+        let mut b = NetlistBuilder::new(lib, "t");
+        let mut x = b.input("x");
+        for _ in 0..n {
+            x = b.not(x);
+        }
+        b.output("y", x);
+        b.finish()
+    }
+
+    #[test]
+    fn ffet_gets_taps_on_every_row_and_stripe() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let netlist = nl(&lib, 2000);
+        let fp = floorplan(&netlist, &lib, 0.7, 1.0).unwrap();
+        let pp = powerplan(&fp, &lib, RoutingPattern::new(12, 12).unwrap());
+        assert!(!pp.taps.is_empty());
+        assert_eq!(pp.taps.len(), fp.rows.len() * pp.vss_stripe_x.len());
+        // Tap overhead is small but nonzero (2 of every 64 CPP ≈ 3%).
+        let frac = pp.tap_sites() as f64 / fp.total_sites() as f64;
+        assert!(frac > 0.01 && frac < 0.06, "tap fraction {frac}");
+    }
+
+    #[test]
+    fn cfet_has_no_taps() {
+        let lib = Library::new(Technology::cfet_4t());
+        let netlist = nl(&lib, 2000);
+        let fp = floorplan(&netlist, &lib, 0.7, 1.0).unwrap();
+        let pp = powerplan(&fp, &lib, RoutingPattern::new(12, 0).unwrap());
+        assert!(pp.taps.is_empty());
+        // But it still has a backside PDN (BM1/BM2).
+        assert_eq!(pp.special_nets.len(), 2);
+        assert!(pp.special_nets.iter().all(|sn| sn
+            .shapes
+            .iter()
+            .all(|(l, _)| l.side == Side::Back && l.index <= 2)));
+    }
+
+    #[test]
+    fn ffet_pdn_sits_above_backside_signal_stack() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let netlist = nl(&lib, 2000);
+        let fp = floorplan(&netlist, &lib, 0.7, 1.0).unwrap();
+        let pp = powerplan(&fp, &lib, RoutingPattern::new(6, 6).unwrap());
+        for sn in &pp.special_nets {
+            for (l, _) in &sn.shapes {
+                assert_eq!(l.side, Side::Back);
+                assert!(l.index >= 7, "PDN layer {l} must clear BM6 signals");
+            }
+        }
+    }
+
+    #[test]
+    fn stripes_alternate_vss_vdd() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let netlist = nl(&lib, 4000);
+        let fp = floorplan(&netlist, &lib, 0.6, 1.0).unwrap();
+        let pp = powerplan(&fp, &lib, RoutingPattern::new(12, 12).unwrap());
+        let vss = &pp.special_nets[0];
+        let vdd = &pp.special_nets[1];
+        // Stripe counts differ by at most one.
+        let v = vss.shapes.len() as i64 - 1; // minus the spine
+        let d = vdd.shapes.len() as i64 - 1;
+        assert!((v - d).abs() <= 1, "vss {v} vdd {d}");
+    }
+}

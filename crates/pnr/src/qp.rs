@@ -1,0 +1,279 @@
+//! SimPL-style quadratic global placement: bound-to-bound (B2B) net model,
+//! Jacobi-preconditioned conjugate-gradient solves, and upper-bound anchors
+//! from the density-spreading projection.
+//!
+//! Each outer iteration solves the wirelength-minimal quadratic program
+//! (lower bound), computes a spread, density-feasible version of that
+//! solution (upper bound), and pulls the next solve toward it with
+//! pseudo-net anchors of geometrically increasing weight — the standard
+//! SimPL recipe, reduced to the essentials.
+
+use ffet_geom::Point;
+use ffet_netlist::Netlist;
+
+/// One pin of a QP net: a movable cell or a fixed location (port).
+#[derive(Debug, Clone, Copy)]
+pub enum QpPin {
+    /// Movable cell by instance index.
+    Cell(u32),
+    /// Fixed coordinate (die-boundary port).
+    Fixed(Point),
+}
+
+/// The connectivity view the QP solver works on.
+#[derive(Debug, Clone, Default)]
+pub struct QpNets {
+    nets: Vec<Vec<QpPin>>,
+}
+
+impl QpNets {
+    /// Extracts QP nets from the netlist: every non-clock net with at
+    /// least two pins, ports included as fixed pins. High-fanout nets are
+    /// kept — the B2B model weights them by `1/(p-1)` so they do not
+    /// dominate.
+    #[must_use]
+    pub fn build(netlist: &Netlist, port_positions: &[Point]) -> QpNets {
+        let port_of_net: std::collections::HashMap<u32, Point> = netlist
+            .ports()
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| (p.net.0, port_positions[pi]))
+            .collect();
+        let mut nets = Vec::new();
+        for (ni, net) in netlist.nets().iter().enumerate() {
+            if net.is_clock {
+                continue;
+            }
+            let mut pins: Vec<QpPin> = Vec::with_capacity(net.degree() + 1);
+            if let Some(d) = net.driver {
+                pins.push(QpPin::Cell(d.inst.0));
+            }
+            for s in &net.sinks {
+                pins.push(QpPin::Cell(s.inst.0));
+            }
+            if let Some(p) = port_of_net.get(&(ni as u32)) {
+                pins.push(QpPin::Fixed(*p));
+            }
+            if pins.len() >= 2 {
+                nets.push(pins);
+            }
+        }
+        QpNets { nets }
+    }
+
+    /// Number of QP nets.
+    #[allow(dead_code)] // used by tests and diagnostics
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether there are no nets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+}
+
+/// Sparse symmetric system in adjacency form plus diagonal.
+struct System {
+    diag: Vec<f64>,
+    /// Off-diagonal entries: per row, (column, weight) with weight > 0
+    /// meaning matrix entry `-weight`.
+    off: Vec<Vec<(u32, f64)>>,
+    rhs: Vec<f64>,
+}
+
+impl System {
+    fn new(n: usize) -> System {
+        System {
+            diag: vec![0.0; n],
+            off: vec![Vec::new(); n],
+            rhs: vec![0.0; n],
+        }
+    }
+
+    fn add_edge(&mut self, a: usize, b: usize, w: f64) {
+        self.diag[a] += w;
+        self.diag[b] += w;
+        self.off[a].push((b as u32, w));
+        self.off[b].push((a as u32, w));
+    }
+
+    fn add_fixed(&mut self, a: usize, pos: f64, w: f64) {
+        self.diag[a] += w;
+        self.rhs[a] += w * pos;
+    }
+
+    /// Jacobi-preconditioned CG solve, warm-started from `x`.
+    fn solve(&self, x: &mut [f64], iterations: usize) {
+        let n = x.len();
+        let matvec = |v: &[f64], out: &mut [f64]| {
+            for i in 0..n {
+                let mut acc = self.diag[i] * v[i];
+                for &(j, w) in &self.off[i] {
+                    acc -= w * v[j as usize];
+                }
+                out[i] = acc;
+            }
+        };
+        let mut r = vec![0.0; n];
+        matvec(x, &mut r);
+        for (ri, rhs) in r.iter_mut().zip(&self.rhs) {
+            *ri = rhs - *ri;
+        }
+        let minv: Vec<f64> = self.diag.iter().map(|&d| 1.0 / d.max(1e-12)).collect();
+        let mut z: Vec<f64> = r.iter().zip(&minv).map(|(ri, mi)| ri * mi).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let mut ap = vec![0.0; n];
+        for _ in 0..iterations {
+            if rz.abs() < 1e-9 {
+                break;
+            }
+            matvec(&p, &mut ap);
+            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            if pap.abs() < 1e-12 {
+                break;
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            for i in 0..n {
+                z[i] = r[i] * minv[i];
+            }
+            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+    }
+}
+
+/// One QP solve along a single axis with B2B weights derived from the
+/// current coordinates, plus per-cell anchors.
+///
+/// `coords` is updated in place (warm start). `anchors`/`anchor_w` pull
+/// each movable cell toward its density-feasible position.
+pub fn solve_axis(
+    nets: &QpNets,
+    axis: ffet_geom::Axis,
+    coords: &mut [f64],
+    anchors: &[f64],
+    anchor_w: f64,
+    fixed_mask: &[bool],
+) {
+    let n = coords.len();
+    let fixed_coord = |pt: &Point| -> f64 {
+        match axis {
+            ffet_geom::Axis::Horizontal => pt.x as f64,
+            ffet_geom::Axis::Vertical => pt.y as f64,
+        }
+    };
+    let mut sys = System::new(n);
+    for pins in &nets.nets {
+        // Locate extreme pins under the current coordinates.
+        let value = |p: &QpPin| -> f64 {
+            match p {
+                QpPin::Cell(i) => coords[*i as usize],
+                QpPin::Fixed(pt) => fixed_coord(pt),
+            }
+        };
+        let (mut lo, mut hi) = (0usize, 0usize);
+        for (k, p) in pins.iter().enumerate() {
+            if value(p) < value(&pins[lo]) {
+                lo = k;
+            }
+            if value(p) > value(&pins[hi]) {
+                hi = k;
+            }
+        }
+        let k = pins.len();
+        let base = 2.0 / (k as f64 - 1.0);
+        let mut connect = |a: usize, b: usize| {
+            if a == b {
+                return;
+            }
+            let (pa, pb) = (&pins[a], &pins[b]);
+            let len = (value(pa) - value(pb)).abs().max(50.0);
+            let w = base / len;
+            match (pa, pb) {
+                (QpPin::Cell(i), QpPin::Cell(j)) => {
+                    if i != j {
+                        sys.add_edge(*i as usize, *j as usize, w);
+                    }
+                }
+                (QpPin::Cell(i), QpPin::Fixed(pt)) | (QpPin::Fixed(pt), QpPin::Cell(i)) => {
+                    sys.add_fixed(*i as usize, fixed_coord(pt), w);
+                }
+                (QpPin::Fixed(_), QpPin::Fixed(_)) => {}
+            }
+        };
+        for m in 0..k {
+            connect(lo, m);
+            if m != lo {
+                connect(hi, m);
+            }
+        }
+    }
+    for i in 0..n {
+        if fixed_mask[i] {
+            sys.add_fixed(i, coords[i], 1e6);
+        } else {
+            sys.add_fixed(i, anchors[i], anchor_w);
+        }
+    }
+    sys.solve(coords, 48);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_cells::Library;
+    use ffet_netlist::NetlistBuilder;
+    use ffet_tech::Technology;
+
+    #[test]
+    fn chain_collapses_between_fixed_ends() {
+        // x_port(0) - c0 - c1 - c2 - y_port(3000): QP puts cells evenly.
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "chain");
+        let x = b.input("x");
+        let c0 = b.not(x);
+        let c1 = b.not(c0);
+        let c2 = b.not(c1);
+        b.output("y", c2);
+        let nl = b.finish();
+        let ports = vec![Point::new(0, 0), Point::new(3000, 0)];
+        let nets = QpNets::build(&nl, &ports);
+        assert_eq!(nets.len(), 4);
+        let mut coords = vec![1500.0; 3];
+        let anchors = vec![1500.0; 3];
+        let fixed = vec![false; 3];
+        for _ in 0..10 {
+            solve_axis(&nets, ffet_geom::Axis::Horizontal, &mut coords, &anchors, 1e-9, &fixed);
+        }
+        assert!(coords[0] < coords[1] && coords[1] < coords[2], "{coords:?}");
+        assert!((coords[1] - 1500.0).abs() < 200.0, "{coords:?}");
+    }
+
+    #[test]
+    fn anchors_dominate_when_heavy() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "pair");
+        let x = b.input("x");
+        let c0 = b.not(x);
+        b.output("y", c0);
+        let nl = b.finish();
+        let ports = vec![Point::new(0, 0), Point::new(1000, 0)];
+        let nets = QpNets::build(&nl, &ports);
+        let mut coords = vec![500.0];
+        let anchors = vec![9000.0];
+        solve_axis(&nets, ffet_geom::Axis::Horizontal, &mut coords, &anchors, 1e3, &[false]);
+        assert!((coords[0] - 9000.0).abs() < 50.0, "{coords:?}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Diagnoses where the flow's placement wirelength goes relative to the
+//! standalone placement of the same design.
+
+use ffet_cells::Library;
+use ffet_pnr::{floorplan, place, powerplan, synthesize_clock_tree};
+use ffet_rv32::build_core;
+use ffet_tech::{RoutingPattern, Technology};
+
+#[test]
+fn hpwl_before_and_after_cts() {
+    let lib = Library::new(Technology::ffet_3p5t());
+    let mut nl = build_core(&lib, "rv32").netlist;
+    let pattern = RoutingPattern::new(12, 0).unwrap();
+
+    let fp0 = floorplan(&nl, &lib, 0.7, 1.0).unwrap();
+    let pp0 = powerplan(&fp0, &lib, pattern);
+    let pl0 = place(&nl, &lib, &fp0, &pp0, 42);
+    eprintln!("pre-CTS hpwl  = {:.2} mm", pl0.hpwl_nm as f64 / 1e6);
+
+    let tree = synthesize_clock_tree(&mut nl, &lib, &pl0);
+    eprintln!("cts buffers = {}", tree.buffers.len());
+
+    let fp = floorplan(&nl, &lib, 0.7, 1.0).unwrap();
+    let pp = powerplan(&fp, &lib, pattern);
+    let pl = place(&nl, &lib, &fp, &pp, 42);
+    eprintln!("post-CTS hpwl = {:.2} mm", pl.hpwl_nm as f64 / 1e6);
+
+    assert!(
+        pl.hpwl_nm < pl0.hpwl_nm * 3 / 2,
+        "CTS must not blow up wirelength: {} -> {}",
+        pl0.hpwl_nm,
+        pl.hpwl_nm
+    );
+}
+
+#[test]
+fn hpwl_after_buffering_like_synthesis() {
+    use ffet_cells::{CellFunction, CellKind, DriveStrength};
+    // Emulate the synthesis fanout buffering: split every >16-sink net.
+    let lib = Library::new(Technology::ffet_3p5t());
+    let mut nl = build_core(&lib, "rv32").netlist;
+    let buf = lib.id(CellKind::new(CellFunction::Buf, DriveStrength::D4)).unwrap();
+    let mut inserted = 0;
+    let net_count = nl.nets().len();
+    for ni in 0..net_count {
+        let id = ffet_netlist::NetId(ni as u32);
+        if nl.net(id).is_clock || nl.net(id).sinks.len() <= 16 { continue; }
+        let sinks: Vec<_> = nl.net(id).sinks.clone();
+        for (gi, group) in sinks.chunks(16).enumerate().skip(1) {
+            let out = nl.add_net(format!("_fob{ni}_{gi}"));
+            nl.add_instance(&lib, format!("fob_{ni}_{gi}"), buf, &[Some(id), Some(out)]);
+            for &pin in group { nl.move_sink(id, pin, out); }
+            inserted += 1;
+        }
+    }
+    eprintln!("buffers inserted = {inserted}");
+    let pattern = RoutingPattern::new(12, 0).unwrap();
+    let fp = floorplan(&nl, &lib, 0.7, 1.0).unwrap();
+    let pp = powerplan(&fp, &lib, pattern);
+    let pl = place(&nl, &lib, &fp, &pp, 42);
+    eprintln!("post-buffering hpwl = {:.2} mm", pl.hpwl_nm as f64 / 1e6);
+}

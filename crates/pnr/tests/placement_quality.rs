@@ -1,0 +1,31 @@
+//! Placement-quality diagnostics on the real RV32 benchmark: the router's
+//! congestion (and with it every Fig. 8–13 shape) depends on the placer
+//! producing substantially better-than-random wirelength.
+
+use ffet_cells::Library;
+use ffet_pnr::{floorplan, place, powerplan};
+use ffet_rv32::build_core;
+use ffet_tech::{RoutingPattern, Technology};
+
+#[test]
+fn rv32_placement_beats_random_by_2x() {
+    let lib = Library::new(Technology::ffet_3p5t());
+    let nl = build_core(&lib, "rv32").netlist;
+    let fp = floorplan(&nl, &lib, 0.7, 1.0).unwrap();
+    let pp = powerplan(&fp, &lib, RoutingPattern::new(12, 12).unwrap());
+    let pl = place(&nl, &lib, &fp, &pp, 1);
+    // Random-placement expectation: every net's bounding box is a random
+    // sample of the die; for small nets HPWL ≈ (W+H)/3 per net.
+    let random_est = nl.nets().len() as i64 * (fp.die.width() + fp.die.height()) / 3;
+    eprintln!(
+        "rv32 placement hpwl = {:.2} mm, random ≈ {:.2} mm, ratio {:.2}",
+        pl.hpwl_nm as f64 / 1e6,
+        random_est as f64 / 1e6,
+        pl.hpwl_nm as f64 / random_est as f64
+    );
+    assert!(
+        pl.hpwl_nm * 2 < random_est,
+        "placement ratio {:.2} worse than half-random",
+        pl.hpwl_nm as f64 / random_est as f64
+    );
+}

@@ -1,0 +1,359 @@
+//! Dual-sided RC extraction from (merged) DEF routing.
+//!
+//! Plays the role of the paper's StarRC step: after [`ffet_lefdef::merge_defs`]
+//! combines the frontside and backside DEFs, [`extract_net`] turns each
+//! net's wire/via geometry into an RC tree and computes, per sink,
+//!
+//! * the total wire capacitance the driver sees,
+//! * the source→sink path resistance, and
+//! * the wire-only Elmore term `Σ R_edge × C_downstream(edge)`,
+//!
+//! which the STA combines with the NLDM driver model and pin caps.
+//!
+//! Per-layer R/C coefficients come from the Table II pitches via
+//! [`ffet_tech::RcCoefficients`]; vias contribute the series resistance and
+//! landing capacitance of [`ffet_tech::VIA_RESISTANCE_OHM`] /
+//! [`ffet_tech::VIA_CAPACITANCE_FF`].
+
+mod spef;
+
+pub use spef::write_spef;
+
+use ffet_geom::Point;
+use ffet_lefdef::DefNet;
+use ffet_tech::{Technology, VIA_CAPACITANCE_FF, VIA_RESISTANCE_OHM};
+use std::collections::HashMap;
+
+/// Extracted parasitics of one net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetParasitics {
+    /// Net name.
+    pub name: String,
+    /// Total wire + via capacitance, fF.
+    pub total_cap_ff: f64,
+    /// Per requested sink, in request order.
+    pub sinks: Vec<SinkParasitics>,
+}
+
+/// Parasitics seen from the driver toward one sink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkParasitics {
+    /// Total resistance of the source→sink path, kΩ.
+    pub path_res_kohm: f64,
+    /// Wire-only Elmore delay term `Σ R_e · C_downstream(e)`, ps.
+    pub wire_elmore_ps: f64,
+    /// Whether the sink was reached through routed geometry (`false` means
+    /// the Manhattan-estimate fallback was used).
+    pub connected: bool,
+}
+
+struct Edge {
+    a: usize,
+    b: usize,
+    res: f64,
+    cap: f64,
+}
+
+/// Extracts the RC tree of one routed net.
+///
+/// `source` and `sinks` are the physical pin positions (the router anchors
+/// its stubs exactly there). A spanning tree is grown from the source over
+/// the segment graph; loop edges (from overlapping connections) only
+/// contribute capacitance. Unreachable sinks fall back to a Manhattan
+/// estimate on an M1-class layer — STA stays total (it can still rank
+/// candidate implementations) while the net is flagged via
+/// [`SinkParasitics::connected`].
+#[must_use]
+pub fn extract_net(
+    net: &DefNet,
+    tech: &Technology,
+    source: Point,
+    sinks: &[Point],
+) -> NetParasitics {
+    // ---- Build the node graph from segment endpoints ----
+    let mut node_ids: HashMap<Point, usize> = HashMap::new();
+    let mut points: Vec<Point> = Vec::new();
+    let intern = |node_ids: &mut HashMap<Point, usize>, points: &mut Vec<Point>, p: Point| {
+        *node_ids.entry(p).or_insert_with(|| {
+            points.push(p);
+            points.len() - 1
+        })
+    };
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut total_cap = 0.0;
+    for w in &net.wires {
+        let rc = tech
+            .stack()
+            .layer(w.layer)
+            .map_or_else(|| ffet_tech::RcCoefficients::from_pitch(30), |l| l.rc);
+        let len = w.length() as f64;
+        let res = rc.r_ohm_per_nm * len / 1000.0; // Ω → kΩ
+        let cap = rc.c_ff_per_nm * len;
+        total_cap += cap;
+        let a = intern(&mut node_ids, &mut points, w.from);
+        let b = intern(&mut node_ids, &mut points, w.to);
+        edges.push(Edge { a, b, res, cap });
+    }
+    // Vias: series resistance at their landing point, capacitance lumped.
+    // The router emits one pin via stack per 2-pin connection, so shared
+    // MST pins carry duplicate vias — dedupe them before accumulating.
+    let mut via_res_at: HashMap<Point, f64> = HashMap::new();
+    let mut seen_vias: std::collections::HashSet<(Point, _, _)> = std::collections::HashSet::new();
+    for v in &net.vias {
+        if !seen_vias.insert((v.at, v.from_layer, v.to_layer)) {
+            continue;
+        }
+        total_cap += VIA_CAPACITANCE_FF;
+        *via_res_at.entry(v.at).or_insert(0.0) += VIA_RESISTANCE_OHM / 1000.0;
+    }
+
+    let n = points.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ei, e) in edges.iter().enumerate() {
+        adj[e.a].push(ei);
+        adj[e.b].push(ei);
+    }
+
+    // ---- Spanning tree (BFS) from the source ----
+    let source_node = node_ids.get(&source).copied();
+    let mut parent_edge: Vec<Option<usize>> = vec![None; n];
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    if let Some(root) = source_node {
+        visited[root] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &ei in &adj[u] {
+                let e = &edges[ei];
+                let v = if e.a == u { e.b } else { e.a };
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = u;
+                    parent_edge[v] = Some(ei);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    // Downstream wire capacitance per node: parent edge cap plus children.
+    let mut down_cap = vec![0.0f64; n];
+    for &u in order.iter().rev() {
+        if let Some(ei) = parent_edge[u] {
+            down_cap[u] += edges[ei].cap;
+            let p = parent[u];
+            down_cap[p] += down_cap[u];
+        }
+    }
+
+    // Per-node path R and Elmore accumulated from the root. The via stack
+    // at a node is charged when its parent edge is traversed; the root's
+    // own stack (the driver pin via) is charged on every first hop.
+    let root_via = source_node
+        .and_then(|r| via_res_at.get(&points[r]))
+        .copied()
+        .unwrap_or(0.0);
+    let mut path_res = vec![0.0f64; n];
+    let mut elmore = vec![0.0f64; n];
+    for &u in &order {
+        let Some(ei) = parent_edge[u] else { continue };
+        let p = parent[u];
+        let mut r = edges[ei].res;
+        if let Some(vr) = via_res_at.get(&points[u]) {
+            r += vr;
+        }
+        if Some(p) == source_node {
+            r += root_via;
+        }
+        path_res[u] = path_res[p] + r;
+        elmore[u] = elmore[p] + r * down_cap[u];
+    }
+
+    // ---- Answer per sink ----
+    let fallback_rc = ffet_tech::RcCoefficients::from_pitch(34);
+    let sink_params: Vec<SinkParasitics> = sinks
+        .iter()
+        .map(|&s| match node_ids.get(&s) {
+            Some(&node) if visited[node] => SinkParasitics {
+                path_res_kohm: path_res[node],
+                wire_elmore_ps: elmore[node],
+                connected: true,
+            },
+            _ => {
+                let len = source.manhattan(s) as f64;
+                let r = fallback_rc.r_ohm_per_nm * len / 1000.0;
+                let c = fallback_rc.c_ff_per_nm * len;
+                SinkParasitics {
+                    path_res_kohm: r,
+                    wire_elmore_ps: r * c / 2.0,
+                    connected: false,
+                }
+            }
+        })
+        .collect();
+
+    NetParasitics {
+        name: net.name.clone(),
+        total_cap_ff: total_cap,
+        sinks: sink_params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_lefdef::{DefVia, DefWire};
+    use ffet_tech::{LayerId, Side};
+
+    fn wire(layer: LayerId, x1: i64, y1: i64, x2: i64, y2: i64) -> DefWire {
+        DefWire {
+            layer,
+            from: Point::new(x1, y1),
+            to: Point::new(x2, y2),
+        }
+    }
+
+    #[test]
+    fn straight_wire_rc() {
+        let tech = Technology::ffet_3p5t();
+        let m2 = LayerId::new(Side::Front, 2);
+        let net = DefNet {
+            name: "n".into(),
+            connections: vec![],
+            wires: vec![wire(m2, 0, 0, 10_000, 0)],
+            vias: vec![],
+        };
+        let p = extract_net(&net, &tech, Point::new(0, 0), &[Point::new(10_000, 0)]);
+        let rc = tech.stack().layer(m2).unwrap().rc;
+        assert!((p.total_cap_ff - rc.c_ff_per_nm * 10_000.0).abs() < 1e-9);
+        let s = p.sinks[0];
+        assert!(s.connected);
+        assert!((s.path_res_kohm - rc.r_ohm_per_nm * 10.0).abs() < 1e-9);
+        assert!(s.wire_elmore_ps > 0.0);
+    }
+
+    #[test]
+    fn farther_sink_has_larger_elmore() {
+        let tech = Technology::ffet_3p5t();
+        let m2 = LayerId::new(Side::Front, 2);
+        let net = DefNet {
+            name: "n".into(),
+            connections: vec![],
+            wires: vec![wire(m2, 0, 0, 5_000, 0), wire(m2, 5_000, 0, 10_000, 0)],
+            vias: vec![],
+        };
+        let p = extract_net(
+            &net,
+            &tech,
+            Point::new(0, 0),
+            &[Point::new(5_000, 0), Point::new(10_000, 0)],
+        );
+        assert!(p.sinks[1].wire_elmore_ps > p.sinks[0].wire_elmore_ps);
+        assert!(p.sinks[1].path_res_kohm > p.sinks[0].path_res_kohm);
+    }
+
+    #[test]
+    fn upper_layers_are_lower_resistance() {
+        let tech = Technology::ffet_3p5t();
+        let lo = LayerId::new(Side::Front, 2);
+        let hi = LayerId::new(Side::Front, 12);
+        let mk = |layer| DefNet {
+            name: "n".into(),
+            connections: vec![],
+            wires: vec![wire(layer, 0, 0, 50_000, 0)],
+            vias: vec![],
+        };
+        let plo = extract_net(&mk(lo), &tech, Point::new(0, 0), &[Point::new(50_000, 0)]);
+        let phi = extract_net(&mk(hi), &tech, Point::new(0, 0), &[Point::new(50_000, 0)]);
+        assert!(phi.sinks[0].path_res_kohm < plo.sinks[0].path_res_kohm / 10.0);
+    }
+
+    #[test]
+    fn vias_add_series_resistance_and_cap() {
+        let tech = Technology::ffet_3p5t();
+        let m2 = LayerId::new(Side::Front, 2);
+        let m3 = LayerId::new(Side::Front, 3);
+        let base = DefNet {
+            name: "n".into(),
+            connections: vec![],
+            wires: vec![wire(m2, 0, 0, 5_000, 0), wire(m3, 5_000, 0, 5_000, 5_000)],
+            vias: vec![],
+        };
+        let mut with_via = base.clone();
+        with_via.vias.push(DefVia {
+            at: Point::new(5_000, 0),
+            from_layer: m2,
+            to_layer: m3,
+        });
+        let sink = [Point::new(5_000, 5_000)];
+        let p0 = extract_net(&base, &tech, Point::new(0, 0), &sink);
+        let p1 = extract_net(&with_via, &tech, Point::new(0, 0), &sink);
+        assert!(p1.total_cap_ff > p0.total_cap_ff);
+        assert!(p1.sinks[0].path_res_kohm > p0.sinks[0].path_res_kohm);
+    }
+
+    #[test]
+    fn dual_sided_net_sums_both_sides() {
+        // The merged-DEF scenario: one net with front and back geometry.
+        let tech = Technology::ffet_3p5t();
+        let fm2 = LayerId::new(Side::Front, 2);
+        let bm2 = LayerId::new(Side::Back, 2);
+        let net = DefNet {
+            name: "n".into(),
+            connections: vec![],
+            wires: vec![wire(fm2, 0, 0, 8_000, 0), wire(bm2, 0, 0, 0, 6_000)],
+            vias: vec![],
+        };
+        let p = extract_net(
+            &net,
+            &tech,
+            Point::new(0, 0),
+            &[Point::new(8_000, 0), Point::new(0, 6_000)],
+        );
+        assert!(p.sinks.iter().all(|s| s.connected));
+        let rc = tech.stack().layer(fm2).unwrap().rc;
+        let expected = rc.c_ff_per_nm * 14_000.0;
+        assert!((p.total_cap_ff - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn unrouted_sink_uses_fallback() {
+        let tech = Technology::ffet_3p5t();
+        let net = DefNet {
+            name: "n".into(),
+            connections: vec![],
+            wires: vec![],
+            vias: vec![],
+        };
+        let p = extract_net(&net, &tech, Point::new(0, 0), &[Point::new(3_000, 4_000)]);
+        let s = p.sinks[0];
+        assert!(!s.connected);
+        assert!(s.path_res_kohm > 0.0);
+        assert!(s.wire_elmore_ps > 0.0);
+    }
+
+    #[test]
+    fn loop_edges_do_not_break_extraction() {
+        // A square loop of wire: spanning tree ignores one edge, all caps
+        // still counted.
+        let tech = Technology::ffet_3p5t();
+        let m2 = LayerId::new(Side::Front, 2);
+        let m3 = LayerId::new(Side::Front, 3);
+        let net = DefNet {
+            name: "loop".into(),
+            connections: vec![],
+            wires: vec![
+                wire(m2, 0, 0, 1_000, 0),
+                wire(m3, 1_000, 0, 1_000, 1_000),
+                wire(m2, 1_000, 1_000, 0, 1_000),
+                wire(m3, 0, 1_000, 0, 0),
+            ],
+            vias: vec![],
+        };
+        let p = extract_net(&net, &tech, Point::new(0, 0), &[Point::new(1_000, 1_000)]);
+        assert!(p.sinks[0].connected);
+        assert!(p.total_cap_ff > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! SPEF-style export of extracted parasitics.
+//!
+//! The Standard Parasitic Exchange Format is how the paper's StarRC step
+//! hands its RC nets to STA. This writer emits the reduced view this crate
+//! extracts — per net: total capacitance plus one `*RES`/`*CAP` entry per
+//! sink path — which is exactly what [`crate::extract_net`] computes.
+
+use crate::NetParasitics;
+use std::fmt::Write as _;
+
+/// Writes a SPEF-style file for a set of extracted nets.
+///
+/// ```
+/// use ffet_rcx::{write_spef, NetParasitics, SinkParasitics};
+///
+/// let nets = vec![NetParasitics {
+///     name: "n1".into(),
+///     total_cap_ff: 1.25,
+///     sinks: vec![SinkParasitics { path_res_kohm: 0.4, wire_elmore_ps: 0.3, connected: true }],
+/// }];
+/// let spef = write_spef("rv32_core", &nets);
+/// assert!(spef.contains("*D_NET n1 1.2500"));
+/// ```
+#[must_use]
+pub fn write_spef(design: &str, nets: &[NetParasitics]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "*SPEF \"IEEE 1481-1998\"");
+    let _ = writeln!(s, "*DESIGN \"{design}\"");
+    let _ = writeln!(s, "*PROGRAM \"ffet-rcx\"");
+    let _ = writeln!(s, "*T_UNIT 1 PS");
+    let _ = writeln!(s, "*C_UNIT 1 FF");
+    let _ = writeln!(s, "*R_UNIT 1 KOHM");
+    let _ = writeln!(s);
+    for net in nets {
+        let _ = writeln!(s, "*D_NET {} {:.4}", net.name, net.total_cap_ff);
+        if !net.sinks.is_empty() {
+            let _ = writeln!(s, "*RES");
+            for (k, sink) in net.sinks.iter().enumerate() {
+                let flag = if sink.connected { "" } else { " // ESTIMATED" };
+                let _ = writeln!(
+                    s,
+                    "{} {}:drv {}:snk{} {:.4}{}",
+                    k + 1,
+                    net.name,
+                    net.name,
+                    k,
+                    sink.path_res_kohm,
+                    flag
+                );
+            }
+        }
+        let _ = writeln!(s, "*END");
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SinkParasitics;
+
+    fn sample() -> Vec<NetParasitics> {
+        vec![
+            NetParasitics {
+                name: "alpha".into(),
+                total_cap_ff: 2.5,
+                sinks: vec![
+                    SinkParasitics {
+                        path_res_kohm: 0.7,
+                        wire_elmore_ps: 1.1,
+                        connected: true,
+                    },
+                    SinkParasitics {
+                        path_res_kohm: 1.9,
+                        wire_elmore_ps: 4.0,
+                        connected: false,
+                    },
+                ],
+            },
+            NetParasitics {
+                name: "beta".into(),
+                total_cap_ff: 0.0,
+                sinks: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn header_and_units_present() {
+        let spef = write_spef("core", &sample());
+        assert!(spef.contains("*DESIGN \"core\""));
+        assert!(spef.contains("*C_UNIT 1 FF"));
+        assert!(spef.contains("*R_UNIT 1 KOHM"));
+    }
+
+    #[test]
+    fn nets_and_sinks_serialized() {
+        let spef = write_spef("core", &sample());
+        assert!(spef.contains("*D_NET alpha 2.5000"));
+        assert!(spef.contains("1 alpha:drv alpha:snk0 0.7000"));
+        assert!(spef.contains("2 alpha:drv alpha:snk1 1.9000 // ESTIMATED"));
+        // Empty nets still emit a block.
+        assert!(spef.contains("*D_NET beta 0.0000"));
+        assert_eq!(spef.matches("*END").count(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! Gate-level RV32I ALU: shared add/sub, comparisons, barrel shifter and
+//! bitwise logic, with a one-hot `funct3` result select.
+
+use crate::bus::{
+    and_word, fast_add, onehot_mux, or_word, shift_left, shift_right, xor_word, Consts, Word,
+};
+use ffet_netlist::{NetId, NetlistBuilder};
+
+/// The ALU's outputs: the selected result plus the comparison flags the
+/// branch unit reuses.
+pub struct Alu {
+    /// Selected 32-bit result (valid for OP/OP-IMM; carries the address for
+    /// loads/stores when the decode forces the add function).
+    pub result: Word,
+    /// `a == b`.
+    pub eq: NetId,
+    /// Signed `a < b`.
+    pub lt: NetId,
+    /// Unsigned `a < b`.
+    pub ltu: NetId,
+    /// Raw adder output (`a + b_eff`), used as the memory address.
+    pub sum: Word,
+}
+
+/// Builds the ALU.
+///
+/// * `funct3_hot` — one-hot decode of `funct3` (8 nets).
+/// * `sub_en` — high to compute `a - b` on the add path (SUB, SLT/SLTU,
+///   branches).
+/// * `sra_en` — high to arithmetic-fill the right shifter.
+pub fn build_alu(
+    b: &mut NetlistBuilder<'_>,
+    consts: &Consts,
+    a: &[NetId],
+    bb: &[NetId],
+    funct3_hot: &[NetId],
+    sub_en: NetId,
+    sra_en: NetId,
+) -> Alu {
+    assert_eq!(a.len(), 32);
+    assert_eq!(bb.len(), 32);
+    assert_eq!(funct3_hot.len(), 8);
+    let xlen = 32;
+
+    // Shared adder: b_eff = b ^ sub_en (per bit), carry-in = sub_en.
+    let sub_word_b: Word = bb.iter().map(|&x| b.xor2(x, sub_en)).collect();
+    let (sum, cout) = fast_add(b, a, &sub_word_b, sub_en);
+
+    // Comparison flags (valid when sub_en is high).
+    // Signed: lt = diff[31] ^ overflow; overflow = (a31 ^ b31) & (a31 ^ diff31).
+    let a31 = a[xlen - 1];
+    let b31 = bb[xlen - 1];
+    let d31 = sum[xlen - 1];
+    let ax = b.xor2(a31, b31);
+    let dx = b.xor2(a31, d31);
+    let overflow = b.and2(ax, dx);
+    let lt = b.xor2(d31, overflow);
+    // Unsigned: borrow = !carry_out.
+    let ltu = b.not(cout);
+    // Equality: difference is zero.
+    let any = b.or_tree(&sum);
+    let eq = b.not(any);
+
+    // Shifter.
+    let shamt: Word = bb[..5].to_vec();
+    let zero = consts.zero();
+    let sra_fill = b.and2(a31, sra_en);
+    let srl_sra = shift_right(b, a, &shamt, sra_fill);
+    let sll = shift_left(b, a, &shamt, zero);
+
+    // Bitwise.
+    let and_r = and_word(b, a, bb);
+    let or_r = or_word(b, a, bb);
+    let xor_r = xor_word(b, a, bb);
+
+    // Zero-extended comparison results.
+    let mut slt_w = consts.word(0, xlen);
+    slt_w[0] = lt;
+    let mut sltu_w = consts.word(0, xlen);
+    sltu_w[0] = ltu;
+
+    let result = onehot_mux(
+        b,
+        &[
+            (&sum, funct3_hot[0]),
+            (&sll, funct3_hot[1]),
+            (&slt_w, funct3_hot[2]),
+            (&sltu_w, funct3_hot[3]),
+            (&xor_r, funct3_hot[4]),
+            (&srl_sra, funct3_hot[5]),
+            (&or_r, funct3_hot[6]),
+            (&and_r, funct3_hot[7]),
+        ],
+    );
+
+    Alu {
+        result,
+        eq,
+        lt,
+        ltu,
+        sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::decode;
+    use ffet_cells::Library;
+    use ffet_netlist::Simulator;
+    use ffet_tech::Technology;
+
+    struct Bench {
+        nl: ffet_netlist::Netlist,
+        a: Word,
+        b: Word,
+        f3: Word,
+        sub: NetId,
+        sra: NetId,
+        result: Word,
+        eq: NetId,
+        lt: NetId,
+        ltu: NetId,
+    }
+
+    fn bench(lib: &Library) -> Bench {
+        let mut bld = NetlistBuilder::new(lib, "alu");
+        let a = bld.input_bus("a", 32);
+        let bw = bld.input_bus("b", 32);
+        let f3 = bld.input_bus("f3", 3);
+        let sub = bld.input("sub");
+        let sra = bld.input("sra");
+        let consts = Consts::new(&mut bld);
+        let hot = decode(&mut bld, &f3);
+        let alu = build_alu(&mut bld, &consts, &a, &bw, &hot, sub, sra);
+        bld.output_bus("r", &alu.result);
+        bld.output("eq", alu.eq);
+        bld.output("lt", alu.lt);
+        bld.output("ltu", alu.ltu);
+        Bench {
+            nl: bld.finish(),
+            a,
+            b: bw,
+            f3,
+            sub,
+            sra,
+            result: alu.result,
+            eq: alu.eq,
+            lt: alu.lt,
+            ltu: alu.ltu,
+        }
+    }
+
+    #[test]
+    fn matches_software_alu_on_corner_cases() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let bench = bench(&lib);
+        let mut sim = Simulator::new(&bench.nl, &lib).unwrap();
+        let cases: &[(u32, u32)] = &[
+            (0, 0),
+            (1, 1),
+            (0xffff_ffff, 1),
+            (0x8000_0000, 0x7fff_ffff),
+            (0xdead_beef, 0x1234_5678),
+            (5, 0xffff_fffb),
+        ];
+        for &(x, y) in cases {
+            for f3 in 0..8u32 {
+                for alt in [false, true] {
+                    // ALU semantics: alt selects SUB (f3=0) or SRA (f3=5).
+                    let sub_en = alt && f3 == 0 || f3 == 2 || f3 == 3;
+                    let expected = match f3 {
+                        0 => {
+                            if alt {
+                                x.wrapping_sub(y)
+                            } else {
+                                x.wrapping_add(y)
+                            }
+                        }
+                        1 => x << (y & 31),
+                        2 => u32::from((x as i32) < (y as i32)),
+                        3 => u32::from(x < y),
+                        4 => x ^ y,
+                        5 => {
+                            if alt {
+                                ((x as i32) >> (y & 31)) as u32
+                            } else {
+                                x >> (y & 31)
+                            }
+                        }
+                        6 => x | y,
+                        7 => x & y,
+                        _ => unreachable!(),
+                    };
+                    sim.set_bus(&bench.a, x as u64);
+                    sim.set_bus(&bench.b, y as u64);
+                    sim.set_bus(&bench.f3, f3 as u64);
+                    sim.set(bench.sub, sub_en);
+                    sim.set(bench.sra, alt && f3 == 5);
+                    sim.settle();
+                    assert_eq!(
+                        sim.get_bus(&bench.result) as u32,
+                        expected,
+                        "f3={f3} alt={alt} x={x:#x} y={y:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_flags() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let bench = bench(&lib);
+        let mut sim = Simulator::new(&bench.nl, &lib).unwrap();
+        let cases: &[(u32, u32)] = &[
+            (0, 0),
+            (1, 2),
+            (2, 1),
+            (0x8000_0000, 1),
+            (1, 0x8000_0000),
+            (0xffff_ffff, 0xffff_ffff),
+        ];
+        for &(x, y) in cases {
+            sim.set_bus(&bench.a, x as u64);
+            sim.set_bus(&bench.b, y as u64);
+            sim.set_bus(&bench.f3, 0);
+            sim.set(bench.sub, true);
+            sim.set(bench.sra, false);
+            sim.settle();
+            assert_eq!(sim.get(bench.eq), x == y, "eq {x:#x} {y:#x}");
+            assert_eq!(sim.get(bench.lt), (x as i32) < (y as i32), "lt");
+            assert_eq!(sim.get(bench.ltu), x < y, "ltu");
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Word-level construction helpers: 32-bit datapath operators expressed as
+//! gate networks over [`NetlistBuilder`].
+
+use ffet_netlist::{NetId, NetlistBuilder};
+
+/// A little-endian bus of nets (index 0 = LSB).
+pub type Word = Vec<NetId>;
+
+/// Constant word from an integer (ties shared via the two cached nets).
+pub struct Consts {
+    zero: NetId,
+    one: NetId,
+}
+
+impl Consts {
+    /// Creates (and caches) the tie-cell constants.
+    pub fn new(b: &mut NetlistBuilder<'_>) -> Consts {
+        Consts {
+            zero: b.zero(),
+            one: b.one(),
+        }
+    }
+
+    /// The constant-0 net.
+    #[must_use]
+    pub fn zero(&self) -> NetId {
+        self.zero
+    }
+
+    /// The constant-1 net.
+    #[must_use]
+    pub fn one(&self) -> NetId {
+        self.one
+    }
+
+    /// A `width`-bit constant word.
+    #[must_use]
+    pub fn word(&self, value: u32, width: usize) -> Word {
+        (0..width)
+            .map(|i| if value >> i & 1 == 1 { self.one } else { self.zero })
+            .collect()
+    }
+}
+
+/// Bitwise NOT of a word.
+pub fn not_word(b: &mut NetlistBuilder<'_>, a: &[NetId]) -> Word {
+    a.iter().map(|&x| b.not(x)).collect()
+}
+
+/// Bitwise AND of two words.
+pub fn and_word(b: &mut NetlistBuilder<'_>, a: &[NetId], c: &[NetId]) -> Word {
+    a.iter().zip(c).map(|(&x, &y)| b.and2(x, y)).collect()
+}
+
+/// Bitwise OR of two words.
+pub fn or_word(b: &mut NetlistBuilder<'_>, a: &[NetId], c: &[NetId]) -> Word {
+    a.iter().zip(c).map(|(&x, &y)| b.or2(x, y)).collect()
+}
+
+/// Bitwise XOR of two words.
+pub fn xor_word(b: &mut NetlistBuilder<'_>, a: &[NetId], c: &[NetId]) -> Word {
+    a.iter().zip(c).map(|(&x, &y)| b.xor2(x, y)).collect()
+}
+
+/// Per-bit 2:1 mux: `s ? yes : no`.
+pub fn mux_word(b: &mut NetlistBuilder<'_>, no: &[NetId], yes: &[NetId], s: NetId) -> Word {
+    no.iter().zip(yes).map(|(&n, &y)| b.mux2(n, y, s)).collect()
+}
+
+/// AND every bit of `a` with the single net `en` (gating a word).
+pub fn gate_word(b: &mut NetlistBuilder<'_>, a: &[NetId], en: NetId) -> Word {
+    a.iter().map(|&x| b.and2(x, en)).collect()
+}
+
+/// `a == c` reduction.
+pub fn eq_word(b: &mut NetlistBuilder<'_>, a: &[NetId], c: &[NetId]) -> NetId {
+    let x = xor_word(b, a, c);
+    let any = b.or_tree(&x);
+    b.not(any)
+}
+
+/// Ripple add with carry-in; returns (sum, carry_out).
+pub fn add_word(
+    b: &mut NetlistBuilder<'_>,
+    a: &[NetId],
+    c: &[NetId],
+    carry_in: NetId,
+) -> (Word, NetId) {
+    b.adder(a, c, carry_in)
+}
+
+/// `a - c` via two's complement; returns (difference, carry_out) where
+/// `carry_out == 1` means no borrow (`a >= c` unsigned).
+pub fn sub_word(b: &mut NetlistBuilder<'_>, a: &[NetId], c: &[NetId]) -> (Word, NetId) {
+    let nc = not_word(b, c);
+    let one = b.one();
+    add_word(b, a, &nc, one)
+}
+
+/// Kogge–Stone parallel-prefix adder: `a + c + carry_in`, returning
+/// (sum, carry_out) in `O(log n)` logic depth — the adder the datapath
+/// uses so the core's critical path is prefix-tree-, not ripple-, limited.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn fast_add(
+    b: &mut NetlistBuilder<'_>,
+    a: &[NetId],
+    c: &[NetId],
+    carry_in: NetId,
+) -> (Word, NetId) {
+    assert_eq!(a.len(), c.len(), "adder width mismatch");
+    assert!(!a.is_empty(), "zero-width adder");
+    let n = a.len();
+    // Bitwise propagate/generate.
+    let p: Word = a.iter().zip(c).map(|(&x, &y)| b.xor2(x, y)).collect();
+    let g: Word = a.iter().zip(c).map(|(&x, &y)| b.and2(x, y)).collect();
+    // Prefix tree over (g, p): after the last level, gg[i]/pp[i] span bits
+    // 0..=i.
+    let mut gg = g.clone();
+    let mut pp = p.clone();
+    let mut d = 1;
+    while d < n {
+        let mut gg_next = gg.clone();
+        let mut pp_next = pp.clone();
+        for i in d..n {
+            // (g, p) ∘ (g', p') = (g | p & g', p & p').
+            let t = b.and2(pp[i], gg[i - d]);
+            gg_next[i] = b.or2(gg[i], t);
+            pp_next[i] = b.and2(pp[i], pp[i - d]);
+        }
+        gg = gg_next;
+        pp = pp_next;
+        d *= 2;
+    }
+    // Carry into bit i: prefix over bits 0..i combined with carry_in.
+    // c_0 = carry_in; c_i = G_{i-1:0} | (P_{i-1:0} & carry_in).
+    let mut sum = Vec::with_capacity(n);
+    sum.push(b.xor2(p[0], carry_in));
+    for i in 1..n {
+        let t = b.and2(pp[i - 1], carry_in);
+        let ci = b.or2(gg[i - 1], t);
+        sum.push(b.xor2(p[i], ci));
+    }
+    let t = b.and2(pp[n - 1], carry_in);
+    let cout = b.or2(gg[n - 1], t);
+    (sum, cout)
+}
+
+/// Sign- or zero-extends `a` to `width` bits.
+pub fn extend(b: &mut NetlistBuilder<'_>, a: &[NetId], width: usize, signed: bool) -> Word {
+    assert!(width >= a.len(), "extend cannot truncate");
+    let fill = if signed {
+        *a.last().expect("non-empty word")
+    } else {
+        // Zero fill via a tie-less trick: AND a bit with its own inverse.
+        let last = *a.last().expect("non-empty word");
+        let n = b.not(last);
+        b.and2(last, n)
+    };
+    let mut out = a.to_vec();
+    out.resize(width, fill);
+    out
+}
+
+/// Logical/arithmetic right barrel shifter: shifts `a` right by the 5-bit
+/// amount `sh`, filling with `fill` (tie 0 for SRL, sign bit for SRA).
+pub fn shift_right(b: &mut NetlistBuilder<'_>, a: &[NetId], sh: &[NetId], fill: NetId) -> Word {
+    assert_eq!(sh.len(), 5, "shift amount is 5 bits");
+    let mut cur: Word = a.to_vec();
+    for (k, &s) in sh.iter().enumerate() {
+        let dist = 1usize << k;
+        let shifted: Word = (0..cur.len())
+            .map(|i| if i + dist < cur.len() { cur[i + dist] } else { fill })
+            .collect();
+        cur = mux_word(b, &cur, &shifted, s);
+    }
+    cur
+}
+
+/// Left barrel shifter (reverse, shift right, reverse — the reversals are
+/// free rewiring).
+pub fn shift_left(b: &mut NetlistBuilder<'_>, a: &[NetId], sh: &[NetId], fill: NetId) -> Word {
+    let rev: Word = a.iter().rev().copied().collect();
+    let shifted = shift_right(b, &rev, sh, fill);
+    shifted.into_iter().rev().collect()
+}
+
+/// One-hot select: OR of `words[i]` gated by `sels[i]`. All unselected
+/// words contribute zero, so exactly one select should be high. The OR
+/// reduction is a balanced tree, keeping the mux depth logarithmic in the
+/// choice count.
+pub fn onehot_mux(b: &mut NetlistBuilder<'_>, choices: &[(&[NetId], NetId)]) -> Word {
+    assert!(!choices.is_empty(), "empty one-hot mux");
+    let width = choices[0].0.len();
+    let mut level: Vec<Word> = choices
+        .iter()
+        .map(|(word, sel)| {
+            assert_eq!(word.len(), width, "one-hot mux width mismatch");
+            gate_word(b, word, *sel)
+        })
+        .collect();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    or_word(b, &pair[0], &pair[1])
+                } else {
+                    pair[0].clone()
+                }
+            })
+            .collect();
+    }
+    level.pop().expect("non-empty")
+}
+
+/// Binary decoder: `n`-bit input to `2^n` one-hot outputs.
+pub fn decode(b: &mut NetlistBuilder<'_>, sel: &[NetId]) -> Vec<NetId> {
+    let n = sel.len();
+    let inv: Vec<NetId> = sel.iter().map(|&s| b.not(s)).collect();
+    (0..1usize << n)
+        .map(|code| {
+            let terms: Vec<NetId> = (0..n)
+                .map(|bit| if code >> bit & 1 == 1 { sel[bit] } else { inv[bit] })
+                .collect();
+            b.and_tree(&terms)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_cells::Library;
+    use ffet_netlist::Simulator;
+    use ffet_tech::Technology;
+
+    fn harness<F>(width: usize, build: F) -> (ffet_netlist::Netlist, Library, Vec<NetId>, Vec<NetId>, Word)
+    where
+        F: FnOnce(&mut NetlistBuilder<'_>, &[NetId], &[NetId]) -> Word,
+    {
+        let lib = Library::new(Technology::ffet_3p5t());
+        // Library outlives netlist in the tuple; rebuild a second library
+        // for the caller instead of wrestling with self-references.
+        let lib2 = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let a = b.input_bus("a", width);
+        let c = b.input_bus("b", width);
+        let out = build(&mut b, &a, &c);
+        b.output_bus("y", &out);
+        (b.finish(), lib2, a, c, out)
+    }
+
+    #[test]
+    fn shifts_match_reference() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let a = b.input_bus("a", 32);
+        let sh = b.input_bus("sh", 5);
+        let zero = b.zero();
+        let sign = a[31];
+        let srl = shift_right(&mut b, &a, &sh, zero);
+        let sra = shift_right(&mut b, &a, &sh, sign);
+        let sll = shift_left(&mut b, &a, &sh, zero);
+        b.output_bus("srl", &srl);
+        b.output_bus("sra", &sra);
+        b.output_bus("sll", &sll);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        for (val, s) in [(0x8000_0001u32, 1u32), (0xdead_beef, 13), (1, 31), (0xffff_0000, 16), (5, 0)] {
+            sim.set_bus(&a, val as u64);
+            sim.set_bus(&sh, s as u64);
+            sim.settle();
+            assert_eq!(sim.get_bus(&srl) as u32, val >> s, "srl {val:#x} >> {s}");
+            assert_eq!(sim.get_bus(&sra) as u32, ((val as i32) >> s) as u32, "sra");
+            assert_eq!(sim.get_bus(&sll) as u32, val << s, "sll");
+        }
+    }
+
+    #[test]
+    fn sub_and_eq() {
+        let (nl, lib, a, c, y) = harness(8, |b, a, c| {
+            let (diff, _) = sub_word(b, a, c);
+            let e = eq_word(b, a, c);
+            let mut out = diff;
+            out.push(e);
+            out
+        });
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        for (x, z) in [(200u8, 13u8), (13, 200), (77, 77), (0, 255)] {
+            sim.set_bus(&a, x as u64);
+            sim.set_bus(&c, z as u64);
+            sim.settle();
+            let diff = sim.get_bus(&y[..8]) as u8;
+            assert_eq!(diff, x.wrapping_sub(z));
+            assert_eq!(sim.get(y[8]), x == z);
+        }
+    }
+
+    #[test]
+    fn decoder_is_onehot() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let sel = b.input_bus("s", 3);
+        let hot = decode(&mut b, &sel);
+        b.output_bus("h", &hot);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        for code in 0..8u64 {
+            sim.set_bus(&sel, code);
+            sim.settle();
+            let out = sim.get_bus(&hot);
+            assert_eq!(out, 1 << code, "code {code}");
+        }
+    }
+
+    #[test]
+    fn onehot_mux_selects() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "t");
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 4);
+        let sa = b.input("sa");
+        let sb = b.input("sb");
+        let out = onehot_mux(&mut b, &[(&a, sa), (&c, sb)]);
+        b.output_bus("y", &out);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        sim.set_bus(&a, 0b1010);
+        sim.set_bus(&c, 0b0101);
+        sim.set(sa, true);
+        sim.set(sb, false);
+        sim.settle();
+        assert_eq!(sim.get_bus(&out), 0b1010);
+        sim.set(sa, false);
+        sim.set(sb, true);
+        sim.settle();
+        assert_eq!(sim.get_bus(&out), 0b0101);
+    }
+}

@@ -1,0 +1,347 @@
+//! The single-cycle gate-level RV32I core generator.
+//!
+//! Produces a flat standard-cell netlist: fetch (PC register + incrementer),
+//! decode (opcode matchers, immediate muxes), a 31×32-DFF register file,
+//! the shared-adder ALU, branch resolution, and byte/halfword load/store
+//! alignment. Memories are external: the testbench (or SoC) services the
+//! `imem`/`dmem` buses combinationally, as in a classic single-cycle
+//! organization.
+
+use crate::alu::build_alu;
+use crate::bus::{decode, fast_add, mux_word, onehot_mux, shift_left, shift_right, Consts, Word};
+use crate::regfile::build_regfile;
+use ffet_cells::{CellFunction, CellKind, DriveStrength, Library};
+use ffet_netlist::{NetId, Netlist, NetlistBuilder};
+
+/// The generated core: netlist plus the nets of its external interface.
+pub struct Rv32Core {
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// Clock input.
+    pub clk: NetId,
+    /// Instruction fetch address (the PC), output.
+    pub imem_addr: Word,
+    /// Instruction word, input (must reflect `imem_addr` combinationally).
+    pub imem_rdata: Word,
+    /// Data address, output (word-aligned access; low bits select bytes).
+    pub dmem_addr: Word,
+    /// Store data (shifted into byte lanes), output.
+    pub dmem_wdata: Word,
+    /// Active byte lanes of a store, output (4 bits).
+    pub dmem_wmask: Word,
+    /// Store strobe, output.
+    pub dmem_we: NetId,
+    /// Load data, input (must reflect `dmem_addr` combinationally).
+    pub dmem_rdata: Word,
+    /// High while the current instruction is `ECALL`/`EBREAK`.
+    pub halt: NetId,
+    /// Debug: register writeback strobe this cycle.
+    pub dbg_rd_we: NetId,
+    /// Debug: writeback register index (5 bits).
+    pub dbg_rd_addr: Word,
+    /// Debug: writeback data.
+    pub dbg_rd_data: Word,
+    /// Flip-flop count (PC + register file).
+    pub dff_count: usize,
+}
+
+/// Matches `value` against the 7-bit opcode field (instruction bits 6..0).
+fn opcode_is(b: &mut NetlistBuilder<'_>, ins: &[NetId], value: u32) -> NetId {
+    let terms: Vec<NetId> = (0..7)
+        .map(|i| {
+            if value >> i & 1 == 1 {
+                ins[i]
+            } else {
+                b.not(ins[i])
+            }
+        })
+        .collect();
+    b.and_tree(&terms)
+}
+
+/// Generates the core over `library`. The design name becomes the netlist
+/// name (`rv32_core` in the paper-scale experiments).
+#[must_use]
+pub fn build_core(library: &Library, name: &str) -> Rv32Core {
+    let mut b = NetlistBuilder::new(library, name);
+    let clk = b.input("clk");
+    b.netlist_mut().mark_clock(clk);
+    let imem_rdata = b.input_bus("imem_rdata", 32);
+    let dmem_rdata = b.input_bus("dmem_rdata", 32);
+    let consts = Consts::new(&mut b);
+
+    // ---------------- Fetch: PC register ----------------
+    let pc: Word = (0..32)
+        .map(|i| b.netlist_mut().add_net(format!("pc[{i}]")))
+        .collect();
+    let four = consts.word(4, 32);
+    let zero = consts.zero();
+    let (pc_plus4, _) = fast_add(&mut b, &pc, &four, zero);
+
+    let ins = &imem_rdata;
+
+    // ---------------- Decode ----------------
+    let is_lui = opcode_is(&mut b, ins, 0x37);
+    let is_auipc = opcode_is(&mut b, ins, 0x17);
+    let is_jal = opcode_is(&mut b, ins, 0x6f);
+    let is_jalr = opcode_is(&mut b, ins, 0x67);
+    let is_branch = opcode_is(&mut b, ins, 0x63);
+    let is_load = opcode_is(&mut b, ins, 0x03);
+    let is_store = opcode_is(&mut b, ins, 0x23);
+    let is_op_imm = opcode_is(&mut b, ins, 0x13);
+    let is_op = opcode_is(&mut b, ins, 0x33);
+    let is_system = opcode_is(&mut b, ins, 0x73);
+
+    let rd_addr: Word = ins[7..12].to_vec();
+    let f3: Word = ins[12..15].to_vec();
+    let rs1_addr: Word = ins[15..20].to_vec();
+    let rs2_addr: Word = ins[20..25].to_vec();
+    let bit30 = ins[30];
+    let f3_hot = decode(&mut b, &f3);
+
+    // Immediates (sign bit is ins[31]).
+    let sign = ins[31];
+    let mut imm_i: Word = ins[20..32].to_vec();
+    imm_i.resize(32, sign);
+    let mut imm_s: Word = ins[7..12].to_vec();
+    imm_s.extend_from_slice(&ins[25..32]);
+    imm_s.resize(32, sign);
+    let mut imm_b: Word = vec![consts.zero()];
+    imm_b.extend_from_slice(&ins[8..12]);
+    imm_b.extend_from_slice(&ins[25..31]);
+    imm_b.push(ins[7]);
+    imm_b.resize(32, sign);
+    let mut imm_u: Word = consts.word(0, 12);
+    imm_u.extend_from_slice(&ins[12..32]);
+    let mut imm_j: Word = vec![consts.zero()];
+    imm_j.extend_from_slice(&ins[21..31]);
+    imm_j.push(ins[20]);
+    imm_j.extend_from_slice(&ins[12..20]);
+    imm_j.resize(32, sign);
+
+    // ---------------- Register file ----------------
+    // Writeback signals are defined below; allocate their nets first.
+    let rd_we = b.netlist_mut().add_net("rd_we");
+    let rd_data: Word = (0..32)
+        .map(|i| b.netlist_mut().add_net(format!("rd_data[{i}]")))
+        .collect();
+    let rf = build_regfile(
+        &mut b, &consts, clk, rd_we, &rd_addr, &rd_data, &rs1_addr, &rs2_addr,
+    );
+    let rs1 = rf.rdata1.clone();
+    let rs2 = rf.rdata2.clone();
+
+    // ---------------- ALU ----------------
+    // Second operand: rs2 for OP/branch, store imm for stores, else imm_i.
+    let use_rs2 = b.or2(is_op, is_branch);
+    let imm_is = mux_word(&mut b, &imm_i, &imm_s, is_store);
+    let alu_b = mux_word(&mut b, &imm_is, &rs2, use_rs2);
+
+    // funct3 honored only by OP/OP-IMM; other consumers force ADD.
+    let use_f3 = b.or2(is_op, is_op_imm);
+    let alu_f3_hot: Word = f3_hot
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| {
+            if i == 0 {
+                // hot0 OR not(use_f3): forced add when f3 is ignored.
+                let n = b.not(use_f3);
+                b.or2(h, n)
+            } else {
+                b.and2(h, use_f3)
+            }
+        })
+        .collect();
+
+    // sub for: branches; SLT/SLTU(I); SUB (OP with bit30, f3=0).
+    let cmp = b.or2(f3_hot[2], f3_hot[3]);
+    let cmp_en = b.and2(use_f3, cmp);
+    let sub_op = {
+        let t = b.and2(is_op, bit30);
+        b.and2(t, f3_hot[0])
+    };
+    let sub_en = {
+        let t = b.or2(is_branch, cmp_en);
+        b.or2(t, sub_op)
+    };
+    let sra_en = {
+        let t = b.and2(use_f3, bit30);
+        b.and2(t, f3_hot[5])
+    };
+
+    let alu = build_alu(&mut b, &consts, &rs1, &alu_b, &alu_f3_hot, sub_en, sra_en);
+
+    // ---------------- PC-relative adder (branch/JAL targets, AUIPC) ------
+    let imm_bj = mux_word(&mut b, &imm_b, &imm_j, is_jal);
+    let pc_imm_sel = mux_word(&mut b, &imm_bj, &imm_u, is_auipc);
+    let (pc_imm, _) = fast_add(&mut b, &pc, &pc_imm_sel, zero);
+
+    // ---------------- Branch resolution ----------------
+    let ne = b.not(alu.eq);
+    let ge = b.not(alu.lt);
+    let geu = b.not(alu.ltu);
+    let taken_cond = onehot_mux(
+        &mut b,
+        &[
+            (std::slice::from_ref(&alu.eq), f3_hot[0]),
+            (std::slice::from_ref(&ne), f3_hot[1]),
+            (std::slice::from_ref(&alu.lt), f3_hot[4]),
+            (std::slice::from_ref(&ge), f3_hot[5]),
+            (std::slice::from_ref(&alu.ltu), f3_hot[6]),
+            (std::slice::from_ref(&geu), f3_hot[7]),
+        ],
+    )[0];
+    let branch_taken = b.and2(is_branch, taken_cond);
+
+    // ---------------- Next PC ----------------
+    let take_pc_imm = b.or2(branch_taken, is_jal);
+    let mut next_pc = mux_word(&mut b, &pc_plus4, &pc_imm, take_pc_imm);
+    // JALR: ALU sum with bit 0 cleared.
+    let mut jalr_target = alu.sum.clone();
+    jalr_target[0] = consts.zero();
+    next_pc = mux_word(&mut b, &next_pc, &jalr_target, is_jalr);
+
+    // PC DFFs.
+    let dff = library
+        .id(CellKind::new(CellFunction::Dff, DriveStrength::D1))
+        .expect("DFFD1 in library");
+    for i in 0..32 {
+        let library = b.library();
+        b.netlist_mut().add_instance(
+            library,
+            format!("pc_dff_{i}"),
+            dff,
+            &[Some(next_pc[i]), Some(clk), Some(pc[i])],
+        );
+    }
+
+    // ---------------- Load unit ----------------
+    let addr_lo: Word = alu.sum[..2].to_vec();
+    // Shift amount = addr[1:0] * 8 → bits [3] and [4] of a 5-bit shamt.
+    let shamt: Word = vec![zeroed(&consts), zeroed(&consts), zeroed(&consts), addr_lo[0], addr_lo[1]];
+    let aligned = shift_right(&mut b, &dmem_rdata, &shamt, zero);
+    // Sign/zero extension: f3 bit2 (ins[14]) = unsigned.
+    let load_unsigned = f3[2];
+    let b7 = aligned[7];
+    let b15 = aligned[15];
+    let nu = b.not(load_unsigned);
+    let byte_fill = b.and2(b7, nu);
+    let half_fill = b.and2(b15, nu);
+    let mut load_byte: Word = aligned[..8].to_vec();
+    load_byte.resize(32, byte_fill);
+    let mut load_half: Word = aligned[..16].to_vec();
+    load_half.resize(32, half_fill);
+    // Width select on f3[1:0]: 0 = byte, 1 = half, 2 = word.
+    let is_word = f3[1];
+    let is_half = f3[0];
+    let mut load_data = mux_word(&mut b, &load_byte, &load_half, is_half);
+    load_data = mux_word(&mut b, &load_data, &dmem_rdata, is_word);
+
+    // ---------------- Store unit ----------------
+    let store_shifted = shift_left(&mut b, &rs2, &shamt, zero);
+    let lane_hot = decode(&mut b, &addr_lo); // 4 one-hot byte lanes
+    let mask_b: Word = lane_hot.clone();
+    let nl1 = b.not(addr_lo[1]);
+    let mask_h: Word = vec![nl1, nl1, addr_lo[1], addr_lo[1]];
+    let ones = consts.word(0xf, 4);
+    let mut wmask = mux_word(&mut b, &mask_b, &mask_h, is_half);
+    wmask = mux_word(&mut b, &wmask, &ones, is_word);
+    let dmem_wmask: Word = wmask.iter().map(|&m| b.and2(m, is_store)).collect();
+
+    // ---------------- Writeback ----------------
+    let is_jump = b.or2(is_jal, is_jalr);
+    let wb_ops = [
+        (&alu.result, {
+            b.or2(is_op, is_op_imm)
+        }),
+        (&load_data, is_load),
+        (&pc_plus4, is_jump),
+        (&imm_u, is_lui),
+        (&pc_imm, is_auipc),
+    ];
+    let wb_choices: Vec<(&[NetId], NetId)> = wb_ops.iter().map(|(w, s)| (w.as_slice(), *s)).collect();
+    let wb_data = onehot_mux(&mut b, &wb_choices);
+
+    let writes_rd = {
+        let a = b.or2(is_op, is_op_imm);
+        let c = b.or2(is_load, is_jump);
+        let d = b.or2(is_lui, is_auipc);
+        let e = b.or2(a, c);
+        b.or2(e, d)
+    };
+    let rd_nonzero = b.or_tree(&rd_addr);
+    let rd_we_val = b.and2(writes_rd, rd_nonzero);
+
+    // Bind the pre-allocated writeback nets with buffers.
+    bind(&mut b, rd_we_val, rd_we);
+    for i in 0..32 {
+        bind(&mut b, wb_data[i], rd_data[i]);
+    }
+
+    // ---------------- Outputs ----------------
+    b.output_bus("imem_addr", &pc);
+    b.output_bus("dmem_addr", &alu.sum);
+    b.output_bus("dmem_wdata", &store_shifted);
+    b.output_bus("dmem_wmask", &dmem_wmask);
+    b.output("dmem_we", is_store);
+    b.output("halt", is_system);
+    b.output("dbg_rd_we", rd_we);
+    b.output_bus("dbg_rd_addr", &rd_addr);
+    b.output_bus("dbg_rd_data", &rd_data);
+
+    let dff_count = rf.dff_count + 32;
+    Rv32Core {
+        netlist: b.finish(),
+        clk,
+        imem_addr: pc,
+        imem_rdata,
+        dmem_addr: alu.sum,
+        dmem_wdata: store_shifted,
+        dmem_wmask,
+        dmem_we: is_store,
+        dmem_rdata,
+        halt: is_system,
+        dbg_rd_we: rd_we,
+        dbg_rd_addr: rd_addr,
+        dbg_rd_data: rd_data,
+        dff_count,
+    }
+}
+
+/// Ties `src` to the pre-allocated net `dst` through a buffer (the netlist
+/// model has single-driver nets, so aliasing is done with a BUF instance).
+fn bind(b: &mut NetlistBuilder<'_>, src: NetId, dst: NetId) {
+    let buf = b
+        .library()
+        .id(CellKind::new(CellFunction::Buf, DriveStrength::D1))
+        .expect("BUFD1 in library");
+    let library = b.library();
+    let name = format!("bind_{}_{}", src.0, dst.0);
+    b.netlist_mut()
+        .add_instance(library, name, buf, &[Some(src), Some(dst)]);
+}
+
+fn zeroed(consts: &Consts) -> NetId {
+    consts.zero()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_netlist::stats;
+    use ffet_tech::Technology;
+
+    #[test]
+    fn core_builds_and_levelizes() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let core = build_core(&lib, "rv32_test");
+        core.netlist.check_consistency(&lib).unwrap();
+        let s = stats(&core.netlist, &lib);
+        assert!(s.instances > 5_000, "instances = {}", s.instances);
+        assert_eq!(s.sequential, 31 * 32 + 32);
+        assert_eq!(core.dff_count, 31 * 32 + 32);
+        // Must levelize (no combinational loops).
+        let sim = ffet_netlist::Simulator::new(&core.netlist, &lib).unwrap();
+        assert!(sim.depth() > 10);
+    }
+}

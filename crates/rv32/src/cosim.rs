@@ -1,0 +1,200 @@
+//! Cosimulation: runs a program on the gate-level core and the reference
+//! ISS in lockstep, comparing every retired instruction.
+
+use crate::core::Rv32Core;
+use crate::iss::{Iss, IssError, Retire};
+use ffet_cells::Library;
+use ffet_netlist::{CombLoopError, Simulator};
+use std::collections::HashMap;
+
+/// A mismatch between the gate-level core and the reference model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CosimError {
+    /// The netlist failed to levelize.
+    CombLoop(String),
+    /// The ISS raised an architectural error.
+    Iss(IssError),
+    /// The cores disagreed at the given cycle.
+    Mismatch {
+        /// Cycle index of the divergence.
+        cycle: usize,
+        /// Human-readable description of the differing field.
+        detail: String,
+    },
+    /// The program did not halt within the cycle budget.
+    Timeout {
+        /// Budget that was exhausted.
+        max_cycles: usize,
+    },
+}
+
+impl std::fmt::Display for CosimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CosimError::CombLoop(i) => write!(f, "combinational loop through {i}"),
+            CosimError::Iss(e) => write!(f, "reference model error: {e}"),
+            CosimError::Mismatch { cycle, detail } => {
+                write!(f, "gate-level/ISS mismatch at cycle {cycle}: {detail}")
+            }
+            CosimError::Timeout { max_cycles } => {
+                write!(f, "program did not halt within {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CosimError {}
+
+impl From<CombLoopError> for CosimError {
+    fn from(e: CombLoopError) -> CosimError {
+        CosimError::CombLoop(e.instance)
+    }
+}
+
+impl From<IssError> for CosimError {
+    fn from(e: IssError) -> CosimError {
+        CosimError::Iss(e)
+    }
+}
+
+/// Result of a successful cosimulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosimReport {
+    /// Instructions retired (== cycles on the single-cycle core).
+    pub retired: usize,
+    /// Final PC.
+    pub final_pc: u32,
+    /// The ISS retire trace.
+    pub trace: Vec<Retire>,
+}
+
+/// Runs `program` (loaded at address 0) on both models until `EBREAK`/
+/// `ECALL` or `max_cycles`, comparing PC, writeback and store activity at
+/// every instruction.
+///
+/// # Errors
+///
+/// Any divergence or model error is reported as a [`CosimError`].
+pub fn cosimulate(
+    core: &Rv32Core,
+    library: &Library,
+    program: &[u32],
+    max_cycles: usize,
+) -> Result<CosimReport, CosimError> {
+    let mut sim = Simulator::new(&core.netlist, library)?;
+    sim.reset_state(false);
+    let mut iss = Iss::new();
+    iss.load_program(0, program);
+
+    let mut mem: HashMap<u32, u32> = HashMap::new();
+    for (i, &w) in program.iter().enumerate() {
+        mem.insert(4 * i as u32, w);
+    }
+
+    let mut trace = Vec::new();
+    for cycle in 0..max_cycles {
+        // Fetch.
+        let pc = sim.get_bus(&core.imem_addr) as u32;
+        let instr = mem.get(&pc).copied().unwrap_or(0);
+        sim.set_bus(&core.imem_rdata, instr as u64);
+        sim.settle();
+
+        // Service a potential load (combinational read).
+        let addr = sim.get_bus(&core.dmem_addr) as u32 & !3;
+        let rdata = mem.get(&addr).copied().unwrap_or(0);
+        sim.set_bus(&core.dmem_rdata, rdata as u64);
+        sim.settle();
+
+        // Reference model steps one instruction.
+        let retire = iss.step()?;
+        if retire.pc != pc {
+            return Err(CosimError::Mismatch {
+                cycle,
+                detail: format!("pc: gate {pc:#010x}, iss {:#010x}", retire.pc),
+            });
+        }
+
+        // Compare register writeback.
+        let g_we = sim.get(core.dbg_rd_we);
+        let g_rd = sim.get_bus(&core.dbg_rd_addr) as usize;
+        let g_data = sim.get_bus(&core.dbg_rd_data) as u32;
+        match retire.rd {
+            Some((rd, val)) => {
+                if !g_we || g_rd != rd || g_data != val {
+                    return Err(CosimError::Mismatch {
+                        cycle,
+                        detail: format!(
+                            "writeback: gate we={g_we} x{g_rd}={g_data:#010x}, iss x{rd}={val:#010x}"
+                        ),
+                    });
+                }
+            }
+            None => {
+                if g_we {
+                    return Err(CosimError::Mismatch {
+                        cycle,
+                        detail: format!("spurious writeback x{g_rd}={g_data:#010x}"),
+                    });
+                }
+            }
+        }
+
+        // Compare and apply stores.
+        let g_store = sim.get(core.dmem_we);
+        if g_store {
+            let s_addr = sim.get_bus(&core.dmem_addr) as u32 & !3;
+            let wdata = sim.get_bus(&core.dmem_wdata) as u32;
+            let wmask = sim.get_bus(&core.dmem_wmask) as u8;
+            let old = mem.get(&s_addr).copied().unwrap_or(0);
+            let mut merged = old;
+            for byte in 0..4 {
+                if wmask >> byte & 1 == 1 {
+                    let m = 0xffu32 << (byte * 8);
+                    merged = (merged & !m) | (wdata & m);
+                }
+            }
+            mem.insert(s_addr, merged);
+            match retire.store {
+                Some((i_addr, i_word, i_mask)) => {
+                    if i_addr != s_addr || i_mask != wmask || i_word != merged {
+                        return Err(CosimError::Mismatch {
+                            cycle,
+                            detail: format!(
+                                "store: gate [{s_addr:#x}]={merged:#010x}/{wmask:#x}, iss [{i_addr:#x}]={i_word:#010x}/{i_mask:#x}"
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    return Err(CosimError::Mismatch {
+                        cycle,
+                        detail: format!("spurious store to {s_addr:#x}"),
+                    });
+                }
+            }
+        } else if retire.store.is_some() {
+            return Err(CosimError::Mismatch {
+                cycle,
+                detail: "missing store".to_owned(),
+            });
+        }
+
+        let halted = sim.get(core.halt);
+        if halted != retire.halt {
+            return Err(CosimError::Mismatch {
+                cycle,
+                detail: format!("halt: gate {halted}, iss {}", retire.halt),
+            });
+        }
+        trace.push(retire);
+        if halted {
+            return Ok(CosimReport {
+                retired: cycle + 1,
+                final_pc: pc,
+                trace,
+            });
+        }
+        sim.clock_edge();
+    }
+    Err(CosimError::Timeout { max_cycles })
+}

@@ -1,0 +1,329 @@
+//! RV32I instruction formats, opcodes and an assembler-style encoder.
+//!
+//! Shared by the reference ISS, the gate-level core generator's testbench
+//! and the cosimulation harness, so all three agree on one decode.
+
+/// Major opcodes of RV32I (bits 6..0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// `LUI` — load upper immediate.
+    Lui,
+    /// `AUIPC` — add upper immediate to PC.
+    Auipc,
+    /// `JAL` — jump and link.
+    Jal,
+    /// `JALR` — jump and link register.
+    Jalr,
+    /// Conditional branches (`BEQ`…`BGEU`).
+    Branch,
+    /// Loads (`LB`…`LHU`).
+    Load,
+    /// Stores (`SB`…`SW`).
+    Store,
+    /// Register-immediate ALU ops.
+    OpImm,
+    /// Register-register ALU ops.
+    Op,
+    /// `FENCE`/`FENCE.I` — treated as NOP by this core.
+    MiscMem,
+    /// `ECALL`/`EBREAK` — treated as halt markers by the harness.
+    System,
+}
+
+impl Opcode {
+    /// Decodes bits 6..0.
+    #[must_use]
+    pub fn decode(bits: u32) -> Option<Opcode> {
+        match bits & 0x7f {
+            0x37 => Some(Opcode::Lui),
+            0x17 => Some(Opcode::Auipc),
+            0x6f => Some(Opcode::Jal),
+            0x67 => Some(Opcode::Jalr),
+            0x63 => Some(Opcode::Branch),
+            0x03 => Some(Opcode::Load),
+            0x23 => Some(Opcode::Store),
+            0x13 => Some(Opcode::OpImm),
+            0x33 => Some(Opcode::Op),
+            0x0f => Some(Opcode::MiscMem),
+            0x73 => Some(Opcode::System),
+            _ => None,
+        }
+    }
+
+    /// Encodes to bits 6..0.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        match self {
+            Opcode::Lui => 0x37,
+            Opcode::Auipc => 0x17,
+            Opcode::Jal => 0x6f,
+            Opcode::Jalr => 0x67,
+            Opcode::Branch => 0x63,
+            Opcode::Load => 0x03,
+            Opcode::Store => 0x23,
+            Opcode::OpImm => 0x13,
+            Opcode::Op => 0x33,
+            Opcode::MiscMem => 0x0f,
+            Opcode::System => 0x73,
+        }
+    }
+}
+
+/// Field accessors over a raw 32-bit instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr(pub u32);
+
+impl Instr {
+    /// Destination register index.
+    #[must_use]
+    pub fn rd(&self) -> usize {
+        ((self.0 >> 7) & 0x1f) as usize
+    }
+
+    /// First source register index.
+    #[must_use]
+    pub fn rs1(&self) -> usize {
+        ((self.0 >> 15) & 0x1f) as usize
+    }
+
+    /// Second source register index.
+    #[must_use]
+    pub fn rs2(&self) -> usize {
+        ((self.0 >> 20) & 0x1f) as usize
+    }
+
+    /// `funct3` field.
+    #[must_use]
+    pub fn funct3(&self) -> u32 {
+        (self.0 >> 12) & 0x7
+    }
+
+    /// `funct7` field.
+    #[must_use]
+    pub fn funct7(&self) -> u32 {
+        self.0 >> 25
+    }
+
+    /// Major opcode.
+    #[must_use]
+    pub fn opcode(&self) -> Option<Opcode> {
+        Opcode::decode(self.0)
+    }
+
+    /// I-type immediate (sign-extended).
+    #[must_use]
+    pub fn imm_i(&self) -> i32 {
+        (self.0 as i32) >> 20
+    }
+
+    /// S-type immediate.
+    #[must_use]
+    pub fn imm_s(&self) -> i32 {
+        (((self.0 & 0xfe00_0000) as i32) >> 20) | (((self.0 >> 7) & 0x1f) as i32)
+    }
+
+    /// B-type immediate.
+    #[must_use]
+    pub fn imm_b(&self) -> i32 {
+        (((self.0 & 0x8000_0000) as i32) >> 19)
+            | (((self.0 >> 7) & 0x1) as i32) << 11
+            | (((self.0 >> 25) & 0x3f) as i32) << 5
+            | (((self.0 >> 8) & 0xf) as i32) << 1
+    }
+
+    /// U-type immediate (already shifted).
+    #[must_use]
+    pub fn imm_u(&self) -> i32 {
+        (self.0 & 0xffff_f000) as i32
+    }
+
+    /// J-type immediate.
+    #[must_use]
+    pub fn imm_j(&self) -> i32 {
+        (((self.0 & 0x8000_0000) as i32) >> 11)
+            | (((self.0 >> 12) & 0xff) as i32) << 12
+            | (((self.0 >> 20) & 0x1) as i32) << 11
+            | (((self.0 >> 21) & 0x3ff) as i32) << 1
+    }
+}
+
+/// Assembler helpers producing raw instruction words.
+pub mod encode {
+    fn r(f7: u32, rs2: usize, rs1: usize, f3: u32, rd: usize, op: u32) -> u32 {
+        (f7 << 25) | ((rs2 as u32) << 20) | ((rs1 as u32) << 15) | (f3 << 12) | ((rd as u32) << 7) | op
+    }
+
+    fn i(imm: i32, rs1: usize, f3: u32, rd: usize, op: u32) -> u32 {
+        (((imm as u32) & 0xfff) << 20) | ((rs1 as u32) << 15) | (f3 << 12) | ((rd as u32) << 7) | op
+    }
+
+    fn s(imm: i32, rs2: usize, rs1: usize, f3: u32, op: u32) -> u32 {
+        let imm = imm as u32;
+        ((imm >> 5 & 0x7f) << 25)
+            | ((rs2 as u32) << 20)
+            | ((rs1 as u32) << 15)
+            | (f3 << 12)
+            | ((imm & 0x1f) << 7)
+            | op
+    }
+
+    fn b(imm: i32, rs2: usize, rs1: usize, f3: u32) -> u32 {
+        let imm = imm as u32;
+        ((imm >> 12 & 1) << 31)
+            | ((imm >> 5 & 0x3f) << 25)
+            | ((rs2 as u32) << 20)
+            | ((rs1 as u32) << 15)
+            | (f3 << 12)
+            | ((imm >> 1 & 0xf) << 8)
+            | ((imm >> 11 & 1) << 7)
+            | 0x63
+    }
+
+    /// `ADD rd, rs1, rs2`.
+    #[must_use] pub fn add(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 0, rd, 0x33) }
+    /// `SUB rd, rs1, rs2`.
+    #[must_use] pub fn sub(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0x20, rs2, rs1, 0, rd, 0x33) }
+    /// `SLL rd, rs1, rs2`.
+    #[must_use] pub fn sll(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 1, rd, 0x33) }
+    /// `SLT rd, rs1, rs2`.
+    #[must_use] pub fn slt(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 2, rd, 0x33) }
+    /// `SLTU rd, rs1, rs2`.
+    #[must_use] pub fn sltu(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 3, rd, 0x33) }
+    /// `XOR rd, rs1, rs2`.
+    #[must_use] pub fn xor(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 4, rd, 0x33) }
+    /// `SRL rd, rs1, rs2`.
+    #[must_use] pub fn srl(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 5, rd, 0x33) }
+    /// `SRA rd, rs1, rs2`.
+    #[must_use] pub fn sra(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0x20, rs2, rs1, 5, rd, 0x33) }
+    /// `OR rd, rs1, rs2`.
+    #[must_use] pub fn or(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 6, rd, 0x33) }
+    /// `AND rd, rs1, rs2`.
+    #[must_use] pub fn and(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 7, rd, 0x33) }
+
+    /// `ADDI rd, rs1, imm`.
+    #[must_use] pub fn addi(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 0, rd, 0x13) }
+    /// `SLTI rd, rs1, imm`.
+    #[must_use] pub fn slti(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 2, rd, 0x13) }
+    /// `SLTIU rd, rs1, imm`.
+    #[must_use] pub fn sltiu(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 3, rd, 0x13) }
+    /// `XORI rd, rs1, imm`.
+    #[must_use] pub fn xori(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 4, rd, 0x13) }
+    /// `ORI rd, rs1, imm`.
+    #[must_use] pub fn ori(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 6, rd, 0x13) }
+    /// `ANDI rd, rs1, imm`.
+    #[must_use] pub fn andi(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 7, rd, 0x13) }
+    /// `SLLI rd, rs1, shamt`.
+    #[must_use] pub fn slli(rd: usize, rs1: usize, sh: u32) -> u32 { i(sh as i32, rs1, 1, rd, 0x13) }
+    /// `SRLI rd, rs1, shamt`.
+    #[must_use] pub fn srli(rd: usize, rs1: usize, sh: u32) -> u32 { i(sh as i32, rs1, 5, rd, 0x13) }
+    /// `SRAI rd, rs1, shamt`.
+    #[must_use] pub fn srai(rd: usize, rs1: usize, sh: u32) -> u32 { i((sh | 0x400) as i32, rs1, 5, rd, 0x13) }
+
+    /// `LUI rd, imm` (`imm` is the full 32-bit value with low 12 bits zero).
+    #[must_use] pub fn lui(rd: usize, imm: u32) -> u32 { (imm & 0xffff_f000) | ((rd as u32) << 7) | 0x37 }
+    /// `AUIPC rd, imm`.
+    #[must_use] pub fn auipc(rd: usize, imm: u32) -> u32 { (imm & 0xffff_f000) | ((rd as u32) << 7) | 0x17 }
+
+    /// `JAL rd, offset`.
+    #[must_use]
+    pub fn jal(rd: usize, offset: i32) -> u32 {
+        let imm = offset as u32;
+        ((imm >> 20 & 1) << 31)
+            | ((imm >> 1 & 0x3ff) << 21)
+            | ((imm >> 11 & 1) << 20)
+            | ((imm >> 12 & 0xff) << 12)
+            | ((rd as u32) << 7)
+            | 0x6f
+    }
+    /// `JALR rd, rs1, imm`.
+    #[must_use] pub fn jalr(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 0, rd, 0x67) }
+
+    /// `BEQ rs1, rs2, offset`.
+    #[must_use] pub fn beq(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 0) }
+    /// `BNE rs1, rs2, offset`.
+    #[must_use] pub fn bne(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 1) }
+    /// `BLT rs1, rs2, offset`.
+    #[must_use] pub fn blt(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 4) }
+    /// `BGE rs1, rs2, offset`.
+    #[must_use] pub fn bge(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 5) }
+    /// `BLTU rs1, rs2, offset`.
+    #[must_use] pub fn bltu(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 6) }
+    /// `BGEU rs1, rs2, offset`.
+    #[must_use] pub fn bgeu(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 7) }
+
+    /// `LB rd, offset(rs1)`.
+    #[must_use] pub fn lb(rd: usize, rs1: usize, off: i32) -> u32 { i(off, rs1, 0, rd, 0x03) }
+    /// `LH rd, offset(rs1)`.
+    #[must_use] pub fn lh(rd: usize, rs1: usize, off: i32) -> u32 { i(off, rs1, 1, rd, 0x03) }
+    /// `LW rd, offset(rs1)`.
+    #[must_use] pub fn lw(rd: usize, rs1: usize, off: i32) -> u32 { i(off, rs1, 2, rd, 0x03) }
+    /// `LBU rd, offset(rs1)`.
+    #[must_use] pub fn lbu(rd: usize, rs1: usize, off: i32) -> u32 { i(off, rs1, 4, rd, 0x03) }
+    /// `LHU rd, offset(rs1)`.
+    #[must_use] pub fn lhu(rd: usize, rs1: usize, off: i32) -> u32 { i(off, rs1, 5, rd, 0x03) }
+
+    /// `SB rs2, offset(rs1)`.
+    #[must_use] pub fn sb(rs2: usize, rs1: usize, off: i32) -> u32 { s(off, rs2, rs1, 0, 0x23) }
+    /// `SH rs2, offset(rs1)`.
+    #[must_use] pub fn sh(rs2: usize, rs1: usize, off: i32) -> u32 { s(off, rs2, rs1, 1, 0x23) }
+    /// `SW rs2, offset(rs1)`.
+    #[must_use] pub fn sw(rs2: usize, rs1: usize, off: i32) -> u32 { s(off, rs2, rs1, 2, 0x23) }
+
+    /// `NOP` (`ADDI x0, x0, 0`).
+    #[must_use] pub fn nop() -> u32 { addi(0, 0, 0) }
+    /// `EBREAK` — the cosim harness treats it as program end.
+    #[must_use] pub fn ebreak() -> u32 { 0x0010_0073 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_roundtrips() {
+        for off in [-4096i32, -2048, -2, 0, 2, 14, 2046, 4094] {
+            let w = Instr(encode::beq(1, 2, off & !1));
+            assert_eq!(w.imm_b(), off & !1, "B imm {off}");
+        }
+        for off in [-1048576i32, -4096, -2, 0, 2, 4096, 1048574] {
+            let w = Instr(encode::jal(1, off & !1));
+            assert_eq!(w.imm_j(), off & !1, "J imm {off}");
+        }
+        for imm in [-2048i32, -1, 0, 1, 2047] {
+            assert_eq!(Instr(encode::addi(3, 4, imm)).imm_i(), imm);
+            assert_eq!(Instr(encode::sw(3, 4, imm)).imm_s(), imm);
+        }
+    }
+
+    #[test]
+    fn field_extraction() {
+        let w = Instr(encode::add(5, 6, 7));
+        assert_eq!(w.rd(), 5);
+        assert_eq!(w.rs1(), 6);
+        assert_eq!(w.rs2(), 7);
+        assert_eq!(w.funct3(), 0);
+        assert_eq!(w.funct7(), 0);
+        assert_eq!(w.opcode(), Some(Opcode::Op));
+        let w = Instr(encode::sub(1, 2, 3));
+        assert_eq!(w.funct7(), 0x20);
+    }
+
+    #[test]
+    fn opcode_roundtrip() {
+        for op in [
+            Opcode::Lui, Opcode::Auipc, Opcode::Jal, Opcode::Jalr, Opcode::Branch,
+            Opcode::Load, Opcode::Store, Opcode::OpImm, Opcode::Op, Opcode::MiscMem,
+            Opcode::System,
+        ] {
+            assert_eq!(Opcode::decode(op.bits()), Some(op));
+        }
+        assert_eq!(Opcode::decode(0x7f), None);
+    }
+
+    #[test]
+    fn lui_keeps_upper_bits() {
+        let w = Instr(encode::lui(3, 0xdead_b000));
+        assert_eq!(w.imm_u() as u32, 0xdead_b000);
+        assert_eq!(w.rd(), 3);
+    }
+}

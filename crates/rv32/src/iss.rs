@@ -1,0 +1,436 @@
+use crate::isa::{Instr, Opcode};
+use std::collections::HashMap;
+
+/// Architectural effect of retiring one instruction — the golden record the
+/// cosimulation compares against the gate-level core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retire {
+    /// PC of the retired instruction.
+    pub pc: u32,
+    /// Destination register written (if any, and not x0).
+    pub rd: Option<(usize, u32)>,
+    /// Memory store performed: (address, data, byte mask).
+    pub store: Option<(u32, u32, u8)>,
+    /// Whether this instruction halts the program (`EBREAK`/`ECALL`).
+    pub halt: bool,
+}
+
+/// Error raised by the ISS on malformed programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssError {
+    /// Undecodable instruction word at the given PC.
+    IllegalInstruction {
+        /// Faulting PC.
+        pc: u32,
+        /// Raw word.
+        word: u32,
+    },
+    /// PC not 4-byte aligned after a jump/branch.
+    MisalignedPc(u32),
+    /// Halfword/word data access that crosses its natural alignment (the
+    /// single-cycle core's one-word data port cannot express it, so the
+    /// reference model traps instead of silently diverging).
+    MisalignedAccess {
+        /// Faulting PC.
+        pc: u32,
+        /// Offending data address.
+        addr: u32,
+    },
+}
+
+impl std::fmt::Display for IssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IssError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            IssError::MisalignedPc(pc) => write!(f, "misaligned pc {pc:#010x}"),
+            IssError::MisalignedAccess { pc, addr } => {
+                write!(f, "misaligned data access to {addr:#010x} at pc {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IssError {}
+
+/// Reference RV32I instruction-set simulator.
+///
+/// Word-addressed sparse memory; unwritten memory reads zero. Matches the
+/// gate-level core exactly: no traps besides decode failure, `FENCE` is a
+/// NOP, `ECALL`/`EBREAK` signal halt.
+///
+/// ```
+/// use ffet_rv32::{Iss, encode};
+///
+/// let mut iss = Iss::new();
+/// iss.load_program(0, &[encode::addi(1, 0, 42), encode::ebreak()]);
+/// let r = iss.step()?;
+/// assert_eq!(r.rd, Some((1, 42)));
+/// # Ok::<(), ffet_rv32::IssError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Iss {
+    regs: [u32; 32],
+    pc: u32,
+    mem: HashMap<u32, u32>,
+}
+
+impl Iss {
+    /// Creates an ISS with zeroed registers, PC 0, empty memory.
+    #[must_use]
+    pub fn new() -> Iss {
+        Iss::default()
+    }
+
+    /// Current PC.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Reads register `x{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[must_use]
+    pub fn reg(&self, i: usize) -> u32 {
+        self.regs[i]
+    }
+
+    /// Writes register `x{i}` (x0 stays zero).
+    pub fn set_reg(&mut self, i: usize, value: u32) {
+        if i != 0 {
+            self.regs[i] = value;
+        }
+    }
+
+    /// Word-aligned memory read (address bits 1..0 ignored).
+    #[must_use]
+    pub fn read_word(&self, addr: u32) -> u32 {
+        self.mem.get(&(addr & !3)).copied().unwrap_or(0)
+    }
+
+    /// Word-aligned memory write.
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        self.mem.insert(addr & !3, value);
+    }
+
+    /// Loads a program (sequence of instruction words) at `base`.
+    pub fn load_program(&mut self, base: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_word(base + 4 * i as u32, w);
+        }
+    }
+
+    /// Executes one instruction and returns its architectural effect.
+    ///
+    /// # Errors
+    ///
+    /// [`IssError::IllegalInstruction`] on undecodable words.
+    pub fn step(&mut self) -> Result<Retire, IssError> {
+        let pc = self.pc;
+        let word = self.read_word(pc);
+        let instr = Instr(word);
+        let op = instr.opcode().ok_or(IssError::IllegalInstruction { pc, word })?;
+        let rs1 = self.regs[instr.rs1()];
+        let rs2 = self.regs[instr.rs2()];
+        let mut next_pc = pc.wrapping_add(4);
+        let mut rd_val: Option<u32> = None;
+        let mut store: Option<(u32, u32, u8)> = None;
+        let mut halt = false;
+
+        match op {
+            Opcode::Lui => rd_val = Some(instr.imm_u() as u32),
+            Opcode::Auipc => rd_val = Some(pc.wrapping_add(instr.imm_u() as u32)),
+            Opcode::Jal => {
+                rd_val = Some(pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(instr.imm_j() as u32);
+            }
+            Opcode::Jalr => {
+                rd_val = Some(pc.wrapping_add(4));
+                next_pc = rs1.wrapping_add(instr.imm_i() as u32) & !1;
+            }
+            Opcode::Branch => {
+                let taken = match instr.funct3() {
+                    0 => rs1 == rs2,
+                    1 => rs1 != rs2,
+                    4 => (rs1 as i32) < (rs2 as i32),
+                    5 => (rs1 as i32) >= (rs2 as i32),
+                    6 => rs1 < rs2,
+                    7 => rs1 >= rs2,
+                    _ => return Err(IssError::IllegalInstruction { pc, word }),
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(instr.imm_b() as u32);
+                }
+            }
+            Opcode::Load => {
+                let addr = rs1.wrapping_add(instr.imm_i() as u32);
+                let misaligned = match instr.funct3() & 3 {
+                    1 => addr & 1 != 0,
+                    2 => addr & 3 != 0,
+                    _ => false,
+                };
+                if misaligned {
+                    return Err(IssError::MisalignedAccess { pc, addr });
+                }
+                let w = self.read_word(addr);
+                let sh = (addr & 3) * 8;
+                rd_val = Some(match instr.funct3() {
+                    0 => ((w >> sh) as u8) as i8 as i32 as u32,
+                    1 => ((w >> sh) as u16) as i16 as i32 as u32,
+                    2 => w,
+                    4 => ((w >> sh) as u8) as u32,
+                    5 => ((w >> sh) as u16) as u32,
+                    _ => return Err(IssError::IllegalInstruction { pc, word }),
+                });
+            }
+            Opcode::Store => {
+                let addr = rs1.wrapping_add(instr.imm_s() as u32);
+                let misaligned = match instr.funct3() {
+                    1 => addr & 1 != 0,
+                    2 => addr & 3 != 0,
+                    _ => false,
+                };
+                if misaligned {
+                    return Err(IssError::MisalignedAccess { pc, addr });
+                }
+                let sh = (addr & 3) * 8;
+                let (data, mask) = match instr.funct3() {
+                    0 => (rs2 << sh, 0b0001u8 << (addr & 3)),
+                    1 => (rs2 << sh, 0b0011u8 << (addr & 3)),
+                    2 => (rs2, 0b1111u8),
+                    _ => return Err(IssError::IllegalInstruction { pc, word }),
+                };
+                let old = self.read_word(addr);
+                let mut merged = old;
+                for byte in 0..4 {
+                    if mask >> byte & 1 == 1 {
+                        let m = 0xffu32 << (byte * 8);
+                        merged = (merged & !m) | (data & m);
+                    }
+                }
+                self.write_word(addr, merged);
+                store = Some((addr & !3, merged, mask));
+            }
+            Opcode::OpImm => {
+                let imm = instr.imm_i() as u32;
+                rd_val = Some(alu(instr.funct3(), word >> 30 & 1 == 1 && instr.funct3() == 5, rs1, imm));
+            }
+            Opcode::Op => {
+                let sub_or_sra = word >> 30 & 1 == 1;
+                rd_val = Some(alu(instr.funct3(), sub_or_sra, rs1, rs2));
+            }
+            Opcode::MiscMem => {}
+            Opcode::System => halt = true,
+        }
+
+        let rd = match rd_val {
+            Some(v) if instr.rd() != 0 => {
+                self.regs[instr.rd()] = v;
+                Some((instr.rd(), v))
+            }
+            _ => None,
+        };
+        if !next_pc.is_multiple_of(4) {
+            return Err(IssError::MisalignedPc(next_pc));
+        }
+        self.pc = next_pc;
+        Ok(Retire {
+            pc,
+            rd,
+            store,
+            halt,
+        })
+    }
+
+    /// Runs until `EBREAK`/`ECALL` or `max_steps` instructions, returning
+    /// the retire trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IssError`] from [`step`](Self::step).
+    pub fn run(&mut self, max_steps: usize) -> Result<Vec<Retire>, IssError> {
+        let mut trace = Vec::new();
+        for _ in 0..max_steps {
+            let r = self.step()?;
+            let halt = r.halt;
+            trace.push(r);
+            if halt {
+                break;
+            }
+        }
+        Ok(trace)
+    }
+}
+
+/// The RV32I ALU function table shared by OP and OP-IMM.
+fn alu(funct3: u32, alt: bool, a: u32, b: u32) -> u32 {
+    match funct3 {
+        0 => {
+            if alt {
+                a.wrapping_sub(b)
+            } else {
+                a.wrapping_add(b)
+            }
+        }
+        1 => a << (b & 0x1f),
+        2 => u32::from((a as i32) < (b as i32)),
+        3 => u32::from(a < b),
+        4 => a ^ b,
+        5 => {
+            if alt {
+                ((a as i32) >> (b & 0x1f)) as u32
+            } else {
+                a >> (b & 0x1f)
+            }
+        }
+        6 => a | b,
+        7 => a & b,
+        _ => unreachable!("funct3 is 3 bits"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::encode::*;
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let mut iss = Iss::new();
+        iss.load_program(
+            0,
+            &[
+                addi(1, 0, 100),
+                addi(2, 0, -3),
+                add(3, 1, 2),  // 97
+                sub(4, 1, 2),  // 103
+                and(5, 1, 2),
+                or(6, 1, 2),
+                xor(7, 1, 2),
+                slt(8, 2, 1),  // -3 < 100 → 1
+                sltu(9, 2, 1), // 0xfffffffd < 100 → 0
+                ebreak(),
+            ],
+        );
+        iss.run(100).unwrap();
+        assert_eq!(iss.reg(3), 97);
+        assert_eq!(iss.reg(4), 103);
+        assert_eq!(iss.reg(5), 100 & (-3i32 as u32));
+        assert_eq!(iss.reg(6), 100 | (-3i32 as u32));
+        assert_eq!(iss.reg(7), 100 ^ (-3i32 as u32));
+        assert_eq!(iss.reg(8), 1);
+        assert_eq!(iss.reg(9), 0);
+    }
+
+    #[test]
+    fn shifts() {
+        let mut iss = Iss::new();
+        iss.load_program(
+            0,
+            &[
+                addi(1, 0, -8), // 0xfffffff8
+                slli(2, 1, 4),
+                srli(3, 1, 4),
+                srai(4, 1, 4),
+                ebreak(),
+            ],
+        );
+        iss.run(100).unwrap();
+        assert_eq!(iss.reg(2), 0xffff_ff80);
+        assert_eq!(iss.reg(3), 0x0fff_ffff);
+        assert_eq!(iss.reg(4), 0xffff_ffff);
+    }
+
+    #[test]
+    fn branches_and_jumps() {
+        let mut iss = Iss::new();
+        // Loop: x1 counts 0..5.
+        iss.load_program(
+            0,
+            &[
+                addi(1, 0, 0),     // 0x00
+                addi(2, 0, 5),     // 0x04
+                addi(1, 1, 1),     // 0x08 loop:
+                bne(1, 2, -4),     // 0x0c
+                jal(3, 8),         // 0x10 → 0x18, x3 = 0x14
+                nop(),             // 0x14 skipped
+                ebreak(),          // 0x18
+            ],
+        );
+        let trace = iss.run(100).unwrap();
+        assert_eq!(iss.reg(1), 5);
+        assert_eq!(iss.reg(3), 0x14);
+        // The EBREAK at 0x18 is the last retired instruction.
+        assert_eq!(trace.last().unwrap().pc, 0x18);
+        assert!(trace.last().unwrap().halt);
+    }
+
+    #[test]
+    fn loads_and_stores_subword() {
+        let mut iss = Iss::new();
+        iss.load_program(
+            0,
+            &[
+                lui(1, 0x1000_0000),     // base address
+                addi(2, 0, -2),          // 0xfffffffe
+                sw(2, 1, 0),
+                lb(3, 1, 0),             // 0xfe sign-extended
+                lbu(4, 1, 0),
+                lh(5, 1, 0),
+                lhu(6, 1, 0),
+                addi(7, 0, 0x55),
+                sb(7, 1, 1),             // overwrite byte 1
+                lw(8, 1, 0),
+                ebreak(),
+            ],
+        );
+        iss.run(100).unwrap();
+        assert_eq!(iss.reg(3), 0xffff_fffe);
+        assert_eq!(iss.reg(4), 0xfe);
+        assert_eq!(iss.reg(5), 0xffff_fffe);
+        assert_eq!(iss.reg(6), 0xfffe);
+        assert_eq!(iss.reg(8), 0xffff_55fe);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut iss = Iss::new();
+        iss.load_program(0, &[addi(0, 0, 123), add(1, 0, 0), ebreak()]);
+        iss.run(10).unwrap();
+        assert_eq!(iss.reg(0), 0);
+        assert_eq!(iss.reg(1), 0);
+    }
+
+    #[test]
+    fn lui_auipc() {
+        let mut iss = Iss::new();
+        iss.load_program(0, &[lui(1, 0xabcd_e000), auipc(2, 0x1000), ebreak()]);
+        iss.run(10).unwrap();
+        assert_eq!(iss.reg(1), 0xabcd_e000);
+        assert_eq!(iss.reg(2), 4 + 0x1000);
+    }
+
+    #[test]
+    fn jalr_clears_bit0() {
+        let mut iss = Iss::new();
+        iss.load_program(0, &[addi(1, 0, 9), jalr(2, 1, 0), nop(), ebreak()]);
+        iss.step().unwrap();
+        iss.step().unwrap();
+        assert_eq!(iss.pc(), 8);
+        assert_eq!(iss.reg(2), 8);
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        let mut iss = Iss::new();
+        iss.write_word(0, 0xffff_ffff);
+        assert!(matches!(
+            iss.step(),
+            Err(IssError::IllegalInstruction { pc: 0, .. })
+        ));
+    }
+}

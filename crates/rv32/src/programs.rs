@@ -1,0 +1,341 @@
+//! Directed and random RV32I test programs for verification.
+
+use crate::isa::encode::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Iterative Fibonacci: leaves `fib(n)` in x10 and a scratch table in
+/// memory at 0x100.
+#[must_use]
+pub fn fibonacci(n: u32) -> Vec<u32> {
+    vec![
+        addi(1, 0, 0),          // x1 = fib(i)
+        addi(2, 0, 1),          // x2 = fib(i+1)
+        addi(3, 0, n as i32),   // counter
+        addi(4, 0, 0x100),      // table base
+        // loop:
+        beq(3, 0, 32),          // while counter != 0, else jump to done
+        add(5, 1, 2),
+        addi(1, 2, 0),
+        addi(2, 5, 0),
+        sw(1, 4, 0),
+        addi(4, 4, 4),
+        addi(3, 3, -1),
+        jal(0, -28),
+        // done:
+        addi(10, 1, 0),
+        ebreak(),
+    ]
+}
+
+/// Sums the integers 1..=n with a branch loop; result in x10.
+#[must_use]
+pub fn sum_loop(n: i32) -> Vec<u32> {
+    vec![
+        addi(1, 0, 0),
+        addi(2, 0, n),
+        // loop:
+        beq(2, 0, 16),
+        add(1, 1, 2),
+        addi(2, 2, -1),
+        jal(0, -12),
+        // done:
+        addi(10, 1, 0),
+        ebreak(),
+    ]
+}
+
+/// Byte/halfword memory stress: writes a pattern with SB/SH, reads it back
+/// with every load flavour, and accumulates a checksum in x10.
+#[must_use]
+pub fn memory_stress() -> Vec<u32> {
+    vec![
+        lui(1, 0x0000_1000),  // base = 0x1000
+        addi(2, 0, -86),      // 0xAA pattern (sign-extended)
+        sb(2, 1, 0),
+        sb(2, 1, 1),
+        addi(3, 0, 0x355),
+        sh(3, 1, 2),
+        lw(4, 1, 0),
+        lb(5, 1, 0),
+        lbu(6, 1, 1),
+        lh(7, 1, 2),
+        lhu(8, 1, 0),
+        add(10, 4, 5),
+        add(10, 10, 6),
+        add(10, 10, 7),
+        add(10, 10, 8),
+        sw(10, 1, 8),
+        ebreak(),
+    ]
+}
+
+/// Exercises every ALU operation and both shift kinds; checksum in x10.
+#[must_use]
+pub fn alu_torture() -> Vec<u32> {
+    let mut p = vec![
+        lui(1, 0xdead_b000),
+        addi(1, 1, 0x6ef),
+        lui(2, 0x1234_5000),
+        addi(2, 2, 0x678),
+        addi(10, 0, 0),
+    ];
+    for mk in [add, sub, sll, slt, sltu, xor, srl, sra, or, and] {
+        p.push(mk(3, 1, 2));
+        p.push(add(10, 10, 3));
+    }
+    for (mk, imm) in [
+        (addi as fn(usize, usize, i32) -> u32, -1905i32),
+        (slti, 100),
+        (sltiu, -1),
+        (xori, 0x7ff),
+        (ori, 0x555),
+        (andi, -256),
+    ] {
+        p.push(mk(3, 1, imm));
+        p.push(add(10, 10, 3));
+    }
+    for (mk, sh) in [
+        (slli as fn(usize, usize, u32) -> u32, 13u32),
+        (srli, 7),
+        (srai, 19),
+    ] {
+        p.push(mk(3, 1, sh));
+        p.push(add(10, 10, 3));
+    }
+    p.push(ebreak());
+    p
+}
+
+/// Branch/jump torture: every branch kind in taken and not-taken flavours,
+/// plus JAL/JALR link-register checks; checksum in x10.
+#[must_use]
+pub fn branch_torture() -> Vec<u32> {
+    vec![
+        addi(1, 0, 5),
+        addi(2, 0, -5),
+        addi(10, 0, 0),
+        // beq not taken, bne taken.
+        beq(1, 2, 8),
+        addi(10, 10, 1),
+        bne(1, 2, 8),
+        addi(10, 10, 100), // skipped
+        // blt: -5 < 5 taken.
+        blt(2, 1, 8),
+        addi(10, 10, 100), // skipped
+        // bltu: 0xfffffffb < 5 is false → not taken.
+        bltu(2, 1, 8),
+        addi(10, 10, 2),
+        // bge: 5 >= -5 taken.
+        bge(1, 2, 8),
+        addi(10, 10, 100), // skipped
+        // bgeu: 5 >= 0xfffffffb false → not taken.
+        bgeu(1, 2, 8),
+        addi(10, 10, 4),
+        // jal skips one instruction, link x5 = 0x40.
+        jal(5, 8),
+        addi(10, 10, 100), // 0x40, skipped
+        add(10, 10, 5),    // 0x44, += link address
+        // jalr via register to the final ebreak.
+        addi(6, 0, 0x54),
+        jalr(7, 6, 0),
+        addi(10, 10, 100), // 0x50, skipped
+        ebreak(),          // 0x54
+    ]
+}
+
+/// Euclid's GCD of two constants by repeated subtraction; result in x10.
+#[must_use]
+pub fn gcd(a: i32, b: i32) -> Vec<u32> {
+    vec![
+        addi(1, 0, a),
+        addi(2, 0, b),
+        // loop: while a != b
+        beq(1, 2, 24),      // 0x08 → done at 0x20
+        blt(1, 2, 12),      // 0x0c → swap-subtract at 0x18
+        sub(1, 1, 2),       // 0x10: a -= b
+        jal(0, -12),        // 0x14 → loop
+        sub(2, 2, 1),       // 0x18: b -= a
+        jal(0, -20),        // 0x1c → loop
+        addi(10, 1, 0),     // 0x20 done:
+        ebreak(),
+    ]
+}
+
+/// Copies a block of words with LW/SW in a loop, then checksums the
+/// destination; checksum in x10.
+#[must_use]
+pub fn memcpy_checksum(words: usize) -> Vec<u32> {
+    let n = words as i32;
+    let mut p = vec![
+        lui(1, 0x0000_1000),  // src
+        lui(2, 0x0000_2000),  // dst
+        addi(3, 0, n),        // count
+        addi(4, 0, 1),        // value seed
+    ];
+    // Fill source with a recognisable ramp.
+    p.extend([
+        // fill: 0x10
+        beq(3, 0, 24),        // → copy setup at +24
+        sw(4, 1, 0),
+        addi(1, 1, 4),
+        addi(4, 4, 3),
+        addi(3, 3, -1),
+        jal(0, -20),
+        // copy setup: 0x28
+        lui(1, 0x0000_1000),
+        addi(3, 0, n),
+    ]);
+    p.extend([
+        // copy loop: 0x30
+        beq(3, 0, 28),        // → checksum setup at +28
+        lw(5, 1, 0),
+        sw(5, 2, 0),
+        addi(1, 1, 4),
+        addi(2, 2, 4),
+        addi(3, 3, -1),
+        jal(0, -24),
+        // checksum setup: 0x4c
+        lui(2, 0x0000_2000),
+        addi(3, 0, n),
+        addi(10, 0, 0),
+    ]);
+    p.extend([
+        // checksum loop: 0x58
+        beq(3, 0, 24),        // → done at +24
+        lw(5, 2, 0),
+        add(10, 10, 5),
+        addi(2, 2, 4),
+        addi(3, 3, -1),
+        jal(0, -20),
+        // done: 0x70
+        ebreak(),
+    ]);
+    p
+}
+
+/// Generates a random but safe instruction mix: ALU ops over x1–x15 with
+/// occasional word-aligned loads/stores into a scratch page, ending in
+/// `EBREAK`. Forward-only short branches keep the control flow bounded.
+#[must_use]
+pub fn random_program(seed: u64, len: usize) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p: Vec<u32> = vec![
+        lui(15, 0x0000_2000), // scratch base in x15
+    ];
+    while p.len() < len {
+        let rd = rng.random_range(1..15usize);
+        let rs1 = rng.random_range(0..15usize);
+        let rs2 = rng.random_range(0..15usize);
+        match rng.random_range(0..10u32) {
+            0 => p.push(addi(rd, rs1, rng.random_range(-2048..2048))),
+            1 => p.push(add(rd, rs1, rs2)),
+            2 => p.push(sub(rd, rs1, rs2)),
+            3 => p.push(xor(rd, rs1, rs2)),
+            4 => match rng.random_range(0..3) {
+                0 => p.push(sll(rd, rs1, rs2)),
+                1 => p.push(srl(rd, rs1, rs2)),
+                _ => p.push(sra(rd, rs1, rs2)),
+            },
+            5 => p.push(slt(rd, rs1, rs2)),
+            6 => p.push(lui(rd, rng.random::<u32>())),
+            7 => {
+                // Word-aligned store then load within the scratch page.
+                let off = rng.random_range(0..64) * 4;
+                p.push(sw(rs2, 15, off));
+                p.push(lw(rd, 15, off));
+            }
+            8 => {
+                // Short forward branch over one instruction.
+                let kind = rng.random_range(0..4);
+                let branch = match kind {
+                    0 => beq(rs1, rs2, 8),
+                    1 => bne(rs1, rs2, 8),
+                    2 => blt(rs1, rs2, 8),
+                    _ => bgeu(rs1, rs2, 8),
+                };
+                p.push(branch);
+                p.push(addi(rd, rd, 1));
+            }
+            _ => {
+                // Sub-word memory op, byte-aligned within the page.
+                let off = rng.random_range(0..255);
+                p.push(sb(rs2, 15, off));
+                p.push(lbu(rd, 15, off));
+            }
+        }
+    }
+    p.push(ebreak());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iss::Iss;
+
+    #[test]
+    fn fibonacci_reference_result() {
+        let mut iss = Iss::new();
+        iss.load_program(0, &fibonacci(10));
+        iss.run(1000).unwrap();
+        assert_eq!(iss.reg(10), 55);
+        // Table contains the intermediate values.
+        assert_eq!(iss.read_word(0x100), 1);
+        assert_eq!(iss.read_word(0x104), 1);
+        assert_eq!(iss.read_word(0x108), 2);
+    }
+
+    #[test]
+    fn sum_loop_reference_result() {
+        let mut iss = Iss::new();
+        iss.load_program(0, &sum_loop(100));
+        iss.run(1000).unwrap();
+        assert_eq!(iss.reg(10), 5050);
+    }
+
+    #[test]
+    fn branch_torture_checksum() {
+        let mut iss = Iss::new();
+        iss.load_program(0, &branch_torture());
+        let trace = iss.run(100).unwrap();
+        assert!(trace.last().unwrap().halt);
+        // No skipped instruction contributed its +100.
+        assert!(iss.reg(10) < 100, "x10 = {}", iss.reg(10));
+        assert_eq!(iss.reg(10), 1 + 2 + 4 + 0x40);
+    }
+
+    #[test]
+    fn gcd_reference_results() {
+        for (a, b, expect) in [(48, 36, 12), (17, 5, 1), (100, 100, 100), (21, 14, 7)] {
+            let mut iss = Iss::new();
+            iss.load_program(0, &gcd(a, b));
+            iss.run(2_000).unwrap();
+            assert_eq!(iss.reg(10), expect as u32, "gcd({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn memcpy_checksum_reference_result() {
+        let mut iss = Iss::new();
+        iss.load_program(0, &memcpy_checksum(8));
+        let trace = iss.run(5_000).unwrap();
+        assert!(trace.last().unwrap().halt);
+        // Ramp 1, 4, 7, … (step 3), 8 terms → 8·1 + 3·(0+1+…+7) = 92.
+        assert_eq!(iss.reg(10), 92);
+        // Destination actually holds the copy.
+        assert_eq!(iss.read_word(0x2000), 1);
+        assert_eq!(iss.read_word(0x2004), 4);
+    }
+
+    #[test]
+    fn random_programs_halt_on_iss() {
+        for seed in 0..4u64 {
+            let prog = random_program(seed, 60);
+            let mut iss = Iss::new();
+            iss.load_program(0, &prog);
+            let trace = iss.run(500).unwrap();
+            assert!(trace.last().unwrap().halt, "seed {seed} did not halt");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Gate-level 32×32 register file with two read ports and one write port.
+
+use crate::bus::{decode, mux_word, Consts, Word};
+use ffet_netlist::{NetId, NetlistBuilder};
+
+/// The register file's build products.
+pub struct Regfile {
+    /// Read data for port 1 (`rs1`).
+    pub rdata1: Word,
+    /// Read data for port 2 (`rs2`).
+    pub rdata2: Word,
+    /// Number of flip-flops instantiated.
+    pub dff_count: usize,
+}
+
+/// Builds the register file: 31 real registers (x0 reads as zero) of
+/// `xlen` DFFs each, write-enable recirculation muxes, a 5→32 write
+/// decoder, and two 32:1 read mux trees per bit.
+///
+/// This block dominates the core's gate count — exactly the DFF/MUX-heavy
+/// profile that lets the FFET Split Gate cells pay off at block level.
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)] // register-indexed loops; the port list IS the interface
+pub fn build_regfile(
+    b: &mut NetlistBuilder<'_>,
+    consts: &Consts,
+    clk: NetId,
+    we: NetId,
+    waddr: &[NetId],
+    wdata: &[NetId],
+    raddr1: &[NetId],
+    raddr2: &[NetId],
+) -> Regfile {
+    assert_eq!(waddr.len(), 5);
+    assert_eq!(raddr1.len(), 5);
+    assert_eq!(raddr2.len(), 5);
+    let xlen = wdata.len();
+
+    // One-hot write select, gated by the global write enable. Slot 0 is
+    // unused (x0 is constant) but kept for index alignment.
+    let onehot = decode(b, waddr);
+    let write_sel: Vec<NetId> = onehot.iter().map(|&h| b.and2(h, we)).collect();
+
+    // Registers x1..x31: q -> recirculation mux -> dff.
+    let mut dff_count = 0;
+    let zero_word = consts.word(0, xlen);
+    let mut regs: Vec<Word> = Vec::with_capacity(32);
+    regs.push(zero_word);
+    for r in 1..32 {
+        let q: Word = (0..xlen)
+            .map(|bit| b.netlist_mut().add_net(format!("x{r}_q[{bit}]")))
+            .collect();
+        let d = mux_word(b, &q, wdata, write_sel[r]);
+        for bit in 0..xlen {
+            use ffet_cells::{CellFunction, CellKind, DriveStrength};
+            let dff = b
+                .library()
+                .id(CellKind::new(CellFunction::Dff, DriveStrength::D1))
+                .expect("DFFD1 in library");
+            let name = format!("x{r}_dff_{bit}");
+            let library = b.library();
+            b.netlist_mut()
+                .add_instance(library, name, dff, &[Some(d[bit]), Some(clk), Some(q[bit])]);
+            dff_count += 1;
+        }
+        regs.push(q);
+    }
+
+    let rdata1 = read_port(b, &regs, raddr1);
+    let rdata2 = read_port(b, &regs, raddr2);
+    Regfile {
+        rdata1,
+        rdata2,
+        dff_count,
+    }
+}
+
+/// 32:1 read mux tree (5 levels of 2:1 muxes per bit).
+fn read_port(b: &mut NetlistBuilder<'_>, regs: &[Word], raddr: &[NetId]) -> Word {
+    let mut level: Vec<Word> = regs.to_vec();
+    for &sel in raddr {
+        level = level
+            .chunks(2)
+            .map(|pair| mux_word(b, &pair[0], &pair[1], sel))
+            .collect();
+    }
+    assert_eq!(level.len(), 1);
+    level.pop().expect("root of mux tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_cells::Library;
+    use ffet_netlist::Simulator;
+    use ffet_tech::Technology;
+
+    #[test]
+    fn write_then_read_back() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "rf");
+        let clk = b.input("clk");
+        let we = b.input("we");
+        let waddr = b.input_bus("waddr", 5);
+        let wdata = b.input_bus("wdata", 8); // narrow for test speed
+        let raddr1 = b.input_bus("raddr1", 5);
+        let raddr2 = b.input_bus("raddr2", 5);
+        let consts = Consts::new(&mut b);
+        let rf = build_regfile(&mut b, &consts, clk, we, &waddr, &wdata, &raddr1, &raddr2);
+        b.output_bus("rdata1", &rf.rdata1);
+        b.output_bus("rdata2", &rf.rdata2);
+        let nl = b.finish();
+        assert_eq!(rf.dff_count, 31 * 8);
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        sim.reset_state(false);
+
+        // Write 0xAB to x5 and 0x3C to x31.
+        for (r, v) in [(5u64, 0xABu64), (31, 0x3C)] {
+            sim.set(we, true);
+            sim.set_bus(&waddr, r);
+            sim.set_bus(&wdata, v);
+            sim.settle();
+            sim.clock_edge();
+        }
+        sim.set(we, false);
+        sim.set_bus(&raddr1, 5);
+        sim.set_bus(&raddr2, 31);
+        sim.settle();
+        assert_eq!(sim.get_bus(&rf.rdata1), 0xAB);
+        assert_eq!(sim.get_bus(&rf.rdata2), 0x3C);
+
+        // x0 reads zero even after an attempted write.
+        sim.set(we, true);
+        sim.set_bus(&waddr, 0);
+        sim.set_bus(&wdata, 0xFF);
+        sim.settle();
+        sim.clock_edge();
+        sim.set_bus(&raddr1, 0);
+        sim.settle();
+        assert_eq!(sim.get_bus(&rf.rdata1), 0);
+    }
+
+    #[test]
+    fn write_disabled_holds_value() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "rf");
+        let clk = b.input("clk");
+        let we = b.input("we");
+        let waddr = b.input_bus("waddr", 5);
+        let wdata = b.input_bus("wdata", 4);
+        let raddr1 = b.input_bus("raddr1", 5);
+        let raddr2 = b.input_bus("raddr2", 5);
+        let consts = Consts::new(&mut b);
+        let rf = build_regfile(&mut b, &consts, clk, we, &waddr, &wdata, &raddr1, &raddr2);
+        b.output_bus("rdata1", &rf.rdata1);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl, &lib).unwrap();
+        sim.reset_state(false);
+        sim.set(we, true);
+        sim.set_bus(&waddr, 7);
+        sim.set_bus(&wdata, 0x9);
+        sim.settle();
+        sim.clock_edge();
+        // Now disable writes and try to clobber.
+        sim.set(we, false);
+        sim.set_bus(&wdata, 0x6);
+        sim.settle();
+        sim.clock_edge();
+        sim.set_bus(&raddr1, 7);
+        sim.settle();
+        assert_eq!(sim.get_bus(&rf.rdata1), 0x9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Static timing analysis and power analysis over extracted parasitics.
+//!
+//! Mirrors the final stage of the paper's framework ("power and achieved
+//! frequency is analyzed by commercially available tools based on the RC
+//! net of the block"): NLDM cell delays from [`ffet_liberty`], Elmore wire
+//! delays from [`ffet_rcx`], setup closure at the flip-flops, and an
+//! activity-based power model.
+//!
+//! # Example
+//!
+//! ```
+//! use ffet_cells::Library;
+//! use ffet_netlist::NetlistBuilder;
+//! use ffet_sta::{analyze_timing, StaConfig};
+//! use ffet_tech::Technology;
+//!
+//! let lib = Library::new(Technology::ffet_3p5t());
+//! let mut b = NetlistBuilder::new(&lib, "t");
+//! let clk = b.input("clk");
+//! let x = b.input("x");
+//! let y = b.not(x);
+//! let q = b.dff(y, clk);
+//! b.output("q", q);
+//! let nl = b.finish();
+//! let parasitics = vec![None; nl.nets().len()];
+//! let report = analyze_timing(&nl, &lib, &parasitics, &StaConfig::default())?;
+//! assert!(report.max_frequency_ghz > 1.0);
+//! # Ok::<(), ffet_netlist::CombLoopError>(())
+//! ```
+
+mod power;
+mod timing;
+
+pub use power::{analyze_power, PowerReport};
+pub use timing::{analyze_timing, TimingReport};
+
+/// Analysis conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaConfig {
+    /// Clock period for slack reporting, ps.
+    pub clock_period_ps: f64,
+    /// Switching-activity factor of signal nets (clock nets use 2.0).
+    pub activity: f64,
+    /// Slew assumed at primary inputs and clock pins, ps.
+    pub input_slew_ps: f64,
+}
+
+impl Default for StaConfig {
+    fn default() -> StaConfig {
+        StaConfig {
+            clock_period_ps: 666.7, // 1.5 GHz, the paper's main target
+            activity: 0.15,
+            input_slew_ps: 10.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_cells::Library;
+    use ffet_netlist::{Netlist, NetlistBuilder};
+    use ffet_rcx::{NetParasitics, SinkParasitics};
+    use ffet_tech::Technology;
+
+    fn pipeline(lib: &Library, depth: usize) -> Netlist {
+        let mut b = NetlistBuilder::new(lib, "pipe");
+        let clk = b.input("clk");
+        b.netlist_mut().mark_clock(clk);
+        let x = b.input("x");
+        let mut v = b.dff(x, clk);
+        for _ in 0..depth {
+            v = b.not(v);
+        }
+        let q = b.dff(v, clk);
+        b.output("q", q);
+        b.finish()
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let shallow = pipeline(&lib, 2);
+        let deep = pipeline(&lib, 20);
+        let cfg = StaConfig::default();
+        let none_s = vec![None; shallow.nets().len()];
+        let none_d = vec![None; deep.nets().len()];
+        let rs = analyze_timing(&shallow, &lib, &none_s, &cfg).unwrap();
+        let rd = analyze_timing(&deep, &lib, &none_d, &cfg).unwrap();
+        // Both share the clk→Q + setup constant; the deep pipe adds ~18
+        // more inverter stages of combinational delay on top.
+        assert!(rd.critical_path_ps > rs.critical_path_ps * 2.0);
+        assert!(rd.max_frequency_ghz < rs.max_frequency_ghz);
+        assert_eq!(rs.endpoints, 2 + 1); // 2 DFF D pins + 1 output port
+    }
+
+    #[test]
+    fn wire_parasitics_slow_the_path() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let nl = pipeline(&lib, 4);
+        let cfg = StaConfig::default();
+        let no_wires = vec![None; nl.nets().len()];
+        let base = analyze_timing(&nl, &lib, &no_wires, &cfg).unwrap();
+        // Give every net a hefty wire.
+        let heavy: Vec<Option<NetParasitics>> = nl
+            .nets()
+            .iter()
+            .map(|n| {
+                Some(NetParasitics {
+                    name: n.name.clone(),
+                    total_cap_ff: 5.0,
+                    sinks: n
+                        .sinks
+                        .iter()
+                        .map(|_| SinkParasitics {
+                            path_res_kohm: 0.5,
+                            wire_elmore_ps: 3.0,
+                            connected: true,
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        let loaded = analyze_timing(&nl, &lib, &heavy, &cfg).unwrap();
+        assert!(loaded.critical_path_ps > base.critical_path_ps + 10.0);
+    }
+
+    #[test]
+    fn wns_matches_period_minus_critical() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let nl = pipeline(&lib, 10);
+        let cfg = StaConfig {
+            clock_period_ps: 100.0,
+            ..StaConfig::default()
+        };
+        let none = vec![None; nl.nets().len()];
+        let r = analyze_timing(&nl, &lib, &none, &cfg).unwrap();
+        assert!((r.wns_ps - (100.0 - r.critical_path_ps)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_scales_with_frequency_and_activity() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let nl = pipeline(&lib, 8);
+        let cfg = StaConfig::default();
+        let none = vec![None; nl.nets().len()];
+        let p1 = analyze_power(&nl, &lib, &none, &cfg, 1.0);
+        let p2 = analyze_power(&nl, &lib, &none, &cfg, 2.0);
+        assert!(p2.switching_mw > p1.switching_mw * 1.9);
+        assert!((p2.leakage_mw - p1.leakage_mw).abs() < 1e-12, "leakage is static");
+        let hot = StaConfig {
+            activity: 0.5,
+            ..StaConfig::default()
+        };
+        let p3 = analyze_power(&nl, &lib, &none, &hot, 1.0);
+        // Clock power is activity-independent; data switching scales by
+        // exactly 0.5/0.15.
+        let data1 = p1.switching_mw - p1.clock_mw;
+        let data3 = p3.switching_mw - p3.clock_mw;
+        assert!((data3 / data1 - 0.5 / 0.15).abs() < 0.01, "ratio {}", data3 / data1);
+        assert!(p1.total_mw() > 0.0);
+    }
+
+    #[test]
+    fn clock_nets_contribute_clock_power() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let nl = pipeline(&lib, 4);
+        let cfg = StaConfig::default();
+        let none = vec![None; nl.nets().len()];
+        let p = analyze_power(&nl, &lib, &none, &cfg, 1.5);
+        assert!(p.clock_mw > 0.0);
+        assert!(p.clock_mw <= p.switching_mw + p.internal_mw + 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+use crate::StaConfig;
+use ffet_cells::Library;
+use ffet_liberty::VDD;
+use ffet_netlist::Netlist;
+use ffet_rcx::NetParasitics;
+
+/// Power analysis results, mW.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Net-switching power (wire + pin caps), mW.
+    pub switching_mw: f64,
+    /// Cell-internal power (short-circuit + intra-cell caps), mW.
+    pub internal_mw: f64,
+    /// Leakage power, mW.
+    pub leakage_mw: f64,
+    /// Clock-network share of switching+internal, mW (reporting).
+    pub clock_mw: f64,
+}
+
+impl PowerReport {
+    /// Total power, mW.
+    #[must_use]
+    pub fn total_mw(&self) -> f64 {
+        self.switching_mw + self.internal_mw + self.leakage_mw
+    }
+
+    /// Power efficiency in GHz/mW at a given frequency — the paper's
+    /// Fig. 13 metric.
+    #[must_use]
+    pub fn efficiency_ghz_per_mw(&self, freq_ghz: f64) -> f64 {
+        freq_ghz / self.total_mw()
+    }
+}
+
+/// Runs power analysis at operating frequency `freq_ghz`.
+///
+/// * Switching: `α · C_net · VDD² · f` per net, with `α` the configured
+///   activity (clock nets switch twice per cycle, `α = 2`).
+/// * Internal: `α · E_transition(slew, load) · f` per cell.
+/// * Leakage: library leakage, frequency-independent.
+///
+/// `fJ × GHz = µW`; results are reported in mW.
+#[must_use]
+pub fn analyze_power(
+    netlist: &Netlist,
+    library: &Library,
+    parasitics: &[Option<NetParasitics>],
+    config: &StaConfig,
+    freq_ghz: f64,
+) -> PowerReport {
+    let mut switching_uw = 0.0f64;
+    let mut clock_uw = 0.0f64;
+    for (ni, net) in netlist.nets().iter().enumerate() {
+        let mut cap = parasitics
+            .get(ni)
+            .and_then(|p| p.as_ref())
+            .map_or(0.0, |p| p.total_cap_ff);
+        for s in &net.sinks {
+            let cell = library.cell(netlist.instances()[s.inst.0 as usize].cell);
+            cap += cell.input_cap(s.pin.min(cell.timing.input_caps.len().saturating_sub(1)));
+        }
+        let activity = if net.is_clock { 2.0 } else { config.activity };
+        let p = activity * cap * VDD * VDD * freq_ghz;
+        switching_uw += p;
+        if net.is_clock {
+            clock_uw += p;
+        }
+    }
+
+    let mut internal_uw = 0.0f64;
+    let mut leakage_uw = 0.0f64;
+    for inst in netlist.instances() {
+        let cell = library.cell(inst.cell);
+        leakage_uw += cell.timing.leakage_nw / 1000.0;
+        if cell.timing.arcs.is_empty() {
+            continue;
+        }
+        let out_load = cell
+            .output_pin()
+            .and_then(|op| inst.conns.get(op).copied().flatten())
+            .map_or(1.0, |net| {
+                parasitics
+                    .get(net.0 as usize)
+                    .and_then(|p| p.as_ref())
+                    .map_or(1.0, |p| p.total_cap_ff)
+            });
+        let is_clock_cell = inst
+            .conns
+            .iter()
+            .flatten()
+            .any(|n| netlist.nets()[n.0 as usize].is_clock)
+            && cell.kind.function == ffet_cells::CellFunction::ClkBuf;
+        let activity = if is_clock_cell { 2.0 } else { config.activity };
+        let e = cell.timing.transition_energy(config.input_slew_ps, out_load);
+        let p = activity * e * freq_ghz;
+        internal_uw += p;
+        if is_clock_cell {
+            clock_uw += p;
+        }
+    }
+
+    PowerReport {
+        switching_mw: switching_uw / 1000.0,
+        internal_mw: internal_uw / 1000.0,
+        leakage_mw: leakage_uw / 1000.0,
+        clock_mw: clock_uw / 1000.0,
+    }
+}

@@ -1,0 +1,242 @@
+use crate::StaConfig;
+use ffet_cells::{CellFunction, Library};
+use ffet_netlist::{levelize, CombLoopError, Netlist, PinRef, PortDirection};
+use ffet_rcx::NetParasitics;
+use std::collections::HashMap;
+
+/// One stage of the reported critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Net the stage drives.
+    pub net: String,
+    /// Arrival time at the net's driver output, ps.
+    pub arrival_ps: f64,
+    /// Cell delay contributed by this stage, ps.
+    pub cell_delay_ps: f64,
+    /// Wire delay from the previous stage's output to this stage's input,
+    /// ps.
+    pub wire_delay_ps: f64,
+    /// Driving cell name.
+    pub cell: String,
+    /// Fanout of the net.
+    pub fanout: usize,
+}
+
+/// Timing analysis results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Longest register-to-register / port-to-register path including
+    /// setup, ps.
+    pub critical_path_ps: f64,
+    /// Maximum operating frequency, GHz.
+    pub max_frequency_ghz: f64,
+    /// Worst slack at the configured clock period, ps (negative = failing).
+    pub wns_ps: f64,
+    /// Number of timing endpoints (DFF D pins + output ports).
+    pub endpoints: usize,
+    /// Name of the net driving the critical endpoint.
+    pub critical_net: String,
+    /// The critical path, source first (for timing debug and reports).
+    pub path: Vec<PathStep>,
+}
+
+/// Runs static timing analysis.
+///
+/// Arrival times start at primary inputs and DFF clock-to-Q arcs, propagate
+/// through NLDM cell delays (slew- and load-dependent) plus Elmore wire
+/// delays from the extracted parasitics, and close at DFF D pins (with
+/// setup) and output ports. The clock is ideal (CTS buffers exist for
+/// power; skew is not modelled).
+///
+/// `parasitics[net]` must have its sinks in `net.sinks` order; `None`
+/// falls back to zero wire parasitics (unplaced/unrouted evaluation).
+///
+/// # Errors
+///
+/// Propagates [`CombLoopError`] from levelization.
+pub fn analyze_timing(
+    netlist: &Netlist,
+    library: &Library,
+    parasitics: &[Option<NetParasitics>],
+    config: &StaConfig,
+) -> Result<TimingReport, CombLoopError> {
+    let lv = levelize(netlist, library)?;
+    let n_nets = netlist.nets().len();
+
+    // Sink index of every input pin on its net.
+    let mut sink_index: HashMap<PinRef, usize> = HashMap::new();
+    for net in netlist.nets() {
+        for (k, &s) in net.sinks.iter().enumerate() {
+            sink_index.insert(s, k);
+        }
+    }
+
+    // Effective load per net: wire cap + sink pin caps.
+    let mut load = vec![0.0f64; n_nets];
+    for (ni, net) in netlist.nets().iter().enumerate() {
+        let mut c = parasitics
+            .get(ni)
+            .and_then(|p| p.as_ref())
+            .map_or(0.0, |p| p.total_cap_ff);
+        for s in &net.sinks {
+            let inst = &netlist.instances()[s.inst.0 as usize];
+            let cell = library.cell(inst.cell);
+            c += cell.input_cap(s.pin.min(cell.timing.input_caps.len().saturating_sub(1)));
+        }
+        load[ni] = c;
+    }
+
+    // Arrival time and slew at each net's driver output pin; `prev` tracks
+    // the worst input net plus that stage's (cell delay, wire delay) for
+    // critical-path reporting.
+    let mut arrival = vec![0.0f64; n_nets];
+    let mut slew = vec![config.input_slew_ps; n_nets];
+    let mut prev: Vec<Option<(u32, f64, f64)>> = vec![None; n_nets];
+
+    // Sources: primary inputs are 0 (set already); DFF Q nets get clk→Q.
+    for inst in netlist.instances() {
+        let cell = library.cell(inst.cell);
+        if cell.kind.function != CellFunction::Dff {
+            continue;
+        }
+        let Some(q) = inst.conns[2] else { continue };
+        let arc = &cell.timing.arcs[0];
+        let d = arc.worst_delay(config.input_slew_ps, load[q.0 as usize]);
+        arrival[q.0 as usize] = d;
+        slew[q.0 as usize] = arc
+            .slew_rise
+            .lookup(config.input_slew_ps, load[q.0 as usize])
+            .max(arc.slew_fall.lookup(config.input_slew_ps, load[q.0 as usize]));
+    }
+
+    // Wire delay/slew from a net's driver to one sink.
+    let at_sink = |ni: usize, pin: PinRef, arrival: &[f64], slew: &[f64], pin_cap: f64| {
+        let base_a = arrival[ni];
+        let base_s = slew[ni];
+        match parasitics.get(ni).and_then(|p| p.as_ref()) {
+            Some(p) => {
+                let k = sink_index.get(&pin).copied().unwrap_or(0);
+                let sp = p.sinks.get(k).copied();
+                match sp {
+                    Some(sp) => {
+                        let wire = sp.wire_elmore_ps + sp.path_res_kohm * pin_cap;
+                        let s = (base_s * base_s + (2.2 * wire) * (2.2 * wire)).sqrt();
+                        (base_a + wire, s)
+                    }
+                    None => (base_a, base_s),
+                }
+            }
+            None => (base_a, base_s),
+        }
+    };
+
+    // Propagate through combinational logic in topological order.
+    for &inst_id in &lv.order {
+        let inst = netlist.instance(inst_id);
+        let cell = library.cell(inst.cell);
+        let Some(out_pin) = cell.output_pin() else { continue };
+        let Some(out_net) = inst.conns[out_pin] else { continue };
+        let out_load = load[out_net.0 as usize];
+        let mut best_a = 0.0f64;
+        let mut best_s = config.input_slew_ps;
+        let mut best_prev: Option<(u32, f64, f64)> = None;
+        for (pi, conn) in inst.conns.iter().enumerate().take(cell.timing.input_caps.len()) {
+            let Some(in_net) = conn else { continue };
+            let pin = PinRef::new(inst_id, pi);
+            let pin_cap = cell.input_cap(pi);
+            let (a_in, s_in) = at_sink(in_net.0 as usize, pin, &arrival, &slew, pin_cap);
+            let arc = cell
+                .timing
+                .arcs
+                .iter()
+                .find(|arc| arc.from_input == pi)
+                .unwrap_or(&cell.timing.arcs[0]);
+            let d = arc.worst_delay(s_in, out_load);
+            let s_out = arc
+                .slew_rise
+                .lookup(s_in, out_load)
+                .max(arc.slew_fall.lookup(s_in, out_load));
+            if a_in + d > best_a {
+                best_a = a_in + d;
+                best_s = s_out;
+                best_prev = Some((in_net.0, d, a_in - arrival[in_net.0 as usize]));
+            }
+        }
+        arrival[out_net.0 as usize] = best_a;
+        slew[out_net.0 as usize] = best_s;
+        prev[out_net.0 as usize] = best_prev;
+    }
+
+    // Endpoints: DFF D pins (setup) and output ports.
+    let mut critical = 0.0f64;
+    let mut critical_net = String::new();
+    let mut critical_net_id: Option<u32> = None;
+    let mut endpoints = 0;
+    for (ii, inst) in netlist.instances().iter().enumerate() {
+        let cell = library.cell(inst.cell);
+        if cell.kind.function != CellFunction::Dff {
+            continue;
+        }
+        let Some(d_net) = inst.conns[0] else { continue };
+        endpoints += 1;
+        let pin = PinRef::new(ffet_netlist::InstId(ii as u32), 0);
+        let pin_cap = cell.input_cap(0);
+        let (a, _) = at_sink(d_net.0 as usize, pin, &arrival, &slew, pin_cap);
+        let total = a + cell.timing.setup_ps;
+        if total > critical {
+            critical = total;
+            critical_net = netlist.nets()[d_net.0 as usize].name.clone();
+            critical_net_id = Some(d_net.0);
+        }
+    }
+    for port in netlist.ports() {
+        if port.direction != PortDirection::Output {
+            continue;
+        }
+        endpoints += 1;
+        let a = arrival[port.net.0 as usize];
+        if a > critical {
+            critical = a;
+            critical_net = netlist.nets()[port.net.0 as usize].name.clone();
+            critical_net_id = Some(port.net.0);
+        }
+    }
+
+    // Backtrack the critical path for reporting.
+    let mut path = Vec::new();
+    let mut cursor = critical_net_id;
+    while let Some(ni) = cursor {
+        let net = &netlist.nets()[ni as usize];
+        let cell = net
+            .driver
+            .map(|d| library.cell(netlist.instances()[d.inst.0 as usize].cell).name.clone())
+            .unwrap_or_else(|| "<port>".to_owned());
+        let (p, cell_d, wire_d) = match prev[ni as usize] {
+            Some((p, c, w)) => (Some(p), c, w),
+            None => (None, 0.0, 0.0),
+        };
+        path.push(PathStep {
+            net: net.name.clone(),
+            arrival_ps: arrival[ni as usize],
+            cell_delay_ps: cell_d,
+            wire_delay_ps: wire_d,
+            cell,
+            fanout: net.sinks.len(),
+        });
+        cursor = p;
+        if path.len() > n_nets {
+            break; // defensive: never loop
+        }
+    }
+    path.reverse();
+
+    let critical = critical.max(1.0);
+    Ok(TimingReport {
+        critical_path_ps: critical,
+        max_frequency_ghz: 1000.0 / critical,
+        wns_ps: config.clock_period_ps - critical,
+        endpoints,
+        critical_net,
+        path,
+    })
+}

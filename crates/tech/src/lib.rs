@@ -1,0 +1,214 @@
+//! Virtual 5 nm PDK for the FFET evaluation framework.
+//!
+//! Encodes the technology data of the paper:
+//!
+//! * the dual-sided BEOL layer stacks of Table II (pitches for `FM0..FM12`,
+//!   `Poly`, `BPR`, `BM0..BM12`) for both 4T CFET and 3.5T FFET,
+//! * per-layer RC coefficients derived from those pitches,
+//! * design rules (CPP, cell heights, 64-CPP power-stripe pitch, the
+//!   "valid iff total DRV ≤ 10" rule),
+//! * the [`RoutingPattern`] (`FMnBMm`) abstraction used by every design-space
+//!   experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use ffet_tech::{Technology, RoutingPattern};
+//!
+//! let ffet = Technology::ffet_3p5t();
+//! let cfet = Technology::cfet_4t();
+//! assert!(ffet.cell_height() < cfet.cell_height());
+//!
+//! let pattern = RoutingPattern::new(6, 6)?; // FM6BM6
+//! assert_eq!(pattern.total_layers(), 12);
+//! # Ok::<(), ffet_tech::PatternError>(())
+//! ```
+
+mod layer;
+mod pattern;
+mod rules;
+mod stack;
+
+pub use layer::{
+    Layer, LayerId, LayerPurpose, RcCoefficients, Side, VIA_CAPACITANCE_FF, VIA_RESISTANCE_OHM,
+};
+pub use pattern::{PatternError, RoutingPattern};
+pub use rules::DesignRules;
+pub use stack::LayerStack;
+
+use ffet_geom::Nm;
+
+/// Which stacked-transistor technology a design is implemented in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechKind {
+    /// 3.5-track Flip FET with fully functional backside (pins on both
+    /// sides, symmetric dual-sided M0).
+    Ffet3p5t,
+    /// 4-track Complementary FET with buried power rail and backside PDN;
+    /// signal pins exist on the frontside only.
+    Cfet4t,
+}
+
+impl std::fmt::Display for TechKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TechKind::Ffet3p5t => f.write_str("3.5T FFET"),
+            TechKind::Cfet4t => f.write_str("4T CFET"),
+        }
+    }
+}
+
+/// A complete technology description: layer stack, rules, and derived
+/// quantities used by placement, routing, extraction and characterization.
+#[derive(Debug, Clone)]
+pub struct Technology {
+    kind: TechKind,
+    stack: LayerStack,
+    rules: DesignRules,
+}
+
+impl Technology {
+    /// The 3.5T FFET technology of the paper (Table II, right column).
+    #[must_use]
+    pub fn ffet_3p5t() -> Technology {
+        Technology {
+            kind: TechKind::Ffet3p5t,
+            stack: LayerStack::ffet_3p5t(),
+            rules: DesignRules::ffet_3p5t(),
+        }
+    }
+
+    /// The 4T CFET baseline technology (Table II, left column).
+    #[must_use]
+    pub fn cfet_4t() -> Technology {
+        Technology {
+            kind: TechKind::Cfet4t,
+            stack: LayerStack::cfet_4t(),
+            rules: DesignRules::cfet_4t(),
+        }
+    }
+
+    /// Which technology this is.
+    #[must_use]
+    pub fn kind(&self) -> TechKind {
+        self.kind
+    }
+
+    /// The BEOL layer stack.
+    #[must_use]
+    pub fn stack(&self) -> &LayerStack {
+        &self.stack
+    }
+
+    /// Design rules.
+    #[must_use]
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// Standard-cell height in nanometres.
+    ///
+    /// 1 track (T) is defined as one M2 pitch (30 nm); the FFET cell is 3.5T
+    /// and the CFET cell 4T, giving the 12.5% cell-height scaling of Fig. 1.
+    #[must_use]
+    pub fn cell_height(&self) -> Nm {
+        // Track heights are half-integer for FFET, so compute in half-tracks.
+        self.rules.half_tracks * self.rules.m2_pitch / 2
+    }
+
+    /// Contacted poly pitch (CPP) — the placement-site width.
+    #[must_use]
+    pub fn cpp(&self) -> Nm {
+        self.rules.cpp
+    }
+
+    /// Power-stripe pitch in nanometres (64 CPP in the paper).
+    #[must_use]
+    pub fn power_stripe_pitch(&self) -> Nm {
+        self.rules.power_stripe_pitch_cpp * self.rules.cpp
+    }
+
+    /// Whether standard cells may expose signal pins on the given side.
+    ///
+    /// Only the FFET has inherent backside pins; CFET cells are
+    /// frontside-only (backside signals would require bridging cells).
+    #[must_use]
+    pub fn supports_pins_on(&self, side: Side) -> bool {
+        match side {
+            Side::Front => true,
+            Side::Back => self.kind == TechKind::Ffet3p5t,
+        }
+    }
+
+    /// Maximum routing pattern this technology supports.
+    ///
+    /// CFET reserves BM1/BM2 for the PDN, so its signal routing is
+    /// frontside-only (`FM12BM0`); FFET can route signals on up to 12 layers
+    /// per side (`FM12BM12`).
+    #[must_use]
+    pub fn max_routing_pattern(&self) -> RoutingPattern {
+        match self.kind {
+            TechKind::Ffet3p5t => RoutingPattern::new(12, 12).expect("static pattern"),
+            TechKind::Cfet4t => RoutingPattern::new(12, 0).expect("static pattern"),
+        }
+    }
+
+    /// Validates that `pattern` is legal for this technology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::BacksideUnavailable`] when a backside signal
+    /// layer is requested on CFET.
+    pub fn check_pattern(&self, pattern: RoutingPattern) -> Result<(), PatternError> {
+        if pattern.back_layers() > 0 && self.kind == TechKind::Cfet4t {
+            return Err(PatternError::BacksideUnavailable);
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Technology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_heights_match_track_definitions() {
+        // 1T = 1 M2 pitch = 30nm: FFET 3.5T = 105nm, CFET 4T = 120nm.
+        assert_eq!(Technology::ffet_3p5t().cell_height(), 105);
+        assert_eq!(Technology::cfet_4t().cell_height(), 120);
+    }
+
+    #[test]
+    fn ffet_cell_height_scales_12p5_percent() {
+        let ffet = Technology::ffet_3p5t().cell_height() as f64;
+        let cfet = Technology::cfet_4t().cell_height() as f64;
+        let scaling = 1.0 - ffet / cfet;
+        assert!((scaling - 0.125).abs() < 1e-9, "scaling = {scaling}");
+    }
+
+    #[test]
+    fn power_stripe_pitch_is_64_cpp() {
+        let t = Technology::ffet_3p5t();
+        assert_eq!(t.power_stripe_pitch(), 64 * 50);
+    }
+
+    #[test]
+    fn cfet_rejects_backside_signal_pattern() {
+        let cfet = Technology::cfet_4t();
+        let pat = RoutingPattern::new(6, 6).unwrap();
+        assert_eq!(cfet.check_pattern(pat), Err(PatternError::BacksideUnavailable));
+        assert!(cfet.check_pattern(RoutingPattern::new(12, 0).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn pin_side_support() {
+        assert!(Technology::ffet_3p5t().supports_pins_on(Side::Back));
+        assert!(!Technology::cfet_4t().supports_pins_on(Side::Back));
+    }
+}

@@ -1,0 +1,149 @@
+/// A BEOL routing-layer configuration, written `FMnBMm` in the paper: the
+/// inter-cell router may use front metals `FM1..=FMn` and back metals
+/// `BM1..=BMm`.
+///
+/// `FM12BM0` is the paper's "FFET FM12" (single-sided signal routing);
+/// `FM12BM12` is the maximal dual-sided configuration.
+///
+/// ```
+/// use ffet_tech::RoutingPattern;
+/// let p = RoutingPattern::new(8, 4)?;
+/// assert_eq!(p.to_string(), "FM8BM4");
+/// assert_eq!(p.total_layers(), 12);
+/// assert!(p.is_dual_sided());
+/// # Ok::<(), ffet_tech::PatternError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RoutingPattern {
+    front: u8,
+    back: u8,
+}
+
+impl RoutingPattern {
+    /// Creates a pattern with `front` frontside and `back` backside routing
+    /// layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::NoFrontLayers`] if `front == 0` (cells always
+    /// need at least FM1 for pin escape) or [`PatternError::TooManyLayers`]
+    /// if either side exceeds the 12-layer stack.
+    pub fn new(front: u8, back: u8) -> Result<RoutingPattern, PatternError> {
+        if front == 0 {
+            return Err(PatternError::NoFrontLayers);
+        }
+        if front > 12 || back > 12 {
+            return Err(PatternError::TooManyLayers { front, back });
+        }
+        Ok(RoutingPattern { front, back })
+    }
+
+    /// Number of frontside routing layers (`n` in `FMn`).
+    #[must_use]
+    pub fn front_layers(&self) -> u8 {
+        self.front
+    }
+
+    /// Number of backside routing layers (`m` in `BMm`).
+    #[must_use]
+    pub fn back_layers(&self) -> u8 {
+        self.back
+    }
+
+    /// Total routing layers across both sides.
+    #[must_use]
+    pub fn total_layers(&self) -> u8 {
+        self.front + self.back
+    }
+
+    /// Whether any backside signal layer is available.
+    #[must_use]
+    pub fn is_dual_sided(&self) -> bool {
+        self.back > 0
+    }
+
+    /// All patterns with the given total layer count, front-heavy first:
+    /// the co-optimization search space of Table III.
+    #[must_use]
+    pub fn with_total(total: u8) -> Vec<RoutingPattern> {
+        (0..=total.min(12))
+            .filter_map(|back| {
+                let front = total - back;
+                RoutingPattern::new(front, back).ok()
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for RoutingPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FM{}BM{}", self.front, self.back)
+    }
+}
+
+/// Error constructing a [`RoutingPattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternError {
+    /// Zero frontside layers requested.
+    NoFrontLayers,
+    /// More than 12 layers requested on a side.
+    TooManyLayers {
+        /// Requested frontside layer count.
+        front: u8,
+        /// Requested backside layer count.
+        back: u8,
+    },
+    /// A backside signal layer was requested on a technology whose backside
+    /// carries power only (CFET).
+    BacksideUnavailable,
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::NoFrontLayers => {
+                f.write_str("routing pattern needs at least one frontside layer")
+            }
+            PatternError::TooManyLayers { front, back } => write!(
+                f,
+                "routing pattern FM{front}BM{back} exceeds the 12-layer stack"
+            ),
+            PatternError::BacksideUnavailable => {
+                f.write_str("backside signal routing is not available in this technology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(RoutingPattern::new(12, 12).unwrap().to_string(), "FM12BM12");
+        assert_eq!(RoutingPattern::new(12, 0).unwrap().to_string(), "FM12BM0");
+        assert_eq!(RoutingPattern::new(6, 6).unwrap().to_string(), "FM6BM6");
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert_eq!(RoutingPattern::new(0, 4), Err(PatternError::NoFrontLayers));
+        assert!(matches!(
+            RoutingPattern::new(13, 0),
+            Err(PatternError::TooManyLayers { .. })
+        ));
+    }
+
+    #[test]
+    fn with_total_enumerates_table3_space() {
+        let pats = RoutingPattern::with_total(12);
+        // FM12BM0 .. FM1BM11 (FM0BM12 is illegal), front-heavy first.
+        assert_eq!(pats.len(), 12);
+        assert_eq!(pats.first().unwrap().to_string(), "FM12BM0");
+        assert_eq!(pats.last().unwrap().to_string(), "FM1BM11");
+        assert!(pats.iter().all(|p| p.total_layers() == 12));
+    }
+}

@@ -1,0 +1,91 @@
+use ffet_geom::Nm;
+
+/// Design rules and scalar technology parameters.
+///
+/// The values mirror the paper's setup: 50 nm CPP, 30 nm M2 pitch (the track
+/// unit), 64-CPP power-stripe pitch, and the validity rule that a P&R result
+/// counts only if the total number of design-rule violations is below 10.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignRules {
+    /// Contacted poly pitch in nm; also the placement-site width.
+    pub cpp: Nm,
+    /// M2 pitch in nm; 1 "track" (T) of cell height equals one M2 pitch.
+    pub m2_pitch: Nm,
+    /// Cell height in half-tracks (7 = 3.5T FFET, 8 = 4T CFET), kept in
+    /// half-track units so both heights stay integral.
+    pub half_tracks: Nm,
+    /// Pitch between backside power stripes, in CPP (64 in the paper).
+    pub power_stripe_pitch_cpp: Nm,
+    /// Width of one Power Tap Cell in CPP (FFET powerplan only).
+    pub power_tap_width_cpp: Nm,
+    /// A P&R result is valid only if total DRVs stay *below* this count.
+    pub max_drv: u32,
+    /// M0 signal tracks available for pins on the frontside of one cell row.
+    pub m0_signal_tracks_front: u8,
+    /// M0 signal tracks available for pins on the backside (0 for CFET).
+    pub m0_signal_tracks_back: u8,
+}
+
+impl DesignRules {
+    /// Rules for the 3.5T FFET: 3 signal tracks + 1 shared power rail per
+    /// side, Power Tap Cells connecting the frontside VSS rails to the BSPDN.
+    #[must_use]
+    pub fn ffet_3p5t() -> DesignRules {
+        DesignRules {
+            cpp: 50,
+            m2_pitch: 30,
+            half_tracks: 7,
+            power_stripe_pitch_cpp: 64,
+            power_tap_width_cpp: 2,
+            max_drv: 10,
+            m0_signal_tracks_front: 3,
+            m0_signal_tracks_back: 3,
+        }
+    }
+
+    /// Rules for the 4T CFET baseline: all signal pins frontside, BSPDN via
+    /// nTSV + buried power rail, no Power Tap Cells.
+    #[must_use]
+    pub fn cfet_4t() -> DesignRules {
+        DesignRules {
+            cpp: 50,
+            m2_pitch: 30,
+            half_tracks: 8,
+            power_stripe_pitch_cpp: 64,
+            power_tap_width_cpp: 0,
+            max_drv: 10,
+            m0_signal_tracks_front: 4,
+            m0_signal_tracks_back: 0,
+        }
+    }
+
+    /// Whether a run with `drv_count` violations is a valid P&R result.
+    ///
+    /// The paper: "we assume that a P&R result is valid only if the total
+    /// design rule violation number is below 10".
+    #[must_use]
+    pub fn is_valid_run(&self, drv_count: u32) -> bool {
+        drv_count < self.max_drv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_threshold_is_strict() {
+        let r = DesignRules::ffet_3p5t();
+        assert!(r.is_valid_run(0));
+        assert!(r.is_valid_run(9));
+        assert!(!r.is_valid_run(10));
+        assert!(!r.is_valid_run(11));
+    }
+
+    #[test]
+    fn cfet_has_no_power_taps_or_backside_tracks() {
+        let r = DesignRules::cfet_4t();
+        assert_eq!(r.power_tap_width_cpp, 0);
+        assert_eq!(r.m0_signal_tracks_back, 0);
+    }
+}

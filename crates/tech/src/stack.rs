@@ -1,0 +1,180 @@
+use crate::layer::{Layer, LayerId, LayerPurpose, Side};
+use ffet_geom::Nm;
+
+/// The full dual-sided BEOL layer stack of a technology (Table II).
+///
+/// Layers are stored per side, indexed by metal number. FM0/BM0 exist on the
+/// list but are [`LayerPurpose::IntraCell`]: the paper's "routing layers"
+/// exclude them.
+#[derive(Debug, Clone)]
+pub struct LayerStack {
+    front: Vec<Layer>,
+    back: Vec<Layer>,
+    /// Poly (gate) pitch in nm — the CPP.
+    pub poly_pitch: Nm,
+    /// Buried-power-rail pitch, CFET only.
+    pub bpr_pitch: Option<Nm>,
+}
+
+/// Pitch table shared by both technologies' frontside (Table II): index 0..=12.
+fn front_pitches() -> [Nm; 13] {
+    [
+        28,  // FM0
+        34,  // FM1
+        30,  // FM2
+        42, 42, // FM3-4
+        76, 76, 76, 76, 76, 76, // FM5-10
+        126, // FM11
+        720, // FM12
+    ]
+}
+
+impl LayerStack {
+    /// The 3.5T FFET stack: symmetric front and back signal stacks.
+    #[must_use]
+    pub fn ffet_3p5t() -> LayerStack {
+        let make = |side: Side| -> Vec<Layer> {
+            front_pitches()
+                .iter()
+                .enumerate()
+                .map(|(i, &pitch)| {
+                    let purpose = if i == 0 {
+                        LayerPurpose::IntraCell
+                    } else {
+                        LayerPurpose::Signal
+                    };
+                    Layer::new(LayerId::new(side, i as u8), pitch, purpose)
+                })
+                .collect()
+        };
+        LayerStack {
+            front: make(Side::Front),
+            back: make(Side::Back),
+            poly_pitch: 50,
+            bpr_pitch: None,
+        }
+    }
+
+    /// The 4T CFET stack: full frontside, backside restricted to the
+    /// PDN-only BM1 (3200 nm) and BM2 (2400 nm) plus the 120 nm BPR.
+    #[must_use]
+    pub fn cfet_4t() -> LayerStack {
+        let front = front_pitches()
+            .iter()
+            .enumerate()
+            .map(|(i, &pitch)| {
+                let purpose = if i == 0 {
+                    LayerPurpose::IntraCell
+                } else {
+                    LayerPurpose::Signal
+                };
+                Layer::new(LayerId::new(Side::Front, i as u8), pitch, purpose)
+            })
+            .collect();
+        let back = vec![
+            Layer::new(LayerId::new(Side::Back, 1), 3200, LayerPurpose::PowerOnly),
+            Layer::new(LayerId::new(Side::Back, 2), 2400, LayerPurpose::PowerOnly),
+        ];
+        LayerStack {
+            front,
+            back,
+            poly_pitch: 50,
+            bpr_pitch: Some(120),
+        }
+    }
+
+    /// Looks up a layer by id.
+    #[must_use]
+    pub fn layer(&self, id: LayerId) -> Option<&Layer> {
+        let list = match id.side {
+            Side::Front => &self.front,
+            Side::Back => &self.back,
+        };
+        list.iter().find(|l| l.id == id)
+    }
+
+    /// All layers on one side, lowest metal first.
+    #[must_use]
+    pub fn side(&self, side: Side) -> &[Layer] {
+        match side {
+            Side::Front => &self.front,
+            Side::Back => &self.back,
+        }
+    }
+
+    /// Signal-routable layers on `side` with index `1..=max_index`, lowest
+    /// first. This is what an `FMn`/`BMm` routing pattern resolves to.
+    #[must_use]
+    pub fn routing_layers(&self, side: Side, max_index: u8) -> Vec<&Layer> {
+        self.side(side)
+            .iter()
+            .filter(|l| l.is_signal_routable() && l.id.index >= 1 && l.id.index <= max_index)
+            .collect()
+    }
+
+    /// Iterates over every layer on both sides.
+    pub fn iter(&self) -> impl Iterator<Item = &Layer> {
+        self.front.iter().chain(self.back.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_front_pitches() {
+        let s = LayerStack::ffet_3p5t();
+        let expect = [
+            (0, 28),
+            (1, 34),
+            (2, 30),
+            (3, 42),
+            (4, 42),
+            (5, 76),
+            (10, 76),
+            (11, 126),
+            (12, 720),
+        ];
+        for (idx, pitch) in expect {
+            let l = s.layer(LayerId::new(Side::Front, idx)).expect("layer exists");
+            assert_eq!(l.pitch, pitch, "FM{idx}");
+        }
+    }
+
+    #[test]
+    fn ffet_backside_mirrors_frontside() {
+        let s = LayerStack::ffet_3p5t();
+        for i in 0..=12u8 {
+            let f = s.layer(LayerId::new(Side::Front, i)).unwrap();
+            let b = s.layer(LayerId::new(Side::Back, i)).unwrap();
+            assert_eq!(f.pitch, b.pitch, "M{i}");
+            assert_eq!(f.purpose, b.purpose, "M{i}");
+        }
+    }
+
+    #[test]
+    fn cfet_backside_is_power_only() {
+        let s = LayerStack::cfet_4t();
+        assert_eq!(s.layer(LayerId::new(Side::Back, 1)).unwrap().pitch, 3200);
+        assert_eq!(s.layer(LayerId::new(Side::Back, 2)).unwrap().pitch, 2400);
+        assert!(s
+            .side(Side::Back)
+            .iter()
+            .all(|l| l.purpose == LayerPurpose::PowerOnly));
+        assert!(s.routing_layers(Side::Back, 12).is_empty());
+        assert_eq!(s.bpr_pitch, Some(120));
+    }
+
+    #[test]
+    fn routing_layers_exclude_m0() {
+        let s = LayerStack::ffet_3p5t();
+        let layers = s.routing_layers(Side::Front, 12);
+        assert_eq!(layers.len(), 12);
+        assert!(layers.iter().all(|l| l.id.index >= 1));
+
+        let six = s.routing_layers(Side::Back, 6);
+        assert_eq!(six.len(), 6);
+        assert_eq!(six.last().unwrap().id.index, 6);
+    }
+}

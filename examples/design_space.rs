@@ -1,0 +1,57 @@
+//! Mini design-space exploration in the style of the paper's Table III:
+//! sweep the backside input-pin density and the front/back routing-layer
+//! split under a fixed 12-layer budget, and rank the configurations.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+//!
+//! Uses the real RV32 core at a reduced DoE set so it finishes in well
+//! under a minute; `repro table3` in `ffet-bench` runs the paper's full
+//! 13-row version.
+
+use ffet_core::{designs, pct_diff, run_flow, FlowConfig};
+use ffet_tech::{RoutingPattern, TechKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base_cfg = FlowConfig {
+        utilization: 0.72,
+        ..FlowConfig::baseline(TechKind::Ffet3p5t)
+    };
+    let library = base_cfg.build_library();
+    let netlist = designs::rv32_core(&library);
+    let baseline = run_flow(&netlist, &library, &base_cfg)?.report;
+    println!(
+        "baseline FFET FM12 single-sided: {:.3} GHz, {:.3} mW\n",
+        baseline.achieved_freq_ghz, baseline.power_mw
+    );
+
+    println!("{:22} {:>10} {:>10} {:>6}", "DoE", "Δfreq", "Δpower", "DRV");
+    let mut best: Option<(String, f64)> = None;
+    for bp in [0.16, 0.4, 0.5] {
+        for (fm, bm) in [(10u8, 2u8), (6, 6)] {
+            let config = FlowConfig {
+                pattern: RoutingPattern::new(fm, bm)?,
+                back_pin_ratio: bp,
+                ..base_cfg.clone()
+            };
+            let library = config.build_library();
+            let outcome = run_flow(&netlist, &library, &config)?;
+            let r = outcome.report;
+            let df = pct_diff(r.achieved_freq_ghz, baseline.achieved_freq_ghz);
+            let dp = pct_diff(r.power_mw, baseline.power_mw);
+            let label = format!("FP{:.2}BP{bp:.2} FM{fm}BM{bm}", 1.0 - bp);
+            println!("{label:22} {df:>+9.1}% {dp:>+9.1}% {:>6}", r.drv);
+            // The paper's figure of merit: frequency gain without power
+            // degradation — on a *valid* implementation.
+            if r.valid && dp <= 0.5 && best.as_ref().is_none_or(|(_, f)| df > *f) {
+                best = Some((label, df));
+            }
+        }
+    }
+    if let Some((label, df)) = best {
+        println!("\nbest Δfreq without power degradation: {label} ({df:+.1}%)");
+        println!("(paper: FP0.5BP0.5 FM6BM6, +10.6%)");
+    }
+    Ok(())
+}

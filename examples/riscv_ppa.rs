@@ -1,0 +1,76 @@
+//! The paper's headline comparison on the real benchmark: implements the
+//! gate-level RV32I core in 4T CFET and in 3.5T FFET (single- and
+//! dual-sided) and prints the block-level PPA side by side.
+//!
+//! ```text
+//! cargo run --release --example riscv_ppa
+//! ```
+//!
+//! The RV32I core is generated from scratch and verified by cosimulation
+//! against a reference ISS before the physical flow runs, so the PPA below
+//! belongs to a provably working processor.
+
+use ffet_core::{designs, pct_diff, run_flow, FlowConfig};
+use ffet_rv32::{build_core, cosimulate, programs};
+use ffet_tech::{RoutingPattern, TechKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Prove the benchmark core actually works before measuring its PPA.
+    let check_lib = FlowConfig::baseline(TechKind::Ffet3p5t).build_library();
+    let core = build_core(&check_lib, "rv32_core");
+    let report = cosimulate(&core, &check_lib, &programs::fibonacci(12), 3_000)?;
+    println!(
+        "cosimulation: fibonacci(12) retired {} instructions — core is functional\n",
+        report.retired
+    );
+
+    let configs = [
+        ("4T CFET, FM12", FlowConfig {
+            utilization: 0.76,
+            ..FlowConfig::baseline(TechKind::Cfet4t)
+        }),
+        ("3.5T FFET, FM12 (single-sided)", FlowConfig {
+            utilization: 0.76,
+            ..FlowConfig::baseline(TechKind::Ffet3p5t)
+        }),
+        ("3.5T FFET, FM6BM6 FP0.5BP0.5", FlowConfig {
+            utilization: 0.76,
+            pattern: RoutingPattern::new(6, 6)?,
+            back_pin_ratio: 0.5,
+            ..FlowConfig::baseline(TechKind::Ffet3p5t)
+        }),
+    ];
+
+    let mut results = Vec::new();
+    println!("{:34} {:>9} {:>9} {:>9} {:>6}", "config", "area µm²", "freq GHz", "power mW", "DRV");
+    for (label, config) in configs {
+        let library = config.build_library();
+        let netlist = designs::rv32_core(&library);
+        let outcome = run_flow(&netlist, &library, &config)?;
+        let r = outcome.report;
+        println!(
+            "{label:34} {:>9.1} {:>9.3} {:>9.3} {:>6}",
+            r.core_area_um2, r.achieved_freq_ghz, r.power_mw, r.drv
+        );
+        results.push((label, r));
+    }
+
+    let cfet = &results[0].1;
+    let ffet = &results[1].1;
+    let dual = &results[2].1;
+    println!("\nFFET single-sided vs CFET at the same utilization:");
+    println!("  core area {:+.1}% (paper: −23.3%)", pct_diff(ffet.core_area_um2, cfet.core_area_um2));
+    println!("  frequency {:+.1}% (paper: +25.0%)", pct_diff(ffet.achieved_freq_ghz, cfet.achieved_freq_ghz));
+    println!("  power     {:+.1}% (paper: −11.9%)", pct_diff(ffet.power_mw, cfet.power_mw));
+    println!("\nFFET dual-sided (FM6BM6) vs FFET single-sided (FM12):");
+    println!("  frequency {:+.1}% (paper: +10.6%)", pct_diff(dual.achieved_freq_ghz, ffet.achieved_freq_ghz));
+    println!("  power     {:+.1}% (paper: −1.4%)", pct_diff(dual.power_mw, ffet.power_mw));
+    if !dual.valid {
+        println!(
+            "  note: {} DRVs at 76% utilization — this framework's router runs out of \
+             backside capacity earlier than the paper's; rerun at 0.70 for a clean layout",
+            dual.drv
+        );
+    }
+    Ok(())
+}
