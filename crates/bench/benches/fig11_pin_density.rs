@@ -2,13 +2,12 @@
 //! flow run per backside-density DoE (`repro fig11` regenerates the
 //! figure's full utilization sweep).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ffet_bench::BenchGroup;
 use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_tech::{RoutingPattern, TechKind};
-use std::hint::black_box;
 
-fn bench_fig11(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_pin_density");
+fn main() {
+    let mut group = BenchGroup::new("fig11_pin_density");
     group.sample_size(10);
 
     for bp in [0.04f64, 0.3, 0.5] {
@@ -19,20 +18,16 @@ fn bench_fig11(c: &mut Criterion) {
         };
         let library = config.build_library();
         let netlist = designs::counter_pipeline(&library, 24);
-        group.bench_function(format!("doe_bp{bp:.2}"), |b| {
-            b.iter(|| black_box(run_flow(&netlist, &library, &config).expect("flow runs")));
+        group.bench_function(&format!("doe_bp{bp:.2}"), || {
+            run_flow(&netlist, &library, &config).expect("flow runs")
         });
     }
     // The redistribution step itself.
-    group.bench_function("redistribute_input_pins", |b| {
-        b.iter(|| {
-            let mut lib = ffet_cells::Library::new(ffet_tech::Technology::ffet_3p5t());
-            lib.redistribute_input_pins(0.5, 42).expect("ffet supports backside");
-            black_box(lib)
-        });
+    group.bench_function("redistribute_input_pins", || {
+        let mut lib = ffet_cells::Library::new(ffet_tech::Technology::ffet_3p5t());
+        lib.redistribute_input_pins(0.5, 42)
+            .expect("ffet supports backside");
+        lib
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_fig11);
-criterion_main!(benches);

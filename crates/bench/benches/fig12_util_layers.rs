@@ -1,13 +1,12 @@
 //! Benchmarks the Fig. 12/13 kernel: the flow under shrinking routing-layer
 //! budgets (`repro fig12` / `repro fig13` regenerate the figures).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ffet_bench::BenchGroup;
 use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_tech::{RoutingPattern, TechKind};
-use std::hint::black_box;
 
-fn bench_fig12(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_util_layers");
+fn main() {
+    let mut group = BenchGroup::new("fig12_util_layers");
     group.sample_size(10);
 
     for n in [12u8, 6, 3] {
@@ -18,12 +17,9 @@ fn bench_fig12(c: &mut Criterion) {
         };
         let library = config.build_library();
         let netlist = designs::counter_pipeline(&library, 24);
-        group.bench_function(format!("flow_fm{n}bm{n}"), |b| {
-            b.iter(|| black_box(run_flow(&netlist, &library, &config).expect("flow runs")));
+        group.bench_function(&format!("flow_fm{n}bm{n}"), || {
+            run_flow(&netlist, &library, &config).expect("flow runs")
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_fig12);
-criterion_main!(benches);

@@ -2,13 +2,12 @@
 //! fixed utilization (the area-vs-utilization experiment is this kernel
 //! swept over a grid — `repro fig8` regenerates the actual figure).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ffet_bench::BenchGroup;
 use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_tech::{RoutingPattern, TechKind};
-use std::hint::black_box;
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_area_utilization");
+fn main() {
+    let mut group = BenchGroup::new("fig8_area_utilization");
     group.sample_size(10);
 
     for (name, config) in [
@@ -25,12 +24,9 @@ fn bench_fig8(c: &mut Criterion) {
     ] {
         let library = config.build_library();
         let netlist = designs::counter_pipeline(&library, 24);
-        group.bench_function(format!("flow_{name}_util70"), |b| {
-            b.iter(|| black_box(run_flow(&netlist, &library, &config).expect("flow runs")));
+        group.bench_function(&format!("flow_{name}_util70"), || {
+            run_flow(&netlist, &library, &config).expect("flow runs")
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

@@ -2,13 +2,12 @@
 //! (relaxed vs tight target — the figure sweeps this from 0.5 to 3 GHz;
 //! `repro fig9` regenerates the actual series).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ffet_bench::BenchGroup;
 use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_tech::TechKind;
-use std::hint::black_box;
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_power_frequency");
+fn main() {
+    let mut group = BenchGroup::new("fig9_power_frequency");
     group.sample_size(10);
 
     for target in [0.5f64, 1.5, 3.0] {
@@ -19,12 +18,9 @@ fn bench_fig9(c: &mut Criterion) {
         };
         let library = config.build_library();
         let netlist = designs::counter_pipeline(&library, 24);
-        group.bench_function(format!("ffet_fm12_target_{target}ghz"), |b| {
-            b.iter(|| black_box(run_flow(&netlist, &library, &config).expect("flow runs")));
+        group.bench_function(&format!("ffet_fm12_target_{target}ghz"), || {
+            run_flow(&netlist, &library, &config).expect("flow runs")
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

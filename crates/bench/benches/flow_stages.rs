@@ -3,7 +3,7 @@
 //! extraction and STA — the numbers that determine how long the paper's
 //! experiment sweeps take.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ffet_bench::BenchGroup;
 use ffet_cells::Library;
 use ffet_core::designs;
 use ffet_lefdef::merge_defs;
@@ -14,10 +14,9 @@ use ffet_pnr::{
 use ffet_rcx::extract_net;
 use ffet_sta::{analyze_timing, StaConfig};
 use ffet_tech::{RoutingPattern, Technology};
-use std::hint::black_box;
 
-fn bench_stages(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flow_stages");
+fn main() {
+    let mut group = BenchGroup::new("flow_stages");
     group.sample_size(10);
 
     let mut library = Library::new(Technology::ffet_3p5t());
@@ -29,19 +28,13 @@ fn bench_stages(c: &mut Criterion) {
     let fp = floorplan(&netlist, &library, 0.7, 1.0).expect("floorplan");
     let pp = powerplan(&fp, &library, pattern);
 
-    group.bench_function("rv32_generate", |b| {
-        b.iter(|| black_box(designs::rv32_core(&library)));
-    });
-    group.bench_function("placement_rv32", |b| {
-        b.iter(|| black_box(place(&netlist, &library, &fp, &pp, 42)));
-    });
+    group.bench_function("rv32_generate", || designs::rv32_core(&library));
+    group.bench_function("placement_rv32", || place(&netlist, &library, &fp, &pp, 42));
 
     let pl = place(&netlist, &library, &fp, &pp, 42);
-    group.bench_function("cts_rv32", |b| {
-        b.iter(|| {
-            let mut nl = netlist.clone();
-            black_box(synthesize_clock_tree(&mut nl, &library, &pl))
-        });
+    group.bench_function("cts_rv32", || {
+        let mut nl = netlist.clone();
+        synthesize_clock_tree(&mut nl, &library, &pl)
     });
     synthesize_clock_tree(&mut netlist, &library, &pl);
     let fp = floorplan(&netlist, &library, 0.7, 1.0).expect("floorplan");
@@ -49,46 +42,34 @@ fn bench_stages(c: &mut Criterion) {
     let pl = place(&netlist, &library, &fp, &pp, 42);
     let side_nets = decompose_nets(&netlist, &library, &pl, pattern).expect("decompose");
 
-    group.bench_function("dual_sided_routing_rv32", |b| {
-        b.iter(|| {
-            let mut grid = RoutingGrid::new(library.tech(), fp.die, pattern);
-            black_box(route_nets(library.tech(), &mut grid, &side_nets, pattern))
-        });
+    group.bench_function("dual_sided_routing_rv32", || {
+        let mut grid = RoutingGrid::new(library.tech(), fp.die, pattern);
+        route_nets(library.tech(), &mut grid, &side_nets, pattern)
     });
 
     let mut grid = RoutingGrid::new(library.tech(), fp.die, pattern);
     let routing = route_nets(library.tech(), &mut grid, &side_nets, pattern);
     let (front, back) = export_defs(&netlist, &library, &fp, &pp, &pl, &routing);
-    group.bench_function("def_merge_rv32", |b| {
-        b.iter(|| black_box(merge_defs(&front, &back).expect("merge")));
+    group.bench_function("def_merge_rv32", || {
+        merge_defs(&front, &back).expect("merge")
     });
 
     let merged = merge_defs(&front, &back).expect("merge");
-    group.bench_function("rc_extraction_rv32", |b| {
-        b.iter(|| {
-            let mut total = 0.0f64;
-            for net in &merged.nets {
-                // Extraction without pin mapping: source at the first wire end.
-                if let Some(w) = net.wires.first() {
-                    let p = extract_net(net, library.tech(), w.from, &[w.to]);
-                    total += p.total_cap_ff;
-                }
+    group.bench_function("rc_extraction_rv32", || {
+        let mut total = 0.0f64;
+        for net in &merged.nets {
+            // Extraction without pin mapping: source at the first wire end.
+            if let Some(w) = net.wires.first() {
+                let p = extract_net(net, library.tech(), w.from, &[w.to]);
+                total += p.total_cap_ff;
             }
-            black_box(total)
-        });
+        }
+        total
     });
 
     let parasitics = vec![None; netlist.nets().len()];
-    group.bench_function("sta_rv32_no_wires", |b| {
-        b.iter(|| {
-            black_box(
-                analyze_timing(&netlist, &library, &parasitics, &StaConfig::default())
-                    .expect("levelizes"),
-            )
-        });
+    group.bench_function("sta_rv32_no_wires", || {
+        analyze_timing(&netlist, &library, &parasitics, &StaConfig::default()).expect("levelizes")
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);

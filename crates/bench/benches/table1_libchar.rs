@@ -4,26 +4,20 @@
 //! `repro table1` prints the actual table; this bench tracks how fast the
 //! characterization engine is.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ffet_bench::BenchGroup;
 use ffet_cells::Library;
 use ffet_tech::Technology;
-use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_libchar");
+fn main() {
+    let mut group = BenchGroup::new("table1_libchar");
     group.sample_size(20);
 
-    group.bench_function("characterize_ffet_library", |b| {
-        b.iter(|| black_box(Library::new(Technology::ffet_3p5t())));
+    group.bench_function("characterize_ffet_library", || {
+        Library::new(Technology::ffet_3p5t())
     });
-    group.bench_function("characterize_cfet_library", |b| {
-        b.iter(|| black_box(Library::new(Technology::cfet_4t())));
+    group.bench_function("characterize_cfet_library", || {
+        Library::new(Technology::cfet_4t())
     });
-    group.bench_function("table1_kpi_diffs", |b| {
-        b.iter(|| black_box(ffet_core::experiments::table1()));
-    });
+    group.bench_function("table1_kpi_diffs", ffet_core::experiments::table1);
     group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -94,7 +94,11 @@ fn calib() {
         for util in [0.60, 0.68, 0.72, 0.76, 0.80, 0.84, 0.88, 0.92] {
             let mut rows: Vec<(u32, u32, f64, f64, f64, f64, f64)> = Vec::new();
             for seed in [42u64, 1042, 9042] {
-                let config = FlowConfig { utilization: util, seed, ..base.clone() };
+                let config = FlowConfig {
+                    utilization: util,
+                    seed,
+                    ..base.clone()
+                };
                 match run_flow(&netlist, &library, &config) {
                     Ok(o) => rows.push((
                         o.pnr.routing.drv_count,
@@ -128,7 +132,10 @@ fn sanity() {
 
     for (label, config) in [
         ("CFET FM12 baseline", FlowConfig::baseline(TechKind::Cfet4t)),
-        ("FFET FM12 single-sided", FlowConfig::baseline(TechKind::Ffet3p5t)),
+        (
+            "FFET FM12 single-sided",
+            FlowConfig::baseline(TechKind::Ffet3p5t),
+        ),
         (
             "FFET FM12BM12 FP0.5BP0.5",
             FlowConfig {
@@ -154,6 +161,9 @@ fn sanity() {
                     outcome.report.cells,
                     t.elapsed()
                 );
+                for line in outcome.signoff.text_table().lines() {
+                    println!("  {line}");
+                }
             }
             Err(e) => println!("{label}: ERROR {e}"),
         }
@@ -165,10 +175,24 @@ fn hotspots() {
     use ffet_core::{designs, run_flow, FlowConfig};
     use ffet_tech::{RoutingPattern, TechKind};
     // Configurable via env for congestion debugging.
-    let fm: u8 = std::env::var("FFET_FM").ok().and_then(|v| v.parse().ok()).unwrap_or(12).clamp(1, 12);
-    let bm: u8 = std::env::var("FFET_BM").ok().and_then(|v| v.parse().ok()).unwrap_or(0).min(12);
-    let bp: f64 = std::env::var("FFET_BP").ok().and_then(|v| v.parse().ok()).unwrap_or(0.0);
-    let util: f64 = std::env::var("FFET_UTIL").ok().and_then(|v| v.parse().ok()).unwrap_or(0.76);
+    let fm: u8 = std::env::var("FFET_FM")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+        .clamp(1, 12);
+    let bm: u8 = std::env::var("FFET_BM")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+        .min(12);
+    let bp: f64 = std::env::var("FFET_BP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let util: f64 = std::env::var("FFET_UTIL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.76);
     let config = FlowConfig {
         utilization: util,
         pattern: RoutingPattern::new(fm, bm).expect("legal"),
@@ -179,7 +203,10 @@ fn hotspots() {
     let netlist = designs::rv32_core(&library);
     let o = run_flow(&netlist, &library, &config).expect("flow");
     let grid_info = &o.pnr.routing;
-    println!("die {:?} overflow {:.0} wl {:.2}mm", o.pnr.floorplan.die, grid_info.overflow_tracks, o.report.wirelength_mm);
+    println!(
+        "die {:?} overflow {:.0} wl {:.2}mm",
+        o.pnr.floorplan.die, grid_info.overflow_tracks, o.report.wirelength_mm
+    );
     for (x, y, side, h, v) in &grid_info.hot_gcells {
         println!("gcell ({x},{y}) {side:?}: H {h:.1} V {v:.1}");
     }
@@ -188,7 +215,10 @@ fn hotspots() {
 fn critpath() {
     use ffet_core::{designs, run_flow, FlowConfig};
     use ffet_tech::TechKind;
-    let config = FlowConfig { utilization: 0.76, ..FlowConfig::baseline(TechKind::Ffet3p5t) };
+    let config = FlowConfig {
+        utilization: 0.76,
+        ..FlowConfig::baseline(TechKind::Ffet3p5t)
+    };
     let library = config.build_library();
     let netlist = designs::rv32_core(&library);
     let o = run_flow(&netlist, &library, &config).expect("flow");

@@ -1,6 +1,109 @@
 //! Benchmark harness for the FFET evaluation framework.
 //!
 //! The `repro` binary regenerates every table and figure of the paper;
-//! the Criterion benches under `benches/` measure the flow stages and the
-//! headline experiments. See `EXPERIMENTS.md` at the repository root for
-//! the paper-vs-measured record.
+//! the benches under `benches/` measure the flow stages and the headline
+//! experiments on a small self-contained timing harness ([`BenchGroup`]),
+//! so `cargo bench` needs no external crates or registry access. See
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record.
+
+use std::time::{Duration, Instant};
+
+/// A named group of timed kernels. Each kernel is warmed up once, then run
+/// `sample_size` times; min / median / max wall-clock times are printed in
+/// a fixed-width table line per kernel.
+///
+/// ```
+/// let mut g = ffet_bench::BenchGroup::new("example");
+/// g.sample_size(5);
+/// g.bench_function("sum", || (0..1000u64).sum::<u64>());
+/// g.finish();
+/// ```
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Creates a group; kernel lines are prefixed with `name/`.
+    #[must_use]
+    pub fn new(name: &str) -> BenchGroup {
+        BenchGroup {
+            name: name.to_owned(),
+            samples: 10,
+        }
+    }
+
+    /// Sets how many timed samples each kernel runs (after one warm-up).
+    pub fn sample_size(&mut self, samples: usize) {
+        assert!(samples > 0, "sample size must be positive");
+        self.samples = samples;
+    }
+
+    /// Times `f`: one warm-up call, then `sample_size` measured calls.
+    /// The return value is passed through [`std::hint::black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn bench_function<T, F: FnMut() -> T>(&mut self, label: &str, mut f: F) {
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        println!(
+            "{:<48} min {:>12}  median {:>12}  max {:>12}  ({} samples)",
+            format!("{}/{}", self.name, label),
+            format_duration(times[0]),
+            format_duration(median),
+            format_duration(*times.last().expect("samples > 0")),
+            self.samples,
+        );
+    }
+
+    /// Ends the group (prints a separating blank line).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Human-readable duration with an adaptive unit (ns / µs / ms / s).
+#[must_use]
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_duration_picks_unit() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn bench_group_runs_kernel_expected_times() {
+        let mut calls = 0u32;
+        let mut g = BenchGroup::new("test");
+        g.sample_size(3);
+        g.bench_function("count_calls", || calls += 1);
+        g.finish();
+        // One warm-up + three samples.
+        assert_eq!(calls, 4);
+    }
+}

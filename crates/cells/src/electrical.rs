@@ -83,11 +83,7 @@ const DFF_SETUP_PS: f64 = 16.0;
 /// differences (supervia vs Drain Merge, single- vs dual-sided intra-cell
 /// routing) enter the library.
 #[must_use]
-pub fn electrical(
-    kind: TechKind,
-    function: CellFunction,
-    drive: DriveStrength,
-) -> CellElectrical {
+pub fn electrical(kind: TechKind, function: CellFunction, drive: DriveStrength) -> CellElectrical {
     let m = drive.multiple();
     let (fu, fd) = network_factors(function);
     let w1 = width_cpp(kind, function, DriveStrength::D1) as f64;
@@ -116,11 +112,16 @@ pub fn electrical(
         output_parasitic_ff: c_out_per * w1,
         internal_parasitic_ff: c_int_per * w1,
         input_cap_ff: C_GATE_FF,
-        leakage_nw: LEAKAGE_NW * stage_count(function) as f64
+        leakage_nw: LEAKAGE_NW
+            * stage_count(function) as f64
             * (function.input_count().max(1) as f64).sqrt(),
         stages: stage_count(function),
         is_sequential: function.is_sequential(),
-        setup_ps: if function.is_sequential() { DFF_SETUP_PS } else { 0.0 },
+        setup_ps: if function.is_sequential() {
+            DFF_SETUP_PS
+        } else {
+            0.0
+        },
     }
 }
 
@@ -162,7 +163,10 @@ mod tests {
         let rise_diff = rf / rc - 1.0;
         let fall_diff = ff / fc - 1.0;
         assert!(rise_diff < 0.0, "rise diff {rise_diff}");
-        assert!(fall_diff < rise_diff, "fall should improve more: {fall_diff} vs {rise_diff}");
+        assert!(
+            fall_diff < rise_diff,
+            "fall should improve more: {fall_diff} vs {rise_diff}"
+        );
         assert!(fall_diff > -0.25, "fall diff too extreme: {fall_diff}");
     }
 
@@ -177,12 +181,21 @@ mod tests {
 
         let inv_energy_diff = (ef_i / ec_i - 1.0).abs();
         let buf_energy_diff = ef_b / ec_b - 1.0;
-        assert!(inv_energy_diff < 0.05, "INV transition power ~flat: {inv_energy_diff}");
-        assert!(buf_energy_diff < -0.03, "BUF transition power improves: {buf_energy_diff}");
+        assert!(
+            inv_energy_diff < 0.05,
+            "INV transition power ~flat: {inv_energy_diff}"
+        );
+        assert!(
+            buf_energy_diff < -0.03,
+            "BUF transition power improves: {buf_energy_diff}"
+        );
 
         let inv_fall = ff_i / fc_i - 1.0;
         let buf_fall = ff_b / fc_b - 1.0;
-        assert!(buf_fall < inv_fall, "BUF fall {buf_fall} vs INV fall {inv_fall}");
+        assert!(
+            buf_fall < inv_fall,
+            "BUF fall {buf_fall} vs INV fall {inv_fall}"
+        );
     }
 
     #[test]

@@ -87,7 +87,9 @@ impl CellFunction {
     #[must_use]
     pub fn input_count(&self) -> usize {
         match self {
-            CellFunction::Inv | CellFunction::Buf | CellFunction::ClkBuf | CellFunction::Bridge => 1,
+            CellFunction::Inv | CellFunction::Buf | CellFunction::ClkBuf | CellFunction::Bridge => {
+                1
+            }
             CellFunction::Nand2
             | CellFunction::Nor2
             | CellFunction::And2
@@ -102,7 +104,10 @@ impl CellFunction {
             | CellFunction::Mux2 => 3,
             CellFunction::Aoi22 | CellFunction::Oai22 => 4,
             CellFunction::Mux4 => 6,
-            CellFunction::TieHi | CellFunction::TieLo | CellFunction::PowerTap | CellFunction::Filler => 0,
+            CellFunction::TieHi
+            | CellFunction::TieLo
+            | CellFunction::PowerTap
+            | CellFunction::Filler => 0,
         }
     }
 
@@ -125,8 +130,11 @@ impl CellFunction {
     pub fn uses_split_gate(&self) -> bool {
         matches!(
             self,
-            CellFunction::Mux2 | CellFunction::Mux4 | CellFunction::Dff
-                | CellFunction::Xor2 | CellFunction::Xnor2
+            CellFunction::Mux2
+                | CellFunction::Mux4
+                | CellFunction::Dff
+                | CellFunction::Xor2
+                | CellFunction::Xnor2
         )
     }
 
@@ -142,10 +150,9 @@ impl CellFunction {
     #[must_use]
     pub fn input_names(&self) -> Vec<&'static str> {
         match self {
-            CellFunction::Inv
-            | CellFunction::Buf
-            | CellFunction::ClkBuf
-            | CellFunction::Bridge => vec!["A"],
+            CellFunction::Inv | CellFunction::Buf | CellFunction::ClkBuf | CellFunction::Bridge => {
+                vec!["A"]
+            }
             CellFunction::Nand2
             | CellFunction::Nor2
             | CellFunction::And2
@@ -300,8 +307,8 @@ mod tests {
     fn input_counts_match_names() {
         use CellFunction::*;
         for f in [
-            Inv, Buf, Nand2, Nand3, Nor2, Nor3, And2, Or2, Xor2, Xnor2, Aoi21, Aoi22, Oai21,
-            Oai22, Mux2, Mux4, Dff, TieHi, TieLo, ClkBuf, PowerTap, Filler,
+            Inv, Buf, Nand2, Nand3, Nor2, Nor3, And2, Or2, Xor2, Xnor2, Aoi21, Aoi22, Oai21, Oai22,
+            Mux2, Mux4, Dff, TieHi, TieLo, ClkBuf, PowerTap, Filler,
         ] {
             assert_eq!(f.input_names().len(), f.input_count(), "{f:?}");
         }

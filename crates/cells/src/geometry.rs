@@ -199,24 +199,47 @@ mod tests {
     #[test]
     fn inverter_area_scaling_is_pure_height() {
         let rows = fig4_area_comparison();
-        let inv = rows.iter().find(|r| r.function == CellFunction::Inv).unwrap();
+        let inv = rows
+            .iter()
+            .find(|r| r.function == CellFunction::Inv)
+            .unwrap();
         assert!((inv.scaling - 0.125).abs() < 1e-9);
     }
 
     #[test]
     fn split_gate_cells_save_extra_area() {
         let rows = fig4_area_comparison();
-        let inv = rows.iter().find(|r| r.function == CellFunction::Inv).unwrap();
-        let dff = rows.iter().find(|r| r.function == CellFunction::Dff).unwrap();
-        let mux = rows.iter().find(|r| r.function == CellFunction::Mux2).unwrap();
-        assert!(dff.scaling > inv.scaling + 0.1, "dff scaling {}", dff.scaling);
-        assert!(mux.scaling > inv.scaling + 0.1, "mux scaling {}", mux.scaling);
+        let inv = rows
+            .iter()
+            .find(|r| r.function == CellFunction::Inv)
+            .unwrap();
+        let dff = rows
+            .iter()
+            .find(|r| r.function == CellFunction::Dff)
+            .unwrap();
+        let mux = rows
+            .iter()
+            .find(|r| r.function == CellFunction::Mux2)
+            .unwrap();
+        assert!(
+            dff.scaling > inv.scaling + 0.1,
+            "dff scaling {}",
+            dff.scaling
+        );
+        assert!(
+            mux.scaling > inv.scaling + 0.1,
+            "mux scaling {}",
+            mux.scaling
+        );
     }
 
     #[test]
     fn aoi22_pays_drain_merge_penalty() {
         let rows = fig4_area_comparison();
-        let aoi = rows.iter().find(|r| r.function == CellFunction::Aoi22).unwrap();
+        let aoi = rows
+            .iter()
+            .find(|r| r.function == CellFunction::Aoi22)
+            .unwrap();
         // FFET AOI22 is wider, so its area scaling is below the 12.5% height
         // scaling (it can even be negative).
         assert!(aoi.scaling < 0.125);
@@ -238,12 +261,18 @@ mod tests {
     fn ffet_output_pins_are_dual_sided() {
         let ffet = Technology::ffet_3p5t();
         let pins = default_pins(&ffet, CellFunction::Nand2, DriveStrength::D1);
-        let out = pins.iter().find(|p| p.direction == PinDirection::Output).unwrap();
+        let out = pins
+            .iter()
+            .find(|p| p.direction == PinDirection::Output)
+            .unwrap();
         assert_eq!(out.sides, PinSides::Both);
 
         let cfet = Technology::cfet_4t();
         let pins = default_pins(&cfet, CellFunction::Nand2, DriveStrength::D1);
-        let out = pins.iter().find(|p| p.direction == PinDirection::Output).unwrap();
+        let out = pins
+            .iter()
+            .find(|p| p.direction == PinDirection::Output)
+            .unwrap();
         assert_eq!(out.sides, PinSides::One(Side::Front));
     }
 
@@ -254,7 +283,11 @@ mod tests {
             for d in [DriveStrength::D1, DriveStrength::D4] {
                 let w = width_cpp(ffet.kind(), f, d);
                 for p in default_pins(&ffet, f, d) {
-                    assert!(p.offset_cpp >= 0 && p.offset_cpp < w, "{f:?} {d} pin {}", p.name);
+                    assert!(
+                        p.offset_cpp >= 0 && p.offset_cpp < w,
+                        "{f:?} {d} pin {}",
+                        p.name
+                    );
                 }
             }
         }

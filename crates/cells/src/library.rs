@@ -381,7 +381,9 @@ mod tests {
     fn redistribution_hits_requested_ratio() {
         let mut lib = Library::new(Technology::ffet_3p5t());
         for ratio in [0.04, 0.16, 0.3, 0.4, 0.5] {
-            let moved = lib.redistribute_input_pins(ratio, 42).expect("ffet supports backside");
+            let moved = lib
+                .redistribute_input_pins(ratio, 42)
+                .expect("ffet supports backside");
             assert!(moved > 0);
             let measured = lib.measured_backside_ratio();
             assert!(

@@ -9,9 +9,7 @@
 use crate::designs;
 use crate::flow::{run_flow, FlowConfig};
 use crate::report::{pct_diff, PpaReport};
-use ffet_cells::{
-    fig4_area_comparison, CellFunction, CellKind, DriveStrength, Library,
-};
+use ffet_cells::{fig4_area_comparison, CellFunction, CellKind, DriveStrength, Library};
 use ffet_netlist::Netlist;
 use ffet_tech::{RoutingPattern, Side, TechKind, Technology};
 
@@ -105,7 +103,10 @@ impl ExpTable {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.header));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             println!("{}", fmt_row(row));
         }
@@ -163,12 +164,22 @@ pub fn table1() -> Table1 {
     let mut rows = Vec::new();
     type Kpi = fn(&ffet_cells::Cell, f64, f64) -> f64;
     let metrics: [(&str, Kpi); 6] = [
-        ("Transition power", |c, s, l| c.timing.transition_energy(s, l)),
+        ("Transition power", |c, s, l| {
+            c.timing.transition_energy(s, l)
+        }),
         ("Leakage power", |c, _, _| c.timing.leakage_nw),
-        ("Rise timing", |c, s, l| c.timing.arcs[0].delay_rise.lookup(s, l)),
-        ("Fall timing", |c, s, l| c.timing.arcs[0].delay_fall.lookup(s, l)),
-        ("Rise transition", |c, s, l| c.timing.arcs[0].slew_rise.lookup(s, l)),
-        ("Fall transition", |c, s, l| c.timing.arcs[0].slew_fall.lookup(s, l)),
+        ("Rise timing", |c, s, l| {
+            c.timing.arcs[0].delay_rise.lookup(s, l)
+        }),
+        ("Fall timing", |c, s, l| {
+            c.timing.arcs[0].delay_fall.lookup(s, l)
+        }),
+        ("Rise transition", |c, s, l| {
+            c.timing.arcs[0].slew_rise.lookup(s, l)
+        }),
+        ("Fall transition", |c, s, l| {
+            c.timing.arcs[0].slew_fall.lookup(s, l)
+        }),
     ];
     for (name, f) in metrics {
         let mut row = vec![name.to_owned()];
@@ -191,7 +202,8 @@ pub fn table1() -> Table1 {
             header,
             rows,
             notes: vec![
-                "paper: leakage 0.0% everywhere; INV transition power ≈ flat; BUF timing −10..−16%".into(),
+                "paper: leakage 0.0% everywhere; INV transition power ≈ flat; BUF timing −10..−16%"
+                    .into(),
             ],
         },
         diffs,
@@ -244,7 +256,9 @@ pub fn table2() -> Table2 {
     ]);
     rows.push(vec![
         "BPR".into(),
-        cfet.stack().bpr_pitch.map_or_else(|| "/".into(), |p| p.to_string()),
+        cfet.stack()
+            .bpr_pitch
+            .map_or_else(|| "/".into(), |p| p.to_string()),
         "/".into(),
     ]);
     Table2 {
@@ -374,10 +388,7 @@ pub fn utilization_sweep(
 /// The three configurations Fig. 8 compares.
 fn fig8_configs() -> Vec<(&'static str, FlowConfig)> {
     vec![
-        (
-            "4T CFET (FM12)",
-            FlowConfig::baseline(TechKind::Cfet4t),
-        ),
+        ("4T CFET (FM12)", FlowConfig::baseline(TechKind::Cfet4t)),
         (
             "3.5T FFET FM12 (single-sided)",
             FlowConfig::baseline(TechKind::Ffet3p5t),
@@ -435,7 +446,11 @@ pub fn fig8_with(design: DesignKind) -> Fig8 {
                 format!("{:.0}%", p.utilization * 100.0),
                 format!("{:.1}", p.report.core_area_um2),
                 p.report.drv.to_string(),
-                if p.report.valid { "valid".into() } else { "INVALID".into() },
+                if p.report.valid {
+                    "valid".into()
+                } else {
+                    "INVALID".into()
+                },
             ]);
         }
         max_utils.push((label.to_owned(), max_u));
@@ -456,7 +471,10 @@ pub fn fig8_with(design: DesignKind) -> Fig8 {
             cfet_pts.iter().rfind(|p| p.report.valid),
             ffet_pts.iter().find(|p| {
                 Some(p.utilization)
-                    == cfet_pts.iter().rfind(|q| q.report.valid).map(|q| q.utilization)
+                    == cfet_pts
+                        .iter()
+                        .rfind(|q| q.report.valid)
+                        .map(|q| q.utilization)
             }),
         ) {
             notes.push(format!(
@@ -525,14 +543,20 @@ pub fn fig9() -> Fig9 {
 pub fn fig9_with(design: DesignKind) -> Fig9 {
     let targets = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
     let configs = [
-        ("4T CFET", FlowConfig {
-            utilization: 0.76,
-            ..FlowConfig::baseline(TechKind::Cfet4t)
-        }),
-        ("3.5T FFET FM12", FlowConfig {
-            utilization: 0.76,
-            ..FlowConfig::baseline(TechKind::Ffet3p5t)
-        }),
+        (
+            "4T CFET",
+            FlowConfig {
+                utilization: 0.76,
+                ..FlowConfig::baseline(TechKind::Cfet4t)
+            },
+        ),
+        (
+            "3.5T FFET FM12",
+            FlowConfig {
+                utilization: 0.76,
+                ..FlowConfig::baseline(TechKind::Ffet3p5t)
+            },
+        ),
     ];
     let mut points = Vec::new();
     let mut rows = Vec::new();
@@ -638,7 +662,11 @@ pub fn fig10_with(design: DesignKind) -> Fig10 {
                 format!("{:.0}%", p.utilization * 100.0),
                 format!("{:.1}", p.report.core_area_um2),
                 format!("{:.3}", p.report.achieved_freq_ghz),
-                if p.report.valid { "valid".into() } else { "INVALID".into() },
+                if p.report.valid {
+                    "valid".into()
+                } else {
+                    "INVALID".into()
+                },
             ]);
             points.push((
                 (*label).to_owned(),
@@ -900,9 +928,7 @@ pub fn fig12_with(design: DesignKind) -> Fig12 {
             title: "Fig. 12 — max utilization vs routing layers per side (FP0.5BP0.5)".into(),
             header: vec!["Pattern".into(), "Max utilization".into()],
             rows,
-            notes: vec![
-                "paper: constant 86% down to 4 layers/side, ~70% at 2 layers/side".into(),
-            ],
+            notes: vec!["paper: constant 86% down to 4 layers/side, ~70% at 2 layers/side".into()],
         },
         points,
     }

@@ -11,6 +11,7 @@ use ffet_pnr::{pin_position, run_pnr, PnrConfig, PnrError, PnrResult};
 use ffet_rcx::{extract_net, NetParasitics};
 use ffet_sta::{analyze_power, analyze_timing, StaConfig};
 use ffet_tech::{RoutingPattern, TechKind, Technology};
+use ffet_verify::{run_signoff, SignoffReport};
 use std::collections::HashMap;
 
 /// Full flow configuration — one DoE point.
@@ -95,6 +96,10 @@ pub struct FlowOutcome {
     /// Extracted parasitics, aligned to the (post-synthesis, post-CTS)
     /// netlist's nets.
     pub parasitics: Vec<Option<NetParasitics>>,
+    /// Static signoff over the finished implementation (lint + DRC +
+    /// LVS-lite). Always clean of errors when this outcome is returned;
+    /// its warnings are the signoff view of the DRV proxy.
+    pub signoff: SignoffReport,
 }
 
 impl FlowOutcome {
@@ -102,12 +107,7 @@ impl FlowOutcome {
     /// paper's StarRC stage hands to STA).
     #[must_use]
     pub fn write_spef(&self) -> String {
-        let nets: Vec<NetParasitics> = self
-            .parasitics
-            .iter()
-            .flatten()
-            .cloned()
-            .collect();
+        let nets: Vec<NetParasitics> = self.parasitics.iter().flatten().cloned().collect();
         ffet_rcx::write_spef(&self.report.tech, &nets)
     }
 }
@@ -121,6 +121,9 @@ pub enum FlowError {
     CombLoop(String),
     /// The two side DEFs did not merge (internal invariant).
     Merge(String),
+    /// Static signoff found error-severity violations (opens, LVS
+    /// mismatches, illegal layers…). Carries the per-rule summary table.
+    Signoff(String),
 }
 
 impl std::fmt::Display for FlowError {
@@ -129,6 +132,7 @@ impl std::fmt::Display for FlowError {
             FlowError::Pnr(e) => write!(f, "physical implementation: {e}"),
             FlowError::CombLoop(i) => write!(f, "combinational loop through {i}"),
             FlowError::Merge(e) => write!(f, "DEF merge: {e}"),
+            FlowError::Signoff(e) => write!(f, "signoff failed:\n{e}"),
         }
     }
 }
@@ -177,8 +181,17 @@ pub fn run_flow(
     let pnr = run_pnr(&mut netlist, library, &pnr_config)?;
 
     // DEF merge (paper: "we first merged the two DEFs into one DEF").
-    let merged_def = merge_defs(&pnr.front_def, &pnr.back_def)
-        .map_err(|e| FlowError::Merge(e.to_string()))?;
+    let merged_def =
+        merge_defs(&pnr.front_def, &pnr.back_def).map_err(|e| FlowError::Merge(e.to_string()))?;
+
+    // Static signoff over the finished artifacts: netlist lint, route and
+    // placement DRC, LVS-lite of the merged DEF. Error severity means the
+    // implementation is structurally broken — congestion and legality
+    // overflow stay warnings and feed the DRV validity proxy instead.
+    let signoff = run_signoff(&netlist, library, config.pattern, &pnr, &merged_def);
+    if !signoff.is_clean() {
+        return Err(FlowError::Signoff(signoff.text_table()));
+    }
 
     // Dual-sided RC extraction from the merged DEF.
     let parasitics = extract_all(&netlist, library, &pnr, &merged_def);
@@ -217,6 +230,8 @@ pub fn run_flow(
         clock_mw: power.clock_mw,
         drv: pnr.drv_count(),
         valid: pnr.is_valid(library),
+        signoff_warnings: signoff.drv_warnings(),
+        signoff: signoff.verdict().to_owned(),
         wirelength_mm: pnr.routing.wirelength_nm as f64 / 1e6,
         back_wirelength_mm: pnr.routing.back_wirelength_nm as f64 / 1e6,
         vias: pnr.routing.via_count,
@@ -228,6 +243,7 @@ pub fn run_flow(
         pnr,
         timing,
         parasitics,
+        signoff,
     })
 }
 

@@ -30,6 +30,12 @@ pub struct PpaReport {
     pub drv: u32,
     /// Whether the run passes the `<10 DRVs` validity rule.
     pub valid: bool,
+    /// Warning-severity signoff violations (the static-verification view
+    /// of the DRV proxy; error-severity findings abort the flow instead).
+    pub signoff_warnings: u32,
+    /// Signoff verdict for this run (`PASS`/`FAIL`). Always `PASS` on a
+    /// report produced by `run_flow`, which errors out on `FAIL`.
+    pub signoff: String,
     /// Total signal wirelength, mm.
     pub wirelength_mm: f64,
     /// Backside share of the wirelength, mm.
@@ -51,7 +57,7 @@ impl PpaReport {
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{} {} BP{:.2} util {:.0}% target {:.2}GHz → {:.3}GHz, {:.3}mW, {:.1}µm², drv {}{}",
+            "{} {} BP{:.2} util {:.0}% target {:.2}GHz → {:.3}GHz, {:.3}mW, {:.1}µm², drv {}{}, signoff {} ({} warnings)",
             self.tech,
             self.pattern,
             self.back_pin_ratio,
@@ -62,6 +68,8 @@ impl PpaReport {
             self.core_area_um2,
             self.drv,
             if self.valid { "" } else { " (INVALID)" },
+            self.signoff,
+            self.signoff_warnings,
         )
     }
 }
@@ -98,12 +106,15 @@ mod tests {
             clock_mw: 0.5,
             drv: 12,
             valid: false,
+            signoff_warnings: 12,
+            signoff: "PASS".into(),
             wirelength_mm: 1.0,
             back_wirelength_mm: 0.4,
             vias: 1000,
             cells: 5000,
         };
         assert!(r.summary().contains("INVALID"));
+        assert!(r.summary().contains("signoff PASS"));
         assert!((r.efficiency_ghz_per_mw() - 0.5).abs() < 1e-12);
     }
 }

@@ -108,8 +108,12 @@ fn size_cells(netlist: &mut Netlist, library: &Library, target_ghz: f64) -> usiz
         if !function.has_output() || function.input_count() == 0 {
             continue;
         }
-        let Some(out_pin) = cell.output_pin() else { continue };
-        let Some(out_net) = inst.conns[out_pin] else { continue };
+        let Some(out_pin) = cell.output_pin() else {
+            continue;
+        };
+        let Some(out_net) = inst.conns[out_pin] else {
+            continue;
+        };
         // Estimated load: sink pin caps + pre-placement wire estimate.
         let net = netlist.net(out_net);
         let mut load = net.sinks.len() as f64 * WIRE_CAP_PER_FANOUT_FF;

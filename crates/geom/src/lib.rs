@@ -19,9 +19,11 @@
 
 mod point;
 mod rect;
+mod rng;
 
 pub use point::Point;
 pub use rect::Rect;
+pub use rng::Rng64;
 
 /// Physical coordinate in nanometres.
 pub type Nm = i64;

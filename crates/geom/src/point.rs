@@ -73,7 +73,7 @@ impl From<(Nm, Nm)> for Point {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::Rng64;
 
     #[test]
     fn manhattan_of_axis_aligned_pairs() {
@@ -89,25 +89,31 @@ mod tests {
         assert_eq!(a + b - b, a);
     }
 
-    proptest! {
-        #[test]
-        fn manhattan_symmetric(ax in -1_000_000i64..1_000_000, ay in -1_000_000i64..1_000_000,
-                               bx in -1_000_000i64..1_000_000, by in -1_000_000i64..1_000_000) {
-            let a = Point::new(ax, ay);
-            let b = Point::new(bx, by);
-            prop_assert_eq!(a.manhattan(b), b.manhattan(a));
-        }
+    fn random_point(rng: &mut Rng64, span: i64) -> Point {
+        Point::new(rng.range_i64(-span, span), rng.range_i64(-span, span))
+    }
 
-        #[test]
-        fn manhattan_triangle_inequality(
-            ax in -100_000i64..100_000, ay in -100_000i64..100_000,
-            bx in -100_000i64..100_000, by in -100_000i64..100_000,
-            cx in -100_000i64..100_000, cy in -100_000i64..100_000,
-        ) {
-            let a = Point::new(ax, ay);
-            let b = Point::new(bx, by);
-            let c = Point::new(cx, cy);
-            prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    #[test]
+    fn manhattan_symmetric() {
+        let mut rng = Rng64::new(0x9e01);
+        for _ in 0..256 {
+            let a = random_point(&mut rng, 1_000_000);
+            let b = random_point(&mut rng, 1_000_000);
+            assert_eq!(a.manhattan(b), b.manhattan(a), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality() {
+        let mut rng = Rng64::new(0x9e02);
+        for _ in 0..256 {
+            let a = random_point(&mut rng, 100_000);
+            let b = random_point(&mut rng, 100_000);
+            let c = random_point(&mut rng, 100_000);
+            assert!(
+                a.manhattan(c) <= a.manhattan(b) + b.manhattan(c),
+                "a={a} b={b} c={c}"
+            );
         }
     }
 }

@@ -68,10 +68,7 @@ impl Rect {
     /// Centre point (rounded toward `lo` for odd sizes).
     #[must_use]
     pub fn center(&self) -> Point {
-        Point::new(
-            self.lo.x + self.width() / 2,
-            self.lo.y + self.height() / 2,
-        )
+        Point::new(self.lo.x + self.width() / 2, self.lo.y + self.height() / 2)
     }
 
     /// Whether `p` lies inside or on the boundary.
@@ -159,7 +156,10 @@ impl Rect {
     pub fn bounding<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
         let mut iter = points.into_iter();
         let first = iter.next()?;
-        let mut r = Rect { lo: first, hi: first };
+        let mut r = Rect {
+            lo: first,
+            hi: first,
+        };
         for p in iter {
             r.lo.x = r.lo.x.min(p.x);
             r.lo.y = r.lo.y.min(p.y);
@@ -179,7 +179,7 @@ impl std::fmt::Display for Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::Rng64;
 
     #[test]
     fn normalises_corners() {
@@ -219,37 +219,64 @@ mod tests {
         assert!(wire.contains(Point::new(50, 5)));
     }
 
-    fn arb_rect() -> impl Strategy<Value = Rect> {
-        (-10_000i64..10_000, -10_000i64..10_000, -10_000i64..10_000, -10_000i64..10_000)
-            .prop_map(|(a, b, c, d)| Rect::new(a, b, c, d))
+    fn random_rect(rng: &mut Rng64) -> Rect {
+        Rect::new(
+            rng.range_i64(-10_000, 10_000),
+            rng.range_i64(-10_000, 10_000),
+            rng.range_i64(-10_000, 10_000),
+            rng.range_i64(-10_000, 10_000),
+        )
     }
 
-    proptest! {
-        #[test]
-        fn intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+    #[test]
+    fn intersection_contained_in_both() {
+        let mut rng = Rng64::new(0x6e01);
+        for _ in 0..256 {
+            let a = random_rect(&mut rng);
+            let b = random_rect(&mut rng);
             if let Some(i) = a.intersection(&b) {
-                prop_assert!(a.contains_rect(&i));
-                prop_assert!(b.contains_rect(&i));
+                assert!(a.contains_rect(&i), "a={a} b={b}");
+                assert!(b.contains_rect(&i), "a={a} b={b}");
             }
         }
+    }
 
-        #[test]
-        fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+    #[test]
+    fn union_contains_both() {
+        let mut rng = Rng64::new(0x6e02);
+        for _ in 0..256 {
+            let a = random_rect(&mut rng);
+            let b = random_rect(&mut rng);
             let u = a.union(&b);
-            prop_assert!(u.contains_rect(&a));
-            prop_assert!(u.contains_rect(&b));
+            assert!(u.contains_rect(&a), "a={a} b={b}");
+            assert!(u.contains_rect(&b), "a={a} b={b}");
         }
+    }
 
-        #[test]
-        fn overlap_symmetric(a in arb_rect(), b in arb_rect()) {
-            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
-            prop_assert_eq!(a.overlaps_strictly(&b), b.overlaps_strictly(&a));
+    #[test]
+    fn overlap_symmetric() {
+        let mut rng = Rng64::new(0x6e03);
+        for _ in 0..256 {
+            let a = random_rect(&mut rng);
+            let b = random_rect(&mut rng);
+            assert_eq!(a.overlaps(&b), b.overlaps(&a), "a={a} b={b}");
+            assert_eq!(
+                a.overlaps_strictly(&b),
+                b.overlaps_strictly(&a),
+                "a={a} b={b}"
+            );
         }
+    }
 
-        #[test]
-        fn inflate_then_deflate_is_identity_for_large_rects(a in arb_rect(), m in 0i64..100) {
-            prop_assume!(a.width() > 0 && a.height() > 0);
-            prop_assert_eq!(a.inflated(m).inflated(-m), a);
+    #[test]
+    fn inflate_then_deflate_is_identity_for_large_rects() {
+        let mut rng = Rng64::new(0x6e04);
+        for _ in 0..256 {
+            let a = random_rect(&mut rng);
+            let m = rng.range_i64(0, 100);
+            if a.width() > 0 && a.height() > 0 {
+                assert_eq!(a.inflated(m).inflated(-m), a, "a={a} m={m}");
+            }
         }
     }
 }

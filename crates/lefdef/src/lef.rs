@@ -98,7 +98,13 @@ mod tests {
         let lef = write_lef(&lib);
         // With every input on the backside, ND2D1's A pin port is on BM0.
         let nd2 = lef.split("MACRO ND2D1").nth(1).unwrap();
-        let pin_a = nd2.split("PIN A").nth(1).unwrap().split("END A").next().unwrap();
+        let pin_a = nd2
+            .split("PIN A")
+            .nth(1)
+            .unwrap()
+            .split("END A")
+            .next()
+            .unwrap();
         assert!(pin_a.contains("LAYER BM0"));
         assert!(!pin_a.contains("LAYER FM0"));
     }

@@ -140,15 +140,24 @@ mod tests {
         let mut back = base("core");
         front.nets.push(DefNet {
             name: "n1".into(),
-            connections: vec![DefConnection { instance: "u1".into(), pin: "Y".into() }],
+            connections: vec![DefConnection {
+                instance: "u1".into(),
+                pin: "Y".into(),
+            }],
             wires: vec![wire(Side::Front)],
             vias: vec![],
         });
         back.nets.push(DefNet {
             name: "n1".into(),
             connections: vec![
-                DefConnection { instance: "u1".into(), pin: "Y".into() },
-                DefConnection { instance: "u1".into(), pin: "A".into() },
+                DefConnection {
+                    instance: "u1".into(),
+                    pin: "Y".into(),
+                },
+                DefConnection {
+                    instance: "u1".into(),
+                    pin: "A".into(),
+                },
             ],
             wires: vec![wire(Side::Back)],
             vias: vec![],

@@ -124,7 +124,10 @@ pub fn parse_def(text: &str) -> Result<Def, ParseDefError> {
                 c.expect(";")?;
             }
             "DESIGN" => {
-                def.design = c.next().ok_or_else(|| c.err("missing design name"))?.to_owned();
+                def.design = c
+                    .next()
+                    .ok_or_else(|| c.err("missing design name"))?
+                    .to_owned();
                 c.expect(";")?;
             }
             "UNITS" => {
@@ -256,9 +259,7 @@ pub fn parse_def(text: &str) -> Result<Def, ParseDefError> {
                                             to_layer,
                                         });
                                     }
-                                    other => {
-                                        return Err(c.err(format!("bad net clause {other:?}")))
-                                    }
+                                    other => return Err(c.err(format!("bad net clause {other:?}"))),
                                 }
                             }
                             c.expect(";")?;
@@ -287,9 +288,8 @@ pub fn parse_def(text: &str) -> Result<Def, ParseDefError> {
 mod tests {
     use super::*;
     use crate::writer::write_def;
-    use ffet_geom::Orientation;
+    use ffet_geom::{Orientation, Rng64};
     use ffet_tech::Side;
-    use proptest::prelude::*;
 
     #[test]
     fn roundtrip_small() {
@@ -325,14 +325,15 @@ mod tests {
         assert_eq!(err.line, 2);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn roundtrip_random_defs(
-            n_comp in 0usize..8,
-            n_net in 0usize..8,
-            coords in proptest::collection::vec((0i64..100_000, 0i64..100_000), 32),
-        ) {
+    #[test]
+    fn roundtrip_random_defs() {
+        let mut rng = Rng64::new(0xdef0);
+        for _ in 0..32 {
+            let n_comp = rng.range_usize(0, 8);
+            let n_net = rng.range_usize(0, 8);
+            let coords: Vec<(i64, i64)> = (0..32)
+                .map(|_| (rng.range_i64(0, 100_000), rng.range_i64(0, 100_000)))
+                .collect();
             let mut def = Def::new("rand", Rect::new(0, 0, 100_000, 100_000));
             for i in 0..n_comp {
                 let (x, y) = coords[i % coords.len()];
@@ -340,7 +341,11 @@ mod tests {
                     name: format!("u{i}"),
                     macro_name: "INVD1".into(),
                     origin: Point::new(x, y),
-                    orient: if i % 2 == 0 { Orientation::North } else { Orientation::FlippedSouth },
+                    orient: if i % 2 == 0 {
+                        Orientation::North
+                    } else {
+                        Orientation::FlippedSouth
+                    },
                     fixed: i % 3 == 0,
                 });
             }
@@ -348,9 +353,15 @@ mod tests {
                 let (x, y) = coords[(i + 7) % coords.len()];
                 def.nets.push(DefNet {
                     name: format!("net{i}"),
-                    connections: vec![DefConnection { instance: format!("u{i}"), pin: "A".into() }],
+                    connections: vec![DefConnection {
+                        instance: format!("u{i}"),
+                        pin: "A".into(),
+                    }],
                     wires: vec![DefWire {
-                        layer: LayerId::new(if i % 2 == 0 { Side::Front } else { Side::Back }, (i % 12 + 1) as u8),
+                        layer: LayerId::new(
+                            if i % 2 == 0 { Side::Front } else { Side::Back },
+                            (i % 12 + 1) as u8,
+                        ),
                         from: Point::new(x, y),
                         to: Point::new(x + 100, y),
                     }],
@@ -358,7 +369,7 @@ mod tests {
                 });
             }
             let parsed = parse_def(&write_def(&def)).expect("roundtrip");
-            prop_assert_eq!(parsed, def);
+            assert_eq!(parsed, def);
         }
     }
 }

@@ -105,8 +105,14 @@ mod tests {
         def.nets.push(DefNet {
             name: "n1".into(),
             connections: vec![
-                DefConnection { instance: "u1".into(), pin: "Y".into() },
-                DefConnection { instance: "PIN".into(), pin: "out".into() },
+                DefConnection {
+                    instance: "u1".into(),
+                    pin: "Y".into(),
+                },
+                DefConnection {
+                    instance: "PIN".into(),
+                    pin: "out".into(),
+                },
             ],
             wires: vec![DefWire {
                 layer: LayerId::new(Side::Front, 2),

@@ -135,7 +135,11 @@ fn cascade(
     for k in 0..cell.stages {
         let from_last = cell.stages - 1 - k;
         let rising_here = rising_output == from_last.is_multiple_of(2);
-        let r = if rising_here { cell.r_up() } else { cell.r_down() };
+        let r = if rising_here {
+            cell.r_up()
+        } else {
+            cell.r_down()
+        };
         let c = if k == cell.stages - 1 {
             cell.c_out() + load_ff
         } else {

@@ -47,12 +47,19 @@ pub fn write_liberty(library_name: &str, cells: &[(String, CellTiming)]) -> Stri
         let _ = writeln!(s, "  cell ({name}) {{");
         let _ = writeln!(s, "    cell_leakage_power : {:.4};", timing.leakage_nw);
         if timing.is_sequential {
-            let _ = writeln!(s, "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}");
+            let _ = writeln!(
+                s,
+                "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}"
+            );
         }
         let pin_name = |i: usize| -> String {
             if timing.is_sequential {
                 // The library's DFF convention: data first, clock second.
-                if i == 0 { "D".to_owned() } else { "CK".to_owned() }
+                if i == 0 {
+                    "D".to_owned()
+                } else {
+                    "CK".to_owned()
+                }
             } else {
                 format!("I{i}")
             }

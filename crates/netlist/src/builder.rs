@@ -256,10 +256,7 @@ impl<'a> NetlistBuilder<'a> {
     /// Panics if bus widths differ.
     pub fn mux2_bus(&mut self, a: &[NetId], b: &[NetId], s: NetId) -> Vec<NetId> {
         assert_eq!(a.len(), b.len(), "mux bus width mismatch");
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| self.mux2(x, y, s))
-            .collect()
+        a.iter().zip(b).map(|(&x, &y)| self.mux2(x, y, s)).collect()
     }
 
     /// Ripple-carry adder over two buses; returns (sum bus, carry out).

@@ -73,8 +73,12 @@ pub fn levelize(netlist: &Netlist, library: &Library) -> Result<Levelization, Co
         order.push(inst);
         let conns = &netlist.instance(inst).conns;
         let template = library.cell(netlist.instance(inst).cell);
-        let Some(out_pin) = template.output_pin() else { continue };
-        let Some(out_net) = conns[out_pin] else { continue };
+        let Some(out_pin) = template.output_pin() else {
+            continue;
+        };
+        let Some(out_net) = conns[out_pin] else {
+            continue;
+        };
         let my_level = levels[inst.0 as usize];
         for sink in &netlist.net(out_net).sinks {
             let si = sink.inst.0 as usize;
@@ -99,7 +103,11 @@ pub fn levelize(netlist: &Netlist, library: &Library) -> Result<Levelization, Co
         });
     }
 
-    let depth = order.iter().map(|i| levels[i.0 as usize]).max().unwrap_or(0);
+    let depth = order
+        .iter()
+        .map(|i| levels[i.0 as usize])
+        .max()
+        .unwrap_or(0);
     Ok(Levelization {
         order,
         levels,
@@ -142,14 +150,22 @@ mod tests {
         // q = dff(!q): a toggle flop — sequential loop, combinationally fine.
         let nl = {
             let q_feedback = b.netlist_mut().add_net("qb_loop");
-            let inv = lib.id(CellKind::new(CellFunction::Inv, DriveStrength::D1)).unwrap();
-            let dff = lib.id(CellKind::new(CellFunction::Dff, DriveStrength::D1)).unwrap();
+            let inv = lib
+                .id(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+                .unwrap();
+            let dff = lib
+                .id(CellKind::new(CellFunction::Dff, DriveStrength::D1))
+                .unwrap();
             let q = b.netlist_mut().add_net("q");
             let library = b.library();
             b.netlist_mut()
                 .add_instance(library, "u_inv", inv, &[Some(q), Some(q_feedback)]);
-            b.netlist_mut()
-                .add_instance(library, "u_dff", dff, &[Some(q_feedback), Some(clk), Some(q)]);
+            b.netlist_mut().add_instance(
+                library,
+                "u_dff",
+                dff,
+                &[Some(q_feedback), Some(clk), Some(q)],
+            );
             b.finish()
         };
         let lv = levelize(&nl, &lib).unwrap();
@@ -159,7 +175,9 @@ mod tests {
     #[test]
     fn comb_loop_detected() {
         let lib = Library::new(Technology::ffet_3p5t());
-        let inv = lib.id(CellKind::new(CellFunction::Inv, DriveStrength::D1)).unwrap();
+        let inv = lib
+            .id(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+            .unwrap();
         let mut nl = crate::Netlist::new("loop");
         let a = nl.add_net("a");
         let b = nl.add_net("b");

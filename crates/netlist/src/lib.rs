@@ -36,13 +36,14 @@ pub use verilog_parser::{from_verilog, ParseVerilogError};
 mod tests {
     use super::*;
     use ffet_cells::Library;
+    use ffet_geom::Rng64;
     use ffet_tech::Technology;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn random_adder_matches_reference(width in 1usize..12, cases in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 4)) {
+    #[test]
+    fn random_adder_matches_reference() {
+        let mut rng = Rng64::new(0xadd3);
+        for _ in 0..16 {
+            let width = rng.range_usize(1, 12);
             let lib = Library::new(Technology::ffet_3p5t());
             let mut b = NetlistBuilder::new(&lib, "prop_adder");
             let a = b.input_bus("a", width);
@@ -54,14 +55,18 @@ mod tests {
             let nl = b.finish();
             nl.check_consistency(&lib).unwrap();
             let mut sim = Simulator::new(&nl, &lib).unwrap();
-            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
-            for (x, y) in cases {
-                let (x, y) = (x & mask, y & mask);
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
+            for _ in 0..4 {
+                let (x, y) = (rng.next_u64() & mask, rng.next_u64() & mask);
                 sim.set_bus(&a, x);
                 sim.set_bus(&c, y);
                 sim.settle();
-                let got = sim.get_bus(&sum) | ((u64::from(sim.get(cout))) << width);
-                prop_assert_eq!(got, x + y);
+                let got = sim.get_bus(&sum) | (u64::from(sim.get(cout)) << width);
+                assert_eq!(got, x + y, "width {width}: {x} + {y}");
             }
         }
     }

@@ -184,11 +184,7 @@ impl Netlist {
             match template.pins[pin_idx].direction {
                 PinDirection::Output => {
                     let n = &mut self.nets[net.0 as usize];
-                    assert!(
-                        n.driver.is_none(),
-                        "net {} already driven",
-                        n.name
-                    );
+                    assert!(n.driver.is_none(), "net {} already driven", n.name);
                     n.driver = Some(pin_ref);
                 }
                 PinDirection::Input => {
@@ -278,7 +274,9 @@ impl Netlist {
         }
         for net in &self.nets {
             if let Some(d) = net.driver {
-                if self.instances[d.inst.0 as usize].conns[d.pin] != self.net_names.get(&net.name).copied() {
+                if self.instances[d.inst.0 as usize].conns[d.pin]
+                    != self.net_names.get(&net.name).copied()
+                {
                     return Err(format!("net {} driver back-reference broken", net.name));
                 }
             }
@@ -306,7 +304,9 @@ mod tests {
     #[test]
     fn wiring_updates_driver_and_sinks() {
         let lib = lib();
-        let inv = lib.id(CellKind::new(CellFunction::Inv, DriveStrength::D1)).unwrap();
+        let inv = lib
+            .id(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+            .unwrap();
         let mut nl = Netlist::new("t");
         let a = nl.add_net("a");
         let y = nl.add_net("y");
@@ -320,7 +320,9 @@ mod tests {
     #[should_panic(expected = "already driven")]
     fn double_driver_rejected() {
         let lib = lib();
-        let inv = lib.id(CellKind::new(CellFunction::Inv, DriveStrength::D1)).unwrap();
+        let inv = lib
+            .id(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+            .unwrap();
         let mut nl = Netlist::new("t");
         let a = nl.add_net("a");
         let y = nl.add_net("y");
@@ -339,7 +341,9 @@ mod tests {
     #[test]
     fn move_sink_rewires() {
         let lib = lib();
-        let inv = lib.id(CellKind::new(CellFunction::Inv, DriveStrength::D1)).unwrap();
+        let inv = lib
+            .id(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+            .unwrap();
         let mut nl = Netlist::new("t");
         let a = nl.add_net("a");
         let b = nl.add_net("b");

@@ -207,7 +207,9 @@ mod tests {
         let qb = b.not(q);
         {
             use ffet_cells::{CellFunction, CellKind, DriveStrength};
-            let dff = lib.id(CellKind::new(CellFunction::Dff, DriveStrength::D1)).unwrap();
+            let dff = lib
+                .id(CellKind::new(CellFunction::Dff, DriveStrength::D1))
+                .unwrap();
             let library = b.library();
             b.netlist_mut()
                 .add_instance(library, "u_dff", dff, &[Some(qb), Some(clk), Some(q)]);

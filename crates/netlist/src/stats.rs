@@ -40,7 +40,7 @@ pub fn stats(netlist: &Netlist, library: &Library) -> NetlistStats {
         area += i128::from(cell.width_cpp * tech.cpp()) * i128::from(tech.cell_height());
         pins += inst.conns.iter().flatten().count();
     }
-    let degrees: usize = netlist.nets().iter().map(|n| n.degree()).sum();
+    let degrees: usize = netlist.nets().iter().map(super::netlist::Net::degree).sum();
     NetlistStats {
         by_function,
         instances: netlist.instances().len(),

@@ -19,11 +19,7 @@ pub fn to_verilog(netlist: &Netlist, library: &Library) -> String {
         }
     };
 
-    let port_list: Vec<String> = netlist
-        .ports()
-        .iter()
-        .map(|p| escape(&p.name))
-        .collect();
+    let port_list: Vec<String> = netlist.ports().iter().map(|p| escape(&p.name)).collect();
     let _ = writeln!(
         out,
         "module {} ({});",
@@ -65,13 +61,7 @@ pub fn to_verilog(netlist: &Netlist, library: &Library) -> String {
             .iter()
             .zip(&inst.conns)
             .filter_map(|(pin, conn)| {
-                conn.map(|net| {
-                    format!(
-                        ".{}({})",
-                        pin.name,
-                        escape(&netlist.net(net).name)
-                    )
-                })
+                conn.map(|net| format!(".{}({})", pin.name, escape(&netlist.net(net).name)))
             })
             .collect();
         let _ = writeln!(

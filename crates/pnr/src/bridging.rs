@@ -156,7 +156,10 @@ mod tests {
         let before = nl.instances().len();
         let threshold = max_net_hpwl(&nl, &lib, &pl) / 2;
         let stats = insert_bridging_cells(&mut nl, &lib, &pl, threshold);
-        assert!(stats.bridges_inserted > 0, "nets above half the max must bridge");
+        assert!(
+            stats.bridges_inserted > 0,
+            "nets above half the max must bridge"
+        );
         assert_eq!(nl.instances().len(), before + stats.bridges_inserted);
         nl.check_consistency(&lib).unwrap();
         // Bridged nets now sink only into the bridge's backside input.

@@ -121,10 +121,26 @@ fn build_level(
     let right = sorted.split_off(sorted.len() / 2);
     let out = insert_buffer(netlist, library, ckbuf, source_net, buffers, next_id);
     let d1 = build_level(
-        netlist, library, ckbuf, out, origin, sorted, buffers, next_id, depth + 1,
+        netlist,
+        library,
+        ckbuf,
+        out,
+        origin,
+        sorted,
+        buffers,
+        next_id,
+        depth + 1,
     );
     let d2 = build_level(
-        netlist, library, ckbuf, out, origin, right, buffers, next_id, depth + 1,
+        netlist,
+        library,
+        ckbuf,
+        out,
+        origin,
+        right,
+        buffers,
+        next_id,
+        depth + 1,
     );
     d1.max(d2)
 }

@@ -194,8 +194,7 @@ mod tests {
         let lib = Library::new(Technology::ffet_3p5t());
         let nl = fanout_netlist(&lib);
         let pl = placed(&lib, &nl);
-        let nets =
-            decompose_nets(&nl, &lib, &pl, RoutingPattern::new(12, 0).unwrap()).unwrap();
+        let nets = decompose_nets(&nl, &lib, &pl, RoutingPattern::new(12, 0).unwrap()).unwrap();
         assert!(nets.iter().all(|n| n.side == Side::Front));
     }
 
@@ -208,8 +207,7 @@ mod tests {
         };
         let nl = fanout_netlist(&lib);
         let pl = placed(&lib, &nl);
-        let nets =
-            decompose_nets(&nl, &lib, &pl, RoutingPattern::new(6, 6).unwrap()).unwrap();
+        let nets = decompose_nets(&nl, &lib, &pl, RoutingPattern::new(6, 6).unwrap()).unwrap();
         let back = nets.iter().filter(|n| n.side == Side::Back).count();
         let front = nets.iter().filter(|n| n.side == Side::Front).count();
         assert!(back > 0, "some sub-nets must land on the backside");
@@ -227,8 +225,7 @@ mod tests {
         };
         let nl = fanout_netlist(&lib);
         let pl = placed(&lib, &nl);
-        let err = decompose_nets(&nl, &lib, &pl, RoutingPattern::new(12, 0).unwrap())
-            .unwrap_err();
+        let err = decompose_nets(&nl, &lib, &pl, RoutingPattern::new(12, 0).unwrap()).unwrap_err();
         assert!(matches!(err, DecomposeError::BacksidePinUnroutable { .. }));
     }
 
@@ -241,8 +238,7 @@ mod tests {
         };
         let nl = fanout_netlist(&lib);
         let pl = placed(&lib, &nl);
-        let nets =
-            decompose_nets(&nl, &lib, &pl, RoutingPattern::new(8, 4).unwrap()).unwrap();
+        let nets = decompose_nets(&nl, &lib, &pl, RoutingPattern::new(8, 4).unwrap()).unwrap();
         let decomposed_sinks: usize = nets.iter().map(|n| n.pins.len() - 1).sum();
         let original_sinks: usize = nl.nets().iter().map(|n| n.sinks.len()).sum();
         let port_outputs = nl

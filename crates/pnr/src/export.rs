@@ -44,10 +44,7 @@ pub fn export_defs(
         base.components.push(DefComponent {
             name: format!("pwrtap_{ti}"),
             macro_name: tap_name.clone(),
-            origin: Point::new(
-                tap.site * tech.cpp(),
-                floorplan.rows[tap.row].y,
-            ),
+            origin: Point::new(tap.site * tech.cpp(), floorplan.rows[tap.row].y),
             orient: floorplan.rows[tap.row].orient,
             fixed: true,
         });

@@ -42,14 +42,11 @@ pub fn insert_fillers(
 
     // Occupied intervals (in absolute sites) per row.
     let mut occupied: Vec<Vec<(i64, i64)>> = vec![Vec::new(); floorplan.rows.len()];
-    let row_of = |y: i64| -> Option<usize> {
-        floorplan
-            .rows
-            .iter()
-            .position(|r| r.y == y)
-    };
+    let row_of = |y: i64| -> Option<usize> { floorplan.rows.iter().position(|r| r.y == y) };
     for (i, inst) in netlist.instances().iter().enumerate() {
-        let Some(r) = row_of(placement.origins[i].y) else { continue };
+        let Some(r) = row_of(placement.origins[i].y) else {
+            continue;
+        };
         let start = placement.origins[i].x / cpp;
         let w = library.cell(inst.cell).width_cpp;
         occupied[r].push((start, start + w));

@@ -36,8 +36,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-pub mod calib;
 mod bridging;
+pub mod calib;
 mod cts;
 mod dualside;
 mod export;
@@ -46,8 +46,8 @@ mod floorplan;
 mod grid;
 mod integrity;
 mod placement;
-mod qp;
 mod powerplan;
+mod qp;
 mod route;
 
 pub use bridging::{insert_bridging_cells, BridgingStats};
@@ -291,7 +291,10 @@ mod tests {
         };
         let result = run_pnr(&mut nl, &lib, &config).expect("pnr runs");
         assert!(result.is_valid(&lib), "drv = {}", result.drv_count());
-        assert!(result.routing.back_wirelength_nm > 0, "dual-sided routing used");
+        assert!(
+            result.routing.back_wirelength_nm > 0,
+            "dual-sided routing used"
+        );
         assert!(!result.clock.buffers.is_empty());
         assert!(result.front_def.nets.len() + result.back_def.nets.len() >= nl.nets().len() / 2);
         nl.check_consistency(&lib).unwrap();

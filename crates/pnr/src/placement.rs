@@ -2,11 +2,9 @@ use crate::calib::{MAX_LEGALIZE_DISPLACEMENT_CPP, PLACEMENT_ITERATIONS};
 use crate::floorplan::Floorplan;
 use crate::powerplan::PowerPlan;
 use ffet_cells::Library;
+use ffet_geom::Rng64;
 use ffet_geom::{Nm, Orientation, Point, Rect};
 use ffet_netlist::Netlist;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// A legalized placement of every netlist instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,7 +72,7 @@ pub fn place(
     // ordering in which connected cells are close; mapping that order
     // serpentine onto the rows gives the force-directed refinement a
     // structured starting point instead of a random one.
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let order = connectivity_order(netlist, &mut rng);
     let mut x = vec![0.0f64; n];
     let mut y = vec![0.0f64; n];
@@ -132,7 +130,15 @@ pub fn place(
             );
             anchor_x.copy_from_slice(&x);
             anchor_y.copy_from_slice(&y);
-            spread(floorplan, &widths, &mut anchor_x, &mut anchor_y, cpp, row_h, 1.0);
+            spread(
+                floorplan,
+                &widths,
+                &mut anchor_x,
+                &mut anchor_y,
+                cpp,
+                row_h,
+                1.0,
+            );
         }
         // Hand the legalizer the density-feasible upper-bound positions.
         x = anchor_x;
@@ -156,7 +162,7 @@ pub fn place(
 /// BFS (Cuthill–McKee-like) ordering of the instances over the net
 /// adjacency graph. Clock nets and very-high-fanout nets are skipped (they
 /// connect everything and carry no locality information).
-fn connectivity_order(netlist: &Netlist, rng: &mut StdRng) -> Vec<usize> {
+fn connectivity_order(netlist: &Netlist, rng: &mut Rng64) -> Vec<usize> {
     let n = netlist.instances().len();
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     for net in netlist.nets() {
@@ -179,7 +185,7 @@ fn connectivity_order(netlist: &Netlist, rng: &mut StdRng) -> Vec<usize> {
         }
     }
     let mut seeds: Vec<usize> = (0..n).collect();
-    seeds.shuffle(rng);
+    rng.shuffle(&mut seeds);
     let mut order = Vec::with_capacity(n);
     let mut visited = vec![false; n];
     for seed in seeds {
@@ -329,8 +335,8 @@ fn legalize(
         let w = widths[i];
         let want_site = (x[i] / cpp as f64).round() as i64 - w / 2;
         let row0_y = floorplan.rows.first().map_or(0, |r| r.y) as f64;
-        let want_row = (((y[i] - row0_y) / row_h as f64 - 0.5).round() as i64)
-            .clamp(0, n_rows as i64 - 1);
+        let want_row =
+            (((y[i] - row0_y) / row_h as f64 - 0.5).round() as i64).clamp(0, n_rows as i64 - 1);
 
         let mut best: Option<(i64, usize, usize)> = None; // (cost, row, seg)
         for dr in 0..n_rows as i64 {
@@ -536,10 +542,7 @@ mod tests {
             let w = lib.cell(inst.cell).width_cpp * tech.cpp();
             let r = Rect::from_origin_size(pl.origins[i], w, tech.cell_height());
             for (ti, t) in tap_rects.iter().enumerate() {
-                assert!(
-                    !r.overlaps_strictly(t),
-                    "cell {i} overlaps tap {ti}"
-                );
+                assert!(!r.overlaps_strictly(t), "cell {i} overlaps tap {ti}");
             }
         }
     }

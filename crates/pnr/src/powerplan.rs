@@ -44,11 +44,7 @@ impl PowerPlan {
 /// every VSS stripe. CFET: BSPDN on BM1/BM2 reaches the buried power rail
 /// through nTSVs, costing no placement sites.
 #[must_use]
-pub fn powerplan(
-    floorplan: &Floorplan,
-    library: &Library,
-    pattern: RoutingPattern,
-) -> PowerPlan {
+pub fn powerplan(floorplan: &Floorplan, library: &Library, pattern: RoutingPattern) -> PowerPlan {
     let tech = library.tech();
     let cpp = tech.cpp();
     let stripe_pitch = tech.power_stripe_pitch();

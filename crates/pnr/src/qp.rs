@@ -255,7 +255,14 @@ mod tests {
         let anchors = vec![1500.0; 3];
         let fixed = vec![false; 3];
         for _ in 0..10 {
-            solve_axis(&nets, ffet_geom::Axis::Horizontal, &mut coords, &anchors, 1e-9, &fixed);
+            solve_axis(
+                &nets,
+                ffet_geom::Axis::Horizontal,
+                &mut coords,
+                &anchors,
+                1e-9,
+                &fixed,
+            );
         }
         assert!(coords[0] < coords[1] && coords[1] < coords[2], "{coords:?}");
         assert!((coords[1] - 1500.0).abs() < 200.0, "{coords:?}");
@@ -273,7 +280,14 @@ mod tests {
         let nets = QpNets::build(&nl, &ports);
         let mut coords = vec![500.0];
         let anchors = vec![9000.0];
-        solve_axis(&nets, ffet_geom::Axis::Horizontal, &mut coords, &anchors, 1e3, &[false]);
+        solve_axis(
+            &nets,
+            ffet_geom::Axis::Horizontal,
+            &mut coords,
+            &anchors,
+            1e3,
+            &[false],
+        );
         assert!((coords[0] - 9000.0).abs() < 50.0, "{coords:?}");
     }
 }

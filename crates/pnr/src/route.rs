@@ -115,10 +115,7 @@ pub fn route_nets(
         let mut rerouted = 0usize;
         for ci in 0..conns.len() {
             let side = side_nets[conns[ci].side_net].side;
-            let crosses = conns[ci]
-                .path
-                .iter()
-                .any(|&g| grid.is_overflowed(side, g));
+            let crosses = conns[ci].path.iter().any(|&g| grid.is_overflowed(side, g));
             if !crosses {
                 continue;
             }
@@ -245,7 +242,9 @@ fn step_cost(grid: &RoutingGrid, side: Side, a: GCell, b: GCell) -> f64 {
 
 /// Total cost of a path.
 fn path_cost(grid: &RoutingGrid, side: Side, path: &[GCell]) -> f64 {
-    path.windows(2).map(|w| step_cost(grid, side, w[0], w[1])).sum()
+    path.windows(2)
+        .map(|w| step_cost(grid, side, w[0], w[1]))
+        .sum()
 }
 
 /// Straight run of GCells from `a` towards `b` along one axis (inclusive).
@@ -330,10 +329,7 @@ fn best_path(grid: &RoutingGrid, side: Side, from: Point, to: Point) -> Vec<GCel
     }
     candidates
         .into_iter()
-        .min_by(|p, q| {
-            path_cost(grid, side, p)
-                .total_cmp(&path_cost(grid, side, q))
-        })
+        .min_by(|p, q| path_cost(grid, side, p).total_cmp(&path_cost(grid, side, q)))
         .expect("at least the L candidates exist")
 }
 
@@ -570,8 +566,9 @@ fn merge_collinear(wires: Vec<DefWire>) -> Vec<DefWire> {
         if let Some(last) = out.last_mut() {
             let same_layer = last.layer == w.layer;
             let continues = last.to == w.from;
-            let collinear = (last.from.y == last.to.y && w.from.y == w.to.y && last.from.y == w.from.y)
-                || (last.from.x == last.to.x && w.from.x == w.to.x && last.from.x == w.from.x);
+            let collinear =
+                (last.from.y == last.to.y && w.from.y == w.to.y && last.from.y == w.from.y)
+                    || (last.from.x == last.to.x && w.from.x == w.to.x && last.from.x == w.from.x);
             if same_layer && continues && collinear {
                 last.to = w.to;
                 continue;
@@ -608,7 +605,10 @@ mod tests {
     fn two_pin_net_routes_near_hpwl() {
         let (tech, mut grid) = setup();
         let pattern = RoutingPattern::new(12, 12).unwrap();
-        let nets = vec![side_net(vec![Point::new(1_000, 1_000), Point::new(31_000, 21_000)])];
+        let nets = vec![side_net(vec![
+            Point::new(1_000, 1_000),
+            Point::new(31_000, 21_000),
+        ])];
         let r = route_nets(&tech, &mut grid, &nets, pattern);
         assert_eq!(r.drv_count, 0);
         let hpwl = 30_000 + 20_000;

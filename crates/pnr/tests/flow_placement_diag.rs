@@ -39,17 +39,23 @@ fn hpwl_after_buffering_like_synthesis() {
     // Emulate the synthesis fanout buffering: split every >16-sink net.
     let lib = Library::new(Technology::ffet_3p5t());
     let mut nl = build_core(&lib, "rv32").netlist;
-    let buf = lib.id(CellKind::new(CellFunction::Buf, DriveStrength::D4)).unwrap();
+    let buf = lib
+        .id(CellKind::new(CellFunction::Buf, DriveStrength::D4))
+        .unwrap();
     let mut inserted = 0;
     let net_count = nl.nets().len();
     for ni in 0..net_count {
         let id = ffet_netlist::NetId(ni as u32);
-        if nl.net(id).is_clock || nl.net(id).sinks.len() <= 16 { continue; }
+        if nl.net(id).is_clock || nl.net(id).sinks.len() <= 16 {
+            continue;
+        }
         let sinks: Vec<_> = nl.net(id).sinks.clone();
         for (gi, group) in sinks.chunks(16).enumerate().skip(1) {
             let out = nl.add_net(format!("_fob{ni}_{gi}"));
             nl.add_instance(&lib, format!("fob_{ni}_{gi}"), buf, &[Some(id), Some(out)]);
-            for &pin in group { nl.move_sink(id, pin, out); }
+            for &pin in group {
+                nl.move_sink(id, pin, out);
+            }
             inserted += 1;
         }
     }

@@ -37,7 +37,13 @@ impl Consts {
     #[must_use]
     pub fn word(&self, value: u32, width: usize) -> Word {
         (0..width)
-            .map(|i| if value >> i & 1 == 1 { self.one } else { self.zero })
+            .map(|i| {
+                if value >> i & 1 == 1 {
+                    self.one
+                } else {
+                    self.zero
+                }
+            })
             .collect()
     }
 }
@@ -172,7 +178,13 @@ pub fn shift_right(b: &mut NetlistBuilder<'_>, a: &[NetId], sh: &[NetId], fill: 
     for (k, &s) in sh.iter().enumerate() {
         let dist = 1usize << k;
         let shifted: Word = (0..cur.len())
-            .map(|i| if i + dist < cur.len() { cur[i + dist] } else { fill })
+            .map(|i| {
+                if i + dist < cur.len() {
+                    cur[i + dist]
+                } else {
+                    fill
+                }
+            })
             .collect();
         cur = mux_word(b, &cur, &shifted, s);
     }
@@ -223,7 +235,13 @@ pub fn decode(b: &mut NetlistBuilder<'_>, sel: &[NetId]) -> Vec<NetId> {
     (0..1usize << n)
         .map(|code| {
             let terms: Vec<NetId> = (0..n)
-                .map(|bit| if code >> bit & 1 == 1 { sel[bit] } else { inv[bit] })
+                .map(|bit| {
+                    if code >> bit & 1 == 1 {
+                        sel[bit]
+                    } else {
+                        inv[bit]
+                    }
+                })
                 .collect();
             b.and_tree(&terms)
         })
@@ -237,7 +255,10 @@ mod tests {
     use ffet_netlist::Simulator;
     use ffet_tech::Technology;
 
-    fn harness<F>(width: usize, build: F) -> (ffet_netlist::Netlist, Library, Vec<NetId>, Vec<NetId>, Word)
+    fn harness<F>(
+        width: usize,
+        build: F,
+    ) -> (ffet_netlist::Netlist, Library, Vec<NetId>, Vec<NetId>, Word)
     where
         F: FnOnce(&mut NetlistBuilder<'_>, &[NetId], &[NetId]) -> Word,
     {
@@ -269,7 +290,13 @@ mod tests {
         b.output_bus("sll", &sll);
         let nl = b.finish();
         let mut sim = Simulator::new(&nl, &lib).unwrap();
-        for (val, s) in [(0x8000_0001u32, 1u32), (0xdead_beef, 13), (1, 31), (0xffff_0000, 16), (5, 0)] {
+        for (val, s) in [
+            (0x8000_0001u32, 1u32),
+            (0xdead_beef, 13),
+            (1, 31),
+            (0xffff_0000, 16),
+            (5, 0),
+        ] {
             sim.set_bus(&a, val as u64);
             sim.set_bus(&sh, s as u64);
             sim.settle();

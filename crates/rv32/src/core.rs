@@ -218,7 +218,13 @@ pub fn build_core(library: &Library, name: &str) -> Rv32Core {
     // ---------------- Load unit ----------------
     let addr_lo: Word = alu.sum[..2].to_vec();
     // Shift amount = addr[1:0] * 8 → bits [3] and [4] of a 5-bit shamt.
-    let shamt: Word = vec![zeroed(&consts), zeroed(&consts), zeroed(&consts), addr_lo[0], addr_lo[1]];
+    let shamt: Word = vec![
+        zeroed(&consts),
+        zeroed(&consts),
+        zeroed(&consts),
+        addr_lo[0],
+        addr_lo[1],
+    ];
     let aligned = shift_right(&mut b, &dmem_rdata, &shamt, zero);
     // Sign/zero extension: f3 bit2 (ins[14]) = unsigned.
     let load_unsigned = f3[2];
@@ -251,15 +257,14 @@ pub fn build_core(library: &Library, name: &str) -> Rv32Core {
     // ---------------- Writeback ----------------
     let is_jump = b.or2(is_jal, is_jalr);
     let wb_ops = [
-        (&alu.result, {
-            b.or2(is_op, is_op_imm)
-        }),
+        (&alu.result, { b.or2(is_op, is_op_imm) }),
         (&load_data, is_load),
         (&pc_plus4, is_jump),
         (&imm_u, is_lui),
         (&pc_imm, is_auipc),
     ];
-    let wb_choices: Vec<(&[NetId], NetId)> = wb_ops.iter().map(|(w, s)| (w.as_slice(), *s)).collect();
+    let wb_choices: Vec<(&[NetId], NetId)> =
+        wb_ops.iter().map(|(w, s)| (w.as_slice(), *s)).collect();
     let wb_data = onehot_mux(&mut b, &wb_choices);
 
     let writes_rd = {

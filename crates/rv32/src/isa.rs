@@ -150,7 +150,12 @@ impl Instr {
 /// Assembler helpers producing raw instruction words.
 pub mod encode {
     fn r(f7: u32, rs2: usize, rs1: usize, f3: u32, rd: usize, op: u32) -> u32 {
-        (f7 << 25) | ((rs2 as u32) << 20) | ((rs1 as u32) << 15) | (f3 << 12) | ((rd as u32) << 7) | op
+        (f7 << 25)
+            | ((rs2 as u32) << 20)
+            | ((rs1 as u32) << 15)
+            | (f3 << 12)
+            | ((rd as u32) << 7)
+            | op
     }
 
     fn i(imm: i32, rs1: usize, f3: u32, rd: usize, op: u32) -> u32 {
@@ -180,49 +185,112 @@ pub mod encode {
     }
 
     /// `ADD rd, rs1, rs2`.
-    #[must_use] pub fn add(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 0, rd, 0x33) }
+    #[must_use]
+    pub fn add(rd: usize, rs1: usize, rs2: usize) -> u32 {
+        r(0, rs2, rs1, 0, rd, 0x33)
+    }
     /// `SUB rd, rs1, rs2`.
-    #[must_use] pub fn sub(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0x20, rs2, rs1, 0, rd, 0x33) }
+    #[must_use]
+    pub fn sub(rd: usize, rs1: usize, rs2: usize) -> u32 {
+        r(0x20, rs2, rs1, 0, rd, 0x33)
+    }
     /// `SLL rd, rs1, rs2`.
-    #[must_use] pub fn sll(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 1, rd, 0x33) }
+    #[must_use]
+    pub fn sll(rd: usize, rs1: usize, rs2: usize) -> u32 {
+        r(0, rs2, rs1, 1, rd, 0x33)
+    }
     /// `SLT rd, rs1, rs2`.
-    #[must_use] pub fn slt(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 2, rd, 0x33) }
+    #[must_use]
+    pub fn slt(rd: usize, rs1: usize, rs2: usize) -> u32 {
+        r(0, rs2, rs1, 2, rd, 0x33)
+    }
     /// `SLTU rd, rs1, rs2`.
-    #[must_use] pub fn sltu(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 3, rd, 0x33) }
+    #[must_use]
+    pub fn sltu(rd: usize, rs1: usize, rs2: usize) -> u32 {
+        r(0, rs2, rs1, 3, rd, 0x33)
+    }
     /// `XOR rd, rs1, rs2`.
-    #[must_use] pub fn xor(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 4, rd, 0x33) }
+    #[must_use]
+    pub fn xor(rd: usize, rs1: usize, rs2: usize) -> u32 {
+        r(0, rs2, rs1, 4, rd, 0x33)
+    }
     /// `SRL rd, rs1, rs2`.
-    #[must_use] pub fn srl(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 5, rd, 0x33) }
+    #[must_use]
+    pub fn srl(rd: usize, rs1: usize, rs2: usize) -> u32 {
+        r(0, rs2, rs1, 5, rd, 0x33)
+    }
     /// `SRA rd, rs1, rs2`.
-    #[must_use] pub fn sra(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0x20, rs2, rs1, 5, rd, 0x33) }
+    #[must_use]
+    pub fn sra(rd: usize, rs1: usize, rs2: usize) -> u32 {
+        r(0x20, rs2, rs1, 5, rd, 0x33)
+    }
     /// `OR rd, rs1, rs2`.
-    #[must_use] pub fn or(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 6, rd, 0x33) }
+    #[must_use]
+    pub fn or(rd: usize, rs1: usize, rs2: usize) -> u32 {
+        r(0, rs2, rs1, 6, rd, 0x33)
+    }
     /// `AND rd, rs1, rs2`.
-    #[must_use] pub fn and(rd: usize, rs1: usize, rs2: usize) -> u32 { r(0, rs2, rs1, 7, rd, 0x33) }
+    #[must_use]
+    pub fn and(rd: usize, rs1: usize, rs2: usize) -> u32 {
+        r(0, rs2, rs1, 7, rd, 0x33)
+    }
 
     /// `ADDI rd, rs1, imm`.
-    #[must_use] pub fn addi(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 0, rd, 0x13) }
+    #[must_use]
+    pub fn addi(rd: usize, rs1: usize, imm: i32) -> u32 {
+        i(imm, rs1, 0, rd, 0x13)
+    }
     /// `SLTI rd, rs1, imm`.
-    #[must_use] pub fn slti(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 2, rd, 0x13) }
+    #[must_use]
+    pub fn slti(rd: usize, rs1: usize, imm: i32) -> u32 {
+        i(imm, rs1, 2, rd, 0x13)
+    }
     /// `SLTIU rd, rs1, imm`.
-    #[must_use] pub fn sltiu(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 3, rd, 0x13) }
+    #[must_use]
+    pub fn sltiu(rd: usize, rs1: usize, imm: i32) -> u32 {
+        i(imm, rs1, 3, rd, 0x13)
+    }
     /// `XORI rd, rs1, imm`.
-    #[must_use] pub fn xori(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 4, rd, 0x13) }
+    #[must_use]
+    pub fn xori(rd: usize, rs1: usize, imm: i32) -> u32 {
+        i(imm, rs1, 4, rd, 0x13)
+    }
     /// `ORI rd, rs1, imm`.
-    #[must_use] pub fn ori(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 6, rd, 0x13) }
+    #[must_use]
+    pub fn ori(rd: usize, rs1: usize, imm: i32) -> u32 {
+        i(imm, rs1, 6, rd, 0x13)
+    }
     /// `ANDI rd, rs1, imm`.
-    #[must_use] pub fn andi(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 7, rd, 0x13) }
+    #[must_use]
+    pub fn andi(rd: usize, rs1: usize, imm: i32) -> u32 {
+        i(imm, rs1, 7, rd, 0x13)
+    }
     /// `SLLI rd, rs1, shamt`.
-    #[must_use] pub fn slli(rd: usize, rs1: usize, sh: u32) -> u32 { i(sh as i32, rs1, 1, rd, 0x13) }
+    #[must_use]
+    pub fn slli(rd: usize, rs1: usize, sh: u32) -> u32 {
+        i(sh as i32, rs1, 1, rd, 0x13)
+    }
     /// `SRLI rd, rs1, shamt`.
-    #[must_use] pub fn srli(rd: usize, rs1: usize, sh: u32) -> u32 { i(sh as i32, rs1, 5, rd, 0x13) }
+    #[must_use]
+    pub fn srli(rd: usize, rs1: usize, sh: u32) -> u32 {
+        i(sh as i32, rs1, 5, rd, 0x13)
+    }
     /// `SRAI rd, rs1, shamt`.
-    #[must_use] pub fn srai(rd: usize, rs1: usize, sh: u32) -> u32 { i((sh | 0x400) as i32, rs1, 5, rd, 0x13) }
+    #[must_use]
+    pub fn srai(rd: usize, rs1: usize, sh: u32) -> u32 {
+        i((sh | 0x400) as i32, rs1, 5, rd, 0x13)
+    }
 
     /// `LUI rd, imm` (`imm` is the full 32-bit value with low 12 bits zero).
-    #[must_use] pub fn lui(rd: usize, imm: u32) -> u32 { (imm & 0xffff_f000) | ((rd as u32) << 7) | 0x37 }
+    #[must_use]
+    pub fn lui(rd: usize, imm: u32) -> u32 {
+        (imm & 0xffff_f000) | ((rd as u32) << 7) | 0x37
+    }
     /// `AUIPC rd, imm`.
-    #[must_use] pub fn auipc(rd: usize, imm: u32) -> u32 { (imm & 0xffff_f000) | ((rd as u32) << 7) | 0x17 }
+    #[must_use]
+    pub fn auipc(rd: usize, imm: u32) -> u32 {
+        (imm & 0xffff_f000) | ((rd as u32) << 7) | 0x17
+    }
 
     /// `JAL rd, offset`.
     #[must_use]
@@ -236,43 +304,94 @@ pub mod encode {
             | 0x6f
     }
     /// `JALR rd, rs1, imm`.
-    #[must_use] pub fn jalr(rd: usize, rs1: usize, imm: i32) -> u32 { i(imm, rs1, 0, rd, 0x67) }
+    #[must_use]
+    pub fn jalr(rd: usize, rs1: usize, imm: i32) -> u32 {
+        i(imm, rs1, 0, rd, 0x67)
+    }
 
     /// `BEQ rs1, rs2, offset`.
-    #[must_use] pub fn beq(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 0) }
+    #[must_use]
+    pub fn beq(rs1: usize, rs2: usize, off: i32) -> u32 {
+        b(off, rs2, rs1, 0)
+    }
     /// `BNE rs1, rs2, offset`.
-    #[must_use] pub fn bne(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 1) }
+    #[must_use]
+    pub fn bne(rs1: usize, rs2: usize, off: i32) -> u32 {
+        b(off, rs2, rs1, 1)
+    }
     /// `BLT rs1, rs2, offset`.
-    #[must_use] pub fn blt(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 4) }
+    #[must_use]
+    pub fn blt(rs1: usize, rs2: usize, off: i32) -> u32 {
+        b(off, rs2, rs1, 4)
+    }
     /// `BGE rs1, rs2, offset`.
-    #[must_use] pub fn bge(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 5) }
+    #[must_use]
+    pub fn bge(rs1: usize, rs2: usize, off: i32) -> u32 {
+        b(off, rs2, rs1, 5)
+    }
     /// `BLTU rs1, rs2, offset`.
-    #[must_use] pub fn bltu(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 6) }
+    #[must_use]
+    pub fn bltu(rs1: usize, rs2: usize, off: i32) -> u32 {
+        b(off, rs2, rs1, 6)
+    }
     /// `BGEU rs1, rs2, offset`.
-    #[must_use] pub fn bgeu(rs1: usize, rs2: usize, off: i32) -> u32 { b(off, rs2, rs1, 7) }
+    #[must_use]
+    pub fn bgeu(rs1: usize, rs2: usize, off: i32) -> u32 {
+        b(off, rs2, rs1, 7)
+    }
 
     /// `LB rd, offset(rs1)`.
-    #[must_use] pub fn lb(rd: usize, rs1: usize, off: i32) -> u32 { i(off, rs1, 0, rd, 0x03) }
+    #[must_use]
+    pub fn lb(rd: usize, rs1: usize, off: i32) -> u32 {
+        i(off, rs1, 0, rd, 0x03)
+    }
     /// `LH rd, offset(rs1)`.
-    #[must_use] pub fn lh(rd: usize, rs1: usize, off: i32) -> u32 { i(off, rs1, 1, rd, 0x03) }
+    #[must_use]
+    pub fn lh(rd: usize, rs1: usize, off: i32) -> u32 {
+        i(off, rs1, 1, rd, 0x03)
+    }
     /// `LW rd, offset(rs1)`.
-    #[must_use] pub fn lw(rd: usize, rs1: usize, off: i32) -> u32 { i(off, rs1, 2, rd, 0x03) }
+    #[must_use]
+    pub fn lw(rd: usize, rs1: usize, off: i32) -> u32 {
+        i(off, rs1, 2, rd, 0x03)
+    }
     /// `LBU rd, offset(rs1)`.
-    #[must_use] pub fn lbu(rd: usize, rs1: usize, off: i32) -> u32 { i(off, rs1, 4, rd, 0x03) }
+    #[must_use]
+    pub fn lbu(rd: usize, rs1: usize, off: i32) -> u32 {
+        i(off, rs1, 4, rd, 0x03)
+    }
     /// `LHU rd, offset(rs1)`.
-    #[must_use] pub fn lhu(rd: usize, rs1: usize, off: i32) -> u32 { i(off, rs1, 5, rd, 0x03) }
+    #[must_use]
+    pub fn lhu(rd: usize, rs1: usize, off: i32) -> u32 {
+        i(off, rs1, 5, rd, 0x03)
+    }
 
     /// `SB rs2, offset(rs1)`.
-    #[must_use] pub fn sb(rs2: usize, rs1: usize, off: i32) -> u32 { s(off, rs2, rs1, 0, 0x23) }
+    #[must_use]
+    pub fn sb(rs2: usize, rs1: usize, off: i32) -> u32 {
+        s(off, rs2, rs1, 0, 0x23)
+    }
     /// `SH rs2, offset(rs1)`.
-    #[must_use] pub fn sh(rs2: usize, rs1: usize, off: i32) -> u32 { s(off, rs2, rs1, 1, 0x23) }
+    #[must_use]
+    pub fn sh(rs2: usize, rs1: usize, off: i32) -> u32 {
+        s(off, rs2, rs1, 1, 0x23)
+    }
     /// `SW rs2, offset(rs1)`.
-    #[must_use] pub fn sw(rs2: usize, rs1: usize, off: i32) -> u32 { s(off, rs2, rs1, 2, 0x23) }
+    #[must_use]
+    pub fn sw(rs2: usize, rs1: usize, off: i32) -> u32 {
+        s(off, rs2, rs1, 2, 0x23)
+    }
 
     /// `NOP` (`ADDI x0, x0, 0`).
-    #[must_use] pub fn nop() -> u32 { addi(0, 0, 0) }
+    #[must_use]
+    pub fn nop() -> u32 {
+        addi(0, 0, 0)
+    }
     /// `EBREAK` — the cosim harness treats it as program end.
-    #[must_use] pub fn ebreak() -> u32 { 0x0010_0073 }
+    #[must_use]
+    pub fn ebreak() -> u32 {
+        0x0010_0073
+    }
 }
 
 #[cfg(test)]
@@ -311,8 +430,16 @@ mod tests {
     #[test]
     fn opcode_roundtrip() {
         for op in [
-            Opcode::Lui, Opcode::Auipc, Opcode::Jal, Opcode::Jalr, Opcode::Branch,
-            Opcode::Load, Opcode::Store, Opcode::OpImm, Opcode::Op, Opcode::MiscMem,
+            Opcode::Lui,
+            Opcode::Auipc,
+            Opcode::Jal,
+            Opcode::Jalr,
+            Opcode::Branch,
+            Opcode::Load,
+            Opcode::Store,
+            Opcode::OpImm,
+            Opcode::Op,
+            Opcode::MiscMem,
             Opcode::System,
         ] {
             assert_eq!(Opcode::decode(op.bits()), Some(op));

@@ -133,7 +133,9 @@ impl Iss {
         let pc = self.pc;
         let word = self.read_word(pc);
         let instr = Instr(word);
-        let op = instr.opcode().ok_or(IssError::IllegalInstruction { pc, word })?;
+        let op = instr
+            .opcode()
+            .ok_or(IssError::IllegalInstruction { pc, word })?;
         let rs1 = self.regs[instr.rs1()];
         let rs2 = self.regs[instr.rs2()];
         let mut next_pc = pc.wrapping_add(4);
@@ -217,7 +219,12 @@ impl Iss {
             }
             Opcode::OpImm => {
                 let imm = instr.imm_i() as u32;
-                rd_val = Some(alu(instr.funct3(), word >> 30 & 1 == 1 && instr.funct3() == 5, rs1, imm));
+                rd_val = Some(alu(
+                    instr.funct3(),
+                    word >> 30 & 1 == 1 && instr.funct3() == 5,
+                    rs1,
+                    imm,
+                ));
             }
             Opcode::Op => {
                 let sub_or_sra = word >> 30 & 1 == 1;
@@ -306,8 +313,8 @@ mod tests {
             &[
                 addi(1, 0, 100),
                 addi(2, 0, -3),
-                add(3, 1, 2),  // 97
-                sub(4, 1, 2),  // 103
+                add(3, 1, 2), // 97
+                sub(4, 1, 2), // 103
                 and(5, 1, 2),
                 or(6, 1, 2),
                 xor(7, 1, 2),
@@ -352,13 +359,13 @@ mod tests {
         iss.load_program(
             0,
             &[
-                addi(1, 0, 0),     // 0x00
-                addi(2, 0, 5),     // 0x04
-                addi(1, 1, 1),     // 0x08 loop:
-                bne(1, 2, -4),     // 0x0c
-                jal(3, 8),         // 0x10 → 0x18, x3 = 0x14
-                nop(),             // 0x14 skipped
-                ebreak(),          // 0x18
+                addi(1, 0, 0), // 0x00
+                addi(2, 0, 5), // 0x04
+                addi(1, 1, 1), // 0x08 loop:
+                bne(1, 2, -4), // 0x0c
+                jal(3, 8),     // 0x10 → 0x18, x3 = 0x14
+                nop(),         // 0x14 skipped
+                ebreak(),      // 0x18
             ],
         );
         let trace = iss.run(100).unwrap();
@@ -375,15 +382,15 @@ mod tests {
         iss.load_program(
             0,
             &[
-                lui(1, 0x1000_0000),     // base address
-                addi(2, 0, -2),          // 0xfffffffe
+                lui(1, 0x1000_0000), // base address
+                addi(2, 0, -2),      // 0xfffffffe
                 sw(2, 1, 0),
-                lb(3, 1, 0),             // 0xfe sign-extended
+                lb(3, 1, 0), // 0xfe sign-extended
                 lbu(4, 1, 0),
                 lh(5, 1, 0),
                 lhu(6, 1, 0),
                 addi(7, 0, 0x55),
-                sb(7, 1, 1),             // overwrite byte 1
+                sb(7, 1, 1), // overwrite byte 1
                 lw(8, 1, 0),
                 ebreak(),
             ],

@@ -1,20 +1,19 @@
 //! Directed and random RV32I test programs for verification.
 
 use crate::isa::encode::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ffet_geom::Rng64;
 
 /// Iterative Fibonacci: leaves `fib(n)` in x10 and a scratch table in
 /// memory at 0x100.
 #[must_use]
 pub fn fibonacci(n: u32) -> Vec<u32> {
     vec![
-        addi(1, 0, 0),          // x1 = fib(i)
-        addi(2, 0, 1),          // x2 = fib(i+1)
-        addi(3, 0, n as i32),   // counter
-        addi(4, 0, 0x100),      // table base
+        addi(1, 0, 0),        // x1 = fib(i)
+        addi(2, 0, 1),        // x2 = fib(i+1)
+        addi(3, 0, n as i32), // counter
+        addi(4, 0, 0x100),    // table base
         // loop:
-        beq(3, 0, 32),          // while counter != 0, else jump to done
+        beq(3, 0, 32), // while counter != 0, else jump to done
         add(5, 1, 2),
         addi(1, 2, 0),
         addi(2, 5, 0),
@@ -50,8 +49,8 @@ pub fn sum_loop(n: i32) -> Vec<u32> {
 #[must_use]
 pub fn memory_stress() -> Vec<u32> {
     vec![
-        lui(1, 0x0000_1000),  // base = 0x1000
-        addi(2, 0, -86),      // 0xAA pattern (sign-extended)
+        lui(1, 0x0000_1000), // base = 0x1000
+        addi(2, 0, -86),     // 0xAA pattern (sign-extended)
         sb(2, 1, 0),
         sb(2, 1, 1),
         addi(3, 0, 0x355),
@@ -151,13 +150,13 @@ pub fn gcd(a: i32, b: i32) -> Vec<u32> {
         addi(1, 0, a),
         addi(2, 0, b),
         // loop: while a != b
-        beq(1, 2, 24),      // 0x08 → done at 0x20
-        blt(1, 2, 12),      // 0x0c → swap-subtract at 0x18
-        sub(1, 1, 2),       // 0x10: a -= b
-        jal(0, -12),        // 0x14 → loop
-        sub(2, 2, 1),       // 0x18: b -= a
-        jal(0, -20),        // 0x1c → loop
-        addi(10, 1, 0),     // 0x20 done:
+        beq(1, 2, 24),  // 0x08 → done at 0x20
+        blt(1, 2, 12),  // 0x0c → swap-subtract at 0x18
+        sub(1, 1, 2),   // 0x10: a -= b
+        jal(0, -12),    // 0x14 → loop
+        sub(2, 2, 1),   // 0x18: b -= a
+        jal(0, -20),    // 0x1c → loop
+        addi(10, 1, 0), // 0x20 done:
         ebreak(),
     ]
 }
@@ -168,15 +167,15 @@ pub fn gcd(a: i32, b: i32) -> Vec<u32> {
 pub fn memcpy_checksum(words: usize) -> Vec<u32> {
     let n = words as i32;
     let mut p = vec![
-        lui(1, 0x0000_1000),  // src
-        lui(2, 0x0000_2000),  // dst
-        addi(3, 0, n),        // count
-        addi(4, 0, 1),        // value seed
+        lui(1, 0x0000_1000), // src
+        lui(2, 0x0000_2000), // dst
+        addi(3, 0, n),       // count
+        addi(4, 0, 1),       // value seed
     ];
     // Fill source with a recognisable ramp.
     p.extend([
         // fill: 0x10
-        beq(3, 0, 24),        // → copy setup at +24
+        beq(3, 0, 24), // → copy setup at +24
         sw(4, 1, 0),
         addi(1, 1, 4),
         addi(4, 4, 3),
@@ -188,7 +187,7 @@ pub fn memcpy_checksum(words: usize) -> Vec<u32> {
     ]);
     p.extend([
         // copy loop: 0x30
-        beq(3, 0, 28),        // → checksum setup at +28
+        beq(3, 0, 28), // → checksum setup at +28
         lw(5, 1, 0),
         sw(5, 2, 0),
         addi(1, 1, 4),
@@ -202,7 +201,7 @@ pub fn memcpy_checksum(words: usize) -> Vec<u32> {
     ]);
     p.extend([
         // checksum loop: 0x58
-        beq(3, 0, 24),        // → done at +24
+        beq(3, 0, 24), // → done at +24
         lw(5, 2, 0),
         add(10, 10, 5),
         addi(2, 2, 4),
@@ -219,36 +218,35 @@ pub fn memcpy_checksum(words: usize) -> Vec<u32> {
 /// `EBREAK`. Forward-only short branches keep the control flow bounded.
 #[must_use]
 pub fn random_program(seed: u64, len: usize) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut p: Vec<u32> = vec![
         lui(15, 0x0000_2000), // scratch base in x15
     ];
     while p.len() < len {
-        let rd = rng.random_range(1..15usize);
-        let rs1 = rng.random_range(0..15usize);
-        let rs2 = rng.random_range(0..15usize);
-        match rng.random_range(0..10u32) {
-            0 => p.push(addi(rd, rs1, rng.random_range(-2048..2048))),
+        let rd = rng.range_usize(1, 15);
+        let rs1 = rng.range_usize(0, 15);
+        let rs2 = rng.range_usize(0, 15);
+        match rng.range_i64(0, 10) {
+            0 => p.push(addi(rd, rs1, rng.range_i64(-2048, 2048) as i32)),
             1 => p.push(add(rd, rs1, rs2)),
             2 => p.push(sub(rd, rs1, rs2)),
             3 => p.push(xor(rd, rs1, rs2)),
-            4 => match rng.random_range(0..3) {
+            4 => match rng.range_i64(0, 3) {
                 0 => p.push(sll(rd, rs1, rs2)),
                 1 => p.push(srl(rd, rs1, rs2)),
                 _ => p.push(sra(rd, rs1, rs2)),
             },
             5 => p.push(slt(rd, rs1, rs2)),
-            6 => p.push(lui(rd, rng.random::<u32>())),
+            6 => p.push(lui(rd, rng.next_u32())),
             7 => {
                 // Word-aligned store then load within the scratch page.
-                let off = rng.random_range(0..64) * 4;
+                let off = rng.range_i64(0, 64) as i32 * 4;
                 p.push(sw(rs2, 15, off));
                 p.push(lw(rd, 15, off));
             }
             8 => {
                 // Short forward branch over one instruction.
-                let kind = rng.random_range(0..4);
-                let branch = match kind {
+                let branch = match rng.range_i64(0, 4) {
                     0 => beq(rs1, rs2, 8),
                     1 => bne(rs1, rs2, 8),
                     2 => blt(rs1, rs2, 8),
@@ -259,7 +257,7 @@ pub fn random_program(seed: u64, len: usize) -> Vec<u32> {
             }
             _ => {
                 // Sub-word memory op, byte-aligned within the page.
-                let off = rng.random_range(0..255);
+                let off = rng.range_i64(0, 255) as i32;
                 p.push(sb(rs2, 15, off));
                 p.push(lbu(rd, 15, off));
             }

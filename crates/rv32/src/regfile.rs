@@ -58,8 +58,12 @@ pub fn build_regfile(
                 .expect("DFFD1 in library");
             let name = format!("x{r}_dff_{bit}");
             let library = b.library();
-            b.netlist_mut()
-                .add_instance(library, name, dff, &[Some(d[bit]), Some(clk), Some(q[bit])]);
+            b.netlist_mut().add_instance(
+                library,
+                name,
+                dff,
+                &[Some(d[bit]), Some(clk), Some(q[bit])],
+            );
             dff_count += 1;
         }
         regs.push(q);

@@ -49,8 +49,7 @@ fn random_programs_cosimulate() {
     let core = build_core(&lib, "rv32_core");
     for seed in 0..8u64 {
         let prog = programs::random_program(seed, 80);
-        cosimulate(&core, &lib, &prog, 1_000)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        cosimulate(&core, &lib, &prog, 1_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -74,6 +73,5 @@ fn gcd_runs_on_gate_level_core() {
 fn memcpy_runs_on_gate_level_core() {
     let lib = Library::new(Technology::ffet_3p5t());
     let core = build_core(&lib, "rv32_core");
-    cosimulate(&core, &lib, &programs::memcpy_checksum(8), 5_000)
-        .expect("memcpy cosimulates");
+    cosimulate(&core, &lib, &programs::memcpy_checksum(8), 5_000).expect("memcpy cosimulates");
 }

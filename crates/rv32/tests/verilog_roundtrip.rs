@@ -29,8 +29,7 @@ fn rv32_core_verilog_roundtrip() {
                     .ports()
                     .iter()
                     .find(|p| p.name == port_name)
-                    .map(|p| p.net)
-                    .unwrap_or_else(|| panic!("port {port_name}"))
+                    .map_or_else(|| panic!("port {port_name}"), |p| p.net)
             })
             .collect()
     };
@@ -39,8 +38,7 @@ fn rv32_core_verilog_roundtrip() {
             .ports()
             .iter()
             .find(|p| p.name == name)
-            .map(|p| p.net)
-            .unwrap_or_else(|| panic!("port {name}"))
+            .map_or_else(|| panic!("port {name}"), |p| p.net)
     };
     let clk = find("clk");
     let imem_addr = find_bus("imem_addr", 32);

@@ -147,7 +147,10 @@ mod tests {
         let p1 = analyze_power(&nl, &lib, &none, &cfg, 1.0);
         let p2 = analyze_power(&nl, &lib, &none, &cfg, 2.0);
         assert!(p2.switching_mw > p1.switching_mw * 1.9);
-        assert!((p2.leakage_mw - p1.leakage_mw).abs() < 1e-12, "leakage is static");
+        assert!(
+            (p2.leakage_mw - p1.leakage_mw).abs() < 1e-12,
+            "leakage is static"
+        );
         let hot = StaConfig {
             activity: 0.5,
             ..StaConfig::default()
@@ -157,7 +160,11 @@ mod tests {
         // exactly 0.5/0.15.
         let data1 = p1.switching_mw - p1.clock_mw;
         let data3 = p3.switching_mw - p3.clock_mw;
-        assert!((data3 / data1 - 0.5 / 0.15).abs() < 0.01, "ratio {}", data3 / data1);
+        assert!(
+            (data3 / data1 - 0.5 / 0.15).abs() < 0.01,
+            "ratio {}",
+            data3 / data1
+        );
         assert!(p1.total_mw() > 0.0);
     }
 

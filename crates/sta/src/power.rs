@@ -91,7 +91,9 @@ pub fn analyze_power(
             .any(|n| netlist.nets()[n.0 as usize].is_clock)
             && cell.kind.function == ffet_cells::CellFunction::ClkBuf;
         let activity = if is_clock_cell { 2.0 } else { config.activity };
-        let e = cell.timing.transition_energy(config.input_slew_ps, out_load);
+        let e = cell
+            .timing
+            .transition_energy(config.input_slew_ps, out_load);
         let p = activity * e * freq_ghz;
         internal_uw += p;
         if is_clock_cell {

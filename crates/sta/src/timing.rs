@@ -106,7 +106,10 @@ pub fn analyze_timing(
         slew[q.0 as usize] = arc
             .slew_rise
             .lookup(config.input_slew_ps, load[q.0 as usize])
-            .max(arc.slew_fall.lookup(config.input_slew_ps, load[q.0 as usize]));
+            .max(
+                arc.slew_fall
+                    .lookup(config.input_slew_ps, load[q.0 as usize]),
+            );
     }
 
     // Wire delay/slew from a net's driver to one sink.
@@ -134,13 +137,22 @@ pub fn analyze_timing(
     for &inst_id in &lv.order {
         let inst = netlist.instance(inst_id);
         let cell = library.cell(inst.cell);
-        let Some(out_pin) = cell.output_pin() else { continue };
-        let Some(out_net) = inst.conns[out_pin] else { continue };
+        let Some(out_pin) = cell.output_pin() else {
+            continue;
+        };
+        let Some(out_net) = inst.conns[out_pin] else {
+            continue;
+        };
         let out_load = load[out_net.0 as usize];
         let mut best_a = 0.0f64;
         let mut best_s = config.input_slew_ps;
         let mut best_prev: Option<(u32, f64, f64)> = None;
-        for (pi, conn) in inst.conns.iter().enumerate().take(cell.timing.input_caps.len()) {
+        for (pi, conn) in inst
+            .conns
+            .iter()
+            .enumerate()
+            .take(cell.timing.input_caps.len())
+        {
             let Some(in_net) = conn else { continue };
             let pin = PinRef::new(inst_id, pi);
             let pin_cap = cell.input_cap(pi);
@@ -207,10 +219,15 @@ pub fn analyze_timing(
     let mut cursor = critical_net_id;
     while let Some(ni) = cursor {
         let net = &netlist.nets()[ni as usize];
-        let cell = net
-            .driver
-            .map(|d| library.cell(netlist.instances()[d.inst.0 as usize].cell).name.clone())
-            .unwrap_or_else(|| "<port>".to_owned());
+        let cell = net.driver.map_or_else(
+            || "<port>".to_owned(),
+            |d| {
+                library
+                    .cell(netlist.instances()[d.inst.0 as usize].cell)
+                    .name
+                    .clone()
+            },
+        );
         let (p, cell_d, wire_d) = match prev[ni as usize] {
             Some((p, c, w)) => (Some(p), c, w),
             None => (None, 0.0, 0.0),

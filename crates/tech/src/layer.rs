@@ -228,9 +228,17 @@ mod tests {
     #[test]
     fn m2_class_rc_in_expected_range() {
         let rc = RcCoefficients::from_pitch(30);
-        assert!((0.5..2.0).contains(&rc.r_ohm_per_nm), "r = {}", rc.r_ohm_per_nm);
+        assert!(
+            (0.5..2.0).contains(&rc.r_ohm_per_nm),
+            "r = {}",
+            rc.r_ohm_per_nm
+        );
         // 0.2 fF/µm ≈ 2e-4 fF/nm.
-        assert!((1.5e-4..3.0e-4).contains(&rc.c_ff_per_nm), "c = {}", rc.c_ff_per_nm);
+        assert!(
+            (1.5e-4..3.0e-4).contains(&rc.c_ff_per_nm),
+            "c = {}",
+            rc.c_ff_per_nm
+        );
     }
 
     #[test]

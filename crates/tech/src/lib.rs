@@ -202,8 +202,13 @@ mod tests {
     fn cfet_rejects_backside_signal_pattern() {
         let cfet = Technology::cfet_4t();
         let pat = RoutingPattern::new(6, 6).unwrap();
-        assert_eq!(cfet.check_pattern(pat), Err(PatternError::BacksideUnavailable));
-        assert!(cfet.check_pattern(RoutingPattern::new(12, 0).unwrap()).is_ok());
+        assert_eq!(
+            cfet.check_pattern(pat),
+            Err(PatternError::BacksideUnavailable)
+        );
+        assert!(cfet
+            .check_pattern(RoutingPattern::new(12, 0).unwrap())
+            .is_ok());
     }
 
     #[test]

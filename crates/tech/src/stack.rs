@@ -19,11 +19,11 @@ pub struct LayerStack {
 /// Pitch table shared by both technologies' frontside (Table II): index 0..=12.
 fn front_pitches() -> [Nm; 13] {
     [
-        28,  // FM0
-        34,  // FM1
-        30,  // FM2
+        28, // FM0
+        34, // FM1
+        30, // FM2
         42, 42, // FM3-4
-        76, 76, 76, 76, 76, 76, // FM5-10
+        76, 76, 76, 76, 76, 76,  // FM5-10
         126, // FM11
         720, // FM12
     ]
@@ -137,7 +137,9 @@ mod tests {
             (12, 720),
         ];
         for (idx, pitch) in expect {
-            let l = s.layer(LayerId::new(Side::Front, idx)).expect("layer exists");
+            let l = s
+                .layer(LayerId::new(Side::Front, idx))
+                .expect("layer exists");
             assert_eq!(l.pitch, pitch, "FM{idx}");
         }
     }

@@ -1,0 +1,309 @@
+//! Netlist lint: structural checks on the final netlist, independent of
+//! any physical data.
+
+use crate::{Severity, Violation};
+use ffet_cells::{Library, PinDirection};
+use ffet_netlist::{Netlist, PortDirection};
+
+/// Maximum sink count per non-clock net before a fanout warning. Clock
+/// nets are exempt: their fanout is managed by CTS buffering.
+pub const MAX_FANOUT: usize = 64;
+
+/// Lints a netlist: driver rules, floating pins, fanout, and
+/// combinational loops (reported with the full cycle path).
+#[must_use]
+pub fn lint_netlist(netlist: &Netlist, library: &Library) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let nets = netlist.nets();
+
+    // Per-net port counts (ports drive or load nets without instances).
+    let mut input_ports = vec![0usize; nets.len()];
+    let mut output_ports = vec![0usize; nets.len()];
+    for port in netlist.ports() {
+        match port.direction {
+            PortDirection::Input => input_ports[port.net.0 as usize] += 1,
+            PortDirection::Output => output_ports[port.net.0 as usize] += 1,
+        }
+    }
+
+    for (ni, net) in nets.iter().enumerate() {
+        let drivers = usize::from(net.driver.is_some()) + input_ports[ni];
+        let loads = net.sinks.len() + output_ports[ni];
+        if drivers == 0 && loads > 0 {
+            out.push(Violation {
+                rule: "lint.undriven",
+                severity: Severity::Error,
+                subject: net.name.clone(),
+                location: None,
+                message: format!("net has {loads} load(s) but no driver"),
+            });
+        }
+        if drivers > 1 {
+            out.push(Violation {
+                rule: "lint.multi-driven",
+                severity: Severity::Error,
+                subject: net.name.clone(),
+                location: None,
+                message: format!(
+                    "net has {drivers} drivers ({} instance, {} input port)",
+                    usize::from(net.driver.is_some()),
+                    input_ports[ni]
+                ),
+            });
+        }
+        if drivers == 1 && loads == 0 {
+            out.push(Violation {
+                rule: "lint.dangling-output",
+                severity: Severity::Warning,
+                subject: net.name.clone(),
+                location: None,
+                message: "driven net has no sink and no output port".to_owned(),
+            });
+        }
+        if !net.is_clock && loads > MAX_FANOUT {
+            out.push(Violation {
+                rule: "lint.fanout",
+                severity: Severity::Warning,
+                subject: net.name.clone(),
+                location: None,
+                message: format!("fanout {loads} exceeds limit {MAX_FANOUT}"),
+            });
+        }
+    }
+
+    // Floating instance pins: every library pin must be connected.
+    for inst in netlist.instances() {
+        let cell = library.cell(inst.cell);
+        for (pi, pin) in cell.pins.iter().enumerate() {
+            if inst.conns.get(pi).copied().flatten().is_some() {
+                continue;
+            }
+            let (rule, severity) = match pin.direction {
+                PinDirection::Input => ("lint.floating-input", Severity::Error),
+                PinDirection::Output => ("lint.unconnected-output", Severity::Warning),
+            };
+            out.push(Violation {
+                rule,
+                severity,
+                subject: format!("{}/{}", inst.name, pin.name),
+                location: None,
+                message: format!("{} pin of {} is unconnected", pin.name, cell.name),
+            });
+        }
+    }
+
+    out.extend(find_comb_loops(netlist, library));
+    out
+}
+
+/// Finds combinational cycles by DFS over the comb-instance graph
+/// (sequential cells break edges, as in levelization) and reports each
+/// back edge with the full instance path around the loop.
+fn find_comb_loops(netlist: &Netlist, library: &Library) -> Vec<Violation> {
+    let n = netlist.instances().len();
+    let is_comb: Vec<bool> = netlist
+        .instances()
+        .iter()
+        .map(|inst| {
+            let f = library.cell(inst.cell).kind.function;
+            !f.is_sequential() && f.has_output() && f.input_count() > 0
+        })
+        .collect();
+
+    // successors[i] = comb instances driven by comb instance i.
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, inst) in netlist.instances().iter().enumerate() {
+        if !is_comb[i] {
+            continue;
+        }
+        let cell = library.cell(inst.cell);
+        let Some(out_pin) = cell.output_pin() else {
+            continue;
+        };
+        let Some(out_net) = inst.conns.get(out_pin).copied().flatten() else {
+            continue;
+        };
+        for sink in &netlist.net(out_net).sinks {
+            let si = sink.inst.0 as usize;
+            if is_comb[si] {
+                successors[i].push(si);
+            }
+        }
+    }
+
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    let mut out = Vec::new();
+
+    for root in 0..n {
+        if !is_comb[root] || color[root] != WHITE {
+            continue;
+        }
+        // Iterative DFS; `path` mirrors the gray stack for cycle recovery.
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        let mut path: Vec<usize> = vec![root];
+        color[root] = GRAY;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < successors[node].len() {
+                let succ = successors[node][*next];
+                *next += 1;
+                match color[succ] {
+                    WHITE => {
+                        color[succ] = GRAY;
+                        stack.push((succ, 0));
+                        path.push(succ);
+                    }
+                    GRAY => {
+                        let start = path
+                            .iter()
+                            .position(|&p| p == succ)
+                            .expect("gray node is on the DFS path");
+                        let names: Vec<&str> = path[start..]
+                            .iter()
+                            .chain(std::iter::once(&succ))
+                            .map(|&p| netlist.instances()[p].name.as_str())
+                            .collect();
+                        out.push(Violation {
+                            rule: "lint.comb-loop",
+                            severity: Severity::Error,
+                            subject: netlist.instances()[succ].name.clone(),
+                            location: None,
+                            message: format!("combinational loop: {}", names.join(" -> ")),
+                        });
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = BLACK;
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffet_cells::{CellFunction, CellKind, DriveStrength};
+    use ffet_netlist::NetlistBuilder;
+    use ffet_tech::Technology;
+
+    fn rules(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn clean_design_has_no_findings() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let mut b = NetlistBuilder::new(&lib, "clean");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.and2(x, y);
+        b.output("z", z);
+        let nl = b.finish();
+        assert!(lint_netlist(&nl, &lib).is_empty());
+    }
+
+    #[test]
+    fn undriven_and_floating_detected() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let inv = lib
+            .id(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+            .unwrap();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a"); // never driven
+        let b = nl.add_net("b");
+        // INV pins are [A (in), Y (out)]: input driven by undriven `a`.
+        nl.add_instance(&lib, "u1", inv, &[Some(a), Some(b)]);
+        // Floating input: no connection at all.
+        nl.add_instance(&lib, "u2", inv, &[None, None]);
+        nl.add_port("b", PortDirection::Output, b);
+        let v = lint_netlist(&nl, &lib);
+        let r = rules(&v);
+        assert!(r.contains(&"lint.undriven"), "{v:?}");
+        assert!(r.contains(&"lint.floating-input"), "{v:?}");
+        assert!(r.contains(&"lint.unconnected-output"), "{v:?}");
+    }
+
+    #[test]
+    fn multi_driven_via_port_detected() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let inv = lib
+            .id(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+            .unwrap();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_instance(&lib, "u1", inv, &[Some(a), Some(b)]);
+        nl.add_port("a", PortDirection::Input, a);
+        nl.add_port("b", PortDirection::Input, b); // fights the INV output
+        nl.add_port("bo", PortDirection::Output, b);
+        let v = lint_netlist(&nl, &lib);
+        assert!(rules(&v).contains(&"lint.multi-driven"), "{v:?}");
+    }
+
+    #[test]
+    fn comb_loop_reports_full_path() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let inv = lib
+            .id(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+            .unwrap();
+        let mut nl = Netlist::new("loop");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_instance(&lib, "u1", inv, &[Some(a), Some(b)]);
+        nl.add_instance(&lib, "u2", inv, &[Some(b), Some(a)]);
+        let v = lint_netlist(&nl, &lib);
+        let loops: Vec<_> = v.iter().filter(|x| x.rule == "lint.comb-loop").collect();
+        assert_eq!(loops.len(), 1, "{v:?}");
+        let msg = &loops[0].message;
+        assert!(msg.contains("u1") && msg.contains("u2"), "{msg}");
+    }
+
+    #[test]
+    fn dff_feedback_is_not_a_loop() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let inv = lib
+            .id(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+            .unwrap();
+        let dff = lib
+            .id(CellKind::new(CellFunction::Dff, DriveStrength::D1))
+            .unwrap();
+        let mut nl = Netlist::new("toggle");
+        let clk = nl.add_net("clk");
+        nl.mark_clock(clk);
+        let q = nl.add_net("q");
+        let qb = nl.add_net("qb");
+        nl.add_instance(&lib, "u_inv", inv, &[Some(q), Some(qb)]);
+        nl.add_instance(&lib, "u_dff", dff, &[Some(qb), Some(clk), Some(q)]);
+        nl.add_port("clk", PortDirection::Input, clk);
+        nl.add_port("q", PortDirection::Output, q);
+        let v = lint_netlist(&nl, &lib);
+        assert!(!rules(&v).contains(&"lint.comb-loop"), "{v:?}");
+    }
+
+    #[test]
+    fn fanout_limit_warns_but_not_for_clocks() {
+        let lib = Library::new(Technology::ffet_3p5t());
+        let inv = lib
+            .id(CellKind::new(CellFunction::Inv, DriveStrength::D1))
+            .unwrap();
+        let mut nl = Netlist::new("fan");
+        let src = nl.add_net("src");
+        nl.add_port("src", PortDirection::Input, src);
+        for i in 0..=MAX_FANOUT {
+            let o = nl.add_net(format!("o{i}"));
+            nl.add_instance(&lib, format!("u{i}"), inv, &[Some(src), Some(o)]);
+            nl.add_port(format!("o{i}"), PortDirection::Output, o);
+        }
+        let v = lint_netlist(&nl, &lib);
+        assert!(rules(&v).contains(&"lint.fanout"), "{v:?}");
+        nl.mark_clock(src);
+        let v = lint_netlist(&nl, &lib);
+        assert!(!rules(&v).contains(&"lint.fanout"), "{v:?}");
+    }
+}

@@ -1,0 +1,176 @@
+//! LVS-lite: the merged dual-sided DEF (layout) must match the source
+//! netlist (schematic) — every component and connection present exactly
+//! once, and nothing else. Power Tap Cells are the only components the
+//! layout may add.
+
+use crate::{Severity, Violation};
+use ffet_cells::{CellFunction, CellKind, DriveStrength, Library};
+use ffet_lefdef::Def;
+use ffet_netlist::{Netlist, PortDirection};
+use ffet_pnr::PnrResult;
+use std::collections::{BTreeSet, HashMap};
+
+/// Compares the merged DEF against the netlist it implements.
+#[must_use]
+pub fn compare_def_netlist(
+    netlist: &Netlist,
+    library: &Library,
+    pnr: &PnrResult,
+    merged: &Def,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_components(netlist, library, pnr, merged, &mut out);
+    check_nets(netlist, library, merged, &mut out);
+    out
+}
+
+fn lvs_error(rule: &'static str, subject: String, message: String) -> Violation {
+    Violation {
+        rule,
+        severity: Severity::Error,
+        subject,
+        location: None,
+        message,
+    }
+}
+
+fn check_components(
+    netlist: &Netlist,
+    library: &Library,
+    pnr: &PnrResult,
+    merged: &Def,
+    out: &mut Vec<Violation>,
+) {
+    let tap_macro = library
+        .cell_by_kind(CellKind::new(CellFunction::PowerTap, DriveStrength::D1))
+        .map_or_else(|| "PWRTAP".to_owned(), |c| c.name.clone());
+
+    let mut seen: HashMap<&str, &str> = HashMap::new(); // name -> macro
+    for c in &merged.components {
+        if seen.insert(&c.name, &c.macro_name).is_some() {
+            out.push(lvs_error(
+                "lvs.duplicate-component",
+                c.name.clone(),
+                "component appears more than once in the merged DEF".to_owned(),
+            ));
+        }
+    }
+
+    for inst in netlist.instances() {
+        let want = &library.cell(inst.cell).name;
+        match seen.remove(inst.name.as_str()) {
+            None => out.push(lvs_error(
+                "lvs.missing-component",
+                inst.name.clone(),
+                format!("instance ({want}) is absent from the merged DEF"),
+            )),
+            Some(got) if got != want => out.push(lvs_error(
+                "lvs.macro-mismatch",
+                inst.name.clone(),
+                format!("DEF macro {got}, netlist cell {want}"),
+            )),
+            Some(_) => {}
+        }
+    }
+
+    // What remains must be exactly the powerplan's Power Tap Cells.
+    let tap_count = pnr.powerplan.taps.len();
+    for (name, macro_name) in seen {
+        let is_tap = name
+            .strip_prefix("pwrtap_")
+            .and_then(|i| i.parse::<usize>().ok())
+            .is_some_and(|i| i < tap_count);
+        if !is_tap {
+            out.push(lvs_error(
+                "lvs.extra-component",
+                name.to_owned(),
+                format!("component ({macro_name}) has no netlist counterpart"),
+            ));
+        } else if macro_name != tap_macro {
+            out.push(lvs_error(
+                "lvs.macro-mismatch",
+                name.to_owned(),
+                format!("DEF macro {macro_name}, expected Power Tap macro {tap_macro}"),
+            ));
+        }
+    }
+}
+
+fn check_nets(netlist: &Netlist, library: &Library, merged: &Def, out: &mut Vec<Violation>) {
+    // A net reaches the DEF iff Algorithm 1 routes it: it has a source
+    // (instance driver or input port) and at least one load (instance
+    // sink or output port). Top-level ports never appear as connections.
+    let mut port_drivers = vec![0usize; netlist.nets().len()];
+    let mut port_loads = vec![0usize; netlist.nets().len()];
+    for port in netlist.ports() {
+        match port.direction {
+            PortDirection::Input => port_drivers[port.net.0 as usize] += 1,
+            PortDirection::Output => port_loads[port.net.0 as usize] += 1,
+        }
+    }
+
+    let mut def_nets: HashMap<&str, &ffet_lefdef::DefNet> = HashMap::new();
+    for n in &merged.nets {
+        if def_nets.insert(&n.name, n).is_some() {
+            out.push(lvs_error(
+                "lvs.duplicate-net",
+                n.name.clone(),
+                "net appears more than once in the merged DEF".to_owned(),
+            ));
+        }
+    }
+
+    for (ni, net) in netlist.nets().iter().enumerate() {
+        let has_source = net.driver.is_some() || port_drivers[ni] > 0;
+        let has_load = !net.sinks.is_empty() || port_loads[ni] > 0;
+        let Some(def_net) = def_nets.remove(net.name.as_str()) else {
+            if has_source && has_load {
+                out.push(lvs_error(
+                    "lvs.missing-net",
+                    net.name.clone(),
+                    "routable net is absent from the merged DEF".to_owned(),
+                ));
+            }
+            continue;
+        };
+
+        let pin_name = |p: ffet_netlist::PinRef| {
+            let inst = &netlist.instances()[p.inst.0 as usize];
+            let cell = library.cell(inst.cell);
+            (inst.name.clone(), cell.pins[p.pin].name.clone())
+        };
+        let want: BTreeSet<(String, String)> = net
+            .driver
+            .iter()
+            .chain(net.sinks.iter())
+            .map(|&p| pin_name(p))
+            .collect();
+        let got: BTreeSet<(String, String)> = def_net
+            .connections
+            .iter()
+            .map(|c| (c.instance.clone(), c.pin.clone()))
+            .collect();
+        for (inst, pin) in want.difference(&got) {
+            out.push(lvs_error(
+                "lvs.missing-connection",
+                net.name.clone(),
+                format!("DEF net lacks connection {inst}/{pin}"),
+            ));
+        }
+        for (inst, pin) in got.difference(&want) {
+            out.push(lvs_error(
+                "lvs.extra-connection",
+                net.name.clone(),
+                format!("DEF net has spurious connection {inst}/{pin}"),
+            ));
+        }
+    }
+
+    for name in def_nets.keys() {
+        out.push(lvs_error(
+            "lvs.extra-net",
+            (*name).to_owned(),
+            "DEF net has no netlist counterpart".to_owned(),
+        ));
+    }
+}

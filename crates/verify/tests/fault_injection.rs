@@ -1,0 +1,282 @@
+//! Signoff must pass a clean implementation and catch seeded defects:
+//! deleted route segments (opens), duplicated track demand (capacity
+//! shorts), illegal layers, LVS edits and placement corruption.
+
+use ffet_cells::Library;
+use ffet_geom::Point;
+use ffet_lefdef::{merge_defs, Def, DefWire};
+use ffet_netlist::{Netlist, NetlistBuilder};
+use ffet_pnr::{run_pnr, PnrConfig, PnrResult};
+use ffet_tech::{LayerId, RoutingPattern, Side, TechKind, Technology};
+use ffet_verify::{run_signoff, Severity};
+
+struct Impl {
+    netlist: Netlist,
+    library: Library,
+    pattern: RoutingPattern,
+    pnr: PnrResult,
+    merged: Def,
+}
+
+/// Places and routes a small mixed-gate block end to end.
+fn build(kind: TechKind, pattern: RoutingPattern, back_pin_ratio: f64) -> Impl {
+    let tech = match kind {
+        TechKind::Ffet3p5t => Technology::ffet_3p5t(),
+        TechKind::Cfet4t => Technology::cfet_4t(),
+    };
+    let mut library = Library::new(tech);
+    if back_pin_ratio > 0.0 {
+        library
+            .redistribute_input_pins(back_pin_ratio, 42)
+            .expect("ratio valid for tech");
+    }
+    let mut b = NetlistBuilder::new(&library, "fault_block");
+    let x = b.input("x");
+    let y = b.input("y");
+    let mut v = x;
+    let mut w = y;
+    for i in 0..48 {
+        let t = match i % 4 {
+            0 => b.nand2(v, w),
+            1 => b.nor2(v, w),
+            2 => b.xor2(v, w),
+            _ => b.and2(v, w),
+        };
+        w = v;
+        v = t;
+    }
+    b.output("z", v);
+    let mut netlist = b.finish();
+
+    let config = PnrConfig {
+        utilization: 0.6,
+        aspect_ratio: 1.0,
+        pattern,
+        seed: 42,
+        bridging_min_nm: None,
+    };
+    let pnr = run_pnr(&mut netlist, &library, &config).expect("small block implements");
+    let merged = merge_defs(&pnr.front_def, &pnr.back_def).expect("sides merge");
+    Impl {
+        netlist,
+        library,
+        pattern,
+        pnr,
+        merged,
+    }
+}
+
+fn ffet() -> Impl {
+    build(
+        TechKind::Ffet3p5t,
+        RoutingPattern::new(6, 6).expect("static"),
+        0.5,
+    )
+}
+
+fn signoff(i: &Impl) -> ffet_verify::SignoffReport {
+    run_signoff(&i.netlist, &i.library, i.pattern, &i.pnr, &i.merged)
+}
+
+#[test]
+fn clean_ffet_dual_sided_run_has_zero_errors() {
+    let i = ffet();
+    let report = signoff(&i);
+    assert_eq!(
+        report.error_count(),
+        0,
+        "unexpected errors:\n{}",
+        report.text_table()
+    );
+    assert_eq!(report.verdict(), "PASS");
+    assert!(report.text_table().contains("PASS"));
+}
+
+#[test]
+fn clean_cfet_run_has_zero_errors() {
+    let i = build(
+        TechKind::Cfet4t,
+        RoutingPattern::new(12, 0).expect("static"),
+        0.0,
+    );
+    let report = signoff(&i);
+    assert_eq!(
+        report.error_count(),
+        0,
+        "unexpected errors:\n{}",
+        report.text_table()
+    );
+}
+
+#[test]
+fn deleted_route_segments_are_reported_open() {
+    let mut i = ffet();
+    let victim = i
+        .pnr
+        .routing
+        .nets
+        .iter()
+        .position(|r| !r.wires.is_empty())
+        .expect("some net has wires");
+    i.pnr.routing.nets[victim].wires.clear();
+    i.pnr.routing.nets[victim].vias.clear();
+    let report = signoff(&i);
+    let opens = report.by_rule("drc.open");
+    assert!(!opens.is_empty(), "{}", report.text_table());
+    assert!(opens.iter().all(|v| v.severity == Severity::Error));
+}
+
+#[test]
+fn duplicated_track_demand_is_a_capacity_short() {
+    let mut i = ffet();
+    // Claim the same tracks over and over: a full-width FM2 trunk through
+    // the middle of the die, repeated far past the layer capacity.
+    let die = i.pnr.floorplan.die;
+    let trunk = DefWire {
+        layer: LayerId::new(Side::Front, 2),
+        from: Point::new(die.lo.x, die.center().y),
+        to: Point::new(die.hi.x - 1, die.center().y),
+    };
+    let victim = i
+        .pnr
+        .routing
+        .nets
+        .iter()
+        .position(|r| r.side == Side::Front)
+        .expect("a frontside net exists");
+    for _ in 0..4000 {
+        i.pnr.routing.nets[victim].wires.push(trunk);
+    }
+    let report = signoff(&i);
+    assert!(
+        !report.by_rule("drc.gcell-capacity").is_empty(),
+        "{}",
+        report.text_table()
+    );
+}
+
+#[test]
+fn illegal_layer_and_wrong_direction_are_errors() {
+    let mut i = ffet();
+    let die = i.pnr.floorplan.die;
+    let victim = i
+        .pnr
+        .routing
+        .nets
+        .iter()
+        .position(|r| r.side == Side::Front)
+        .expect("a frontside net exists");
+    // FM7 is outside the FM6BM6 pattern.
+    i.pnr.routing.nets[victim].wires.push(DefWire {
+        layer: LayerId::new(Side::Front, 7),
+        from: Point::new(die.lo.x, die.lo.y),
+        to: Point::new(die.lo.x + 100, die.lo.y),
+    });
+    // A horizontal run on the vertical FM1, while FM2 (horizontal) exists.
+    i.pnr.routing.nets[victim].wires.push(DefWire {
+        layer: LayerId::new(Side::Front, 1),
+        from: Point::new(die.lo.x, die.lo.y),
+        to: Point::new(die.lo.x + 100, die.lo.y),
+    });
+    let report = signoff(&i);
+    assert!(
+        !report.by_rule("drc.layer-range").is_empty(),
+        "{}",
+        report.text_table()
+    );
+    let wrong: Vec<_> = report.by_rule("drc.wrong-direction");
+    assert!(
+        wrong.iter().any(|v| v.severity == Severity::Error),
+        "{}",
+        report.text_table()
+    );
+}
+
+#[test]
+fn lvs_catches_component_and_connection_edits() {
+    let mut i = ffet();
+    // Drop one real component, add a bogus one, and strip a connection.
+    let dropped = i
+        .merged
+        .components
+        .iter()
+        .position(|c| !c.name.starts_with("pwrtap_"))
+        .expect("instances exist");
+    let mut bogus = i.merged.components[dropped].clone();
+    i.merged.components.remove(dropped);
+    bogus.name = "u_phantom".to_owned();
+    i.merged.components.push(bogus);
+    let edited_net = i
+        .merged
+        .nets
+        .iter()
+        .position(|n| n.connections.len() >= 2)
+        .expect("a multi-pin net exists");
+    i.merged.nets[edited_net].connections.pop();
+
+    let report = signoff(&i);
+    for rule in [
+        "lvs.missing-component",
+        "lvs.extra-component",
+        "lvs.missing-connection",
+    ] {
+        assert!(
+            !report.by_rule(rule).is_empty(),
+            "{rule}:\n{}",
+            report.text_table()
+        );
+    }
+    assert_eq!(report.verdict(), "FAIL");
+}
+
+#[test]
+fn corrupted_placement_is_flagged() {
+    let mut i = ffet();
+    i.pnr.placement.origins[0].y += 7; // off any row
+    let report = signoff(&i);
+    assert!(
+        !report.by_rule("place.off-site").is_empty(),
+        "{}",
+        report.text_table()
+    );
+}
+
+#[test]
+fn disconnecting_a_pin_is_a_lint_error() {
+    let mut i = ffet();
+    let victim = i
+        .netlist
+        .instances()
+        .iter()
+        .position(|inst| inst.conns.iter().flatten().count() >= 2)
+        .expect("a connected instance exists");
+    let inst_id = ffet_netlist::InstId(victim as u32);
+    let pin = i
+        .netlist
+        .instance(inst_id)
+        .conns
+        .iter()
+        .position(Option::is_some)
+        .expect("pin");
+    let net = i.netlist.instance(inst_id).conns[pin].expect("connected");
+    // Detach the pin from its net on the netlist side only.
+    let inst = i.netlist.instance_mut(inst_id);
+    inst.conns[pin] = None;
+    let net = i.netlist.net_mut(net);
+    net.sinks.retain(|s| !(s.inst == inst_id && s.pin == pin));
+    if net
+        .driver
+        .is_some_and(|d| d.inst == inst_id && d.pin == pin)
+    {
+        net.driver = None;
+    }
+    let report = signoff(&i);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| { v.rule == "lint.floating-input" || v.rule == "lint.unconnected-output" }),
+        "{}",
+        report.text_table()
+    );
+}

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         library.measured_backside_ratio()
     );
     let lef = write_lef(&library);
-    println!("modified LEF: {} lines (pins carry FM0/BM0 sides)\n", lef.lines().count());
+    println!(
+        "modified LEF: {} lines (pins carry FM0/BM0 sides)\n",
+        lef.lines().count()
+    );
 
     // A small design with mixed gate types.
     let mut b = NetlistBuilder::new(&library, "demo");
@@ -46,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pp = powerplan(&fp, &library, pattern);
     println!(
         "floorplan: die {}×{} nm, {} rows, {} Power Tap Cells",
-        fp.die.width(), fp.die.height(), fp.rows.len(), pp.taps.len()
+        fp.die.width(),
+        fp.die.height(),
+        fp.rows.len(),
+        pp.taps.len()
     );
     let pl = place(&netlist, &library, &fp, &pp, 1);
 

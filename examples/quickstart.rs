@@ -40,9 +40,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  core area      : {:.1} µm²", r.core_area_um2);
     println!("  achieved freq  : {:.3} GHz", r.achieved_freq_ghz);
     println!("  total power    : {:.3} mW", r.power_mw);
-    println!("  wirelength     : {:.3} mm ({:.3} mm on the backside)",
-        r.wirelength_mm, r.back_wirelength_mm);
-    println!("  DRVs           : {} → {}", r.drv, if r.valid { "VALID" } else { "INVALID" });
+    println!(
+        "  wirelength     : {:.3} mm ({:.3} mm on the backside)",
+        r.wirelength_mm, r.back_wirelength_mm
+    );
+    println!(
+        "  DRVs           : {} → {}",
+        r.drv,
+        if r.valid { "VALID" } else { "INVALID" }
+    );
 
     // 4. The merged dual-sided DEF is a regular artifact you can write out.
     let def_text = ffet_lefdef::write_def(&outcome.merged_def);

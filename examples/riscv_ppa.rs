@@ -25,24 +25,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let configs = [
-        ("4T CFET, FM12", FlowConfig {
-            utilization: 0.76,
-            ..FlowConfig::baseline(TechKind::Cfet4t)
-        }),
-        ("3.5T FFET, FM12 (single-sided)", FlowConfig {
-            utilization: 0.76,
-            ..FlowConfig::baseline(TechKind::Ffet3p5t)
-        }),
-        ("3.5T FFET, FM6BM6 FP0.5BP0.5", FlowConfig {
-            utilization: 0.76,
-            pattern: RoutingPattern::new(6, 6)?,
-            back_pin_ratio: 0.5,
-            ..FlowConfig::baseline(TechKind::Ffet3p5t)
-        }),
+        (
+            "4T CFET, FM12",
+            FlowConfig {
+                utilization: 0.76,
+                ..FlowConfig::baseline(TechKind::Cfet4t)
+            },
+        ),
+        (
+            "3.5T FFET, FM12 (single-sided)",
+            FlowConfig {
+                utilization: 0.76,
+                ..FlowConfig::baseline(TechKind::Ffet3p5t)
+            },
+        ),
+        (
+            "3.5T FFET, FM6BM6 FP0.5BP0.5",
+            FlowConfig {
+                utilization: 0.76,
+                pattern: RoutingPattern::new(6, 6)?,
+                back_pin_ratio: 0.5,
+                ..FlowConfig::baseline(TechKind::Ffet3p5t)
+            },
+        ),
     ];
 
     let mut results = Vec::new();
-    println!("{:34} {:>9} {:>9} {:>9} {:>6}", "config", "area µm²", "freq GHz", "power mW", "DRV");
+    println!(
+        "{:34} {:>9} {:>9} {:>9} {:>6}",
+        "config", "area µm²", "freq GHz", "power mW", "DRV"
+    );
     for (label, config) in configs {
         let library = config.build_library();
         let netlist = designs::rv32_core(&library);
@@ -59,12 +71,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ffet = &results[1].1;
     let dual = &results[2].1;
     println!("\nFFET single-sided vs CFET at the same utilization:");
-    println!("  core area {:+.1}% (paper: −23.3%)", pct_diff(ffet.core_area_um2, cfet.core_area_um2));
-    println!("  frequency {:+.1}% (paper: +25.0%)", pct_diff(ffet.achieved_freq_ghz, cfet.achieved_freq_ghz));
-    println!("  power     {:+.1}% (paper: −11.9%)", pct_diff(ffet.power_mw, cfet.power_mw));
+    println!(
+        "  core area {:+.1}% (paper: −23.3%)",
+        pct_diff(ffet.core_area_um2, cfet.core_area_um2)
+    );
+    println!(
+        "  frequency {:+.1}% (paper: +25.0%)",
+        pct_diff(ffet.achieved_freq_ghz, cfet.achieved_freq_ghz)
+    );
+    println!(
+        "  power     {:+.1}% (paper: −11.9%)",
+        pct_diff(ffet.power_mw, cfet.power_mw)
+    );
     println!("\nFFET dual-sided (FM6BM6) vs FFET single-sided (FM12):");
-    println!("  frequency {:+.1}% (paper: +10.6%)", pct_diff(dual.achieved_freq_ghz, ffet.achieved_freq_ghz));
-    println!("  power     {:+.1}% (paper: −1.4%)", pct_diff(dual.power_mw, ffet.power_mw));
+    println!(
+        "  frequency {:+.1}% (paper: +10.6%)",
+        pct_diff(dual.achieved_freq_ghz, ffet.achieved_freq_ghz)
+    );
+    println!(
+        "  power     {:+.1}% (paper: −1.4%)",
+        pct_diff(dual.power_mw, ffet.power_mw)
+    );
     if !dual.valid {
         println!(
             "  note: {} DRVs at 76% utilization — this framework's router runs out of \

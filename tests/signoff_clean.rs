@@ -1,0 +1,46 @@
+//! The full flow must come out of static signoff with zero error-severity
+//! violations on valid configurations of both technologies (warnings are
+//! allowed: they are the congestion/legality view of the DRV proxy).
+
+use ffet_core::{designs, run_flow, FlowConfig};
+use ffet_tech::{RoutingPattern, TechKind};
+
+fn assert_clean(label: &str, config: &FlowConfig) {
+    let library = config.build_library();
+    let netlist = designs::counter_pipeline(&library, 16);
+    let outcome = run_flow(&netlist, &library, config)
+        .unwrap_or_else(|e| panic!("{label}: flow fails signoff: {e}"));
+    assert!(
+        outcome.signoff.is_clean(),
+        "{label}:\n{}",
+        outcome.signoff.text_table()
+    );
+    assert_eq!(outcome.report.signoff, "PASS", "{label}");
+    assert_eq!(
+        outcome.report.signoff_warnings,
+        outcome.signoff.drv_warnings(),
+        "{label}"
+    );
+}
+
+#[test]
+fn ffet_single_sided_baseline_passes_signoff() {
+    assert_clean("FFET FM12BM0", &FlowConfig::baseline(TechKind::Ffet3p5t));
+}
+
+#[test]
+fn ffet_dual_sided_passes_signoff() {
+    assert_clean(
+        "FFET FM6BM6 BP0.3",
+        &FlowConfig {
+            pattern: RoutingPattern::new(6, 6).expect("static"),
+            back_pin_ratio: 0.3,
+            ..FlowConfig::baseline(TechKind::Ffet3p5t)
+        },
+    );
+}
+
+#[test]
+fn cfet_baseline_passes_signoff() {
+    assert_clean("CFET FM12", &FlowConfig::baseline(TechKind::Cfet4t));
+}
