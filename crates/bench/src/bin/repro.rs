@@ -1,44 +1,83 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment>   # table1 table2 fig4 fig8 fig9 fig10 fig11 table3 fig12 fig13
-//! repro all            # everything (minutes)
+//! repro [--jobs N] [--design counter|rv32] <experiment>
+//!                      # table1 table2 fig4 fig8 fig9 fig10 fig11 table3 fig12 fig13 ablation
+//! repro all            # everything
 //! repro sanity         # one FFET + one CFET baseline run, printed verbosely
 //! ```
+//!
+//! Flow experiments run on the parallel DoE engine; `--jobs` (or the
+//! `FFET_JOBS` env var) sets the worker count, defaulting to the machine's
+//! available parallelism. Tables and CSVs are byte-identical for every
+//! worker count; per-job telemetry lands in `results/runlog.csv`.
+//! `--design counter` (or `FFET_DESIGN=counter`) switches the flow
+//! experiments to the fast CounterSmall smoke design.
 
-use ffet_core::experiments::{self, ExpTable};
+use ffet_core::experiments::{self, DesignKind, ExpTable};
+use ffet_core::runner::{Pool, RunLog, RunLogRow};
 use std::env;
 use std::time::Instant;
 
 /// Prints the table and drops its CSV into `results/` for plotting.
-fn emit(name: &str, table: &ExpTable) {
+/// A failed write is a hard error: silently missing CSVs corrupt every
+/// downstream plotting script.
+fn emit(name: &str, table: &ExpTable) -> std::io::Result<()> {
     table.print();
-    if std::fs::create_dir_all("results").is_ok() {
-        let path = format!("results/{name}.csv");
-        if let Err(e) = std::fs::write(&path, table.to_csv()) {
-            eprintln!("could not write {path}: {e}");
-        } else {
-            eprintln!("wrote {path}");
-        }
-    }
+    std::fs::create_dir_all("results")?;
+    let path = format!("results/{name}.csv");
+    std::fs::write(&path, table.to_csv())?;
+    eprintln!("wrote {path}");
+    Ok(())
 }
 
-fn run_one(name: &str) -> bool {
-    match name {
-        "table1" => emit(name, &experiments::table1().table),
-        "table2" => emit(name, &experiments::table2().table),
-        "fig4" => emit(name, &experiments::fig4().table),
-        "fig8" => emit(name, &experiments::fig8().table),
-        "fig9" => emit(name, &experiments::fig9().table),
-        "fig10" => emit(name, &experiments::fig10().table),
-        "fig11" => emit(name, &experiments::fig11().table),
-        "table3" => emit(name, &experiments::table3().table),
-        "fig12" => emit(name, &experiments::fig12().table),
-        "fig13" => emit(name, &experiments::fig13().table),
-        "ablation" => emit(name, &experiments::bridging_ablation().table),
-        _ => return false,
-    }
-    true
+/// One experiment's outputs: the printable/plottable table plus the DoE
+/// engine's per-job telemetry (empty for the analytic tables).
+struct ExpRun {
+    table: ExpTable,
+    rows: Vec<RunLogRow>,
+}
+
+fn run_one(name: &str, design: DesignKind, pool: &Pool) -> Option<ExpRun> {
+    let (table, rows) = match name {
+        "table1" => (experiments::table1().table, Vec::new()),
+        "table2" => (experiments::table2().table, Vec::new()),
+        "fig4" => (experiments::fig4().table, Vec::new()),
+        "fig8" => {
+            let r = experiments::fig8_on(design, pool);
+            (r.table, r.runlog)
+        }
+        "fig9" => {
+            let r = experiments::fig9_on(design, pool);
+            (r.table, r.runlog)
+        }
+        "fig10" => {
+            let r = experiments::fig10_on(design, pool);
+            (r.table, r.runlog)
+        }
+        "fig11" => {
+            let r = experiments::fig11_on(design, pool);
+            (r.table, r.runlog)
+        }
+        "table3" => {
+            let r = experiments::table3_on(design, pool);
+            (r.table, r.runlog)
+        }
+        "fig12" => {
+            let r = experiments::fig12_on(design, pool);
+            (r.table, r.runlog)
+        }
+        "fig13" => {
+            let r = experiments::fig13_on(design, pool);
+            (r.table, r.runlog)
+        }
+        "ablation" => {
+            let r = experiments::bridging_ablation_on(design, pool);
+            (r.table, r.runlog)
+        }
+        _ => return None,
+    };
+    Some(ExpRun { table, rows })
 }
 
 const ALL: [&str; 11] = [
@@ -46,9 +85,58 @@ const ALL: [&str; 11] = [
     "ablation",
 ];
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--jobs N] [--design counter|rv32] \
+         <sanity|calib|hotspots|critpath|table1|table2|fig4|fig8|fig9|fig10|fig11|table3|fig12|fig13|ablation|all>"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let arg = env::args().nth(1).unwrap_or_else(|| "help".to_owned());
+    let mut jobs: Option<usize> = None;
+    let mut design = match env::var("FFET_DESIGN").as_deref() {
+        Ok("counter") => DesignKind::CounterSmall,
+        _ => DesignKind::Rv32,
+    };
+    let mut experiment: Option<String> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => usage(),
+            },
+            "--design" => match args.next().as_deref() {
+                Some("counter") => design = DesignKind::CounterSmall,
+                Some("rv32") => design = DesignKind::Rv32,
+                _ => usage(),
+            },
+            name if experiment.is_none() && !name.starts_with('-') => {
+                experiment = Some(name.to_owned());
+            }
+            _ => usage(),
+        }
+    }
+    let arg = experiment.unwrap_or_else(|| "help".to_owned());
+    let pool = jobs.map_or_else(Pool::from_env, Pool::new);
+
     let t0 = Instant::now();
+    let mut log = RunLog::new(pool.width());
+    let mut failed = false;
+    let run_and_emit = |name: &str, log: &mut RunLog, failed: &mut bool| -> bool {
+        let t = Instant::now();
+        let Some(run) = run_one(name, design, &pool) else {
+            return false;
+        };
+        if let Err(e) = emit(name, &run.table) {
+            eprintln!("error: could not write results/{name}.csv: {e}");
+            *failed = true;
+        }
+        log.record_experiment(name, run.rows, t.elapsed());
+        eprintln!("[{name}: {:?}, {}]", t.elapsed(), log.summary(name));
+        true
+    };
     match arg.as_str() {
         "sanity" => sanity(),
         "calib" => calib(),
@@ -56,20 +144,27 @@ fn main() {
         "critpath" => critpath(),
         "all" => {
             for name in ALL {
-                let t = Instant::now();
-                run_one(name);
-                eprintln!("[{name}: {:?}]", t.elapsed());
+                run_and_emit(name, &mut log, &mut failed);
             }
         }
-        other if run_one(other) => {}
-        _ => {
-            eprintln!(
-                "usage: repro <sanity|calib|hotspots|critpath|table1|table2|fig4|fig8|fig9|fig10|fig11|table3|fig12|fig13|ablation|all>"
-            );
-            std::process::exit(2);
+        other if run_and_emit(other, &mut log, &mut failed) => {}
+        _ => usage(),
+    }
+    if !log.rows.is_empty() {
+        let write_log = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/runlog.csv", log.to_csv()));
+        match write_log {
+            Ok(()) => eprintln!("wrote results/runlog.csv ({} rows)", log.rows.len()),
+            Err(e) => {
+                eprintln!("error: could not write results/runlog.csv: {e}");
+                failed = true;
+            }
         }
     }
     eprintln!("[{:?}] done", t0.elapsed());
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 fn calib() {

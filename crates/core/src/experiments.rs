@@ -7,8 +7,9 @@
 //! fast smoke tests of the experiment plumbing.
 
 use crate::designs;
-use crate::flow::{run_flow, FlowConfig};
+use crate::flow::{run_flow, FlowConfig, StageTimes};
 use crate::report::{pct_diff, PpaReport};
+use crate::runner::{JobOutcome, Pool, RunLogRow};
 use ffet_cells::{fig4_area_comparison, CellFunction, CellKind, DriveStrength, Library};
 use ffet_netlist::Netlist;
 use ffet_tech::{RoutingPattern, Side, TechKind, Technology};
@@ -344,32 +345,87 @@ pub struct UtilPoint {
 /// each reported point is the best (fewest-DRV) run of the attempts.
 const SWEEP_SEEDS: [u64; 3] = [42, 1042, 9042];
 
-/// Runs the flow across a utilization grid, returning all points plus the
-/// maximum valid utilization (the paper's "maximum utilization" metric).
+/// A flow job's distilled result: the PPA point plus its stage telemetry.
+type FlowPoint = (PpaReport, StageTimes);
+
+/// Runs one flow and keeps only what the sweeps need, dropping the heavy
+/// DEF/parasitics artifacts so large DoE grids stay memory-bounded.
+fn flow_job(
+    netlist: &Netlist,
+    library: &Library,
+    config: &FlowConfig,
+) -> Result<FlowPoint, crate::FlowError> {
+    run_flow(netlist, library, config).map(|o| (o.report, o.stages))
+}
+
+/// Runs the flow across a utilization grid on `pool`, returning all points
+/// plus the maximum valid utilization (the paper's "maximum utilization"
+/// metric).
 ///
 /// Each point tries three placement seeds and keeps the fewest-DRV run.
+/// Results are reassembled in submission order, so the outcome is identical
+/// for every pool width.
 #[must_use]
 pub fn utilization_sweep(
+    pool: &Pool,
     netlist: &Netlist,
     library: &Library,
     base: &FlowConfig,
     utils: &[f64],
 ) -> (Option<f64>, Vec<UtilPoint>) {
+    let jobs: Vec<FlowConfig> = utils
+        .iter()
+        .flat_map(|&u| {
+            SWEEP_SEEDS.iter().map(move |&seed| FlowConfig {
+                utilization: u,
+                seed,
+                ..base.clone()
+            })
+        })
+        .collect();
+    let outcomes = pool.run(jobs, |config| flow_job(netlist, library, config));
+    let mut runlog = Vec::new();
+    assemble_sweep("sweep", "", utils, outcomes, &mut runlog)
+}
+
+/// Folds the per-(utilization × seed) job outcomes of one sweep back into
+/// best-of-seeds points, replicating the serial semantics exactly: failed
+/// seeds are dropped, ties on DRV keep the earliest seed, and a point with
+/// no surviving seed is skipped (and logged as such).
+fn assemble_sweep(
+    experiment: &str,
+    label: &str,
+    utils: &[f64],
+    outcomes: Vec<JobOutcome<FlowPoint, crate::FlowError>>,
+    runlog: &mut Vec<RunLogRow>,
+) -> (Option<f64>, Vec<UtilPoint>) {
+    assert_eq!(outcomes.len(), utils.len() * SWEEP_SEEDS.len());
     let mut points = Vec::new();
     let mut max_valid = None;
+    let mut outcomes = outcomes.into_iter();
     for &u in utils {
-        let mut runs: Vec<PpaReport> = SWEEP_SEEDS
-            .iter()
-            .filter_map(|&seed| {
-                let config = FlowConfig {
-                    utilization: u,
-                    seed,
-                    ..base.clone()
-                };
-                run_flow(netlist, library, &config).ok().map(|o| o.report)
-            })
-            .collect();
+        let mut runs: Vec<PpaReport> = Vec::new();
+        for &seed in &SWEEP_SEEDS {
+            let o = outcomes.next().expect("length checked above");
+            let point_label = format!("{label}u{u:.2}/s{seed}");
+            let stages = o.result.as_ref().ok().map(|(_, s)| *s);
+            runlog.push(RunLogRow::from_stats(
+                experiment,
+                point_label,
+                &o.stats,
+                stages,
+            ));
+            if let Ok((report, _)) = o.result {
+                runs.push(report);
+            }
+        }
         if runs.is_empty() {
+            runlog.push(RunLogRow::skipped(
+                experiment,
+                format!("{label}u{u:.2}"),
+                runlog.len(),
+                "no placement seed produced a routable run",
+            ));
             continue;
         }
         runs.sort_by_key(|r| r.drv);
@@ -383,6 +439,108 @@ pub fn utilization_sweep(
         });
     }
     (max_valid, points)
+}
+
+/// One configuration of a multi-config utilization sweep.
+struct SweepSpec {
+    label: String,
+    base: FlowConfig,
+    utils: Vec<f64>,
+}
+
+/// The assembled result of one [`SweepSpec`].
+struct SweepResult {
+    label: String,
+    max_util: Option<f64>,
+    points: Vec<UtilPoint>,
+}
+
+/// Executes several utilization sweeps as one flat job grid: per-spec
+/// library/netlist builds run as pool jobs first, then every
+/// (spec × utilization × seed) flow point is submitted together so the pool
+/// stays saturated across configuration boundaries.
+fn run_sweeps(
+    pool: &Pool,
+    design: DesignKind,
+    experiment: &str,
+    specs: Vec<SweepSpec>,
+    runlog: &mut Vec<RunLogRow>,
+) -> Vec<SweepResult> {
+    // Phase 1: contexts (library + netlist) per spec, in parallel.
+    let contexts: Vec<(Library, Netlist)> = pool
+        .run(specs.iter().collect(), |spec: &&SweepSpec| {
+            let library = spec.base.build_library();
+            let netlist = build_design(&library, design);
+            Ok::<_, crate::FlowError>((library, netlist))
+        })
+        .into_iter()
+        .zip(&specs)
+        .map(|(o, spec)| {
+            runlog.push(RunLogRow::from_stats(
+                experiment,
+                format!("build:{}", spec.label),
+                &o.stats,
+                None,
+            ));
+            match o.result {
+                Ok(ctx) => ctx,
+                Err(e) => panic!("context build for {} failed: {e}", spec.label),
+            }
+        })
+        .collect();
+
+    // Phase 2: the flat DoE grid.
+    struct PointJob {
+        spec: usize,
+        util: f64,
+        seed: u64,
+    }
+    let jobs: Vec<PointJob> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, spec)| {
+            spec.utils.iter().flat_map(move |&u| {
+                SWEEP_SEEDS.iter().map(move |&seed| PointJob {
+                    spec: si,
+                    util: u,
+                    seed,
+                })
+            })
+        })
+        .collect();
+    let mut outcomes = pool
+        .run(jobs, |job| {
+            let (library, netlist) = &contexts[job.spec];
+            let config = FlowConfig {
+                utilization: job.util,
+                seed: job.seed,
+                ..specs[job.spec].base.clone()
+            };
+            flow_job(netlist, library, &config)
+        })
+        .into_iter();
+
+    // Phase 3: reassemble per spec, in submission order.
+    specs
+        .iter()
+        .map(|spec| {
+            let chunk: Vec<_> = (&mut outcomes)
+                .take(spec.utils.len() * SWEEP_SEEDS.len())
+                .collect();
+            let (max_util, points) = assemble_sweep(
+                experiment,
+                &format!("{}/", spec.label),
+                &spec.utils,
+                chunk,
+                runlog,
+            );
+            SweepResult {
+                label: spec.label.clone(),
+                max_util,
+                points,
+            }
+        })
+        .collect()
 }
 
 /// The three configurations Fig. 8 compares.
@@ -413,6 +571,8 @@ pub struct Fig8 {
     pub max_utils: Vec<(String, Option<f64>)>,
     /// All sweep points per config.
     pub sweeps: Vec<(String, Vec<UtilPoint>)>,
+    /// Per-job telemetry (outside the determinism contract).
+    pub runlog: Vec<RunLogRow>,
 }
 
 impl Fig8 {
@@ -432,17 +592,30 @@ pub fn fig8() -> Fig8 {
 /// [`fig8`] with a configurable benchmark design.
 #[must_use]
 pub fn fig8_with(design: DesignKind) -> Fig8 {
+    fig8_on(design, &Pool::from_env())
+}
+
+/// [`fig8`] on an explicit DoE pool.
+#[must_use]
+pub fn fig8_on(design: DesignKind, pool: &Pool) -> Fig8 {
     let utils: Vec<f64> = (1..=13).map(|i| 0.40 + 0.04 * i as f64).collect(); // 0.44..0.92
+    let specs = fig8_configs()
+        .into_iter()
+        .map(|(label, base)| SweepSpec {
+            label: label.to_owned(),
+            base,
+            utils: utils.clone(),
+        })
+        .collect();
+    let mut runlog = Vec::new();
+    let results = run_sweeps(pool, design, "fig8", specs, &mut runlog);
     let mut max_utils = Vec::new();
     let mut sweeps = Vec::new();
     let mut rows = Vec::new();
-    for (label, base) in fig8_configs() {
-        let library = base.build_library();
-        let netlist = build_design(&library, design);
-        let (max_u, points) = utilization_sweep(&netlist, &library, &base, &utils);
-        for p in &points {
+    for r in results {
+        for p in &r.points {
             rows.push(vec![
-                label.to_owned(),
+                r.label.clone(),
                 format!("{:.0}%", p.utilization * 100.0),
                 format!("{:.1}", p.report.core_area_um2),
                 p.report.drv.to_string(),
@@ -453,8 +626,8 @@ pub fn fig8_with(design: DesignKind) -> Fig8 {
                 },
             ]);
         }
-        max_utils.push((label.to_owned(), max_u));
-        sweeps.push((label.to_owned(), points));
+        max_utils.push((r.label.clone(), r.max_util));
+        sweeps.push((r.label, r.points));
     }
     let mut notes: Vec<String> = max_utils
         .iter()
@@ -512,6 +685,7 @@ pub fn fig8_with(design: DesignKind) -> Fig8 {
         },
         max_utils,
         sweeps,
+        runlog,
     }
 }
 
@@ -522,6 +696,8 @@ pub struct Fig9 {
     pub table: ExpTable,
     /// (config label, target GHz, achieved GHz, power mW).
     pub points: Vec<(String, f64, f64, f64)>,
+    /// Per-job telemetry (outside the determinism contract).
+    pub runlog: Vec<RunLogRow>,
 }
 
 impl Fig9 {
@@ -541,6 +717,12 @@ pub fn fig9() -> Fig9 {
 /// [`fig9`] with a configurable benchmark design.
 #[must_use]
 pub fn fig9_with(design: DesignKind) -> Fig9 {
+    fig9_on(design, &Pool::from_env())
+}
+
+/// [`fig9`] on an explicit DoE pool.
+#[must_use]
+pub fn fig9_on(design: DesignKind, pool: &Pool) -> Fig9 {
     let targets = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
     let configs = [
         (
@@ -558,31 +740,62 @@ pub fn fig9_with(design: DesignKind) -> Fig9 {
             },
         ),
     ];
+    let mut runlog = Vec::new();
+    let contexts: Vec<(Library, Netlist)> = pool
+        .run(configs.iter().collect(), |job: &&(&str, FlowConfig)| {
+            let library = job.1.build_library();
+            let netlist = build_design(&library, design);
+            Ok::<_, crate::FlowError>((library, netlist))
+        })
+        .into_iter()
+        .zip(&configs)
+        .map(|(o, (label, _))| {
+            runlog.push(RunLogRow::from_stats(
+                "fig9",
+                format!("build:{label}"),
+                &o.stats,
+                None,
+            ));
+            o.result
+                .unwrap_or_else(|e| panic!("context build for {label} failed: {e}"))
+        })
+        .collect();
+    let jobs: Vec<(usize, f64)> = (0..configs.len())
+        .flat_map(|ci| targets.iter().map(move |&t| (ci, t)))
+        .collect();
+    let outcomes = pool.run(jobs.clone(), |&(ci, t)| {
+        let (library, netlist) = &contexts[ci];
+        let config = FlowConfig {
+            target_freq_ghz: t,
+            ..configs[ci].1.clone()
+        };
+        flow_job(netlist, library, &config)
+    });
     let mut points = Vec::new();
     let mut rows = Vec::new();
-    for (label, base) in &configs {
-        let library = base.build_library();
-        let netlist = build_design(&library, design);
-        for &t in &targets {
-            let config = FlowConfig {
-                target_freq_ghz: t,
-                ..base.clone()
-            };
-            if let Ok(o) = run_flow(&netlist, &library, &config) {
-                rows.push(vec![
-                    (*label).to_owned(),
-                    f2(t),
-                    format!("{:.3}", o.report.achieved_freq_ghz),
-                    format!("{:.3}", o.report.power_mw),
-                    o.report.drv.to_string(),
-                ]);
-                points.push((
-                    (*label).to_owned(),
-                    t,
-                    o.report.achieved_freq_ghz,
-                    o.report.power_mw,
-                ));
-            }
+    for (o, (ci, t)) in outcomes.into_iter().zip(jobs) {
+        let label = configs[ci].0;
+        let stages = o.result.as_ref().ok().map(|(_, s)| *s);
+        runlog.push(RunLogRow::from_stats(
+            "fig9",
+            format!("{label}/t{t:.2}"),
+            &o.stats,
+            stages,
+        ));
+        if let Ok((report, _)) = o.result {
+            rows.push(vec![
+                label.to_owned(),
+                f2(t),
+                format!("{:.3}", report.achieved_freq_ghz),
+                format!("{:.3}", report.power_mw),
+                report.drv.to_string(),
+            ]);
+            points.push((
+                label.to_owned(),
+                t,
+                report.achieved_freq_ghz,
+                report.power_mw,
+            ));
         }
     }
     let mut notes = vec![
@@ -616,6 +829,7 @@ pub fn fig9_with(design: DesignKind) -> Fig9 {
             notes,
         },
         points,
+        runlog,
     }
 }
 
@@ -626,6 +840,8 @@ pub struct Fig10 {
     pub table: ExpTable,
     /// (config, core area µm², achieved GHz, valid).
     pub points: Vec<(String, f64, f64, bool)>,
+    /// Per-job telemetry (outside the determinism contract).
+    pub runlog: Vec<RunLogRow>,
 }
 
 impl Fig10 {
@@ -645,20 +861,33 @@ pub fn fig10() -> Fig10 {
 /// [`fig10`] with a configurable benchmark design.
 #[must_use]
 pub fn fig10_with(design: DesignKind) -> Fig10 {
+    fig10_on(design, &Pool::from_env())
+}
+
+/// [`fig10`] on an explicit DoE pool.
+#[must_use]
+pub fn fig10_on(design: DesignKind, pool: &Pool) -> Fig10 {
     let utils: Vec<f64> = (0..8).map(|i| 0.46 + 0.06 * i as f64).collect(); // 0.46..0.88
     let configs = [
         ("4T CFET", FlowConfig::baseline(TechKind::Cfet4t)),
         ("3.5T FFET FM12", FlowConfig::baseline(TechKind::Ffet3p5t)),
     ];
+    let specs = configs
+        .into_iter()
+        .map(|(label, base)| SweepSpec {
+            label: label.to_owned(),
+            base,
+            utils: utils.clone(),
+        })
+        .collect();
+    let mut runlog = Vec::new();
+    let results = run_sweeps(pool, design, "fig10", specs, &mut runlog);
     let mut points = Vec::new();
     let mut rows = Vec::new();
-    for (label, base) in &configs {
-        let library = base.build_library();
-        let netlist = build_design(&library, design);
-        let (_, sweep) = utilization_sweep(&netlist, &library, base, &utils);
-        for p in sweep {
+    for r in results {
+        for p in r.points {
             rows.push(vec![
-                (*label).to_owned(),
+                r.label.clone(),
                 format!("{:.0}%", p.utilization * 100.0),
                 format!("{:.1}", p.report.core_area_um2),
                 format!("{:.3}", p.report.achieved_freq_ghz),
@@ -669,7 +898,7 @@ pub fn fig10_with(design: DesignKind) -> Fig10 {
                 },
             ]);
             points.push((
-                (*label).to_owned(),
+                r.label.clone(),
                 p.report.core_area_um2,
                 p.report.achieved_freq_ghz,
                 p.report.valid,
@@ -692,6 +921,7 @@ pub fn fig10_with(design: DesignKind) -> Fig10 {
             ],
         },
         points,
+        runlog,
     }
 }
 
@@ -705,6 +935,8 @@ pub struct Fig11 {
     pub table: ExpTable,
     /// (BP ratio, mean achieved GHz, mean power mW) across the util sweep.
     pub means: Vec<(f64, f64, f64)>,
+    /// Per-job telemetry (outside the determinism contract).
+    pub runlog: Vec<RunLogRow>,
 }
 
 impl Fig11 {
@@ -724,24 +956,36 @@ pub fn fig11() -> Fig11 {
 /// [`fig11`] with a configurable benchmark design.
 #[must_use]
 pub fn fig11_with(design: DesignKind) -> Fig11 {
+    fig11_on(design, &Pool::from_env())
+}
+
+/// [`fig11`] on an explicit DoE pool.
+#[must_use]
+pub fn fig11_on(design: DesignKind, pool: &Pool) -> Fig11 {
     let utils: Vec<f64> = (0..6).map(|i| 0.46 + 0.06 * i as f64).collect(); // 0.46..0.76
+    let specs = PIN_DENSITY_DOES
+        .iter()
+        .map(|&bp| SweepSpec {
+            label: format!("FP{:.2}BP{bp:.2}", 1.0 - bp),
+            base: FlowConfig {
+                pattern: RoutingPattern::new(12, 12).expect("static"),
+                back_pin_ratio: bp,
+                ..FlowConfig::baseline(TechKind::Ffet3p5t)
+            },
+            utils: utils.clone(),
+        })
+        .collect();
+    let mut runlog = Vec::new();
+    let results = run_sweeps(pool, design, "fig11", specs, &mut runlog);
     let mut rows = Vec::new();
     let mut means = Vec::new();
-    for &bp in &PIN_DENSITY_DOES {
-        let base = FlowConfig {
-            pattern: RoutingPattern::new(12, 12).expect("static"),
-            back_pin_ratio: bp,
-            ..FlowConfig::baseline(TechKind::Ffet3p5t)
-        };
-        let library = base.build_library();
-        let netlist = build_design(&library, design);
-        let (_, sweep) = utilization_sweep(&netlist, &library, &base, &utils);
+    for (r, &bp) in results.iter().zip(&PIN_DENSITY_DOES) {
         let mut fsum = 0.0;
         let mut psum = 0.0;
         let mut n = 0.0;
-        for p in &sweep {
+        for p in &r.points {
             rows.push(vec![
-                format!("FP{:.2}BP{bp:.2}", 1.0 - bp),
+                r.label.clone(),
                 format!("{:.0}%", p.utilization * 100.0),
                 format!("{:.3}", p.report.achieved_freq_ghz),
                 format!("{:.3}", p.report.power_mw),
@@ -777,6 +1021,7 @@ pub fn fig11_with(design: DesignKind) -> Fig11 {
             notes,
         },
         means,
+        runlog,
     }
 }
 
@@ -787,6 +1032,8 @@ pub struct Table3 {
     pub table: ExpTable,
     /// (BP ratio, pattern, Δfreq %, Δpower %).
     pub rows_data: Vec<(f64, RoutingPattern, f64, f64)>,
+    /// Per-job telemetry (outside the determinism contract).
+    pub runlog: Vec<RunLogRow>,
 }
 
 impl Table3 {
@@ -807,6 +1054,17 @@ pub fn table3() -> Table3 {
 /// [`table3`] with a configurable benchmark design.
 #[must_use]
 pub fn table3_with(design: DesignKind) -> Table3 {
+    table3_on(design, &Pool::from_env())
+}
+
+/// [`table3`] on an explicit DoE pool.
+///
+/// # Panics
+///
+/// Panics if the single-sided baseline run fails — every row of the table
+/// is a diff against it.
+#[must_use]
+pub fn table3_on(design: DesignKind, pool: &Pool) -> Table3 {
     // The paper's DoE rows (Table III).
     let rows_spec: [(f64, (u8, u8)); 13] = [
         (0.04, (10, 2)),
@@ -833,28 +1091,56 @@ pub fn table3_with(design: DesignKind) -> Table3 {
     };
     let base_lib = base_cfg.build_library();
     let netlist = build_design(&base_lib, design);
-    let base = run_flow(&netlist, &base_lib, &base_cfg).expect("baseline runs");
+
+    // The baseline and every DoE row share one netlist but build their own
+    // (possibly pin-redistributed) library inside the job, so the whole
+    // table is a single flat grid: job 0 is the baseline, jobs 1.. the rows.
+    let mut jobs: Vec<(f64, FlowConfig)> = vec![(0.0, base_cfg.clone())];
+    jobs.extend(rows_spec.iter().map(|&(bp, (fm, bm))| {
+        (
+            bp,
+            FlowConfig {
+                pattern: RoutingPattern::new(fm, bm).expect("table entries are legal"),
+                back_pin_ratio: bp,
+                ..base_cfg.clone()
+            },
+        )
+    }));
+    let outcomes = pool.run(jobs.clone(), |(_, config)| {
+        let library = config.build_library();
+        flow_job(&netlist, &library, config)
+    });
+    let mut runlog = Vec::new();
+    for (o, (bp, config)) in outcomes.iter().zip(&jobs) {
+        let label = if o.stats.index == 0 {
+            "baseline/FM12".to_owned()
+        } else {
+            format!("FP{:.2}BP{bp:.2}/{}", 1.0 - bp, config.pattern)
+        };
+        let stages = o.result.as_ref().ok().map(|(_, s)| *s);
+        runlog.push(RunLogRow::from_stats("table3", label, &o.stats, stages));
+    }
+    let mut outcomes = outcomes.into_iter();
+    let (base, _) = outcomes
+        .next()
+        .expect("baseline submitted")
+        .result
+        .unwrap_or_else(|e| panic!("baseline runs: {e}"));
 
     let mut rows = Vec::new();
     let mut rows_data = Vec::new();
-    for (bp, (fm, bm)) in rows_spec {
-        let config = FlowConfig {
-            pattern: RoutingPattern::new(fm, bm).expect("table entries are legal"),
-            back_pin_ratio: bp,
-            ..base_cfg.clone()
-        };
-        let library = config.build_library();
-        if let Ok(o) = run_flow(&netlist, &library, &config) {
-            let df = pct_diff(o.report.achieved_freq_ghz, base.report.achieved_freq_ghz);
-            let dp = pct_diff(o.report.power_mw, base.report.power_mw);
+    for (o, (bp, config)) in outcomes.zip(jobs.iter().skip(1)) {
+        if let Ok((report, _)) = o.result {
+            let df = pct_diff(report.achieved_freq_ghz, base.achieved_freq_ghz);
+            let dp = pct_diff(report.power_mw, base.power_mw);
             rows.push(vec![
                 format!("FP{:.2}BP{bp:.2}", 1.0 - bp),
                 config.pattern.to_string(),
                 pct(df),
                 pct(dp),
-                o.report.drv.to_string(),
+                report.drv.to_string(),
             ]);
-            rows_data.push((bp, config.pattern, df, dp));
+            rows_data.push((*bp, config.pattern, df, dp));
         }
     }
     Table3 {
@@ -873,6 +1159,7 @@ pub fn table3_with(design: DesignKind) -> Table3 {
             ],
         },
         rows_data,
+        runlog,
     }
 }
 
@@ -883,6 +1170,8 @@ pub struct Fig12 {
     pub table: ExpTable,
     /// (layers per side, max valid utilization).
     pub points: Vec<(u8, Option<f64>)>,
+    /// Per-job telemetry (outside the determinism contract).
+    pub runlog: Vec<RunLogRow>,
 }
 
 impl Fig12 {
@@ -902,26 +1191,40 @@ pub fn fig12() -> Fig12 {
 /// [`fig12`] with a configurable benchmark design.
 #[must_use]
 pub fn fig12_with(design: DesignKind) -> Fig12 {
+    fig12_on(design, &Pool::from_env())
+}
+
+/// [`fig12`] on an explicit DoE pool.
+#[must_use]
+pub fn fig12_on(design: DesignKind, pool: &Pool) -> Fig12 {
     // A coarser grid than Fig. 8 keeps this 11-pattern sweep tractable;
     // the paper's plateau (86% down to 4 layers/side, ~70% at 2) is still
     // resolvable.
     let utils: Vec<f64> = vec![0.48, 0.56, 0.64, 0.72, 0.80, 0.84, 0.88];
+    let layers: Vec<u8> = (2..=12u8).rev().collect();
+    let specs = layers
+        .iter()
+        .map(|&n| SweepSpec {
+            label: format!("FM{n}BM{n}"),
+            base: FlowConfig {
+                pattern: RoutingPattern::new(n, n).expect("n in 2..=12"),
+                back_pin_ratio: 0.5,
+                ..FlowConfig::baseline(TechKind::Ffet3p5t)
+            },
+            utils: utils.clone(),
+        })
+        .collect();
+    let mut runlog = Vec::new();
+    let results = run_sweeps(pool, design, "fig12", specs, &mut runlog);
     let mut points = Vec::new();
     let mut rows = Vec::new();
-    for n in (2..=12u8).rev() {
-        let base = FlowConfig {
-            pattern: RoutingPattern::new(n, n).expect("n in 2..=12"),
-            back_pin_ratio: 0.5,
-            ..FlowConfig::baseline(TechKind::Ffet3p5t)
-        };
-        let library = base.build_library();
-        let netlist = build_design(&library, design);
-        let (max_u, _) = utilization_sweep(&netlist, &library, &base, &utils);
+    for (r, &n) in results.iter().zip(&layers) {
         rows.push(vec![
-            format!("FM{n}BM{n}"),
-            max_u.map_or_else(|| "none".into(), |u| format!("{:.0}%", u * 100.0)),
+            r.label.clone(),
+            r.max_util
+                .map_or_else(|| "none".into(), |u| format!("{:.0}%", u * 100.0)),
         ]);
-        points.push((n, max_u));
+        points.push((n, r.max_util));
     }
     Fig12 {
         table: ExpTable {
@@ -931,6 +1234,7 @@ pub fn fig12_with(design: DesignKind) -> Fig12 {
             notes: vec!["paper: constant 86% down to 4 layers/side, ~70% at 2 layers/side".into()],
         },
         points,
+        runlog,
     }
 }
 
@@ -941,6 +1245,8 @@ pub struct Fig13 {
     pub table: ExpTable,
     /// (layers per side, efficiency GHz/mW, Δ vs 12 layers %).
     pub points: Vec<(u8, f64, f64)>,
+    /// Per-job telemetry (outside the determinism contract).
+    pub runlog: Vec<RunLogRow>,
 }
 
 impl Fig13 {
@@ -960,8 +1266,16 @@ pub fn fig13() -> Fig13 {
 /// [`fig13`] with a configurable benchmark design.
 #[must_use]
 pub fn fig13_with(design: DesignKind) -> Fig13 {
-    let mut effs: Vec<(u8, f64)> = Vec::new();
-    for n in (3..=12u8).rev() {
+    fig13_on(design, &Pool::from_env())
+}
+
+/// [`fig13`] on an explicit DoE pool.
+#[must_use]
+pub fn fig13_on(design: DesignKind, pool: &Pool) -> Fig13 {
+    let layers: Vec<u8> = (3..=12u8).rev().collect();
+    // One job per pattern; each builds its own library + netlist, so the
+    // whole figure parallelizes including the context builds.
+    let outcomes = pool.run(layers.clone(), |&n| {
         let config = FlowConfig {
             pattern: RoutingPattern::new(n, n).expect("n in 3..=12"),
             back_pin_ratio: 0.5,
@@ -970,8 +1284,20 @@ pub fn fig13_with(design: DesignKind) -> Fig13 {
         };
         let library = config.build_library();
         let netlist = build_design(&library, design);
-        if let Ok(o) = run_flow(&netlist, &library, &config) {
-            effs.push((n, o.report.efficiency_ghz_per_mw()));
+        flow_job(&netlist, &library, &config)
+    });
+    let mut runlog = Vec::new();
+    let mut effs: Vec<(u8, f64)> = Vec::new();
+    for (o, &n) in outcomes.into_iter().zip(&layers) {
+        let stages = o.result.as_ref().ok().map(|(_, s)| *s);
+        runlog.push(RunLogRow::from_stats(
+            "fig13",
+            format!("FM{n}BM{n}"),
+            &o.stats,
+            stages,
+        ));
+        if let Ok((report, _)) = o.result {
+            effs.push((n, report.efficiency_ghz_per_mw()));
         }
     }
     let base = effs.first().map_or(1.0, |&(_, e)| e);
@@ -993,6 +1319,7 @@ pub fn fig13_with(design: DesignKind) -> Fig13 {
             ],
         },
         points,
+        runlog,
     }
 }
 
@@ -1007,6 +1334,8 @@ pub struct BridgingAblation {
     pub table: ExpTable,
     /// (label, report) per configuration.
     pub reports: Vec<(String, PpaReport)>,
+    /// Per-job telemetry (outside the determinism contract).
+    pub runlog: Vec<RunLogRow>,
 }
 
 impl BridgingAblation {
@@ -1029,6 +1358,12 @@ pub fn bridging_ablation() -> BridgingAblation {
 /// [`bridging_ablation`] with a configurable benchmark design.
 #[must_use]
 pub fn bridging_ablation_with(design: DesignKind) -> BridgingAblation {
+    bridging_ablation_on(design, &Pool::from_env())
+}
+
+/// [`bridging_ablation`] on an explicit DoE pool.
+#[must_use]
+pub fn bridging_ablation_on(design: DesignKind, pool: &Pool) -> BridgingAblation {
     let configs = [
         (
             "single-sided FM12 (baseline)",
@@ -1057,22 +1392,33 @@ pub fn bridging_ablation_with(design: DesignKind) -> BridgingAblation {
             },
         ),
     ];
-    let mut reports = Vec::new();
-    let mut rows = Vec::new();
-    for (label, config) in configs {
+    let outcomes = pool.run(configs.to_vec(), |(_, config)| {
         let library = config.build_library();
         let netlist = build_design(&library, design);
-        if let Ok(o) = run_flow(&netlist, &library, &config) {
+        flow_job(&netlist, &library, config)
+    });
+    let mut runlog = Vec::new();
+    let mut reports = Vec::new();
+    let mut rows = Vec::new();
+    for (o, (label, _)) in outcomes.into_iter().zip(configs) {
+        let stages = o.result.as_ref().ok().map(|(_, s)| *s);
+        runlog.push(RunLogRow::from_stats(
+            "ablation",
+            label.to_owned(),
+            &o.stats,
+            stages,
+        ));
+        if let Ok((report, _)) = o.result {
             rows.push(vec![
                 label.to_owned(),
-                o.report.cells.to_string(),
-                format!("{:.1}", o.report.core_area_um2),
-                format!("{:.3}", o.report.achieved_freq_ghz),
-                format!("{:.3}", o.report.power_mw),
-                format!("{:.2}", o.report.back_wirelength_mm),
-                o.report.drv.to_string(),
+                report.cells.to_string(),
+                format!("{:.1}", report.core_area_um2),
+                format!("{:.3}", report.achieved_freq_ghz),
+                format!("{:.3}", report.power_mw),
+                format!("{:.2}", report.back_wirelength_mm),
+                report.drv.to_string(),
             ]);
-            reports.push((label.to_owned(), o.report));
+            reports.push((label.to_owned(), report));
         }
     }
     let mut notes = vec![
@@ -1102,6 +1448,7 @@ pub fn bridging_ablation_with(design: DesignKind) -> BridgingAblation {
             notes,
         },
         reports,
+        runlog,
     }
 }
 

@@ -13,6 +13,7 @@ use ffet_sta::{analyze_power, analyze_timing, StaConfig};
 use ffet_tech::{RoutingPattern, TechKind, Technology};
 use ffet_verify::{run_signoff, SignoffReport};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Full flow configuration — one DoE point.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +83,39 @@ impl FlowConfig {
     }
 }
 
+/// Wall-clock breakdown of one flow run by Fig. 7 stage, in milliseconds.
+///
+/// Telemetry only: timings feed the DoE runner's `runlog.csv`, never the
+/// experiment tables (which must stay byte-identical run to run).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimes {
+    /// Synthesis-lite (fanout buffering + drive sizing).
+    pub synth_ms: f64,
+    /// Physical implementation (floorplan → powerplan → place → CTS →
+    /// dual-sided route).
+    pub pnr_ms: f64,
+    /// Dual-sided DEF merge.
+    pub merge_ms: f64,
+    /// Static signoff (lint + DRC + LVS-lite).
+    pub signoff_ms: f64,
+    /// RC extraction from the merged DEF.
+    pub rcx_ms: f64,
+    /// STA + power analysis.
+    pub sta_ms: f64,
+}
+
+impl StageTimes {
+    /// Sum of all stage timings, ms.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.synth_ms + self.pnr_ms + self.merge_ms + self.signoff_ms + self.rcx_ms + self.sta_ms
+    }
+}
+
+fn elapsed_ms(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
 /// Everything one flow run produced (report + artifacts for inspection).
 #[derive(Debug, Clone)]
 pub struct FlowOutcome {
@@ -100,6 +134,8 @@ pub struct FlowOutcome {
     /// LVS-lite). Always clean of errors when this outcome is returned;
     /// its warnings are the signoff view of the DRV proxy.
     pub signoff: SignoffReport,
+    /// Wall-clock breakdown by stage (telemetry; varies run to run).
+    pub stages: StageTimes,
 }
 
 impl FlowOutcome {
@@ -161,13 +197,16 @@ pub fn run_flow(
     config: &FlowConfig,
 ) -> Result<FlowOutcome, FlowError> {
     let mut netlist = netlist.clone();
+    let mut stages = StageTimes::default();
 
     // Synthesis-lite toward the target frequency.
+    let t0 = Instant::now();
     let _synth = synthesize(
         &mut netlist,
         library,
         &SynthConfig::for_target(config.target_freq_ghz),
     );
+    stages.synth_ms = elapsed_ms(t0);
 
     // Physical implementation (floorplan → powerplan → place → CTS →
     // dual-sided route).
@@ -178,23 +217,31 @@ pub fn run_flow(
         seed: config.seed,
         bridging_min_nm: config.bridging_min_nm,
     };
+    let t0 = Instant::now();
     let pnr = run_pnr(&mut netlist, library, &pnr_config)?;
+    stages.pnr_ms = elapsed_ms(t0);
 
     // DEF merge (paper: "we first merged the two DEFs into one DEF").
+    let t0 = Instant::now();
     let merged_def =
         merge_defs(&pnr.front_def, &pnr.back_def).map_err(|e| FlowError::Merge(e.to_string()))?;
+    stages.merge_ms = elapsed_ms(t0);
 
     // Static signoff over the finished artifacts: netlist lint, route and
     // placement DRC, LVS-lite of the merged DEF. Error severity means the
     // implementation is structurally broken — congestion and legality
     // overflow stay warnings and feed the DRV validity proxy instead.
+    let t0 = Instant::now();
     let signoff = run_signoff(&netlist, library, config.pattern, &pnr, &merged_def);
     if !signoff.is_clean() {
         return Err(FlowError::Signoff(signoff.text_table()));
     }
+    stages.signoff_ms = elapsed_ms(t0);
 
     // Dual-sided RC extraction from the merged DEF.
+    let t0 = Instant::now();
     let parasitics = extract_all(&netlist, library, &pnr, &merged_def);
+    stages.rcx_ms = elapsed_ms(t0);
 
     // STA + power at the achieved frequency.
     let sta_config = StaConfig {
@@ -202,6 +249,7 @@ pub fn run_flow(
         activity: config.activity,
         input_slew_ps: 10.0,
     };
+    let t0 = Instant::now();
     let timing = analyze_timing(&netlist, library, &parasitics, &sta_config)
         .map_err(|e| FlowError::CombLoop(e.instance))?;
     // Power is evaluated at the synthesis target clock (the block's
@@ -216,6 +264,7 @@ pub fn run_flow(
         &sta_config,
         config.target_freq_ghz,
     );
+    stages.sta_ms = elapsed_ms(t0);
 
     let report = PpaReport {
         tech: library.tech().to_string(),
@@ -244,6 +293,7 @@ pub fn run_flow(
         timing,
         parasitics,
         signoff,
+        stages,
     })
 }
 

@@ -32,10 +32,12 @@ pub mod designs;
 pub mod experiments;
 mod flow;
 mod report;
+pub mod runner;
 mod synth;
 
-pub use flow::{run_flow, FlowConfig, FlowError, FlowOutcome};
+pub use flow::{run_flow, FlowConfig, FlowError, FlowOutcome, StageTimes};
 pub use report::{pct_diff, PpaReport};
+pub use runner::{JobError, JobOutcome, JobStats, Pool, RunLog, RunLogRow};
 pub use synth::{synthesize, SynthConfig, SynthStats};
 
 #[cfg(test)]

@@ -86,7 +86,7 @@ impl std::fmt::Display for Violation {
 }
 
 /// Aggregated signoff result: every violation plus per-rule summaries.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SignoffReport {
     /// All violations, errors first, then by rule name.
     pub violations: Vec<Violation>,

@@ -1,0 +1,58 @@
+//! The DoE engine's determinism contract, enforced end to end:
+//!
+//! * an experiment produces **byte-identical** CSV tables and identical
+//!   `PpaReport`s at every pool width (submission-order reassembly,
+//!   per-job seeds, no cross-job communication);
+//! * a single `run_flow` call is bit-reproducible, down to the signoff and
+//!   timing reports.
+
+use ffet_core::experiments::{self, DesignKind};
+use ffet_core::runner::Pool;
+use ffet_core::{designs, run_flow, FlowConfig};
+use ffet_tech::{RoutingPattern, TechKind};
+
+/// The same seeded sweep at `jobs=1` and `jobs=4` must agree byte for byte
+/// on every table artifact and on every underlying report.
+#[test]
+fn fig8_sweep_is_pool_width_invariant() {
+    let serial = experiments::fig8_on(DesignKind::CounterSmall, &Pool::new(1));
+    let parallel = experiments::fig8_on(DesignKind::CounterSmall, &Pool::new(4));
+    assert_eq!(
+        serial.table.to_csv(),
+        parallel.table.to_csv(),
+        "CSV must be byte-identical at jobs=1 and jobs=4"
+    );
+    assert_eq!(serial.max_utils, parallel.max_utils);
+    // Full PpaReport equality per sweep point, not just the rendered table.
+    assert_eq!(serial.sweeps, parallel.sweeps);
+}
+
+/// A mixed grid (baseline + 13 DoE rows sharing one netlist) reassembles
+/// identically at any width, including the diff-vs-baseline columns.
+#[test]
+fn table3_is_pool_width_invariant() {
+    let serial = experiments::table3_on(DesignKind::CounterSmall, &Pool::new(1));
+    let parallel = experiments::table3_on(DesignKind::CounterSmall, &Pool::new(4));
+    assert_eq!(serial.table.to_csv(), parallel.table.to_csv());
+    assert_eq!(serial.rows_data, parallel.rows_data);
+}
+
+/// Two `run_flow` calls with the same `FlowConfig` produce identical
+/// signoff and timing reports (not just the summary PPA numbers).
+#[test]
+fn run_flow_reproduces_signoff_and_timing_reports() {
+    let config = FlowConfig {
+        utilization: 0.6,
+        pattern: RoutingPattern::new(6, 6).expect("legal"),
+        back_pin_ratio: 0.5,
+        ..FlowConfig::baseline(TechKind::Ffet3p5t)
+    };
+    let library = config.build_library();
+    let netlist = designs::counter_pipeline(&library, 16);
+    let a = run_flow(&netlist, &library, &config).expect("flow completes");
+    let b = run_flow(&netlist, &library, &config).expect("flow completes");
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.signoff, b.signoff, "signoff report is reproducible");
+    assert_eq!(a.timing, b.timing, "timing report is reproducible");
+    assert_eq!(a.merged_def.nets.len(), b.merged_def.nets.len());
+}
