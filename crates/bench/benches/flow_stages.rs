@@ -34,9 +34,9 @@ fn main() {
     let pl = place(&netlist, &library, &fp, &pp, 42);
     group.bench_function("cts_rv32", || {
         let mut nl = netlist.clone();
-        synthesize_clock_tree(&mut nl, &library, &pl)
+        synthesize_clock_tree(&mut nl, &library, &pl).expect("cts")
     });
-    synthesize_clock_tree(&mut netlist, &library, &pl);
+    synthesize_clock_tree(&mut netlist, &library, &pl).expect("cts");
     let fp = floorplan(&netlist, &library, 0.7, 1.0).expect("floorplan");
     let pp = powerplan(&fp, &library, pattern);
     let pl = place(&netlist, &library, &fp, &pp, 42);

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--jobs N] [--design counter|rv32] <experiment>
+//! repro [--jobs N] [--design counter|rv32] [--max-attempts N] <experiment>
 //!                      # table1 table2 fig4 fig8 fig9 fig10 fig11 table3 fig12 fig13 ablation
 //! repro all            # everything
 //! repro sanity         # one FFET + one CFET baseline run, printed verbosely
@@ -13,6 +13,11 @@
 //! worker count; per-job telemetry lands in `results/runlog.csv`.
 //! `--design counter` (or `FFET_DESIGN=counter`) switches the flow
 //! experiments to the fast CounterSmall smoke design.
+//!
+//! Every flow point runs through the staged recovery ladder of
+//! [`ffet_core::run_flow_resilient`]; `--max-attempts` (or the
+//! `FFET_MAX_ATTEMPTS` env var) bounds the attempts per point, and the
+//! `FFET_FAULTS` env var injects deterministic faults (see DESIGN.md §8).
 
 use ffet_core::experiments::{self, DesignKind, ExpTable};
 use ffet_core::runner::{Pool, RunLog, RunLogRow};
@@ -87,7 +92,7 @@ const ALL: [&str; 11] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--jobs N] [--design counter|rv32] \
+        "usage: repro [--jobs N] [--design counter|rv32] [--max-attempts N] \
          <sanity|calib|hotspots|critpath|table1|table2|fig4|fig8|fig9|fig10|fig11|table3|fig12|fig13|ablation|all>"
     );
     std::process::exit(2);
@@ -110,6 +115,13 @@ fn main() {
             "--design" => match args.next().as_deref() {
                 Some("counter") => design = DesignKind::CounterSmall,
                 Some("rv32") => design = DesignKind::Rv32,
+                _ => usage(),
+            },
+            // Configs are built from the environment deep inside the
+            // experiment runners, so the flag travels as the env var it
+            // aliases.
+            "--max-attempts" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => env::set_var(ffet_core::MAX_ATTEMPTS_ENV, n.to_string()),
                 _ => usage(),
             },
             name if experiment.is_none() && !name.starts_with('-') => {
@@ -222,9 +234,10 @@ fn calib() {
 }
 
 fn sanity() {
-    use ffet_core::{designs, run_flow, FlowConfig};
+    use ffet_core::{designs, run_flow_resilient, FlowConfig, PointDisposition};
     use ffet_tech::{RoutingPattern, TechKind};
 
+    let (mut clean, mut recovered, mut failed, mut extra) = (0u32, 0u32, 0u32, 0u32);
     for (label, config) in [
         ("CFET FM12 baseline", FlowConfig::baseline(TechKind::Cfet4t)),
         (
@@ -243,9 +256,20 @@ fn sanity() {
         let t = Instant::now();
         let library = config.build_library();
         let netlist = designs::rv32_core(&library);
-        match run_flow(&netlist, &library, &config) {
+        let r = run_flow_resilient(&netlist, &library, &config);
+        match r.recovery.disposition {
+            PointDisposition::Clean => clean += 1,
+            PointDisposition::Recovered(_) => recovered += 1,
+            PointDisposition::Failed(_) => failed += 1,
+        }
+        extra += r.recovery.disposition.extra_attempts();
+        match r.outcome {
             Ok(outcome) => {
-                println!("{label}: {}", outcome.report.summary());
+                println!(
+                    "{label}: {} [{}]",
+                    outcome.report.summary(),
+                    r.recovery.disposition.to_cell()
+                );
                 println!(
                     "  wl {:.3} mm (back {:.3}), hpwl {:.3} mm, peak cong {:.2}, vias {}, cells {}, [{:?}]",
                     outcome.report.wirelength_mm,
@@ -260,9 +284,15 @@ fn sanity() {
                     println!("  {line}");
                 }
             }
-            Err(e) => println!("{label}: ERROR {e}"),
+            Err(e) => println!(
+                "{label}: ERROR after {} attempt(s): {e}",
+                r.recovery.attempts
+            ),
         }
     }
+    println!(
+        "recovery: {clean} clean, {recovered} recovered, {failed} failed, {extra} extra attempts"
+    );
 }
 
 #[allow(dead_code)]

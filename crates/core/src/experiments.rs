@@ -7,9 +7,10 @@
 //! fast smoke tests of the experiment plumbing.
 
 use crate::designs;
-use crate::flow::{run_flow, FlowConfig, StageTimes};
+use crate::flow::{FlowConfig, StageTimes};
+use crate::recover::{run_flow_resilient, PointFailure, PointRecovery};
 use crate::report::{pct_diff, PpaReport};
-use crate::runner::{JobOutcome, Pool, RunLogRow};
+use crate::runner::{JobError, JobOutcome, Pool, RunLogRow};
 use ffet_cells::{fig4_area_comparison, CellFunction, CellKind, DriveStrength, Library};
 use ffet_netlist::Netlist;
 use ffet_tech::{RoutingPattern, Side, TechKind, Technology};
@@ -345,17 +346,48 @@ pub struct UtilPoint {
 /// each reported point is the best (fewest-DRV) run of the attempts.
 const SWEEP_SEEDS: [u64; 3] = [42, 1042, 9042];
 
-/// A flow job's distilled result: the PPA point plus its stage telemetry.
-type FlowPoint = (PpaReport, StageTimes);
+/// A flow job's distilled result: the PPA point, its stage telemetry, and
+/// how the recovery ladder disposed of it.
+type FlowPoint = (PpaReport, StageTimes, PointRecovery);
 
-/// Runs one flow and keeps only what the sweeps need, dropping the heavy
-/// DEF/parasitics artifacts so large DoE grids stay memory-bounded.
+/// Runs one flow through the recovery ladder and keeps only what the sweeps
+/// need, dropping the heavy DEF/parasitics artifacts so large DoE grids stay
+/// memory-bounded. A clean point takes exactly one attempt, so sweeps with
+/// no injected faults behave byte-for-byte as before.
 fn flow_job(
     netlist: &Netlist,
     library: &Library,
     config: &FlowConfig,
-) -> Result<FlowPoint, crate::FlowError> {
-    run_flow(netlist, library, config).map(|o| (o.report, o.stages))
+) -> Result<FlowPoint, PointFailure> {
+    let r = run_flow_resilient(netlist, library, config);
+    match r.outcome {
+        Ok(o) => Ok((o.report, o.stages, r.recovery)),
+        Err(error) => Err(PointFailure {
+            error,
+            attempts: r.recovery.attempts,
+        }),
+    }
+}
+
+/// Builds the runlog row for one resilient flow point: pool telemetry plus
+/// the recovery ladder's attempt count and final disposition.
+fn flow_row(experiment: &str, label: String, o: &JobOutcome<FlowPoint, PointFailure>) -> RunLogRow {
+    let stages = o.result.as_ref().ok().map(|(_, s, _)| *s);
+    let mut row = RunLogRow::from_stats(experiment, label, &o.stats, stages);
+    match &o.result {
+        Ok((_, _, rec)) => {
+            row.attempts = rec.attempts;
+            row.disposition = rec.disposition.to_cell();
+        }
+        Err(JobError::Failed(pf)) => {
+            row.attempts = pf.attempts;
+            row.disposition = format!("failed({}): {}", pf.attempts.saturating_sub(1), pf.error);
+        }
+        // The pool already rendered the panic message; a contained panic
+        // means the ladder never ran, so a single attempt is charged.
+        Err(JobError::Panicked(_)) => row.attempts = 1,
+    }
+    row
 }
 
 /// Runs the flow across a utilization grid on `pool`, returning all points
@@ -364,7 +396,8 @@ fn flow_job(
 ///
 /// Each point tries three placement seeds and keeps the fewest-DRV run.
 /// Results are reassembled in submission order, so the outcome is identical
-/// for every pool width.
+/// for every pool width. The returned runlog rows carry each job's attempt
+/// count and recovery disposition (`clean` / `recovered(n)` / `failed(n)`).
 #[must_use]
 pub fn utilization_sweep(
     pool: &Pool,
@@ -372,7 +405,7 @@ pub fn utilization_sweep(
     library: &Library,
     base: &FlowConfig,
     utils: &[f64],
-) -> (Option<f64>, Vec<UtilPoint>) {
+) -> (Option<f64>, Vec<UtilPoint>, Vec<RunLogRow>) {
     let jobs: Vec<FlowConfig> = utils
         .iter()
         .flat_map(|&u| {
@@ -385,18 +418,21 @@ pub fn utilization_sweep(
         .collect();
     let outcomes = pool.run(jobs, |config| flow_job(netlist, library, config));
     let mut runlog = Vec::new();
-    assemble_sweep("sweep", "", utils, outcomes, &mut runlog)
+    let (max_valid, points) = assemble_sweep("sweep", "", utils, outcomes, &mut runlog);
+    (max_valid, points, runlog)
 }
 
 /// Folds the per-(utilization × seed) job outcomes of one sweep back into
 /// best-of-seeds points, replicating the serial semantics exactly: failed
 /// seeds are dropped, ties on DRV keep the earliest seed, and a point with
-/// no surviving seed is skipped (and logged as such).
+/// no surviving seed is skipped (and logged as such). A seed that only
+/// closed at a *relaxed* utilization ran off-spec, so it loses to any
+/// on-spec run regardless of DRV and never backs the max-utilization claim.
 fn assemble_sweep(
     experiment: &str,
     label: &str,
     utils: &[f64],
-    outcomes: Vec<JobOutcome<FlowPoint, crate::FlowError>>,
+    outcomes: Vec<JobOutcome<FlowPoint, PointFailure>>,
     runlog: &mut Vec<RunLogRow>,
 ) -> (Option<f64>, Vec<UtilPoint>) {
     assert_eq!(outcomes.len(), utils.len() * SWEEP_SEEDS.len());
@@ -404,19 +440,13 @@ fn assemble_sweep(
     let mut max_valid = None;
     let mut outcomes = outcomes.into_iter();
     for &u in utils {
-        let mut runs: Vec<PpaReport> = Vec::new();
+        let mut runs: Vec<(PpaReport, PointRecovery)> = Vec::new();
         for &seed in &SWEEP_SEEDS {
             let o = outcomes.next().expect("length checked above");
             let point_label = format!("{label}u{u:.2}/s{seed}");
-            let stages = o.result.as_ref().ok().map(|(_, s)| *s);
-            runlog.push(RunLogRow::from_stats(
-                experiment,
-                point_label,
-                &o.stats,
-                stages,
-            ));
-            if let Ok((report, _)) = o.result {
-                runs.push(report);
+            runlog.push(flow_row(experiment, point_label, &o));
+            if let Ok((report, _, rec)) = o.result {
+                runs.push((report, rec));
             }
         }
         if runs.is_empty() {
@@ -428,9 +458,11 @@ fn assemble_sweep(
             ));
             continue;
         }
-        runs.sort_by_key(|r| r.drv);
-        let best = runs.swap_remove(0);
-        if best.valid {
+        runs.sort_by_key(|(r, rec)| (rec.relaxed, r.drv));
+        let (best, rec) = runs.swap_remove(0);
+        // A point that only closed at a relaxed utilization did not close
+        // at `u`, so it must not back the max-utilization claim.
+        if best.valid && !rec.relaxed {
             max_valid = Some(max_valid.map_or(u, |m: f64| m.max(u)));
         }
         points.push(UtilPoint {
@@ -775,14 +807,8 @@ pub fn fig9_on(design: DesignKind, pool: &Pool) -> Fig9 {
     let mut rows = Vec::new();
     for (o, (ci, t)) in outcomes.into_iter().zip(jobs) {
         let label = configs[ci].0;
-        let stages = o.result.as_ref().ok().map(|(_, s)| *s);
-        runlog.push(RunLogRow::from_stats(
-            "fig9",
-            format!("{label}/t{t:.2}"),
-            &o.stats,
-            stages,
-        ));
-        if let Ok((report, _)) = o.result {
+        runlog.push(flow_row("fig9", format!("{label}/t{t:.2}"), &o));
+        if let Ok((report, _, _)) = o.result {
             rows.push(vec![
                 label.to_owned(),
                 f2(t),
@@ -1117,11 +1143,10 @@ pub fn table3_on(design: DesignKind, pool: &Pool) -> Table3 {
         } else {
             format!("FP{:.2}BP{bp:.2}/{}", 1.0 - bp, config.pattern)
         };
-        let stages = o.result.as_ref().ok().map(|(_, s)| *s);
-        runlog.push(RunLogRow::from_stats("table3", label, &o.stats, stages));
+        runlog.push(flow_row("table3", label, o));
     }
     let mut outcomes = outcomes.into_iter();
-    let (base, _) = outcomes
+    let (base, _, _) = outcomes
         .next()
         .expect("baseline submitted")
         .result
@@ -1130,7 +1155,7 @@ pub fn table3_on(design: DesignKind, pool: &Pool) -> Table3 {
     let mut rows = Vec::new();
     let mut rows_data = Vec::new();
     for (o, (bp, config)) in outcomes.zip(jobs.iter().skip(1)) {
-        if let Ok((report, _)) = o.result {
+        if let Ok((report, _, _)) = o.result {
             let df = pct_diff(report.achieved_freq_ghz, base.achieved_freq_ghz);
             let dp = pct_diff(report.power_mw, base.power_mw);
             rows.push(vec![
@@ -1289,14 +1314,8 @@ pub fn fig13_on(design: DesignKind, pool: &Pool) -> Fig13 {
     let mut runlog = Vec::new();
     let mut effs: Vec<(u8, f64)> = Vec::new();
     for (o, &n) in outcomes.into_iter().zip(&layers) {
-        let stages = o.result.as_ref().ok().map(|(_, s)| *s);
-        runlog.push(RunLogRow::from_stats(
-            "fig13",
-            format!("FM{n}BM{n}"),
-            &o.stats,
-            stages,
-        ));
-        if let Ok((report, _)) = o.result {
+        runlog.push(flow_row("fig13", format!("FM{n}BM{n}"), &o));
+        if let Ok((report, _, _)) = o.result {
             effs.push((n, report.efficiency_ghz_per_mw()));
         }
     }
@@ -1401,14 +1420,8 @@ pub fn bridging_ablation_on(design: DesignKind, pool: &Pool) -> BridgingAblation
     let mut reports = Vec::new();
     let mut rows = Vec::new();
     for (o, (label, _)) in outcomes.into_iter().zip(configs) {
-        let stages = o.result.as_ref().ok().map(|(_, s)| *s);
-        runlog.push(RunLogRow::from_stats(
-            "ablation",
-            label.to_owned(),
-            &o.stats,
-            stages,
-        ));
-        if let Ok((report, _)) = o.result {
+        runlog.push(flow_row("ablation", label.to_owned(), &o));
+        if let Ok((report, _, _)) = o.result {
             rows.push(vec![
                 label.to_owned(),
                 report.cells.to_string(),

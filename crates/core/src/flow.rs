@@ -2,6 +2,8 @@
 //! floorplan → powerplan → placement → CTS → dual-sided routing → DEF merge
 //! → dual-sided RC extraction → STA + power.
 
+use crate::faults::{FaultPlan, FlowStage};
+use crate::recover::max_attempts_from_env;
 use crate::report::PpaReport;
 use crate::synth::{synthesize, SynthConfig};
 use ffet_cells::Library;
@@ -38,6 +40,14 @@ pub struct FlowConfig {
     /// Enable conventional bridging cells for nets longer than this placed
     /// HPWL (nm) — the ablation against Algorithm 1's redistributed pins.
     pub bridging_min_nm: Option<i64>,
+    /// Additional rip-up-and-reroute rounds beyond the calibrated budget
+    /// (0 in normal runs; raised by the recovery ladder).
+    pub extra_reroute_rounds: u32,
+    /// Attempt budget for [`crate::run_flow_resilient`] (≥ 1; plain
+    /// [`run_flow`] ignores it).
+    pub max_attempts: u32,
+    /// Seeded fault schedule (empty by default — the golden path).
+    pub fault_plan: FaultPlan,
 }
 
 impl FlowConfig {
@@ -59,6 +69,11 @@ impl FlowConfig {
             activity: 0.15,
             seed: 42,
             bridging_min_nm: None,
+            extra_reroute_rounds: 0,
+            // The driver-facing knobs (`--max-attempts` / `FFET_FAULTS`)
+            // enter here; experiment code sets the fields directly.
+            max_attempts: max_attempts_from_env(),
+            fault_plan: FaultPlan::from_env(),
         }
     }
 
@@ -158,8 +173,12 @@ pub enum FlowError {
     /// The two side DEFs did not merge (internal invariant).
     Merge(String),
     /// Static signoff found error-severity violations (opens, LVS
-    /// mismatches, illegal layers…). Carries the per-rule summary table.
-    Signoff(String),
+    /// mismatches, illegal layers…). Carries the full structured report so
+    /// recovery logic and tests can match on rule ids.
+    Signoff(SignoffReport),
+    /// The flow panicked; caught and carried by
+    /// [`crate::run_flow_resilient`] (plain [`run_flow`] propagates).
+    Panicked(String),
 }
 
 impl std::fmt::Display for FlowError {
@@ -168,7 +187,21 @@ impl std::fmt::Display for FlowError {
             FlowError::Pnr(e) => write!(f, "physical implementation: {e}"),
             FlowError::CombLoop(i) => write!(f, "combinational loop through {i}"),
             FlowError::Merge(e) => write!(f, "DEF merge: {e}"),
-            FlowError::Signoff(e) => write!(f, "signoff failed:\n{e}"),
+            FlowError::Signoff(report) => {
+                let rules: Vec<String> = report
+                    .rule_counts()
+                    .into_iter()
+                    .filter(|(_, sev, _)| *sev == ffet_verify::Severity::Error)
+                    .map(|(rule, _, n)| format!("{rule}×{n}"))
+                    .collect();
+                write!(
+                    f,
+                    "signoff failed: {} error(s) [{}]",
+                    report.error_count(),
+                    rules.join(", ")
+                )
+            }
+            FlowError::Panicked(m) => write!(f, "flow panicked: {m}"),
         }
     }
 }
@@ -198,6 +231,7 @@ pub fn run_flow(
 ) -> Result<FlowOutcome, FlowError> {
     let mut netlist = netlist.clone();
     let mut stages = StageTimes::default();
+    let faults = &config.fault_plan;
 
     // Synthesis-lite toward the target frequency.
     let t0 = Instant::now();
@@ -207,6 +241,7 @@ pub fn run_flow(
         &SynthConfig::for_target(config.target_freq_ghz),
     );
     stages.synth_ms = elapsed_ms(t0);
+    faults.maybe_panic(FlowStage::Synth);
 
     // Physical implementation (floorplan → powerplan → place → CTS →
     // dual-sided route).
@@ -216,16 +251,25 @@ pub fn run_flow(
         pattern: config.pattern,
         seed: config.seed,
         bridging_min_nm: config.bridging_min_nm,
+        extra_reroute_rounds: config.extra_reroute_rounds,
     };
     let t0 = Instant::now();
-    let pnr = run_pnr(&mut netlist, library, &pnr_config)?;
+    let mut pnr = run_pnr(&mut netlist, library, &pnr_config)?;
     stages.pnr_ms = elapsed_ms(t0);
+    faults.maybe_panic(FlowStage::Pnr);
+    if !faults.is_empty() {
+        faults.apply_post_pnr(&mut netlist, &mut pnr, library, config.seed);
+    }
 
     // DEF merge (paper: "we first merged the two DEFs into one DEF").
     let t0 = Instant::now();
-    let merged_def =
+    let mut merged_def =
         merge_defs(&pnr.front_def, &pnr.back_def).map_err(|e| FlowError::Merge(e.to_string()))?;
     stages.merge_ms = elapsed_ms(t0);
+    faults.maybe_panic(FlowStage::Merge);
+    if !faults.is_empty() {
+        faults.apply_post_merge(&mut merged_def, &netlist, library, config.seed);
+    }
 
     // Static signoff over the finished artifacts: netlist lint, route and
     // placement DRC, LVS-lite of the merged DEF. Error severity means the
@@ -233,8 +277,9 @@ pub fn run_flow(
     // overflow stay warnings and feed the DRV validity proxy instead.
     let t0 = Instant::now();
     let signoff = run_signoff(&netlist, library, config.pattern, &pnr, &merged_def);
+    faults.maybe_panic(FlowStage::Signoff);
     if !signoff.is_clean() {
-        return Err(FlowError::Signoff(signoff.text_table()));
+        return Err(FlowError::Signoff(signoff));
     }
     stages.signoff_ms = elapsed_ms(t0);
 

@@ -30,12 +30,19 @@
 
 pub mod designs;
 pub mod experiments;
+pub mod faults;
 mod flow;
+pub mod recover;
 mod report;
 pub mod runner;
 mod synth;
 
+pub use faults::{Fault, FaultKind, FaultPlan, FlowStage, FAULTS_ENV};
 pub use flow::{run_flow, FlowConfig, FlowError, FlowOutcome, StageTimes};
+pub use recover::{
+    run_flow_resilient, AttemptLog, AttemptRecord, PointDisposition, PointFailure, PointRecovery,
+    RecoveryRung, ResilientOutcome, MAX_ATTEMPTS_ENV,
+};
 pub use report::{pct_diff, PpaReport};
 pub use runner::{JobError, JobOutcome, JobStats, Pool, RunLog, RunLogRow};
 pub use synth::{synthesize, SynthConfig, SynthStats};

@@ -250,7 +250,7 @@ fn next_job(
 }
 
 /// Renders a caught panic payload (`&str` and `String` payloads verbatim).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -290,7 +290,11 @@ pub struct RunLogRow {
     pub wall_ms: f64,
     /// Per-stage breakdown of the flow, when the job ran the flow.
     pub stages: Option<StageTimes>,
-    /// Final disposition (`ok` / `failed: …` / `panicked: …` / `skipped: …`).
+    /// Flow attempts executed for this point (1 = no recovery; 0 for
+    /// synthetic rows that ran nothing).
+    pub attempts: u32,
+    /// Final disposition (`ok` / `clean` / `recovered(n)` / `failed(n)` /
+    /// `failed: …` / `panicked: …` / `skipped: …`).
     pub disposition: String,
 }
 
@@ -310,6 +314,7 @@ impl RunLogRow {
             worker: stats.worker,
             wall_ms: stats.wall.as_secs_f64() * 1e3,
             stages,
+            attempts: 1,
             disposition: stats.disposition.to_cell(),
         }
     }
@@ -324,6 +329,7 @@ impl RunLogRow {
             worker: 0,
             wall_ms: 0.0,
             stages: None,
+            attempts: 0,
             disposition: Disposition::Skipped(reason.to_owned()).to_cell(),
         }
     }
@@ -365,6 +371,7 @@ impl RunLog {
             worker: 0,
             wall_ms: wall.as_secs_f64() * 1e3,
             stages: None,
+            attempts: 0,
             disposition: Disposition::Completed.to_cell(),
         });
     }
@@ -377,7 +384,14 @@ impl RunLog {
             .iter()
             .filter(|r| r.experiment == experiment && r.label != "(total)")
             .collect();
-        let ok = rows.iter().filter(|r| r.disposition == "ok").count();
+        let ok = rows
+            .iter()
+            .filter(|r| {
+                r.disposition == "ok"
+                    || r.disposition == "clean"
+                    || r.disposition.starts_with("recovered(")
+            })
+            .count();
         // An empty f64 sum is -0.0; normalize so zero-job summaries print 0.0.
         let busy_ms: f64 = rows.iter().map(|r| r.wall_ms).sum::<f64>().max(0.0);
         format!(
@@ -401,7 +415,7 @@ impl RunLog {
             }
         };
         let mut out = String::from(
-            "experiment,label,index,worker,wall_ms,synth_ms,pnr_ms,merge_ms,signoff_ms,rcx_ms,sta_ms,disposition\n",
+            "experiment,label,index,worker,wall_ms,synth_ms,pnr_ms,merge_ms,signoff_ms,rcx_ms,sta_ms,attempts,disposition\n",
         );
         for r in &self.rows {
             let stage = |pick: fn(&StageTimes) -> f64| -> String {
@@ -409,7 +423,7 @@ impl RunLog {
                     .map_or_else(String::new, |s| format!("{:.3}", pick(&s)))
             };
             out.push_str(&format!(
-                "{},{},{},{},{:.3},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{:.3},{},{},{},{},{},{},{},{}\n",
                 quote(&r.experiment),
                 quote(&r.label),
                 r.index,
@@ -421,6 +435,7 @@ impl RunLog {
                 stage(|s| s.signoff_ms),
                 stage(|s| s.rcx_ms),
                 stage(|s| s.sta_ms),
+                r.attempts,
                 quote(&r.disposition),
             ));
         }

@@ -4,6 +4,28 @@ use ffet_cells::{CellFunction, CellKind, DriveStrength, Library};
 use ffet_geom::Point;
 use ffet_netlist::{InstId, NetId, Netlist, PinRef};
 
+/// Error from clock-tree synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtsError {
+    /// The library provides no clock buffer to build the tree from.
+    MissingClockBuffer {
+        /// Name of the expected buffer cell.
+        cell: String,
+    },
+}
+
+impl std::fmt::Display for CtsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtsError::MissingClockBuffer { cell } => {
+                write!(f, "library has no clock buffer {cell}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtsError {}
+
 /// Result of clock-tree synthesis.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClockTree {
@@ -26,11 +48,16 @@ pub struct ClockTree {
 /// This stage is deliberately conventional — the paper: "the CTS stage is
 /// performed, which is the same as the conventional flow". Clock pins stay
 /// frontside (see [`ffet_cells::Library::redistribute_input_pins`]).
+///
+/// # Errors
+///
+/// [`CtsError::MissingClockBuffer`] when the library lacks the `CKBUFD4`
+/// clock buffer the tree is built from.
 pub fn synthesize_clock_tree(
     netlist: &mut Netlist,
     library: &Library,
     placement: &Placement,
-) -> ClockTree {
+) -> Result<ClockTree, CtsError> {
     let clock_roots: Vec<NetId> = netlist
         .nets()
         .iter()
@@ -41,7 +68,9 @@ pub fn synthesize_clock_tree(
 
     let ckbuf = library
         .id(CellKind::new(CellFunction::ClkBuf, DriveStrength::D4))
-        .expect("CKBUFD4 in library");
+        .ok_or_else(|| CtsError::MissingClockBuffer {
+            cell: "CKBUFD4".to_owned(),
+        })?;
     let tech = library.tech();
     let row_h = tech.cell_height();
 
@@ -80,11 +109,11 @@ pub fn synthesize_clock_tree(
         max_levels = max_levels.max(levels);
     }
 
-    ClockTree {
+    Ok(ClockTree {
         buffers,
         levels: max_levels,
         sink_count,
-    }
+    })
 }
 
 /// Recursively buffers `sinks` under `source_net`; returns tree depth.
@@ -197,8 +226,16 @@ mod tests {
         let fp = floorplan(&nl, &lib, 0.6, 1.0).unwrap();
         let pp = powerplan(&fp, &lib, RoutingPattern::new(12, 12).unwrap());
         let pl = place(&nl, &lib, &fp, &pp, 1);
-        let tree = synthesize_clock_tree(&mut nl, &lib, &pl);
+        let tree = synthesize_clock_tree(&mut nl, &lib, &pl).expect("clock buffer available");
         (lib, nl, tree)
+    }
+
+    #[test]
+    fn missing_buffer_error_renders_cell_name() {
+        let e = CtsError::MissingClockBuffer {
+            cell: "CKBUFD4".to_owned(),
+        };
+        assert_eq!(e.to_string(), "library has no clock buffer CKBUFD4");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //!     pattern: RoutingPattern::new(12, 12)?,
 //!     seed: 42,
 //!     bridging_min_nm: None,
+//!     extra_reroute_rounds: 0,
 //! };
 //! let result = run_pnr(&mut netlist, &lib, &config)?;
 //! println!("DRVs: {}", result.drv_count());
@@ -51,7 +52,7 @@ mod qp;
 mod route;
 
 pub use bridging::{insert_bridging_cells, BridgingStats};
-pub use cts::{synthesize_clock_tree, ClockTree};
+pub use cts::{synthesize_clock_tree, ClockTree, CtsError};
 pub use dualside::{decompose_nets, pin_position, pin_sides, DecomposeError, SideNet};
 pub use export::export_defs;
 pub use fillers::{check_legality, insert_fillers, Filler, LegalityViolation};
@@ -60,7 +61,7 @@ pub use grid::{GCell, HotGcell, RoutingGrid};
 pub use integrity::{analyze_pdn, PdnReport};
 pub use placement::{place, Placement};
 pub use powerplan::{powerplan, PowerPlan, TapCell};
-pub use route::{route_nets, RoutedNet, RoutingResult};
+pub use route::{route_nets, route_nets_with_effort, RoutedNet, RoutingResult};
 
 use ffet_cells::{Library, PinSides};
 use ffet_lefdef::Def;
@@ -82,6 +83,9 @@ pub struct PnrConfig {
     /// backside through conventional bridging cells instead of relying on
     /// redistributed input pins — the ablation of the paper's Algorithm 1.
     pub bridging_min_nm: Option<i64>,
+    /// Additional rip-up-and-reroute rounds beyond the calibrated budget
+    /// (the recovery ladder's first escalation; 0 in normal runs).
+    pub extra_reroute_rounds: u32,
 }
 
 /// Everything a finished P&R run produced.
@@ -127,6 +131,8 @@ pub enum PnrError {
     Decompose(DecomposeError),
     /// The pattern is illegal for the library's technology.
     Pattern(PatternError),
+    /// Clock-tree synthesis failed (e.g. no clock buffer in the library).
+    Cts(CtsError),
 }
 
 impl std::fmt::Display for PnrError {
@@ -135,6 +141,7 @@ impl std::fmt::Display for PnrError {
             PnrError::Floorplan(e) => write!(f, "floorplan: {e}"),
             PnrError::Decompose(e) => write!(f, "net decomposition: {e}"),
             PnrError::Pattern(e) => write!(f, "routing pattern: {e}"),
+            PnrError::Cts(e) => write!(f, "clock-tree synthesis: {e}"),
         }
     }
 }
@@ -159,6 +166,12 @@ impl From<PatternError> for PnrError {
     }
 }
 
+impl From<CtsError> for PnrError {
+    fn from(e: CtsError) -> PnrError {
+        PnrError::Cts(e)
+    }
+}
+
 /// Runs the complete physical-implementation sequence on `netlist`
 /// (mutated: CTS inserts clock buffers).
 ///
@@ -177,7 +190,7 @@ pub fn run_pnr(
     let fp0 = floorplan(netlist, library, config.utilization, config.aspect_ratio)?;
     let pp0 = powerplan(&fp0, library, config.pattern);
     let pl0 = place(netlist, library, &fp0, &pp0, config.seed);
-    let clock = synthesize_clock_tree(netlist, library, &pl0);
+    let clock = synthesize_clock_tree(netlist, library, &pl0)?;
     if let Some(min_len) = config.bridging_min_nm {
         let _ = insert_bridging_cells(netlist, library, &pl0, min_len);
     }
@@ -191,7 +204,13 @@ pub fn run_pnr(
     let side_nets = decompose_nets(netlist, library, &pl, config.pattern)?;
     let mut grid = RoutingGrid::new(library.tech(), fp.die, config.pattern);
     add_pin_demand(netlist, library, &pl, &mut grid, config.pattern);
-    let routing = route_nets(library.tech(), &mut grid, &side_nets, config.pattern);
+    let routing = route_nets_with_effort(
+        library.tech(),
+        &mut grid,
+        &side_nets,
+        config.pattern,
+        config.extra_reroute_rounds,
+    );
 
     let (front_def, back_def) = export_defs(netlist, library, &fp, &pp, &pl, &routing);
     Ok(PnrResult {
@@ -288,6 +307,7 @@ mod tests {
             pattern: RoutingPattern::new(6, 6).unwrap(),
             seed: 1,
             bridging_min_nm: None,
+            extra_reroute_rounds: 0,
         };
         let result = run_pnr(&mut nl, &lib, &config).expect("pnr runs");
         assert!(result.is_valid(&lib), "drv = {}", result.drv_count());
@@ -310,6 +330,7 @@ mod tests {
             pattern: RoutingPattern::new(12, 0).unwrap(),
             seed: 1,
             bridging_min_nm: None,
+            extra_reroute_rounds: 0,
         };
         let result = run_pnr(&mut nl, &lib, &config).expect("pnr runs");
         assert!(result.is_valid(&lib));
@@ -327,6 +348,7 @@ mod tests {
             pattern: RoutingPattern::new(6, 6).unwrap(),
             seed: 1,
             bridging_min_nm: None,
+            extra_reroute_rounds: 0,
         };
         assert!(matches!(
             run_pnr(&mut nl, &lib, &config),

@@ -68,6 +68,22 @@ pub fn route_nets(
     side_nets: &[SideNet],
     pattern: RoutingPattern,
 ) -> RoutingResult {
+    route_nets_with_effort(tech, grid, side_nets, pattern, 0)
+}
+
+/// [`route_nets`] with `extra_rounds` additional rip-up-and-reroute
+/// iterations on top of the calibrated [`REROUTE_ITERATIONS`] budget — the
+/// first rung of the flow-recovery ladder. With `extra_rounds == 0` this is
+/// exactly `route_nets`; a congestion-free run exits the loop early either
+/// way, so the knob only changes outcomes that still carry overflow.
+#[must_use]
+pub fn route_nets_with_effort(
+    tech: &Technology,
+    grid: &mut RoutingGrid,
+    side_nets: &[SideNet],
+    pattern: RoutingPattern,
+    extra_rounds: u32,
+) -> RoutingResult {
     // MST decomposition into 2-pin connections.
     let mut conns: Vec<Connection> = Vec::new();
     for (si, sn) in side_nets.iter().enumerate() {
@@ -100,7 +116,8 @@ pub fn route_nets(
     let mut best_overflow = grid.total_overflow();
     let mut best_paths: Option<Vec<Vec<GCell>>> =
         Some(conns.iter().map(|c| c.path.clone()).collect());
-    for it in 0..REROUTE_ITERATIONS {
+    let rounds = REROUTE_ITERATIONS + extra_rounds as usize;
+    for it in 0..rounds {
         let overflow_now = grid.total_overflow();
         if overflow_now <= 0.0 {
             break;

@@ -17,7 +17,7 @@ fn hpwl_before_and_after_cts() {
     let pl0 = place(&nl, &lib, &fp0, &pp0, 42);
     eprintln!("pre-CTS hpwl  = {:.2} mm", pl0.hpwl_nm as f64 / 1e6);
 
-    let tree = synthesize_clock_tree(&mut nl, &lib, &pl0);
+    let tree = synthesize_clock_tree(&mut nl, &lib, &pl0).expect("clock buffer available");
     eprintln!("cts buffers = {}", tree.buffers.len());
 
     let fp = floorplan(&nl, &lib, 0.7, 1.0).unwrap();

@@ -204,6 +204,36 @@ impl SignoffReport {
     }
 }
 
+/// Every error-severity rule the signoff can emit, one per failure mode.
+///
+/// This is the coverage contract of the fault-injection matrix in
+/// `ffet-core`: each rule here must be provably triggerable by at least one
+/// injected fault. Warning-severity rules (congestion, legality overflow,
+/// fanout…) feed the DRV validity proxy instead and are not listed.
+pub const ERROR_RULES: &[&str] = &[
+    "drc.decompose",
+    "drc.extra-routing",
+    "drc.layer-range",
+    "drc.non-manhattan",
+    "drc.off-die",
+    "drc.open",
+    "drc.wrong-direction",
+    "lint.comb-loop",
+    "lint.floating-input",
+    "lint.multi-driven",
+    "lint.undriven",
+    "lvs.duplicate-component",
+    "lvs.duplicate-net",
+    "lvs.extra-component",
+    "lvs.extra-connection",
+    "lvs.extra-net",
+    "lvs.macro-mismatch",
+    "lvs.missing-component",
+    "lvs.missing-connection",
+    "lvs.missing-net",
+    "place.count",
+];
+
 fn csv_escape(field: &str) -> String {
     if field.contains([',', '"', '\n']) {
         format!("\"{}\"", field.replace('"', "\"\""))
@@ -266,6 +296,14 @@ mod tests {
                 ("drc.open", Severity::Error, 1),
             ]
         );
+    }
+
+    #[test]
+    fn error_rules_are_sorted_and_unique() {
+        let mut sorted = ERROR_RULES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, ERROR_RULES, "ERROR_RULES must be sorted and unique");
     }
 
     #[test]

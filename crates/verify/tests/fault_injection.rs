@@ -54,6 +54,7 @@ fn build(kind: TechKind, pattern: RoutingPattern, back_pin_ratio: f64) -> Impl {
         pattern,
         seed: 42,
         bridging_min_nm: None,
+        extra_reroute_rounds: 0,
     };
     let pnr = run_pnr(&mut netlist, &library, &config).expect("small block implements");
     let merged = merge_defs(&pnr.front_def, &pnr.back_def).expect("sides merge");
