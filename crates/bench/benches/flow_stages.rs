@@ -47,6 +47,20 @@ fn main() {
         route_nets(library.tech(), &mut grid, &side_nets, pattern)
     });
 
+    // The same kernel with an ambient ffet-obs collector recording its
+    // spans and metrics. Comparing this line against the one above shows
+    // the tracing overhead directly (the contract is < 5%; CI enforces it
+    // through the ignored `tracing_overhead_is_under_five_percent` test).
+    group.bench_function("dual_sided_routing_rv32_traced", || {
+        let collector = ffet_obs::Collector::new();
+        let routing = {
+            let _guard = collector.install();
+            let mut grid = RoutingGrid::new(library.tech(), fp.die, pattern);
+            route_nets(library.tech(), &mut grid, &side_nets, pattern)
+        };
+        (routing, collector.finish())
+    });
+
     let mut grid = RoutingGrid::new(library.tech(), fp.die, pattern);
     let routing = route_nets(library.tech(), &mut grid, &side_nets, pattern);
     let (front, back) = export_defs(&netlist, &library, &fp, &pp, &pl, &routing);

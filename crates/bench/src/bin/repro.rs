@@ -5,22 +5,30 @@
 //!                      # table1 table2 fig4 fig8 fig9 fig10 fig11 table3 fig12 fig13 ablation
 //! repro all            # everything
 //! repro sanity         # one FFET + one CFET baseline run, printed verbosely
+//! repro trace [point]  # render one point of results/trace.jsonl (or list points)
 //! ```
 //!
 //! Flow experiments run on the parallel DoE engine; `--jobs` (or the
 //! `FFET_JOBS` env var) sets the worker count, defaulting to the machine's
 //! available parallelism. Tables and CSVs are byte-identical for every
-//! worker count; per-job telemetry lands in `results/runlog.csv`.
-//! `--design counter` (or `FFET_DESIGN=counter`) switches the flow
-//! experiments to the fast CounterSmall smoke design.
+//! worker count; per-job telemetry lands in `results/runlog.csv`, and every
+//! flow point's spans + metrics land in `results/trace.jsonl` and
+//! `results/metrics.json` (schema in DESIGN.md §9). `--design counter`
+//! (or `FFET_DESIGN=counter`) switches the flow experiments to the fast
+//! CounterSmall smoke design.
 //!
 //! Every flow point runs through the staged recovery ladder of
 //! [`ffet_core::run_flow_resilient`]; `--max-attempts` (or the
 //! `FFET_MAX_ATTEMPTS` env var) bounds the attempts per point, and the
 //! `FFET_FAULTS` env var injects deterministic faults (see DESIGN.md §8).
 
+// The repro binary is the user-facing CLI: stdout/stderr are its output
+// channel. Library crates must go through ffet-obs instead.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use ffet_core::experiments::{self, DesignKind, ExpTable};
 use ffet_core::runner::{Pool, RunLog, RunLogRow};
+use ffet_obs::{LabeledPoint, RunArtifacts};
 use std::env;
 use std::time::Instant;
 
@@ -28,7 +36,7 @@ use std::time::Instant;
 /// A failed write is a hard error: silently missing CSVs corrupt every
 /// downstream plotting script.
 fn emit(name: &str, table: &ExpTable) -> std::io::Result<()> {
-    table.print();
+    print!("{}", table.render());
     std::fs::create_dir_all("results")?;
     let path = format!("results/{name}.csv");
     std::fs::write(&path, table.to_csv())?;
@@ -37,52 +45,58 @@ fn emit(name: &str, table: &ExpTable) -> std::io::Result<()> {
 }
 
 /// One experiment's outputs: the printable/plottable table plus the DoE
-/// engine's per-job telemetry (empty for the analytic tables).
+/// engine's per-job telemetry and per-point traces (both empty for the
+/// analytic tables).
 struct ExpRun {
     table: ExpTable,
     rows: Vec<RunLogRow>,
+    traces: Vec<LabeledPoint>,
 }
 
 fn run_one(name: &str, design: DesignKind, pool: &Pool) -> Option<ExpRun> {
-    let (table, rows) = match name {
-        "table1" => (experiments::table1().table, Vec::new()),
-        "table2" => (experiments::table2().table, Vec::new()),
-        "fig4" => (experiments::fig4().table, Vec::new()),
+    let (table, rows, traces) = match name {
+        "table1" => (experiments::table1().table, Vec::new(), Vec::new()),
+        "table2" => (experiments::table2().table, Vec::new(), Vec::new()),
+        "fig4" => (experiments::fig4().table, Vec::new(), Vec::new()),
         "fig8" => {
             let r = experiments::fig8_on(design, pool);
-            (r.table, r.runlog)
+            (r.table, r.runlog, r.traces)
         }
         "fig9" => {
             let r = experiments::fig9_on(design, pool);
-            (r.table, r.runlog)
+            (r.table, r.runlog, r.traces)
         }
         "fig10" => {
             let r = experiments::fig10_on(design, pool);
-            (r.table, r.runlog)
+            (r.table, r.runlog, r.traces)
         }
         "fig11" => {
             let r = experiments::fig11_on(design, pool);
-            (r.table, r.runlog)
+            (r.table, r.runlog, r.traces)
         }
         "table3" => {
             let r = experiments::table3_on(design, pool);
-            (r.table, r.runlog)
+            (r.table, r.runlog, r.traces)
         }
         "fig12" => {
             let r = experiments::fig12_on(design, pool);
-            (r.table, r.runlog)
+            (r.table, r.runlog, r.traces)
         }
         "fig13" => {
             let r = experiments::fig13_on(design, pool);
-            (r.table, r.runlog)
+            (r.table, r.runlog, r.traces)
         }
         "ablation" => {
             let r = experiments::bridging_ablation_on(design, pool);
-            (r.table, r.runlog)
+            (r.table, r.runlog, r.traces)
         }
         _ => return None,
     };
-    Some(ExpRun { table, rows })
+    Some(ExpRun {
+        table,
+        rows,
+        traces,
+    })
 }
 
 const ALL: [&str; 11] = [
@@ -93,9 +107,80 @@ const ALL: [&str; 11] = [
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--jobs N] [--design counter|rv32] [--max-attempts N] \
-         <sanity|calib|hotspots|critpath|table1|table2|fig4|fig8|fig9|fig10|fig11|table3|fig12|fig13|ablation|all>"
+         <sanity|calib|hotspots|critpath|table1|table2|fig4|fig8|fig9|fig10|fig11|table3|fig12|fig13|ablation|all>\n\
+         \x20      repro trace [point]   # render one point of results/trace.jsonl"
     );
     std::process::exit(2);
+}
+
+/// Writes one artifact file under `results/`, creating the directory first.
+fn write_artifact(path: &str, body: &str, failed: &mut bool) {
+    let write = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, body));
+    match write {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: could not write {path}: {e}");
+            *failed = true;
+        }
+    }
+}
+
+/// `repro trace [point]`: renders one point of `results/trace.jsonl` as a
+/// per-stage summary (span tree + hottest spans + metrics), or lists the
+/// available point labels. `point` may be an exact label or any unique
+/// substring of one.
+fn trace_cmd(query: Option<&str>) -> i32 {
+    let path = "results/trace.jsonl";
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e} (run a flow experiment first)");
+            return 1;
+        }
+    };
+    let labels = ffet_obs::point_labels(&text);
+    let Some(query) = query else {
+        println!("{} point(s) in {path}:", labels.len());
+        for label in &labels {
+            println!("  {label}");
+        }
+        return 0;
+    };
+    let resolved = if labels.iter().any(|l| l == query) {
+        query.to_owned()
+    } else {
+        let matches: Vec<&String> = labels.iter().filter(|l| l.contains(query)).collect();
+        match matches.as_slice() {
+            [one] => (*one).clone(),
+            [] => {
+                eprintln!("error: no point matching {query:?}; available points:");
+                for label in &labels {
+                    eprintln!("  {label}");
+                }
+                return 1;
+            }
+            many => {
+                eprintln!("error: {query:?} is ambiguous; it matches:");
+                for label in many {
+                    eprintln!("  {label}");
+                }
+                return 1;
+            }
+        }
+    };
+    match ffet_obs::parse_point(&text, &resolved) {
+        Ok(data) => {
+            print!(
+                "{}",
+                ffet_obs::render_point(&resolved, &data.events, &data.metrics)
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
 }
 
 fn main() {
@@ -104,7 +189,7 @@ fn main() {
         Ok("counter") => DesignKind::CounterSmall,
         _ => DesignKind::Rv32,
     };
-    let mut experiment: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -124,31 +209,38 @@ fn main() {
                 Some(n) if n >= 1 => env::set_var(ffet_core::MAX_ATTEMPTS_ENV, n.to_string()),
                 _ => usage(),
             },
-            name if experiment.is_none() && !name.starts_with('-') => {
-                experiment = Some(name.to_owned());
-            }
+            name if !name.starts_with('-') => positional.push(name.to_owned()),
             _ => usage(),
         }
     }
-    let arg = experiment.unwrap_or_else(|| "help".to_owned());
+    let arg = positional.first().cloned().unwrap_or_else(|| "help".into());
+    if arg == "trace" {
+        std::process::exit(trace_cmd(positional.get(1).map(String::as_str)));
+    }
+    if positional.len() > 1 {
+        usage();
+    }
     let pool = jobs.map_or_else(Pool::from_env, Pool::new);
 
     let t0 = Instant::now();
     let mut log = RunLog::new(pool.width());
+    let mut artifacts = RunArtifacts::new(pool.width());
     let mut failed = false;
-    let run_and_emit = |name: &str, log: &mut RunLog, failed: &mut bool| -> bool {
-        let t = Instant::now();
-        let Some(run) = run_one(name, design, &pool) else {
-            return false;
+    let run_and_emit =
+        |name: &str, log: &mut RunLog, artifacts: &mut RunArtifacts, failed: &mut bool| -> bool {
+            let t = Instant::now();
+            let Some(run) = run_one(name, design, &pool) else {
+                return false;
+            };
+            if let Err(e) = emit(name, &run.table) {
+                eprintln!("error: could not write results/{name}.csv: {e}");
+                *failed = true;
+            }
+            artifacts.extend(run.traces);
+            log.record_experiment(name, run.rows, t.elapsed());
+            eprintln!("[{name}: {:?}, {}]", t.elapsed(), log.summary(name));
+            true
         };
-        if let Err(e) = emit(name, &run.table) {
-            eprintln!("error: could not write results/{name}.csv: {e}");
-            *failed = true;
-        }
-        log.record_experiment(name, run.rows, t.elapsed());
-        eprintln!("[{name}: {:?}, {}]", t.elapsed(), log.summary(name));
-        true
-    };
     match arg.as_str() {
         "sanity" => sanity(),
         "calib" => calib(),
@@ -156,22 +248,23 @@ fn main() {
         "critpath" => critpath(),
         "all" => {
             for name in ALL {
-                run_and_emit(name, &mut log, &mut failed);
+                run_and_emit(name, &mut log, &mut artifacts, &mut failed);
             }
         }
-        other if run_and_emit(other, &mut log, &mut failed) => {}
+        other if run_and_emit(other, &mut log, &mut artifacts, &mut failed) => {}
         _ => usage(),
     }
     if !log.rows.is_empty() {
-        let write_log = std::fs::create_dir_all("results")
-            .and_then(|()| std::fs::write("results/runlog.csv", log.to_csv()));
-        match write_log {
-            Ok(()) => eprintln!("wrote results/runlog.csv ({} rows)", log.rows.len()),
-            Err(e) => {
-                eprintln!("error: could not write results/runlog.csv: {e}");
-                failed = true;
-            }
-        }
+        write_artifact("results/runlog.csv", &log.to_csv(), &mut failed);
+    }
+    if !artifacts.is_empty() {
+        artifacts.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        write_artifact("results/trace.jsonl", &artifacts.trace_jsonl(), &mut failed);
+        write_artifact(
+            "results/metrics.json",
+            &artifacts.metrics_json(),
+            &mut failed,
+        );
     }
     eprintln!("[{:?}] done", t0.elapsed());
     if failed {

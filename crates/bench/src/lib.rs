@@ -43,6 +43,9 @@ impl BenchGroup {
     /// Times `f`: one warm-up call, then `sample_size` measured calls.
     /// The return value is passed through [`std::hint::black_box`] so the
     /// optimizer cannot delete the work.
+    // The timing table IS the bench harness's output, like the repro CLI's
+    // tables; there is no flow collector installed under `cargo bench`.
+    #[allow(clippy::print_stdout)]
     pub fn bench_function<T, F: FnMut() -> T>(&mut self, label: &str, mut f: F) {
         std::hint::black_box(f());
         let mut times: Vec<Duration> = (0..self.samples)
@@ -65,6 +68,7 @@ impl BenchGroup {
     }
 
     /// Ends the group (prints a separating blank line).
+    #[allow(clippy::print_stdout)] // bench-harness output, see bench_function
     pub fn finish(self) {
         println!();
     }

@@ -1,6 +1,9 @@
 //! Experiment runners regenerating every table and figure of the paper's
-//! evaluation (§IV). Each function returns a typed result with a `print`
-//! method; the `repro` binary in `ffet-bench` is the command-line driver.
+//! evaluation (§IV). Each function returns a typed result whose `table` can
+//! be rendered with [`ExpTable::render`] or serialized with
+//! [`ExpTable::to_csv`]; flow experiments additionally carry per-point
+//! traces (spans + metrics from `ffet-obs`) for the run artifacts. The
+//! `repro` binary in `ffet-bench` is the command-line driver.
 //!
 //! The benchmark design is the gate-level RV32I core
 //! ([`crate::designs::rv32_core`]); set [`DesignKind::CounterSmall`] for
@@ -13,6 +16,7 @@ use crate::report::{pct_diff, PpaReport};
 use crate::runner::{JobError, JobOutcome, Pool, RunLogRow};
 use ffet_cells::{fig4_area_comparison, CellFunction, CellKind, DriveStrength, Library};
 use ffet_netlist::Netlist;
+use ffet_obs::LabeledPoint;
 use ffet_tech::{RoutingPattern, Side, TechKind, Technology};
 
 /// Which benchmark design the flow experiments run on.
@@ -80,9 +84,13 @@ impl ExpTable {
         out
     }
 
-    /// Renders the table to stdout.
-    pub fn print(&self) {
-        println!("\n== {} ==", self.title);
+    /// Renders the table as aligned text (title, header rule, rows, notes).
+    /// The caller decides where it goes; only the `repro` CLI prints.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
         let widths: Vec<usize> = self
             .header
             .iter()
@@ -104,17 +112,19 @@ impl ExpTable {
                 .collect::<Vec<_>>()
                 .join("  ")
         };
-        println!("{}", fmt_row(&self.header));
-        println!(
+        let _ = writeln!(out, "{}", fmt_row(&self.header));
+        let _ = writeln!(
+            out,
             "{}",
             "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
         );
         for row in &self.rows {
-            println!("{}", fmt_row(row));
+            let _ = writeln!(out, "{}", fmt_row(row));
         }
         for note in &self.notes {
-            println!("  * {note}");
+            let _ = writeln!(out, "  * {note}");
         }
+        out
     }
 }
 
@@ -137,13 +147,6 @@ pub struct Table1 {
     pub table: ExpTable,
     /// (cell, metric) → percent diff FFET vs CFET.
     pub diffs: Vec<(String, String, f64)>,
-}
-
-impl Table1 {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
 }
 
 /// Reproduces Table I: KPI diffs of the FFET libraries w.r.t. CFET for
@@ -223,13 +226,6 @@ pub struct Table2 {
     pub table: ExpTable,
 }
 
-impl Table2 {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
-}
-
 /// Dumps the encoded Table II layer stacks for verification.
 #[must_use]
 pub fn table2() -> Table2 {
@@ -284,13 +280,6 @@ pub struct Fig4 {
     pub table: ExpTable,
     /// Per-cell scaling (1 − FFET/CFET).
     pub scalings: Vec<(String, f64)>,
-}
-
-impl Fig4 {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
 }
 
 /// Reproduces Fig. 4: cell-area comparison between 3.5T FFET and 4T CFET.
@@ -390,6 +379,24 @@ fn flow_row(experiment: &str, label: String, o: &JobOutcome<FlowPoint, PointFail
     row
 }
 
+/// Records one flow point into both observability sinks: the runlog row
+/// (pool telemetry) and the labeled trace (spans + metrics) for the run
+/// artifacts. Trace labels are `{experiment}/{label}` so points stay unique
+/// when several experiments share one artifact file.
+fn record_point(
+    experiment: &str,
+    label: String,
+    o: &JobOutcome<FlowPoint, PointFailure>,
+    runlog: &mut Vec<RunLogRow>,
+    traces: &mut Vec<LabeledPoint>,
+) {
+    traces.push(LabeledPoint {
+        label: format!("{experiment}/{label}"),
+        data: o.trace.clone(),
+    });
+    runlog.push(flow_row(experiment, label, o));
+}
+
 /// Runs the flow across a utilization grid on `pool`, returning all points
 /// plus the maximum valid utilization (the paper's "maximum utilization"
 /// metric).
@@ -397,7 +404,9 @@ fn flow_row(experiment: &str, label: String, o: &JobOutcome<FlowPoint, PointFail
 /// Each point tries three placement seeds and keeps the fewest-DRV run.
 /// Results are reassembled in submission order, so the outcome is identical
 /// for every pool width. The returned runlog rows carry each job's attempt
-/// count and recovery disposition (`clean` / `recovered(n)` / `failed(n)`).
+/// count and recovery disposition (`clean` / `recovered(n)` / `failed(n)`);
+/// the returned traces carry each job's spans and metrics (metric values
+/// deterministic, span timings wall-clock).
 #[must_use]
 pub fn utilization_sweep(
     pool: &Pool,
@@ -405,7 +414,12 @@ pub fn utilization_sweep(
     library: &Library,
     base: &FlowConfig,
     utils: &[f64],
-) -> (Option<f64>, Vec<UtilPoint>, Vec<RunLogRow>) {
+) -> (
+    Option<f64>,
+    Vec<UtilPoint>,
+    Vec<RunLogRow>,
+    Vec<LabeledPoint>,
+) {
     let jobs: Vec<FlowConfig> = utils
         .iter()
         .flat_map(|&u| {
@@ -418,8 +432,10 @@ pub fn utilization_sweep(
         .collect();
     let outcomes = pool.run(jobs, |config| flow_job(netlist, library, config));
     let mut runlog = Vec::new();
-    let (max_valid, points) = assemble_sweep("sweep", "", utils, outcomes, &mut runlog);
-    (max_valid, points, runlog)
+    let mut traces = Vec::new();
+    let (max_valid, points) =
+        assemble_sweep("sweep", "", utils, outcomes, &mut runlog, &mut traces);
+    (max_valid, points, runlog, traces)
 }
 
 /// Folds the per-(utilization × seed) job outcomes of one sweep back into
@@ -434,6 +450,7 @@ fn assemble_sweep(
     utils: &[f64],
     outcomes: Vec<JobOutcome<FlowPoint, PointFailure>>,
     runlog: &mut Vec<RunLogRow>,
+    traces: &mut Vec<LabeledPoint>,
 ) -> (Option<f64>, Vec<UtilPoint>) {
     assert_eq!(outcomes.len(), utils.len() * SWEEP_SEEDS.len());
     let mut points = Vec::new();
@@ -444,7 +461,7 @@ fn assemble_sweep(
         for &seed in &SWEEP_SEEDS {
             let o = outcomes.next().expect("length checked above");
             let point_label = format!("{label}u{u:.2}/s{seed}");
-            runlog.push(flow_row(experiment, point_label, &o));
+            record_point(experiment, point_label, &o, runlog, traces);
             if let Ok((report, _, rec)) = o.result {
                 runs.push((report, rec));
             }
@@ -497,6 +514,7 @@ fn run_sweeps(
     experiment: &str,
     specs: Vec<SweepSpec>,
     runlog: &mut Vec<RunLogRow>,
+    traces: &mut Vec<LabeledPoint>,
 ) -> Vec<SweepResult> {
     // Phase 1: contexts (library + netlist) per spec, in parallel.
     let contexts: Vec<(Library, Netlist)> = pool
@@ -565,6 +583,7 @@ fn run_sweeps(
                 &spec.utils,
                 chunk,
                 runlog,
+                traces,
             );
             SweepResult {
                 label: spec.label.clone(),
@@ -605,13 +624,9 @@ pub struct Fig8 {
     pub sweeps: Vec<(String, Vec<UtilPoint>)>,
     /// Per-job telemetry (outside the determinism contract).
     pub runlog: Vec<RunLogRow>,
-}
-
-impl Fig8 {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
+    /// Per-point spans and metrics for the run artifacts (metric values
+    /// deterministic, span timings wall-clock).
+    pub traces: Vec<LabeledPoint>,
 }
 
 /// Reproduces Fig. 8: core area vs utilization and the maximum-utilization
@@ -640,7 +655,8 @@ pub fn fig8_on(design: DesignKind, pool: &Pool) -> Fig8 {
         })
         .collect();
     let mut runlog = Vec::new();
-    let results = run_sweeps(pool, design, "fig8", specs, &mut runlog);
+    let mut traces = Vec::new();
+    let results = run_sweeps(pool, design, "fig8", specs, &mut runlog, &mut traces);
     let mut max_utils = Vec::new();
     let mut sweeps = Vec::new();
     let mut rows = Vec::new();
@@ -718,6 +734,7 @@ pub fn fig8_on(design: DesignKind, pool: &Pool) -> Fig8 {
         max_utils,
         sweeps,
         runlog,
+        traces,
     }
 }
 
@@ -730,13 +747,9 @@ pub struct Fig9 {
     pub points: Vec<(String, f64, f64, f64)>,
     /// Per-job telemetry (outside the determinism contract).
     pub runlog: Vec<RunLogRow>,
-}
-
-impl Fig9 {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
+    /// Per-point spans and metrics for the run artifacts (metric values
+    /// deterministic, span timings wall-clock).
+    pub traces: Vec<LabeledPoint>,
 }
 
 /// Reproduces Fig. 9: power–frequency comparison of CFET vs single-sided
@@ -803,11 +816,18 @@ pub fn fig9_on(design: DesignKind, pool: &Pool) -> Fig9 {
         };
         flow_job(netlist, library, &config)
     });
+    let mut traces = Vec::new();
     let mut points = Vec::new();
     let mut rows = Vec::new();
     for (o, (ci, t)) in outcomes.into_iter().zip(jobs) {
         let label = configs[ci].0;
-        runlog.push(flow_row("fig9", format!("{label}/t{t:.2}"), &o));
+        record_point(
+            "fig9",
+            format!("{label}/t{t:.2}"),
+            &o,
+            &mut runlog,
+            &mut traces,
+        );
         if let Ok((report, _, _)) = o.result {
             rows.push(vec![
                 label.to_owned(),
@@ -856,6 +876,7 @@ pub fn fig9_on(design: DesignKind, pool: &Pool) -> Fig9 {
         },
         points,
         runlog,
+        traces,
     }
 }
 
@@ -868,13 +889,9 @@ pub struct Fig10 {
     pub points: Vec<(String, f64, f64, bool)>,
     /// Per-job telemetry (outside the determinism contract).
     pub runlog: Vec<RunLogRow>,
-}
-
-impl Fig10 {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
+    /// Per-point spans and metrics for the run artifacts (metric values
+    /// deterministic, span timings wall-clock).
+    pub traces: Vec<LabeledPoint>,
 }
 
 /// Reproduces Fig. 10: frequency–area at a 1.5 GHz synthesis target (the
@@ -907,7 +924,8 @@ pub fn fig10_on(design: DesignKind, pool: &Pool) -> Fig10 {
         })
         .collect();
     let mut runlog = Vec::new();
-    let results = run_sweeps(pool, design, "fig10", specs, &mut runlog);
+    let mut traces = Vec::new();
+    let results = run_sweeps(pool, design, "fig10", specs, &mut runlog, &mut traces);
     let mut points = Vec::new();
     let mut rows = Vec::new();
     for r in results {
@@ -948,6 +966,7 @@ pub fn fig10_on(design: DesignKind, pool: &Pool) -> Fig10 {
         },
         points,
         runlog,
+        traces,
     }
 }
 
@@ -963,13 +982,9 @@ pub struct Fig11 {
     pub means: Vec<(f64, f64, f64)>,
     /// Per-job telemetry (outside the determinism contract).
     pub runlog: Vec<RunLogRow>,
-}
-
-impl Fig11 {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
+    /// Per-point spans and metrics for the run artifacts (metric values
+    /// deterministic, span timings wall-clock).
+    pub traces: Vec<LabeledPoint>,
 }
 
 /// Reproduces Fig. 11: power–frequency distributions of the five backside
@@ -1002,7 +1017,8 @@ pub fn fig11_on(design: DesignKind, pool: &Pool) -> Fig11 {
         })
         .collect();
     let mut runlog = Vec::new();
-    let results = run_sweeps(pool, design, "fig11", specs, &mut runlog);
+    let mut traces = Vec::new();
+    let results = run_sweeps(pool, design, "fig11", specs, &mut runlog, &mut traces);
     let mut rows = Vec::new();
     let mut means = Vec::new();
     for (r, &bp) in results.iter().zip(&PIN_DENSITY_DOES) {
@@ -1048,6 +1064,7 @@ pub fn fig11_on(design: DesignKind, pool: &Pool) -> Fig11 {
         },
         means,
         runlog,
+        traces,
     }
 }
 
@@ -1060,13 +1077,9 @@ pub struct Table3 {
     pub rows_data: Vec<(f64, RoutingPattern, f64, f64)>,
     /// Per-job telemetry (outside the determinism contract).
     pub runlog: Vec<RunLogRow>,
-}
-
-impl Table3 {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
+    /// Per-point spans and metrics for the run artifacts (metric values
+    /// deterministic, span timings wall-clock).
+    pub traces: Vec<LabeledPoint>,
 }
 
 /// Reproduces Table III: pin density × routing-layer co-optimization with
@@ -1137,13 +1150,14 @@ pub fn table3_on(design: DesignKind, pool: &Pool) -> Table3 {
         flow_job(&netlist, &library, config)
     });
     let mut runlog = Vec::new();
+    let mut traces = Vec::new();
     for (o, (bp, config)) in outcomes.iter().zip(&jobs) {
         let label = if o.stats.index == 0 {
             "baseline/FM12".to_owned()
         } else {
             format!("FP{:.2}BP{bp:.2}/{}", 1.0 - bp, config.pattern)
         };
-        runlog.push(flow_row("table3", label, o));
+        record_point("table3", label, o, &mut runlog, &mut traces);
     }
     let mut outcomes = outcomes.into_iter();
     let (base, _, _) = outcomes
@@ -1185,6 +1199,7 @@ pub fn table3_on(design: DesignKind, pool: &Pool) -> Table3 {
         },
         rows_data,
         runlog,
+        traces,
     }
 }
 
@@ -1197,13 +1212,9 @@ pub struct Fig12 {
     pub points: Vec<(u8, Option<f64>)>,
     /// Per-job telemetry (outside the determinism contract).
     pub runlog: Vec<RunLogRow>,
-}
-
-impl Fig12 {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
+    /// Per-point spans and metrics for the run artifacts (metric values
+    /// deterministic, span timings wall-clock).
+    pub traces: Vec<LabeledPoint>,
 }
 
 /// Reproduces Fig. 12: maximum utilization of FFET FP0.5BP0.5 as the
@@ -1240,7 +1251,8 @@ pub fn fig12_on(design: DesignKind, pool: &Pool) -> Fig12 {
         })
         .collect();
     let mut runlog = Vec::new();
-    let results = run_sweeps(pool, design, "fig12", specs, &mut runlog);
+    let mut traces = Vec::new();
+    let results = run_sweeps(pool, design, "fig12", specs, &mut runlog, &mut traces);
     let mut points = Vec::new();
     let mut rows = Vec::new();
     for (r, &n) in results.iter().zip(&layers) {
@@ -1260,6 +1272,7 @@ pub fn fig12_on(design: DesignKind, pool: &Pool) -> Fig12 {
         },
         points,
         runlog,
+        traces,
     }
 }
 
@@ -1272,13 +1285,9 @@ pub struct Fig13 {
     pub points: Vec<(u8, f64, f64)>,
     /// Per-job telemetry (outside the determinism contract).
     pub runlog: Vec<RunLogRow>,
-}
-
-impl Fig13 {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
+    /// Per-point spans and metrics for the run artifacts (metric values
+    /// deterministic, span timings wall-clock).
+    pub traces: Vec<LabeledPoint>,
 }
 
 /// Reproduces Fig. 13: power efficiency of FFET FP0.5BP0.5 vs routing
@@ -1312,9 +1321,10 @@ pub fn fig13_on(design: DesignKind, pool: &Pool) -> Fig13 {
         flow_job(&netlist, &library, &config)
     });
     let mut runlog = Vec::new();
+    let mut traces = Vec::new();
     let mut effs: Vec<(u8, f64)> = Vec::new();
     for (o, &n) in outcomes.into_iter().zip(&layers) {
-        runlog.push(flow_row("fig13", format!("FM{n}BM{n}"), &o));
+        record_point("fig13", format!("FM{n}BM{n}"), &o, &mut runlog, &mut traces);
         if let Ok((report, _, _)) = o.result {
             effs.push((n, report.efficiency_ghz_per_mw()));
         }
@@ -1339,6 +1349,7 @@ pub fn fig13_on(design: DesignKind, pool: &Pool) -> Fig13 {
         },
         points,
         runlog,
+        traces,
     }
 }
 
@@ -1355,13 +1366,9 @@ pub struct BridgingAblation {
     pub reports: Vec<(String, PpaReport)>,
     /// Per-job telemetry (outside the determinism contract).
     pub runlog: Vec<RunLogRow>,
-}
-
-impl BridgingAblation {
-    /// Prints the table.
-    pub fn print(&self) {
-        self.table.print();
-    }
+    /// Per-point spans and metrics for the run artifacts (metric values
+    /// deterministic, span timings wall-clock).
+    pub traces: Vec<LabeledPoint>,
 }
 
 /// Ablation of the paper's key design choice (§III.A): dual-sided signals
@@ -1417,10 +1424,11 @@ pub fn bridging_ablation_on(design: DesignKind, pool: &Pool) -> BridgingAblation
         flow_job(&netlist, &library, config)
     });
     let mut runlog = Vec::new();
+    let mut traces = Vec::new();
     let mut reports = Vec::new();
     let mut rows = Vec::new();
     for (o, (label, _)) in outcomes.into_iter().zip(configs) {
-        runlog.push(flow_row("ablation", label.to_owned(), &o));
+        record_point("ablation", label.to_owned(), &o, &mut runlog, &mut traces);
         if let Ok((report, _, _)) = o.result {
             rows.push(vec![
                 label.to_owned(),
@@ -1462,6 +1470,7 @@ pub fn bridging_ablation_on(design: DesignKind, pool: &Pool) -> BridgingAblation
         },
         reports,
         runlog,
+        traces,
     }
 }
 

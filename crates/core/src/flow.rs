@@ -15,7 +15,6 @@ use ffet_sta::{analyze_power, analyze_timing, StaConfig};
 use ffet_tech::{RoutingPattern, TechKind, Technology};
 use ffet_verify::{run_signoff, SignoffReport};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Full flow configuration — one DoE point.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +101,11 @@ impl FlowConfig {
 ///
 /// Telemetry only: timings feed the DoE runner's `runlog.csv`, never the
 /// experiment tables (which must stay byte-identical run to run).
+///
+/// This is the compatibility view of the flow's stage spans: since the
+/// observability refactor the authoritative record is the `flow.*` span
+/// tree in `results/trace.jsonl`; each field here is the `close_ms()` of
+/// the corresponding span, so `runlog.csv` keeps its schema.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageTimes {
     /// Synthesis-lite (fanout buffering + drive sizing).
@@ -125,10 +129,6 @@ impl StageTimes {
     pub fn total_ms(&self) -> f64 {
         self.synth_ms + self.pnr_ms + self.merge_ms + self.signoff_ms + self.rcx_ms + self.sta_ms
     }
-}
-
-fn elapsed_ms(t0: Instant) -> f64 {
-    t0.elapsed().as_secs_f64() * 1e3
 }
 
 /// Everything one flow run produced (report + artifacts for inspection).
@@ -233,14 +233,27 @@ pub fn run_flow(
     let mut stages = StageTimes::default();
     let faults = &config.fault_plan;
 
+    // Root span for the whole point. Declared first so that on an early
+    // return it drops (and records) after every stage span. Seeds are
+    // stringified: perturbed recovery seeds can exceed `i64`.
+    let root = ffet_obs::span("flow")
+        .attr("tech", format!("{:?}", config.tech))
+        .attr("pattern", config.pattern.to_string())
+        .attr("back_pin_ratio", config.back_pin_ratio)
+        .attr("utilization", config.utilization)
+        .attr("target_freq_ghz", config.target_freq_ghz)
+        .attr("seed", config.seed.to_string());
+    ffet_obs::counter_add("flow.runs", 1);
+
     // Synthesis-lite toward the target frequency.
-    let t0 = Instant::now();
+    let sp = ffet_obs::span("flow.synth");
     let _synth = synthesize(
         &mut netlist,
         library,
         &SynthConfig::for_target(config.target_freq_ghz),
     );
-    stages.synth_ms = elapsed_ms(t0);
+    stages.synth_ms = sp.close_ms();
+    ffet_obs::gauge_set("flow.cells", netlist.instances().len() as f64);
     faults.maybe_panic(FlowStage::Synth);
 
     // Physical implementation (floorplan → powerplan → place → CTS →
@@ -253,19 +266,19 @@ pub fn run_flow(
         bridging_min_nm: config.bridging_min_nm,
         extra_reroute_rounds: config.extra_reroute_rounds,
     };
-    let t0 = Instant::now();
+    let sp = ffet_obs::span("flow.pnr");
     let mut pnr = run_pnr(&mut netlist, library, &pnr_config)?;
-    stages.pnr_ms = elapsed_ms(t0);
+    stages.pnr_ms = sp.close_ms();
     faults.maybe_panic(FlowStage::Pnr);
     if !faults.is_empty() {
         faults.apply_post_pnr(&mut netlist, &mut pnr, library, config.seed);
     }
 
     // DEF merge (paper: "we first merged the two DEFs into one DEF").
-    let t0 = Instant::now();
+    let sp = ffet_obs::span("flow.merge");
     let mut merged_def =
         merge_defs(&pnr.front_def, &pnr.back_def).map_err(|e| FlowError::Merge(e.to_string()))?;
-    stages.merge_ms = elapsed_ms(t0);
+    stages.merge_ms = sp.close_ms();
     faults.maybe_panic(FlowStage::Merge);
     if !faults.is_empty() {
         faults.apply_post_merge(&mut merged_def, &netlist, library, config.seed);
@@ -275,18 +288,21 @@ pub fn run_flow(
     // placement DRC, LVS-lite of the merged DEF. Error severity means the
     // implementation is structurally broken — congestion and legality
     // overflow stay warnings and feed the DRV validity proxy instead.
-    let t0 = Instant::now();
+    let mut sp = ffet_obs::span("flow.signoff");
     let signoff = run_signoff(&netlist, library, config.pattern, &pnr, &merged_def);
+    sp.set_attr("errors", signoff.error_count());
+    sp.set_attr("warnings", signoff.warning_count());
     faults.maybe_panic(FlowStage::Signoff);
     if !signoff.is_clean() {
+        // `sp` then `root` drop here, recording both spans.
         return Err(FlowError::Signoff(signoff));
     }
-    stages.signoff_ms = elapsed_ms(t0);
+    stages.signoff_ms = sp.close_ms();
 
     // Dual-sided RC extraction from the merged DEF.
-    let t0 = Instant::now();
+    let sp = ffet_obs::span("flow.rcx");
     let parasitics = extract_all(&netlist, library, &pnr, &merged_def);
-    stages.rcx_ms = elapsed_ms(t0);
+    stages.rcx_ms = sp.close_ms();
 
     // STA + power at the achieved frequency.
     let sta_config = StaConfig {
@@ -294,7 +310,7 @@ pub fn run_flow(
         activity: config.activity,
         input_slew_ps: 10.0,
     };
-    let t0 = Instant::now();
+    let sp = ffet_obs::span("flow.sta");
     let timing = analyze_timing(&netlist, library, &parasitics, &sta_config)
         .map_err(|e| FlowError::CombLoop(e.instance))?;
     // Power is evaluated at the synthesis target clock (the block's
@@ -309,7 +325,7 @@ pub fn run_flow(
         &sta_config,
         config.target_freq_ghz,
     );
-    stages.sta_ms = elapsed_ms(t0);
+    stages.sta_ms = sp.close_ms();
 
     let report = PpaReport {
         tech: library.tech().to_string(),
@@ -331,6 +347,9 @@ pub fn run_flow(
         vias: pnr.routing.via_count,
         cells: netlist.instances().len(),
     };
+    root.attr("drv", i64::from(report.drv))
+        .attr("valid", report.valid)
+        .close();
     Ok(FlowOutcome {
         report,
         merged_def,
@@ -342,8 +361,13 @@ pub fn run_flow(
     })
 }
 
+/// Nets per `rcx.batch` span: coarse enough that span overhead is noise,
+/// fine enough that a hot extraction region shows up in the trace.
+const RCX_BATCH: usize = 256;
+
 /// Extracts parasitics for every net from the merged DEF, with sink order
-/// matching `net.sinks` (the STA contract).
+/// matching `net.sinks` (the STA contract). Runs in [`RCX_BATCH`]-sized
+/// batches, each under an `rcx.batch` child span.
 fn extract_all(
     netlist: &Netlist,
     library: &Library,
@@ -353,31 +377,36 @@ fn extract_all(
     let tech = library.tech();
     let by_name: HashMap<&str, &ffet_lefdef::DefNet> =
         merged.nets.iter().map(|n| (n.name.as_str(), n)).collect();
-    netlist
-        .nets()
-        .iter()
-        .map(|net| {
-            let def_net = by_name.get(net.name.as_str())?;
-            let source = net
-                .driver
-                .map(|d| pin_position(netlist, library, &pnr.placement, d))
-                .or_else(|| {
-                    netlist
-                        .ports()
-                        .iter()
-                        .enumerate()
-                        .find(|(_, p)| {
-                            netlist.nets()[p.net.0 as usize].name == net.name
-                                && p.direction == ffet_netlist::PortDirection::Input
-                        })
-                        .map(|(pi, _)| pnr.placement.port_positions[pi])
-                })?;
-            let sinks: Vec<_> = net
-                .sinks
-                .iter()
-                .map(|&s| pin_position(netlist, library, &pnr.placement, s))
-                .collect();
-            Some(extract_net(def_net, tech, source, &sinks))
-        })
-        .collect()
+    let extract_one = |net: &ffet_netlist::Net| {
+        let def_net = by_name.get(net.name.as_str())?;
+        let source = net
+            .driver
+            .map(|d| pin_position(netlist, library, &pnr.placement, d))
+            .or_else(|| {
+                netlist
+                    .ports()
+                    .iter()
+                    .enumerate()
+                    .find(|(_, p)| {
+                        netlist.nets()[p.net.0 as usize].name == net.name
+                            && p.direction == ffet_netlist::PortDirection::Input
+                    })
+                    .map(|(pi, _)| pnr.placement.port_positions[pi])
+            })?;
+        let sinks: Vec<_> = net
+            .sinks
+            .iter()
+            .map(|&s| pin_position(netlist, library, &pnr.placement, s))
+            .collect();
+        Some(extract_net(def_net, tech, source, &sinks))
+    };
+    let mut out = Vec::with_capacity(netlist.nets().len());
+    for (bi, batch) in netlist.nets().chunks(RCX_BATCH).enumerate() {
+        let sp = ffet_obs::span("rcx.batch")
+            .attr("batch", bi)
+            .attr("nets", batch.len());
+        out.extend(batch.iter().map(extract_one));
+        sp.close();
+    }
+    out
 }

@@ -217,6 +217,12 @@ pub fn run_flow_resilient(
     for attempt in 0..max_attempts {
         let (cfg, rung) = config_for_attempt(base, attempt);
         let relaxed = cfg.utilization < base.utilization;
+        let mut attempt_span = ffet_obs::span("flow.attempt")
+            .attr("attempt", attempt)
+            .attr("rung", rung.to_string())
+            .attr("seed", cfg.seed.to_string())
+            .attr("utilization", cfg.utilization);
+        ffet_obs::counter_add("recover.attempts", 1);
         let result = match catch_unwind(AssertUnwindSafe(|| run_flow(netlist, library, &cfg))) {
             Ok(r) => r,
             Err(payload) => Err(FlowError::Panicked(crate::runner::panic_message(
@@ -229,6 +235,8 @@ pub fn run_flow_resilient(
             Err(FlowError::Panicked(m)) => format!("panicked: {m}"),
             Err(e) => format!("error: {e}"),
         };
+        attempt_span.set_attr("outcome", outcome_cell.as_str());
+        attempt_span.close();
         log.attempts.push(AttemptRecord {
             attempt,
             rung,
@@ -240,8 +248,10 @@ pub fn run_flow_resilient(
         match result {
             Ok(outcome) if outcome.report.valid => {
                 let disposition = if attempt == 0 {
+                    ffet_obs::counter_add("recover.clean", 1);
                     PointDisposition::Clean
                 } else {
+                    ffet_obs::counter_add("recover.recovered", 1);
                     PointDisposition::Recovered(attempt)
                 };
                 return ResilientOutcome {
@@ -266,6 +276,7 @@ pub fn run_flow_resilient(
         }
     }
 
+    ffet_obs::counter_add("recover.failed", 1);
     let recovery = |relaxed| PointRecovery {
         disposition: PointDisposition::Failed(max_attempts - 1),
         attempts: max_attempts,

@@ -109,6 +109,11 @@ pub struct JobOutcome<R, E> {
     pub result: Result<R, JobError<E>>,
     /// Telemetry record.
     pub stats: JobStats,
+    /// Everything the job's ambient [`ffet_obs::Collector`] recorded: span
+    /// events and the metrics snapshot. Metric values are deterministic
+    /// (each job runs single-threaded in its own collector); span timings
+    /// are wall-clock telemetry like [`JobStats`].
+    pub trace: ffet_obs::PointData,
 }
 
 /// The work-stealing pool. Cheap to construct; owns no threads between
@@ -172,7 +177,16 @@ impl Pool {
                 scope.spawn(move || {
                     while let Some(i) = next_job(w, injector, locals, batch) {
                         let t0 = Instant::now();
-                        let caught = catch_unwind(AssertUnwindSafe(|| f(&jobs[i])));
+                        // Per-job collector: the job's instrumentation all
+                        // lands in a private buffer, merged later in
+                        // submission order — metric values stay identical
+                        // at any pool width.
+                        let collector = ffet_obs::Collector::new();
+                        let caught = {
+                            let _guard = collector.install();
+                            catch_unwind(AssertUnwindSafe(|| f(&jobs[i])))
+                        };
+                        let trace = collector.finish();
                         let wall = t0.elapsed();
                         let (result, disposition) = match caught {
                             Ok(Ok(r)) => (Ok(r), Disposition::Completed),
@@ -196,6 +210,7 @@ impl Pool {
                                 wall,
                                 disposition,
                             },
+                            trace,
                         });
                     }
                 });

@@ -1,0 +1,494 @@
+//! `ffet-obs`: span-based tracing, deterministic metrics and run artifacts.
+//!
+//! The flow instruments itself through an *ambient* collector: a
+//! thread-local handle installed by whoever owns the run (the DoE pool
+//! installs one per job; `repro` subcommands may install one around a single
+//! flow). Instrumentation sites call the free functions in this crate —
+//! [`span`], [`counter_add`], [`gauge_set`], [`observe`] — which no-op when
+//! no collector is installed, so library crates stay usable outside any
+//! harness.
+//!
+//! Determinism contract: metric *values* and the span *tree shape*
+//! (names, nesting, attributes, event order) are deterministic for a given
+//! design/seed/fault-plan at any pool width; span *durations* and start
+//! offsets are wall-clock and are not. Artifact emission keeps the two
+//! separated so tests can diff the deterministic part byte-for-byte.
+
+mod json;
+mod metrics;
+mod render;
+mod trace;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+pub use json::{parse_json, Json};
+pub use metrics::{Histogram, MetricsSnapshot, BUCKET_EDGES};
+pub use render::render_point;
+pub use trace::{
+    parse_point, point_labels, strip_timing, validate_trace, LabeledPoint, RunArtifacts,
+    TraceStats, TRACE_SCHEMA_VERSION,
+};
+
+/// A scalar attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(i64::from(v))
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(i64::from(v))
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        // Artifact attribute counts fit comfortably; saturate rather than
+        // wrap if something pathological shows up.
+        AttrValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl AttrValue {
+    fn to_json(&self) -> Json {
+        match self {
+            AttrValue::Str(s) => Json::Str(s.clone()),
+            AttrValue::Int(i) => Json::Int(*i),
+            AttrValue::Float(x) => Json::Num(*x),
+            AttrValue::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+/// One closed (or abandoned) span, as recorded by a collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Point-local id, assigned in open order starting at 0.
+    pub id: u32,
+    pub parent: Option<u32>,
+    /// Nesting depth: 0 for roots.
+    pub depth: u16,
+    pub name: String,
+    /// Microseconds since the collector's epoch. Wall-clock: NOT part of
+    /// the determinism contract.
+    pub start_us: f64,
+    /// Wall-clock duration in microseconds. NOT deterministic.
+    pub dur_us: f64,
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// Everything one collector gathered for one flow point: the closed spans
+/// (in close order) plus the final metrics snapshot. Plain data — `Send`,
+/// clonable, comparable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointData {
+    pub events: Vec<SpanEvent>,
+    pub metrics: MetricsSnapshot,
+}
+
+struct Inner {
+    epoch: Instant,
+    next_id: u32,
+    /// Open span ids, outermost first.
+    stack: Vec<u32>,
+    events: Vec<SpanEvent>,
+    metrics: MetricsSnapshot,
+}
+
+/// Handle to a per-point trace/metrics buffer. Cheap to clone (`Rc`);
+/// single-threaded by design — each flow point runs on one worker thread
+/// with its own collector, which is what makes metric values independent of
+/// pool width.
+#[derive(Clone)]
+pub struct Collector {
+    inner: Rc<RefCell<Inner>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    pub fn new() -> Self {
+        Collector {
+            inner: Rc::new(RefCell::new(Inner {
+                epoch: Instant::now(),
+                next_id: 0,
+                stack: Vec::new(),
+                events: Vec::new(),
+                metrics: MetricsSnapshot::default(),
+            })),
+        }
+    }
+
+    /// Install this collector as the thread's ambient collector. The
+    /// returned guard restores the previous one (if any) on drop, so
+    /// installs nest correctly.
+    #[must_use = "dropping the guard immediately uninstalls the collector"]
+    pub fn install(&self) -> InstallGuard {
+        let previous = CURRENT.with(|c| c.borrow_mut().replace(self.clone()));
+        InstallGuard { previous }
+    }
+
+    /// Drain everything recorded so far into a [`PointData`]. Spans still
+    /// open are force-closed first (with an `unclosed` marker attribute) so
+    /// panicking flows still yield a well-formed trace.
+    pub fn finish(&self) -> PointData {
+        // Close any spans left open (e.g. a panic unwound past them and the
+        // `Span` guard was consumed by `catch_unwind`'s payload drop order).
+        loop {
+            let open = {
+                let inner = self.inner.borrow();
+                inner.stack.last().copied()
+            };
+            match open {
+                None => break,
+                Some(id) => {
+                    let mut inner = self.inner.borrow_mut();
+                    let now_us = inner.epoch.elapsed().as_secs_f64() * 1e6;
+                    inner.stack.pop();
+                    // The span guard never recorded this id; synthesize an
+                    // event so parent links in child events stay valid.
+                    let (parent, depth) = inner
+                        .stack
+                        .last()
+                        .map_or((None, 0), |&p| (Some(p), inner.stack.len() as u16));
+                    inner.events.push(SpanEvent {
+                        id,
+                        parent,
+                        depth,
+                        name: "<unclosed>".into(),
+                        start_us: now_us,
+                        dur_us: 0.0,
+                        attrs: vec![("unclosed".into(), AttrValue::Bool(true))],
+                    });
+                }
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        PointData {
+            events: std::mem::take(&mut inner.events),
+            metrics: std::mem::take(&mut inner.metrics),
+        }
+    }
+
+    fn open_span(&self, start: Instant) -> OpenToken {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let parent = inner.stack.last().copied();
+        let depth = inner.stack.len() as u16;
+        let start_us = start.duration_since(inner.epoch).as_secs_f64() * 1e6;
+        inner.stack.push(id);
+        OpenToken {
+            collector: self.clone(),
+            id,
+            parent,
+            depth,
+            start_us,
+        }
+    }
+
+    fn close_span(&self, token: &OpenToken, event: SpanEvent) {
+        let mut inner = self.inner.borrow_mut();
+        // Normally the closing span is the innermost open one; on early
+        // returns / panics an outer span may close while inner ids are
+        // still stacked — remove just this id, leaving the rest.
+        if let Some(pos) = inner.stack.iter().rposition(|&id| id == token.id) {
+            inner.stack.remove(pos);
+        }
+        inner.events.push(event);
+    }
+}
+
+/// Guard returned by [`Collector::install`].
+pub struct InstallGuard {
+    previous: Option<Collector>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        CURRENT.with(|c| *c.borrow_mut() = previous);
+    }
+}
+
+fn with_collector<R>(f: impl FnOnce(&Collector) -> R) -> Option<R> {
+    CURRENT
+        .with(|c| c.borrow().as_ref().cloned())
+        .map(|col| f(&col))
+}
+
+struct OpenToken {
+    collector: Collector,
+    id: u32,
+    parent: Option<u32>,
+    depth: u16,
+    start_us: f64,
+}
+
+/// An in-flight span. Create with [`span`]; close explicitly with
+/// [`Span::close`] or [`Span::close_ms`], or let it drop (error paths and
+/// panics record the span automatically).
+pub struct Span {
+    start: Instant,
+    name: &'static str,
+    attrs: Vec<(String, AttrValue)>,
+    open: Option<OpenToken>,
+}
+
+/// Open a span named `name` under the thread's ambient collector. Without
+/// an installed collector the span still measures wall time (so
+/// [`Span::close_ms`] works) but records nothing.
+pub fn span(name: &'static str) -> Span {
+    let start = Instant::now();
+    let open = with_collector(|c| c.open_span(start));
+    Span {
+        start,
+        name,
+        attrs: Vec::new(),
+        open,
+    }
+}
+
+impl Span {
+    /// Builder-style attribute attachment.
+    #[must_use]
+    pub fn attr(mut self, key: &str, value: impl Into<AttrValue>) -> Span {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Attach or update an attribute after creation (e.g. an outcome known
+    /// only at the end of the spanned region).
+    pub fn set_attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if self.open.is_none() {
+            return; // disabled span: don't accumulate garbage
+        }
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((key.to_string(), value));
+        }
+    }
+
+    /// Close the span, recording the event.
+    pub fn close(mut self) {
+        self.finish();
+    }
+
+    /// Close the span and return its wall-clock duration in milliseconds.
+    /// Works (returns elapsed time) even when tracing is disabled, so
+    /// legacy stage-time accounting can be derived unconditionally.
+    pub fn close_ms(mut self) -> f64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> f64 {
+        let elapsed = self.start.elapsed();
+        if let Some(token) = self.open.take() {
+            let event = SpanEvent {
+                id: token.id,
+                parent: token.parent,
+                depth: token.depth,
+                name: self.name.to_string(),
+                start_us: token.start_us,
+                dur_us: elapsed.as_secs_f64() * 1e6,
+                attrs: std::mem::take(&mut self.attrs),
+            };
+            token.collector.close_span(&token, event);
+        }
+        elapsed.as_secs_f64() * 1e3
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.open.is_some() {
+            self.finish();
+        }
+    }
+}
+
+/// Add `delta` to a counter. No-op without an installed collector.
+pub fn counter_add(name: &str, delta: i64) {
+    with_collector(|c| {
+        let mut inner = c.inner.borrow_mut();
+        *inner.metrics.counters.entry(name.to_string()).or_insert(0) += delta;
+    });
+}
+
+/// Set a gauge to `value`. No-op without an installed collector.
+pub fn gauge_set(name: &str, value: f64) {
+    with_collector(|c| {
+        let mut inner = c.inner.borrow_mut();
+        inner.metrics.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Record one observation into a histogram. No-op without a collector.
+pub fn observe(name: &str, value: f64) {
+    with_collector(|c| {
+        let mut inner = c.inner.borrow_mut();
+        inner
+            .metrics
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_nesting_and_order() {
+        let collector = Collector::new();
+        let _guard = collector.install();
+        let root = span("flow").attr("seed", "42");
+        {
+            let a = span("flow.pnr");
+            let inner = span("route.round").attr("round", 0_i64);
+            inner.close();
+            a.close();
+        }
+        let b = span("flow.sta");
+        b.close();
+        root.close();
+        drop(_guard);
+        let data = collector.finish();
+        let names: Vec<&str> = data.events.iter().map(|e| e.name.as_str()).collect();
+        // Close order: innermost first.
+        assert_eq!(names, ["route.round", "flow.pnr", "flow.sta", "flow"]);
+        let by_name = |n: &str| data.events.iter().find(|e| e.name == n).unwrap();
+        let root_ev = by_name("flow");
+        assert_eq!(root_ev.depth, 0);
+        assert_eq!(root_ev.parent, None);
+        assert_eq!(
+            root_ev.attrs,
+            vec![("seed".into(), AttrValue::Str("42".into()))]
+        );
+        let pnr = by_name("flow.pnr");
+        assert_eq!(pnr.parent, Some(root_ev.id));
+        assert_eq!(pnr.depth, 1);
+        let round = by_name("route.round");
+        assert_eq!(round.parent, Some(pnr.id));
+        assert_eq!(round.depth, 2);
+        let sta = by_name("flow.sta");
+        assert_eq!(sta.parent, Some(root_ev.id));
+        assert!(round.dur_us <= pnr.dur_us + 1.0);
+    }
+
+    #[test]
+    fn dropped_span_is_recorded() {
+        let collector = Collector::new();
+        let _guard = collector.install();
+        {
+            let _sp = span("flow.signoff").attr("errors", 3_i64);
+            // early-return path: span dropped without close()
+        }
+        drop(_guard);
+        let data = collector.finish();
+        assert_eq!(data.events.len(), 1);
+        assert_eq!(data.events[0].name, "flow.signoff");
+    }
+
+    #[test]
+    fn no_collector_is_a_noop_but_close_ms_still_times() {
+        let sp = span("orphan");
+        counter_add("c", 1);
+        gauge_set("g", 1.0);
+        observe("h", 1.0);
+        let ms = sp.close_ms();
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = Collector::new();
+        let inner = Collector::new();
+        let _og = outer.install();
+        counter_add("k", 1);
+        {
+            let _ig = inner.install();
+            counter_add("k", 10);
+        }
+        counter_add("k", 100);
+        drop(_og);
+        counter_add("k", 1000); // no collector: dropped
+        assert_eq!(outer.finish().metrics.counters["k"], 101);
+        assert_eq!(inner.finish().metrics.counters["k"], 10);
+    }
+
+    #[test]
+    fn set_attr_overwrites() {
+        let collector = Collector::new();
+        let _guard = collector.install();
+        let mut sp = span("s").attr("outcome", "pending");
+        sp.set_attr("outcome", "valid");
+        sp.close();
+        drop(_guard);
+        let data = collector.finish();
+        assert_eq!(
+            data.events[0].attrs,
+            vec![("outcome".into(), AttrValue::Str("valid".into()))]
+        );
+    }
+
+    #[test]
+    fn finish_force_closes_abandoned_ids() {
+        let collector = Collector::new();
+        let guard = collector.install();
+        let sp = span("left.open");
+        // Simulate a panic payload holding the span: leak it so its Drop
+        // never runs, leaving the id on the collector's stack.
+        std::mem::forget(sp);
+        drop(guard);
+        let data = collector.finish();
+        assert_eq!(data.events.len(), 1);
+        assert_eq!(data.events[0].name, "<unclosed>");
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic metrics registry: counters, gauges and histograms.
+//!
+//! Metric *values* are part of the determinism contract: for a given design,
+//! seed and fault plan they are identical at any pool width, because each
+//! flow point is executed single-threaded inside its own collector and the
+//! runner merges per-point snapshots in submission order. Wall-clock span
+//! durations are explicitly *not* covered — see `RunArtifacts` for how the
+//! two are separated in the emitted files.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Histogram bucket edges, shared by every histogram in the registry.
+///
+/// A symmetric log-ish scale around zero: slack distributions (ps) need to
+/// resolve both large negative violations and large positive margins, and
+/// displacement distributions (CPP) live in the small-positive decades.
+/// Bucket `i` counts values `v <= BUCKET_EDGES[i]` (first matching edge);
+/// the final 12th bucket is the `> 1e4` overflow.
+pub const BUCKET_EDGES: [f64; 11] = [-1e4, -1e3, -1e2, -1e1, -1.0, 0.0, 1.0, 1e1, 1e2, 1e3, 1e4];
+
+/// Fixed-bucket histogram. Buckets are non-cumulative counts per bin.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub buckets: [u64; BUCKET_EDGES.len() + 1],
+}
+
+impl Histogram {
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let idx = BUCKET_EDGES
+            .iter()
+            .position(|&edge| v <= edge)
+            .unwrap_or(BUCKET_EDGES.len());
+        self.buckets[idx] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merge another histogram into this one (bucketwise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Int(self.count as i64)),
+            ("sum".into(), Json::Num(self.sum)),
+            ("min".into(), Json::Num(self.min)),
+            ("max".into(), Json::Num(self.max)),
+            (
+                "buckets".into(),
+                Json::Arr(self.buckets.iter().map(|&b| Json::Int(b as i64)).collect()),
+            ),
+        ])
+    }
+}
+
+/// A point-in-time snapshot of every metric recorded by one collector.
+///
+/// `BTreeMap` keys give a deterministic serialization order regardless of
+/// the order metrics were first touched.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, i64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another snapshot into this one. Counters and histograms are
+    /// additive; gauges are last-write-wins, which is deterministic because
+    /// snapshots are always merged in submission order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_sorted() {
+        for w in BUCKET_EDGES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn bucket_assignment_uses_first_edge_at_or_above() {
+        let mut h = Histogram::default();
+        h.observe(-20000.0); // <= -1e4 → bucket 0
+        h.observe(0.0); // <= 0.0 → bucket 5
+        h.observe(0.5); // <= 1.0 → bucket 6
+        h.observe(1.0); // <= 1.0 → bucket 6
+        h.observe(1.5); // <= 1e1 → bucket 7
+        h.observe(99999.0); // > 1e4 → overflow bucket 11
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[5], 1);
+        assert_eq!(h.buckets[6], 2);
+        assert_eq!(h.buckets[7], 1);
+        assert_eq!(h.buckets[11], 1);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        h.observe(2.0);
+        h.observe(-4.0);
+        h.observe(10.0);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, -4.0);
+        assert_eq!(h.max, 10.0);
+        assert_eq!(h.sum, 8.0);
+        assert!((h.mean() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise() {
+        let mut a = Histogram::default();
+        a.observe(1.0);
+        a.observe(-5.0);
+        let mut b = Histogram::default();
+        b.observe(500.0);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = Histogram::default();
+        for v in [1.0, -5.0, 500.0] {
+            direct.observe(v);
+        }
+        assert_eq!(merged, direct);
+        // Merging into an empty histogram copies, including min/max.
+        let mut empty = Histogram::default();
+        empty.merge(&b);
+        assert_eq!(empty, b);
+    }
+
+    #[test]
+    fn snapshot_merge_semantics() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("c".into(), 2);
+        a.gauges.insert("g".into(), 1.0);
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("c".into(), 3);
+        b.gauges.insert("g".into(), 7.0);
+        b.histograms.entry("h".into()).or_default().observe(1.0);
+        a.merge(&b);
+        assert_eq!(a.counters["c"], 5);
+        assert_eq!(a.gauges["g"], 7.0); // last write wins
+        assert_eq!(a.histograms["h"].count, 1);
+    }
+}

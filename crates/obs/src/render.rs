@@ -1,0 +1,177 @@
+//! Text rendering of one traced flow point: a span tree with durations, a
+//! hottest-spans table (aggregated by span name) and a metrics summary.
+//! Used by `repro trace <point>`; pure string-in/string-out so it is
+//! testable here and printable by any caller.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::SpanEvent;
+
+/// Render a full text report for one point.
+pub fn render_point(label: &str, events: &[SpanEvent], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "point {label}");
+    render_tree(&mut out, events);
+    render_hottest(&mut out, events);
+    render_metrics(&mut out, metrics);
+    out
+}
+
+fn render_tree(out: &mut String, events: &[SpanEvent]) {
+    if events.is_empty() {
+        out.push_str("\n  (no spans recorded)\n");
+        return;
+    }
+    let mut children: BTreeMap<Option<u32>, Vec<&SpanEvent>> = BTreeMap::new();
+    for event in events {
+        children.entry(event.parent).or_default().push(event);
+    }
+    // Pre-order by start time within each sibling group.
+    for siblings in children.values_mut() {
+        siblings.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+    }
+    out.push_str("\nspan tree (wall ms)\n");
+    let mut stack: Vec<&SpanEvent> = children
+        .get(&None)
+        .map(|roots| roots.iter().rev().copied().collect())
+        .unwrap_or_default();
+    while let Some(event) = stack.pop() {
+        let indent = "  ".repeat(usize::from(event.depth) + 1);
+        let _ = write!(
+            out,
+            "{indent}{:<28}{:>10.3}",
+            event.name,
+            event.dur_us / 1e3
+        );
+        if !event.attrs.is_empty() {
+            let attrs: Vec<String> = event
+                .attrs
+                .iter()
+                .map(|(k, v)| {
+                    format!(
+                        "{k}={}",
+                        match v {
+                            crate::AttrValue::Str(s) => s.clone(),
+                            crate::AttrValue::Int(i) => i.to_string(),
+                            crate::AttrValue::Float(x) => format!("{x:.3}"),
+                            crate::AttrValue::Bool(b) => b.to_string(),
+                        }
+                    )
+                })
+                .collect();
+            let _ = write!(out, "  [{}]", attrs.join(" "));
+        }
+        out.push('\n');
+        if let Some(kids) = children.get(&Some(event.id)) {
+            stack.extend(kids.iter().rev());
+        }
+    }
+}
+
+fn render_hottest(out: &mut String, events: &[SpanEvent]) {
+    if events.is_empty() {
+        return;
+    }
+    // Aggregate self time? Total time per name is more intuitive for a
+    // summary; nested repetition (route.round under flow.pnr) is obvious
+    // from the names.
+    let mut by_name: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+    for event in events {
+        let slot = by_name.entry(event.name.as_str()).or_insert((0, 0.0));
+        slot.0 += 1;
+        slot.1 += event.dur_us;
+    }
+    let mut rows: Vec<(&str, usize, f64)> =
+        by_name.into_iter().map(|(n, (c, d))| (n, c, d)).collect();
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(b.0)));
+    out.push_str("\nhottest spans (total wall ms)\n");
+    let _ = writeln!(out, "  {:<28}{:>7}{:>12}", "name", "count", "total ms");
+    for (name, count, total_us) in rows.iter().take(8) {
+        let _ = writeln!(out, "  {name:<28}{count:>7}{:>12.3}", total_us / 1e3);
+    }
+}
+
+fn render_metrics(out: &mut String, metrics: &MetricsSnapshot) {
+    if metrics.is_empty() {
+        out.push_str("\n  (no metrics recorded)\n");
+        return;
+    }
+    if !metrics.counters.is_empty() {
+        out.push_str("\ncounters\n");
+        for (name, value) in &metrics.counters {
+            let _ = writeln!(out, "  {name:<32}{value:>12}");
+        }
+    }
+    if !metrics.gauges.is_empty() {
+        out.push_str("\ngauges\n");
+        for (name, value) in &metrics.gauges {
+            let _ = writeln!(out, "  {name:<32}{value:>12.3}");
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        out.push_str("\nhistograms\n");
+        let _ = writeln!(
+            out,
+            "  {:<24}{:>8}{:>12}{:>12}{:>12}",
+            "name", "count", "min", "mean", "max"
+        );
+        for (name, h) in &metrics.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<24}{:>8}{:>12.3}{:>12.3}{:>12.3}",
+                h.count,
+                h.min,
+                h.mean(),
+                h.max
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter_add, gauge_set, observe, span, Collector};
+
+    #[test]
+    fn render_shows_tree_hotspots_and_metrics() {
+        let collector = Collector::new();
+        let guard = collector.install();
+        let root = span("flow").attr("seed", "42");
+        for round in 0..3_i64 {
+            span("route.round").attr("round", round).close();
+        }
+        counter_add("route.ripups", 12);
+        gauge_set("cts.levels", 4.0);
+        observe("sta.slack_ps", -3.0);
+        root.close();
+        drop(guard);
+        let data = collector.finish();
+        let text = render_point("fig9/u0.65/s42", &data.events, &data.metrics);
+        assert!(text.starts_with("point fig9/u0.65/s42"));
+        // Tree: root at depth 0, rounds indented one level deeper.
+        assert!(text.contains("\n  flow"));
+        assert!(text.contains("\n    route.round"));
+        assert!(text.contains("[round=0]"));
+        assert!(text.contains("[seed=42]"));
+        // Hottest spans aggregate the three rounds into one row.
+        let hot = text.split("hottest spans").nth(1).unwrap();
+        assert!(hot.contains("route.round"));
+        assert!(hot
+            .lines()
+            .any(|l| l.contains("route.round") && l.contains("      3")));
+        // Metrics sections.
+        assert!(text.contains("route.ripups"));
+        assert!(text.contains("cts.levels"));
+        assert!(text.contains("sta.slack_ps"));
+    }
+
+    #[test]
+    fn render_empty_point() {
+        let text = render_point("p", &[], &MetricsSnapshot::default());
+        assert!(text.contains("(no spans recorded)"));
+        assert!(text.contains("(no metrics recorded)"));
+    }
+}

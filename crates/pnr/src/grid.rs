@@ -183,6 +183,24 @@ impl RoutingGrid {
         total
     }
 
+    /// Overflow decomposed by wafer side and routing axis:
+    /// `[side][axis]` with side 0 = front / 1 = back and axis 0 =
+    /// horizontal / 1 = vertical, in tracks. Sums to [`total_overflow`]
+    /// (`Self::total_overflow`). The per-side split is the paper's "which
+    /// wafer side ran out of resource" diagnostic; the axis split
+    /// distinguishes track exhaustion from via-access pressure.
+    #[must_use]
+    pub fn overflow_breakdown(&self) -> [[f64; 2]; 2] {
+        let mut out = [[0.0; 2]; 2];
+        for (s, side_out) in out.iter_mut().enumerate() {
+            for i in 0..self.cols * self.rows {
+                side_out[0] += (self.demand_h[s][i] - self.cap_h[s]).max(0.0);
+                side_out[1] += (self.demand_v[s][i] - self.cap_v[s]).max(0.0);
+            }
+        }
+        out
+    }
+
     /// Whether GCell `g` is overflowed on `side` in any direction.
     #[must_use]
     pub fn is_overflowed(&self, side: Side, g: GCell) -> bool {

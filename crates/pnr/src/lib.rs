@@ -187,21 +187,47 @@ pub fn run_pnr(
 ) -> Result<PnrResult, PnrError> {
     library.tech().check_pattern(config.pattern)?;
     // First placement pass positions the clock sinks for CTS.
+    let sp = ffet_obs::span("pnr.floorplan");
     let fp0 = floorplan(netlist, library, config.utilization, config.aspect_ratio)?;
+    sp.close();
+    let sp = ffet_obs::span("pnr.powerplan");
     let pp0 = powerplan(&fp0, library, config.pattern);
+    sp.close();
+    let sp = ffet_obs::span("pnr.place");
     let pl0 = place(netlist, library, &fp0, &pp0, config.seed);
+    sp.close();
+    let sp = ffet_obs::span("pnr.cts");
     let clock = synthesize_clock_tree(netlist, library, &pl0)?;
+    sp.attr("levels", clock.levels)
+        .attr("buffers", clock.buffers.len())
+        .attr("sinks", clock.sink_count)
+        .close();
+    ffet_obs::gauge_set("cts.levels", f64::from(clock.levels));
+    ffet_obs::counter_add("cts.buffers", clock.buffers.len() as i64);
+    ffet_obs::counter_add("cts.sinks", clock.sink_count as i64);
     if let Some(min_len) = config.bridging_min_nm {
-        let _ = insert_bridging_cells(netlist, library, &pl0, min_len);
+        let sp = ffet_obs::span("pnr.bridging");
+        let stats = insert_bridging_cells(netlist, library, &pl0, min_len);
+        sp.attr("inserted", stats.bridges_inserted).close();
+        ffet_obs::counter_add("pnr.bridging_cells", stats.bridges_inserted as i64);
     }
 
     // Final floorplan/placement including the clock and bridging cells.
+    let sp = ffet_obs::span("pnr.floorplan2");
     let fp = floorplan(netlist, library, config.utilization, config.aspect_ratio)?;
+    sp.close();
     let pp = powerplan(&fp, library, config.pattern);
+    let sp = ffet_obs::span("pnr.place2");
     let pl = place(netlist, library, &fp, &pp, config.seed);
+    sp.close();
+    ffet_obs::gauge_set("place.hpwl_nm", pl.hpwl_nm as f64);
+    ffet_obs::gauge_set("place.violations", f64::from(pl.violations));
 
     // Dual-sided routing.
+    let sp = ffet_obs::span("pnr.decompose");
     let side_nets = decompose_nets(netlist, library, &pl, config.pattern)?;
+    sp.attr("side_nets", side_nets.len()).close();
+    let sp = ffet_obs::span("pnr.route");
     let mut grid = RoutingGrid::new(library.tech(), fp.die, config.pattern);
     add_pin_demand(netlist, library, &pl, &mut grid, config.pattern);
     let routing = route_nets_with_effort(
@@ -211,8 +237,13 @@ pub fn run_pnr(
         config.pattern,
         config.extra_reroute_rounds,
     );
+    sp.attr("drv", routing.drv_count)
+        .attr("vias", routing.via_count)
+        .close();
 
+    let sp = ffet_obs::span("pnr.export");
     let (front_def, back_def) = export_defs(netlist, library, &fp, &pp, &pl, &routing);
+    sp.close();
     Ok(PnrResult {
         floorplan: fp,
         powerplan: pp,

@@ -373,8 +373,10 @@ fn legalize(
 
         match best {
             Some((cost, r, si)) => {
+                ffet_obs::observe("place.displacement_cpp", cost as f64);
                 if cost > MAX_LEGALIZE_DISPLACEMENT_CPP {
                     violations += 1;
+                    ffet_obs::counter_add("place.legalize_violations", 1);
                 }
                 let seg = &mut segments[r][si];
                 let site = want_site.clamp(seg.cursor, seg.end - w);
@@ -385,6 +387,7 @@ fn legalize(
             None => {
                 // Nowhere to put it at all: count and stack at origin.
                 violations += 1;
+                ffet_obs::counter_add("place.legalize_violations", 1);
                 origins[i] = Point::new(0, 0);
             }
         }

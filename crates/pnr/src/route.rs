@@ -110,7 +110,6 @@ pub fn route_nets_with_effort(
     // Rip-up and reroute overflowed connections; the reroute uses a full
     // A* maze search so detours can leave the bounding box (pattern
     // candidates alone cannot relieve a hotspot).
-    let debug = std::env::var_os("FFET_ROUTE_DEBUG").is_some();
     // Snapshot the initial solution: negotiated rerouting may only make
     // things worse, and the restore below must be able to fall back to it.
     let mut best_overflow = grid.total_overflow();
@@ -128,6 +127,7 @@ pub fn route_nets_with_effort(
         if it >= 2 && overflow_now > 2_000.0 {
             break;
         }
+        let mut round_span = ffet_obs::span("route.round").attr("round", it);
         grid.update_history();
         let mut rerouted = 0usize;
         for ci in 0..conns.len() {
@@ -144,12 +144,12 @@ pub fn route_nets_with_effort(
             rerouted += 1;
         }
         let overflow = grid.total_overflow();
-        if debug {
-            eprintln!(
-                "rrr iter {it}: rerouted {rerouted}, overflow {overflow:.0}, peak {:.2}",
-                grid.peak_congestion()
-            );
-        }
+        round_span.set_attr("rerouted", rerouted);
+        round_span.set_attr("overflow", overflow);
+        round_span.set_attr("peak", grid.peak_congestion());
+        round_span.close();
+        ffet_obs::counter_add("route.rounds", 1);
+        ffet_obs::counter_add("route.ripups", rerouted as i64);
         if overflow < best_overflow {
             best_overflow = overflow;
             best_paths = Some(conns.iter().map(|c| c.path.clone()).collect());
@@ -180,6 +180,7 @@ pub fn route_nets_with_effort(
     let mut wirelength = 0;
     let mut back_wirelength = 0;
     let mut via_count = 0;
+    let mut vias_by_side = [0i64; 2];
     for conn in &conns {
         let sn = &side_nets[conn.side_net];
         let hpwl = conn.from.manhattan(conn.to);
@@ -191,12 +192,21 @@ pub fn route_nets_with_effort(
             }
         }
         via_count += vias.len();
+        vias_by_side[usize::from(sn.side == Side::Back)] += vias.len() as i64;
         let rn = &mut nets[conn.side_net];
         rn.wires.extend(wires);
         rn.vias.extend(vias);
     }
+    ffet_obs::counter_add("route.vias.front", vias_by_side[0]);
+    ffet_obs::counter_add("route.vias.back", vias_by_side[1]);
 
     let overflow = grid.total_overflow();
+    let breakdown = grid.overflow_breakdown();
+    ffet_obs::gauge_set("route.overflow.front.h", breakdown[0][0]);
+    ffet_obs::gauge_set("route.overflow.front.v", breakdown[0][1]);
+    ffet_obs::gauge_set("route.overflow.back.h", breakdown[1][0]);
+    ffet_obs::gauge_set("route.overflow.back.v", breakdown[1][1]);
+    ffet_obs::gauge_set("route.peak_congestion", grid.peak_congestion());
     RoutingResult {
         nets,
         overflow_tracks: overflow,

@@ -15,15 +15,13 @@ fn hpwl_before_and_after_cts() {
     let fp0 = floorplan(&nl, &lib, 0.7, 1.0).unwrap();
     let pp0 = powerplan(&fp0, &lib, pattern);
     let pl0 = place(&nl, &lib, &fp0, &pp0, 42);
-    eprintln!("pre-CTS hpwl  = {:.2} mm", pl0.hpwl_nm as f64 / 1e6);
 
     let tree = synthesize_clock_tree(&mut nl, &lib, &pl0).expect("clock buffer available");
-    eprintln!("cts buffers = {}", tree.buffers.len());
+    assert!(!tree.buffers.is_empty(), "CTS inserted no buffers");
 
     let fp = floorplan(&nl, &lib, 0.7, 1.0).unwrap();
     let pp = powerplan(&fp, &lib, pattern);
     let pl = place(&nl, &lib, &fp, &pp, 42);
-    eprintln!("post-CTS hpwl = {:.2} mm", pl.hpwl_nm as f64 / 1e6);
 
     assert!(
         pl.hpwl_nm < pl0.hpwl_nm * 3 / 2,
@@ -59,10 +57,13 @@ fn hpwl_after_buffering_like_synthesis() {
             inserted += 1;
         }
     }
-    eprintln!("buffers inserted = {inserted}");
+    assert!(inserted > 0, "fanout buffering inserted nothing");
     let pattern = RoutingPattern::new(12, 0).unwrap();
     let fp = floorplan(&nl, &lib, 0.7, 1.0).unwrap();
     let pp = powerplan(&fp, &lib, pattern);
     let pl = place(&nl, &lib, &fp, &pp, 42);
-    eprintln!("post-buffering hpwl = {:.2} mm", pl.hpwl_nm as f64 / 1e6);
+    assert!(
+        pl.hpwl_nm > 0,
+        "buffered placement produced zero wirelength"
+    );
 }

@@ -17,12 +17,6 @@ fn rv32_placement_beats_random_by_2x() {
     // Random-placement expectation: every net's bounding box is a random
     // sample of the die; for small nets HPWL ≈ (W+H)/3 per net.
     let random_est = nl.nets().len() as i64 * (fp.die.width() + fp.die.height()) / 3;
-    eprintln!(
-        "rv32 placement hpwl = {:.2} mm, random ≈ {:.2} mm, ratio {:.2}",
-        pl.hpwl_nm as f64 / 1e6,
-        random_est as f64 / 1e6,
-        pl.hpwl_nm as f64 / random_est as f64
-    );
     assert!(
         pl.hpwl_nm * 2 < random_est,
         "placement ratio {:.2} worse than half-random",

@@ -70,6 +70,8 @@ pub fn extract_net(
     source: Point,
     sinks: &[Point],
 ) -> NetParasitics {
+    ffet_obs::counter_add("rcx.nets", 1);
+    ffet_obs::counter_add("rcx.segments", net.wires.len() as i64);
     // ---- Build the node graph from segment endpoints ----
     let mut node_ids: HashMap<Point, usize> = HashMap::new();
     let mut points: Vec<Point> = Vec::new();

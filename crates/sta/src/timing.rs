@@ -195,6 +195,7 @@ pub fn analyze_timing(
         let pin_cap = cell.input_cap(0);
         let (a, _) = at_sink(d_net.0 as usize, pin, &arrival, &slew, pin_cap);
         let total = a + cell.timing.setup_ps;
+        ffet_obs::observe("sta.slack_ps", config.clock_period_ps - total);
         if total > critical {
             critical = total;
             critical_net = netlist.nets()[d_net.0 as usize].name.clone();
@@ -207,6 +208,7 @@ pub fn analyze_timing(
         }
         endpoints += 1;
         let a = arrival[port.net.0 as usize];
+        ffet_obs::observe("sta.slack_ps", config.clock_period_ps - a);
         if a > critical {
             critical = a;
             critical_net = netlist.nets()[port.net.0 as usize].name.clone();
@@ -248,6 +250,8 @@ pub fn analyze_timing(
     path.reverse();
 
     let critical = critical.max(1.0);
+    ffet_obs::gauge_set("sta.critical_path_ps", critical);
+    ffet_obs::gauge_set("sta.wns_ps", config.clock_period_ps - critical);
     Ok(TimingReport {
         critical_path_ps: critical,
         max_frequency_ghz: 1000.0 / critical,

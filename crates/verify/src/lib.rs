@@ -259,7 +259,13 @@ pub fn run_signoff(
     violations.extend(check_routing(netlist, library, pattern, pnr));
     violations.extend(check_placement(netlist, library, pnr));
     violations.extend(compare_def_netlist(netlist, library, pnr, merged));
-    SignoffReport::from_violations(violations)
+    let report = SignoffReport::from_violations(violations);
+    for (rule, _, count) in report.rule_counts() {
+        ffet_obs::counter_add(&format!("signoff.{rule}"), count as i64);
+    }
+    ffet_obs::gauge_set("signoff.errors", report.error_count() as f64);
+    ffet_obs::gauge_set("signoff.warnings", report.warning_count() as f64);
+    report
 }
 
 #[cfg(test)]

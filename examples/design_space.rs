@@ -9,6 +9,8 @@
 //! Uses the real RV32 core at a reduced DoE set so it finishes in well
 //! under a minute; `repro table3` in `ffet-bench` runs the paper's full
 //! 13-row version.
+// Examples are demonstration CLIs: stdout is their output channel.
+#![allow(clippy::print_stdout)]
 
 use ffet_core::{designs, pct_diff, run_flow, FlowConfig};
 use ffet_tech::{RoutingPattern, TechKind};

@@ -6,6 +6,8 @@
 //! ```text
 //! cargo run --release --example dual_sided_routing
 //! ```
+// Examples are demonstration CLIs: stdout is their output channel.
+#![allow(clippy::print_stdout)]
 
 use ffet_cells::Library;
 use ffet_lefdef::{merge_defs, write_lef};

@@ -7,6 +7,8 @@
 //! Builds a counter pipeline, implements it in the 3.5T FFET with
 //! dual-sided signal routing (FM6BM6, half the input pins on the wafer
 //! backside), and prints the post-route PPA report.
+// Examples are demonstration CLIs: stdout is their output channel.
+#![allow(clippy::print_stdout)]
 
 use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_tech::{RoutingPattern, TechKind};

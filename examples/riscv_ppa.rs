@@ -9,6 +9,8 @@
 //! The RV32I core is generated from scratch and verified by cosimulation
 //! against a reference ISS before the physical flow runs, so the PPA below
 //! belongs to a provably working processor.
+// Examples are demonstration CLIs: stdout is their output channel.
+#![allow(clippy::print_stdout)]
 
 use ffet_core::{designs, pct_diff, run_flow, FlowConfig};
 use ffet_rv32::{build_core, cosimulate, programs};

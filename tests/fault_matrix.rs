@@ -336,8 +336,8 @@ fn recovered_sweep_is_identical_across_pool_widths() {
         let pool = Pool::new(width);
         ffet_core::experiments::utilization_sweep(&pool, &netlist, &library, &base, &utils)
     };
-    let (max1, points1, log1) = run(1);
-    let (max4, points4, log4) = run(4);
+    let (max1, points1, log1, _traces1) = run(1);
+    let (max4, points4, log4, _traces4) = run(4);
 
     assert_eq!(max1, max4);
     assert_eq!(points1, points4);

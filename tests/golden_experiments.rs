@@ -27,7 +27,11 @@ fn check_golden(name: &str, fresh: &str) {
     if std::env::var("FFET_BLESS").as_deref() == Ok("1") {
         std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
         std::fs::write(&path, fresh).expect("write golden");
-        eprintln!("blessed {}", path.display());
+        // Bless-mode feedback for the human running FFET_BLESS=1.
+        #[allow(clippy::print_stderr)]
+        {
+            eprintln!("blessed {}", path.display());
+        }
         return;
     }
     let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
