@@ -1,0 +1,138 @@
+//! Benchmarks the routing hot-path kernels on a congested reroute
+//! workload: the pattern (L/Z-candidate) router, the retained allocating
+//! full-grid maze reference, the scratch-backed full-grid maze, and the
+//! production windowed maze. A fig11-class end-to-end flow leg tracks how
+//! the kernel work shows up at the block level. Medians land in
+//! `results/BENCH_route.json` so the speedup is recorded machine-readably
+//! alongside the repro CSVs.
+
+use ffet_bench::BenchGroup;
+use ffet_core::{designs, run_flow, FlowConfig};
+use ffet_geom::{Axis, Point, Rect, Rng64};
+use ffet_pnr::maze::{self, MazeScratch};
+use ffet_pnr::{pattern_path, RoutingGrid};
+use ffet_tech::{RoutingPattern, Side, TechKind, Technology};
+use std::time::Duration;
+
+/// A large congested grid: smooth background demand plus saturated
+/// hotspot walls that force maze detours, seeded for reproducibility.
+fn congested_grid(die_w: i64, die_h: i64, rng: &mut Rng64) -> RoutingGrid {
+    let tech = Technology::ffet_3p5t();
+    let pattern = RoutingPattern::new(6, 6).expect("legal");
+    let mut grid = RoutingGrid::new(&tech, Rect::new(0, 0, die_w, die_h), pattern);
+    for _ in 0..4_000 {
+        let at = Point::new(rng.range_i64(0, die_w - 1), rng.range_i64(0, die_h - 1));
+        let axis = if rng.next_u64() & 1 == 0 {
+            Axis::Horizontal
+        } else {
+            Axis::Vertical
+        };
+        let amount = if rng.next_u64().is_multiple_of(6) {
+            30.0
+        } else {
+            2.0
+        };
+        grid.add_demand(Side::Front, grid.gcell_at(at), axis, amount);
+    }
+    grid
+}
+
+/// Reroute endpoints at realistic 2-pin connection lengths (a few dozen
+/// GCells), spread across the congestion landscape.
+fn reroute_pairs(die_w: i64, die_h: i64, rng: &mut Rng64, n: usize) -> Vec<(Point, Point)> {
+    (0..n)
+        .map(|_| {
+            let from = Point::new(rng.range_i64(0, die_w - 1), rng.range_i64(0, die_h - 1));
+            let dx = rng.range_i64(-40_000, 40_000);
+            let dy = rng.range_i64(-30_000, 30_000);
+            let to = Point::new(
+                (from.x + dx).clamp(0, die_w - 1),
+                (from.y + dy).clamp(0, die_h - 1),
+            );
+            (from, to)
+        })
+        .collect()
+}
+
+#[allow(clippy::print_stdout, clippy::print_stderr)] // bench harness output
+fn main() {
+    let (die_w, die_h) = (600_000i64, 400_000i64);
+    let mut rng = Rng64::new(0x50_07e5);
+    let grid = congested_grid(die_w, die_h, &mut rng);
+    let pairs = reroute_pairs(die_w, die_h, &mut rng, 48);
+
+    let mut group = BenchGroup::new("route_kernel");
+    group.sample_size(10);
+
+    let pattern_med = group.bench_function_timed("pattern", || {
+        pairs
+            .iter()
+            .map(|&(a, b)| pattern_path(&grid, Side::Front, a, b).len())
+            .sum::<usize>()
+    });
+    let reference_med = group.bench_function_timed("maze_reference", || {
+        pairs
+            .iter()
+            .map(|&(a, b)| maze::reference_path(&grid, Side::Front, a, b).map_or(0, |p| p.len()))
+            .sum::<usize>()
+    });
+    let mut scratch = MazeScratch::new();
+    let full_med = group.bench_function_timed("maze_scratch_full", || {
+        pairs
+            .iter()
+            .map(|&(a, b)| {
+                maze::maze_path_full(&grid, Side::Front, a, b, &mut scratch).map_or(0, |p| p.len())
+            })
+            .sum::<usize>()
+    });
+    let windowed_med = group.bench_function_timed("maze_windowed", || {
+        pairs
+            .iter()
+            .map(|&(a, b)| {
+                maze::maze_path(&grid, Side::Front, a, b, &mut scratch).map_or(0, |p| p.len())
+            })
+            .sum::<usize>()
+    });
+
+    // Block-level leg: the fig11-class dual-sided flow whose router time
+    // the kernels above dominate.
+    group.sample_size(5);
+    let config = FlowConfig {
+        pattern: RoutingPattern::new(12, 12).expect("static"),
+        back_pin_ratio: 0.5,
+        ..FlowConfig::baseline(TechKind::Ffet3p5t)
+    };
+    let library = config.build_library();
+    let netlist = designs::counter_pipeline(&library, 24);
+    let flow_med = group.bench_function_timed("fig11_flow", || {
+        run_flow(&netlist, &library, &config).expect("flow runs")
+    });
+    group.finish();
+
+    let speedup = reference_med.as_secs_f64() / windowed_med.as_secs_f64().max(1e-12);
+    println!("route_kernel: windowed vs reference speedup {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"pairs\": {},\n  \"grid_cells\": {},\n  \"pattern_ms\": {:.4},\n  \"maze_reference_ms\": {:.4},\n  \"maze_scratch_full_ms\": {:.4},\n  \"maze_windowed_ms\": {:.4},\n  \"windowed_vs_reference_speedup\": {:.3},\n  \"fig11_flow_ms\": {:.3}\n}}\n",
+        pairs.len(),
+        grid.cols * grid.rows,
+        ms(pattern_med),
+        ms(reference_med),
+        ms(full_med),
+        ms(windowed_med),
+        speedup,
+        ms(flow_med),
+    );
+    let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    if let Err(e) = std::fs::create_dir_all(&out_dir)
+        .and_then(|()| std::fs::write(out_dir.join("BENCH_route.json"), &json))
+    {
+        eprintln!("route_kernel: could not write BENCH_route.json: {e}");
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}

@@ -43,10 +43,17 @@ impl BenchGroup {
     /// Times `f`: one warm-up call, then `sample_size` measured calls.
     /// The return value is passed through [`std::hint::black_box`] so the
     /// optimizer cannot delete the work.
+    pub fn bench_function<T, F: FnMut() -> T>(&mut self, label: &str, f: F) {
+        let _ = self.bench_function_timed(label, f);
+    }
+
+    /// [`Self::bench_function`], returning the median sample so callers can
+    /// derive speedups or persist machine-readable results (for example
+    /// `route_kernel`'s `BENCH_route.json`).
     // The timing table IS the bench harness's output, like the repro CLI's
     // tables; there is no flow collector installed under `cargo bench`.
     #[allow(clippy::print_stdout)]
-    pub fn bench_function<T, F: FnMut() -> T>(&mut self, label: &str, mut f: F) {
+    pub fn bench_function_timed<T, F: FnMut() -> T>(&mut self, label: &str, mut f: F) -> Duration {
         std::hint::black_box(f());
         let mut times: Vec<Duration> = (0..self.samples)
             .map(|_| {
@@ -65,6 +72,7 @@ impl BenchGroup {
             format_duration(*times.last().expect("samples > 0")),
             self.samples,
         );
+        median
     }
 
     /// Ends the group (prints a separating blank line).

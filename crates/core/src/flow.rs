@@ -10,7 +10,7 @@ use ffet_cells::Library;
 use ffet_lefdef::{merge_defs, Def};
 use ffet_netlist::Netlist;
 use ffet_pnr::{pin_position, run_pnr, PnrConfig, PnrError, PnrResult};
-use ffet_rcx::{extract_net, NetParasitics};
+use ffet_rcx::{extract_net_with, NetParasitics};
 use ffet_sta::{analyze_power, analyze_timing, StaConfig};
 use ffet_tech::{RoutingPattern, TechKind, Technology};
 use ffet_verify::{run_signoff, SignoffReport};
@@ -377,7 +377,7 @@ fn extract_all(
     let tech = library.tech();
     let by_name: HashMap<&str, &ffet_lefdef::DefNet> =
         merged.nets.iter().map(|n| (n.name.as_str(), n)).collect();
-    let extract_one = |net: &ffet_netlist::Net| {
+    let extract_one = |net: &ffet_netlist::Net, scratch: &mut ffet_rcx::ExtractScratch| {
         let def_net = by_name.get(net.name.as_str())?;
         let source = net
             .driver
@@ -398,14 +398,19 @@ fn extract_all(
             .iter()
             .map(|&s| pin_position(netlist, library, &pnr.placement, s))
             .collect();
-        Some(extract_net(def_net, tech, source, &sinks))
+        Some(extract_net_with(def_net, tech, source, &sinks, scratch))
     };
     let mut out = Vec::with_capacity(netlist.nets().len());
+    // One scratch for the whole extraction: every net after the first
+    // reuses the hash tables grown by its predecessors.
+    let mut scratch = ffet_rcx::ExtractScratch::new();
     for (bi, batch) in netlist.nets().chunks(RCX_BATCH).enumerate() {
         let sp = ffet_obs::span("rcx.batch")
             .attr("batch", bi)
             .attr("nets", batch.len());
-        out.extend(batch.iter().map(extract_one));
+        for net in batch {
+            out.push(extract_one(net, &mut scratch));
+        }
         sp.close();
     }
     out

@@ -1,0 +1,163 @@
+//! Deterministic, zero-dependency FxHash-style hashing.
+//!
+//! `std`'s default `RandomState` seeds SipHash from process entropy: secure
+//! against HashDoS, but slow for small keys and — worse for this workspace —
+//! a source of run-to-run iteration-order variation that deterministic code
+//! must never depend on. The hot paths that intern [`crate::Point`]s (RC
+//! extraction node building) want the opposite trade-off: a fixed-seed
+//! multiplicative hash over machine words, the same scheme rustc itself
+//! uses (`FxHasher`). Inputs are geometry, not attacker-controlled, so the
+//! missing DoS resistance costs nothing.
+//!
+//! ```
+//! use ffet_geom::{FxHashMap, Point};
+//! let mut m: FxHashMap<Point, usize> = FxHashMap::default();
+//! m.insert(Point::new(1, 2), 7);
+//! assert_eq!(m.get(&Point::new(1, 2)), Some(&7));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Firefox/rustc multiplicative-hash constant (64-bit golden-ratio
+/// derived, odd so multiplication permutes `u64`).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fixed-seed word-at-a-time hasher (FxHash scheme): rotate, xor the
+/// input word, multiply. Not DoS-resistant by design — see module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.add_word(i as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.add_word(i as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.add_word(i as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// Zero-sized `BuildHasher` producing [`FxHasher`]s from a fixed (zero)
+/// state: equal keys hash equally in every process, on every platform.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal_and_fixed() {
+        let p = Point::new(123, -456);
+        assert_eq!(hash_of(&p), hash_of(&Point::new(123, -456)));
+        assert_ne!(hash_of(&p), hash_of(&Point::new(124, -456)));
+        // The scheme is seedless: the same value hashes identically in
+        // every process. Pin one value so accidental scheme changes show.
+        assert_eq!(hash_of(&0u64), 0);
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn byte_writes_cover_tail() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<Point, usize> = FxHashMap::default();
+        let mut s: FxHashSet<Point> = FxHashSet::default();
+        for i in 0..100 {
+            m.insert(Point::new(i, -i), i as usize);
+            s.insert(Point::new(i, -i));
+        }
+        assert_eq!(m.len(), 100);
+        assert!((0..100).all(|i| m[&Point::new(i, -i)] == i as usize));
+        assert!(s.contains(&Point::new(42, -42)));
+    }
+}

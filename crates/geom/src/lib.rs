@@ -17,10 +17,12 @@
 //! assert_eq!(Point::new(0, 0).manhattan(Point::new(3, 4)), 7);
 //! ```
 
+mod fxhash;
 mod point;
 mod rect;
 mod rng;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use point::Point;
 pub use rect::Rect;
 pub use rng::Rng64;

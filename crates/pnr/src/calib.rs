@@ -44,6 +44,16 @@ pub const STEINER_SHARING: f64 = 0.61;
 /// Number of rip-up-and-reroute refinement iterations of the global router.
 pub const REROUTE_ITERATIONS: usize = 12;
 
+/// Initial margin (GCells) added around a net's bounding box to form the
+/// maze-search window. The windowed search only accepts a path it can
+/// prove equal to the full-grid answer, so this knob trades re-search work
+/// against window size — it cannot change results.
+pub const MAZE_WINDOW_MARGIN: usize = 4;
+
+/// Geometric growth factor applied to the window margin each time the
+/// windowed search cannot certify its answer.
+pub const MAZE_WINDOW_GROWTH: usize = 4;
+
 /// GCell width in CPP (horizontal extent of one congestion bin).
 pub const GCELL_WIDTH_CPP: i64 = 16;
 

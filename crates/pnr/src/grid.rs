@@ -163,6 +163,38 @@ impl RoutingGrid {
         1.0 + crate::calib::CONGESTION_WEIGHT * penalty + self.history[s][i]
     }
 
+    /// Accumulated cost of a straight run of GCells from `from` to `to`
+    /// (inclusive) stepping along `axis`, continued from `acc`.
+    ///
+    /// This is the incremental-candidate-costing kernel: it reproduces, term
+    /// by term and in the same order, the sum the pattern router used to
+    /// compute by materializing the run as a `Vec<GCell>` and folding
+    /// `0.5 * (step_cost(a) + step_cost(b))` over adjacent pairs. Threading
+    /// `acc` through consecutive runs of one candidate (instead of summing
+    /// each run separately) keeps the floating-point rounding sequence —
+    /// and therefore every candidate comparison — bit-identical to the
+    /// materializing implementation.
+    ///
+    /// `from` and `to` must share a row (`axis == Horizontal`) or column
+    /// (`axis == Vertical`); a degenerate run (`from == to`) contributes
+    /// nothing.
+    #[must_use]
+    pub fn run_cost(&self, side: Side, from: GCell, to: GCell, axis: Axis, acc: f64) -> f64 {
+        let mut acc = acc;
+        let mut prev_cost = self.step_cost(side, from, axis);
+        let (mut x, mut y) = (from.x, from.y);
+        while (x, y) != (to.x, to.y) {
+            match axis {
+                Axis::Horizontal => x = if to.x > x { x + 1 } else { x - 1 },
+                Axis::Vertical => y = if to.y > y { y + 1 } else { y - 1 },
+            }
+            let cost = self.step_cost(side, GCell { x, y }, axis);
+            acc += 0.5 * (prev_cost + cost);
+            prev_cost = cost;
+        }
+        acc
+    }
+
     /// Overflow of a single GCell/direction (tracks over capacity).
     fn overflow_at(&self, s: usize, i: usize) -> f64 {
         let oh = (self.demand_h[s][i] - self.cap_h[s]).max(0.0);
@@ -215,6 +247,23 @@ impl RoutingGrid {
             for i in 0..self.cols * self.rows {
                 if self.overflow_at(s, i) > 0.0 {
                     self.history[s][i] += crate::calib::HISTORY_WEIGHT;
+                }
+            }
+        }
+    }
+
+    /// [`update_history`](Self::update_history) fused with dirty-set
+    /// collection: bumps the history cost of every overflowed GCell *and*
+    /// appends each one to `out` as `(side_index, cell_index)` — side-major,
+    /// ascending cell index, so the order is deterministic. One grid scan
+    /// serves both the pricing update and the rip-up round's dirty set.
+    /// `out` is not cleared.
+    pub fn update_history_collect(&mut self, out: &mut Vec<(u8, u32)>) {
+        for s in 0..2 {
+            for i in 0..self.cols * self.rows {
+                if self.overflow_at(s, i) > 0.0 {
+                    self.history[s][i] += crate::calib::HISTORY_WEIGHT;
+                    out.push((s as u8, i as u32));
                 }
             }
         }

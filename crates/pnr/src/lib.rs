@@ -46,6 +46,7 @@ mod fillers;
 mod floorplan;
 mod grid;
 mod integrity;
+pub mod maze;
 mod placement;
 mod powerplan;
 mod qp;
@@ -61,7 +62,7 @@ pub use grid::{GCell, HotGcell, RoutingGrid};
 pub use integrity::{analyze_pdn, PdnReport};
 pub use placement::{place, Placement};
 pub use powerplan::{powerplan, PowerPlan, TapCell};
-pub use route::{route_nets, route_nets_with_effort, RoutedNet, RoutingResult};
+pub use route::{pattern_path, route_nets, route_nets_with_effort, RoutedNet, RoutingResult};
 
 use ffet_cells::{Library, PinSides};
 use ffet_lefdef::Def;

@@ -1,0 +1,401 @@
+//! The A* maze-routing kernel: epoch-stamped scratch state and a bounded
+//! search window, tuned for the rip-up-and-reroute hot loop.
+//!
+//! The original maze router allocated (and zero-initialized) two
+//! whole-grid arrays per call, so every reroute paid O(grid) even when the
+//! search settled a handful of GCells. This module keeps that state in a
+//! reusable [`MazeScratch`]: `best`/`prev` entries are valid only when
+//! their epoch stamp matches the current search, so "resetting" the arrays
+//! is a single counter increment and the binary heap's storage is reused
+//! across calls. Steady-state reroutes allocate nothing but the winning
+//! path.
+//!
+//! On top of the scratch, [`maze_path`] searches inside a bounded window —
+//! the net bounding box inflated by [`crate::calib::MAZE_WINDOW_MARGIN`]
+//! GCells — and only falls back to wider windows (geometric growth by
+//! [`crate::calib::MAZE_WINDOW_GROWTH`], ending at the full grid) when the
+//! window provably might have truncated the optimum. The acceptance test
+//! makes the window *exact*, not heuristic: see [`maze_path`] for the
+//! argument. [`reference_path`] keeps the original allocating full-grid
+//! implementation as the equivalence oracle and benchmark baseline.
+
+use crate::grid::{GCell, RoutingGrid};
+use ffet_tech::Side;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cost of one step between adjacent GCells: the mean of the two cells'
+/// directional congestion costs along the step's axis.
+pub(crate) fn step_cost(grid: &RoutingGrid, side: Side, a: GCell, b: GCell) -> f64 {
+    let axis = if a.y == b.y {
+        ffet_geom::Axis::Horizontal
+    } else {
+        ffet_geom::Axis::Vertical
+    };
+    0.5 * (grid.step_cost(side, a, axis) + grid.step_cost(side, b, axis))
+}
+
+/// Total congestion cost of a GCell path (sum of its step costs, in path
+/// order — the quantity both the pattern candidates and the maze minimize).
+#[must_use]
+pub fn path_cost(grid: &RoutingGrid, side: Side, path: &[GCell]) -> f64 {
+    path.windows(2)
+        .map(|w| step_cost(grid, side, w[0], w[1]))
+        .sum()
+}
+
+/// Heap node: `(f = cost + heuristic, cell index)` with deterministic
+/// tie-breaking on the index.
+#[derive(PartialEq)]
+struct Node(f64, u32);
+
+impl Eq for Node {}
+
+impl PartialOrd for Node {
+    fn partial_cmp(&self, o: &Node) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+impl Ord for Node {
+    fn cmp(&self, o: &Node) -> std::cmp::Ordering {
+        self.0.total_cmp(&o.0).then(self.1.cmp(&o.1))
+    }
+}
+
+/// Reusable maze-search state, sized to one grid.
+///
+/// `best[i]` and `prev[i]` are meaningful only while `stamp[i] == epoch`;
+/// bumping the epoch invalidates every entry at once, so consecutive
+/// searches share the arrays with no per-call clearing. The heap's backing
+/// storage survives `clear()`, so a warmed-up scratch performs the whole
+/// search without touching the allocator.
+#[derive(Debug, Default)]
+pub struct MazeScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    best: Vec<f64>,
+    prev: Vec<u32>,
+    heap: BinaryHeap<Reverse<Node>>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Node({}, {})", self.0, self.1)
+    }
+}
+
+impl MazeScratch {
+    /// Creates an empty scratch; arrays grow on first use with a grid.
+    #[must_use]
+    pub fn new() -> MazeScratch {
+        MazeScratch::default()
+    }
+
+    /// Sizes the arrays for `len` cells and starts a fresh search epoch.
+    fn begin(&mut self, len: usize) {
+        if self.stamp.len() != len {
+            self.stamp.clear();
+            self.stamp.resize(len, 0);
+            self.best.resize(len, f64::INFINITY);
+            self.prev.resize(len, u32::MAX);
+            self.epoch = 0;
+        }
+        if self.epoch == u32::MAX {
+            // Epoch counter wrapped: old stamps could alias the new epoch,
+            // so pay one full clear every 2^32 searches.
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.heap.clear();
+    }
+}
+
+/// The inclusive GCell rectangle a search may touch.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    x0: u16,
+    y0: u16,
+    x1: u16,
+    y1: u16,
+}
+
+impl Window {
+    /// The `start`/`goal` bounding box inflated by `margin` cells, clamped
+    /// to the grid.
+    fn around(start: GCell, goal: GCell, margin: usize, cols: usize, rows: usize) -> Window {
+        let m = margin as u64;
+        let clamp = |v: u64, hi: usize| (v.min(hi as u64 - 1)) as u16;
+        Window {
+            x0: u64::from(start.x.min(goal.x)).saturating_sub(m) as u16,
+            y0: u64::from(start.y.min(goal.y)).saturating_sub(m) as u16,
+            x1: clamp(u64::from(start.x.max(goal.x)) + m, cols),
+            y1: clamp(u64::from(start.y.max(goal.y)) + m, rows),
+        }
+    }
+
+    fn covers(&self, cols: usize, rows: usize) -> bool {
+        self.x0 == 0 && self.y0 == 0 && self.x1 as usize == cols - 1 && self.y1 as usize == rows - 1
+    }
+
+    fn contains(&self, x: i64, y: i64) -> bool {
+        x >= i64::from(self.x0)
+            && x <= i64::from(self.x1)
+            && y >= i64::from(self.y0)
+            && y <= i64::from(self.y1)
+    }
+}
+
+/// A* from `start` to `goal`, restricted to `win`. Returns the goal's
+/// settled cost if it was reached. On success `scratch.prev` holds the
+/// tree for [`build_path`].
+fn search(
+    grid: &RoutingGrid,
+    side: Side,
+    start: GCell,
+    goal: GCell,
+    win: Window,
+    scratch: &mut MazeScratch,
+) -> Option<f64> {
+    let cols = grid.cols;
+    scratch.begin(cols * grid.rows);
+    let idx = |g: GCell| g.y as usize * cols + g.x as usize;
+    let heuristic = |g: GCell| -> f64 {
+        ((g.x as i64 - goal.x as i64).abs() + (g.y as i64 - goal.y as i64).abs()) as f64
+    };
+    let epoch = scratch.epoch;
+    let si = idx(start);
+    scratch.stamp[si] = epoch;
+    scratch.best[si] = 0.0;
+    scratch.prev[si] = u32::MAX;
+    scratch
+        .heap
+        .push(Reverse(Node(heuristic(start), si as u32)));
+    while let Some(Reverse(Node(_, u))) = scratch.heap.pop() {
+        let u = u as usize;
+        let g = GCell {
+            x: (u % cols) as u16,
+            y: (u / cols) as u16,
+        };
+        if g == goal {
+            break;
+        }
+        let gcost = scratch.best[u];
+        for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+            let nx = g.x as i64 + dx;
+            let ny = g.y as i64 + dy;
+            if !win.contains(nx, ny) {
+                continue;
+            }
+            let ng = GCell {
+                x: nx as u16,
+                y: ny as u16,
+            };
+            let cost = gcost + step_cost(grid, side, g, ng);
+            let ni = idx(ng);
+            if scratch.stamp[ni] != epoch || cost + 1e-12 < scratch.best[ni] {
+                scratch.stamp[ni] = epoch;
+                scratch.best[ni] = cost;
+                scratch.prev[ni] = u as u32;
+                scratch
+                    .heap
+                    .push(Reverse(Node(cost + heuristic(ng), ni as u32)));
+            }
+        }
+    }
+    let gi = idx(goal);
+    (scratch.stamp[gi] == epoch).then(|| scratch.best[gi])
+}
+
+/// Walks `scratch.prev` from `goal` back to `start`. `None` on a malformed
+/// tree (defensive; relaxation keeps `prev` acyclic).
+fn build_path(
+    grid: &RoutingGrid,
+    start: GCell,
+    goal: GCell,
+    scratch: &MazeScratch,
+) -> Option<Vec<GCell>> {
+    let cols = grid.cols;
+    let idx = |g: GCell| g.y as usize * cols + g.x as usize;
+    let mut path = vec![goal];
+    let mut cur = idx(goal);
+    while cur != idx(start) {
+        cur = scratch.prev[cur] as usize;
+        path.push(GCell {
+            x: (cur % cols) as u16,
+            y: (cur / cols) as u16,
+        });
+        if path.len() > cols * grid.rows {
+            return None;
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Full-grid A* maze search using the reusable scratch. Produces the same
+/// path as [`reference_path`] without its per-call allocations.
+#[must_use]
+pub fn maze_path_full(
+    grid: &RoutingGrid,
+    side: Side,
+    from: ffet_geom::Point,
+    to: ffet_geom::Point,
+    scratch: &mut MazeScratch,
+) -> Option<Vec<GCell>> {
+    let start = grid.gcell_at(from);
+    let goal = grid.gcell_at(to);
+    if start == goal {
+        return Some(vec![start]);
+    }
+    let win = Window {
+        x0: 0,
+        y0: 0,
+        x1: (grid.cols - 1) as u16,
+        y1: (grid.rows - 1) as u16,
+    };
+    search(grid, side, start, goal, win, scratch)?;
+    build_path(grid, start, goal, scratch)
+}
+
+/// Windowed A* maze search: the production reroute kernel.
+///
+/// The search runs inside the net bounding box inflated by
+/// [`crate::calib::MAZE_WINDOW_MARGIN`] GCells. A windowed result of cost
+/// `c` is accepted only when `c < d + 2·(margin + 1)`, where `d` is the
+/// start–goal Manhattan distance in cells. Because every step costs at
+/// least 1, any path that visits a cell outside the window must detour at
+/// least `margin + 1` cells beyond the bounding box and back, i.e. costs at
+/// least `d + 2·(margin + 1)` — so an accepted windowed path is a global
+/// optimum, and (stronger) the whole A* exploration region
+/// `{n : d(start,n) + d(n,goal) ≤ c}` lies inside the window, which makes
+/// the windowed search's pop sequence, tie-breaks and `prev` tree
+/// *identical* to the full-grid search's. Results are therefore
+/// bit-identical to [`maze_path_full`]/[`reference_path`], never merely
+/// close. On rejection the margin grows by
+/// [`crate::calib::MAZE_WINDOW_GROWTH`] (counted in the
+/// `route.maze.window_expansions` metric) until the window covers the
+/// grid.
+///
+/// Returns `None` when `to` is unreachable from `from` (cannot happen on a
+/// connected grid); the caller falls back to pattern routing, as the
+/// original kernel did.
+#[must_use]
+pub fn maze_path(
+    grid: &RoutingGrid,
+    side: Side,
+    from: ffet_geom::Point,
+    to: ffet_geom::Point,
+    scratch: &mut MazeScratch,
+) -> Option<Vec<GCell>> {
+    let start = grid.gcell_at(from);
+    let goal = grid.gcell_at(to);
+    if start == goal {
+        return Some(vec![start]);
+    }
+    let base =
+        ((start.x as i64 - goal.x as i64).abs() + (start.y as i64 - goal.y as i64).abs()) as f64;
+    let mut margin = crate::calib::MAZE_WINDOW_MARGIN;
+    let mut expansions = 0i64;
+    let result = loop {
+        let win = Window::around(start, goal, margin, grid.cols, grid.rows);
+        let full = win.covers(grid.cols, grid.rows);
+        match search(grid, side, start, goal, win, scratch) {
+            // A full-grid window is the reference search itself.
+            Some(_) if full => break build_path(grid, start, goal, scratch),
+            // Exactness bound: cheaper than any window-escaping path
+            // (strictly, with an epsilon so borderline costs expand
+            // instead of risking a tie with an outside detour).
+            Some(cost) if cost < base + 2.0 * (margin as f64 + 1.0) - 1e-9 => {
+                break build_path(grid, start, goal, scratch);
+            }
+            Some(_) | None if full => break None,
+            // Window may have truncated the optimum (or the goal): grow.
+            Some(_) | None => {
+                expansions += 1;
+                margin *= crate::calib::MAZE_WINDOW_GROWTH;
+            }
+        }
+    };
+    if expansions > 0 {
+        ffet_obs::counter_add("route.maze.window_expansions", expansions);
+    }
+    result
+}
+
+/// The original full-grid maze router, kept as the equivalence oracle and
+/// benchmark baseline: allocates fresh `best`/`prev` arrays and a heap on
+/// every call. Bit-for-bit the pre-scratch implementation, except that
+/// unreachable goals return `None` instead of falling back to pattern
+/// routing (the caller owns that fallback).
+#[must_use]
+pub fn reference_path(
+    grid: &RoutingGrid,
+    side: Side,
+    from: ffet_geom::Point,
+    to: ffet_geom::Point,
+) -> Option<Vec<GCell>> {
+    let start = grid.gcell_at(from);
+    let goal = grid.gcell_at(to);
+    if start == goal {
+        return Some(vec![start]);
+    }
+    let cols = grid.cols;
+    let rows = grid.rows;
+    let idx = |g: GCell| g.y as usize * cols + g.x as usize;
+    let mut best = vec![f64::INFINITY; cols * rows];
+    let mut prev: Vec<u32> = vec![u32::MAX; cols * rows];
+    let heuristic = |g: GCell| -> f64 {
+        ((g.x as i64 - goal.x as i64).abs() + (g.y as i64 - goal.y as i64).abs()) as f64
+    };
+    let mut heap: BinaryHeap<Reverse<Node>> = BinaryHeap::new();
+    best[idx(start)] = 0.0;
+    heap.push(Reverse(Node(heuristic(start), idx(start) as u32)));
+    while let Some(Reverse(Node(_, u))) = heap.pop() {
+        let u = u as usize;
+        let g = GCell {
+            x: (u % cols) as u16,
+            y: (u / cols) as u16,
+        };
+        if g == goal {
+            break;
+        }
+        let gcost = best[u];
+        for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+            let nx = g.x as i64 + dx;
+            let ny = g.y as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= cols as i64 || ny >= rows as i64 {
+                continue;
+            }
+            let ng = GCell {
+                x: nx as u16,
+                y: ny as u16,
+            };
+            let cost = gcost + step_cost(grid, side, g, ng);
+            let ni = idx(ng);
+            if cost + 1e-12 < best[ni] {
+                best[ni] = cost;
+                prev[ni] = u as u32;
+                heap.push(Reverse(Node(cost + heuristic(ng), ni as u32)));
+            }
+        }
+    }
+    if prev[idx(goal)] == u32::MAX {
+        return None;
+    }
+    let mut path = vec![goal];
+    let mut cur = idx(goal);
+    while cur != idx(start) {
+        cur = prev[cur] as usize;
+        path.push(GCell {
+            x: (cur % cols) as u16,
+            y: (cur / cols) as u16,
+        });
+        if path.len() > cols * rows {
+            return None;
+        }
+    }
+    path.reverse();
+    Some(path)
+}

@@ -10,10 +10,13 @@
 use crate::calib::REROUTE_ITERATIONS;
 use crate::dualside::SideNet;
 use crate::grid::{GCell, RoutingGrid};
+use crate::maze::{self, MazeScratch};
 use ffet_geom::{Axis, Nm, Point};
 use ffet_lefdef::{DefVia, DefWire};
 use ffet_netlist::NetId;
 use ffet_tech::{LayerId, RoutingPattern, Side, Technology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// The routed geometry of one (sub-)net on one side.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,14 +110,46 @@ pub fn route_nets_with_effort(
         conns[ci].path = path;
     }
 
-    // Rip-up and reroute overflowed connections; the reroute uses a full
-    // A* maze search so detours can leave the bounding box (pattern
-    // candidates alone cannot relieve a hotspot).
+    // GCell → connection inverted index (per side, flat cell layout): the
+    // dirty set of a rip-up round is read from here instead of scanning
+    // every connection's path. Entries are append-only — a rerouted
+    // connection's old cells keep their (now stale) entries — because every
+    // candidate is re-checked against the live grid before rip-up, so a
+    // stale entry costs one overflow probe, never a wrong reroute.
+    let cols = grid.cols;
+    let cell_of = |g: GCell| g.y as usize * cols + g.x as usize;
+    let side_of = |side: Side| usize::from(side == Side::Back);
+    let mut index: [Vec<Vec<u32>>; 2] = [
+        vec![Vec::new(); cols * grid.rows],
+        vec![Vec::new(); cols * grid.rows],
+    ];
+    for (ci, conn) in conns.iter().enumerate() {
+        let s = side_of(side_nets[conn.side_net].side);
+        for &g in &conn.path {
+            index[s][cell_of(g)].push(ci as u32);
+        }
+    }
+
+    // Rip-up and reroute overflowed connections; the reroute uses an A*
+    // maze search (windowed, scratch-backed — see `crate::maze`) so
+    // detours can leave the bounding box (pattern candidates alone cannot
+    // relieve a hotspot).
     // Snapshot the initial solution: negotiated rerouting may only make
     // things worse, and the restore below must be able to fall back to it.
+    // The snapshot is maintained copy-on-improve: `saved` always holds the
+    // best solution seen, and an improving round refreshes only the paths
+    // in `changed` (connections rerouted since the previous snapshot)
+    // instead of cloning every path.
+    let mut scratch = MazeScratch::new();
     let mut best_overflow = grid.total_overflow();
-    let mut best_paths: Option<Vec<Vec<GCell>>> =
-        Some(conns.iter().map(|c| c.path.clone()).collect());
+    let mut saved: Vec<Vec<GCell>> = conns.iter().map(|c| c.path.clone()).collect();
+    let mut changed: Vec<bool> = vec![false; conns.len()];
+    let mut changed_list: Vec<u32> = Vec::new();
+    // Rip-up worklist: ascending-id heap + per-round queued stamps, so
+    // connections are visited in the same order the full scan used.
+    let mut queue: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+    let mut queued: Vec<u32> = vec![0; conns.len()];
+    let mut dirty_cells: Vec<(u8, u32)> = Vec::new();
     let rounds = REROUTE_ITERATIONS + extra_rounds as usize;
     for it in 0..rounds {
         let overflow_now = grid.total_overflow();
@@ -128,19 +163,59 @@ pub fn route_nets_with_effort(
             break;
         }
         let mut round_span = ffet_obs::span("route.round").attr("round", it);
-        grid.update_history();
+        // One grid scan prices history *and* yields the round's dirty set.
+        dirty_cells.clear();
+        grid.update_history_collect(&mut dirty_cells);
+        let round_stamp = it as u32 + 1;
+        for &(s, i) in &dirty_cells {
+            for &ci in &index[s as usize][i as usize] {
+                if queued[ci as usize] != round_stamp {
+                    queued[ci as usize] = round_stamp;
+                    queue.push(Reverse(ci));
+                }
+            }
+        }
         let mut rerouted = 0usize;
-        for ci in 0..conns.len() {
+        let mut visited = 0i64;
+        while let Some(Reverse(ci)) = queue.pop() {
+            let ci = ci as usize;
+            visited += 1;
             let side = side_nets[conns[ci].side_net].side;
+            // Live re-check: an earlier reroute this round may have
+            // relieved (or a stale index entry may never have crossed) the
+            // overflow — exactly the test the full scan applied per visit.
             let crosses = conns[ci].path.iter().any(|&g| grid.is_overflowed(side, g));
             if !crosses {
                 continue;
             }
             let old = std::mem::take(&mut conns[ci].path);
             commit(grid, side, &old, -1.0);
-            let path = maze_path(grid, side, conns[ci].from, conns[ci].to);
+            let path = maze::maze_path(grid, side, conns[ci].from, conns[ci].to, &mut scratch)
+                .unwrap_or_else(|| best_path(grid, side, conns[ci].from, conns[ci].to));
             commit(grid, side, &path, 1.0);
             conns[ci].path = path;
+            // Index the new path, and propagate overflow it *created* to
+            // later connections in this round's visit order: only commits
+            // add demand, so these cells are the only places the dirty set
+            // can grow mid-round. Earlier ids (already visited) are
+            // excluded — the full scan would not have revisited them.
+            let s = side_of(side);
+            for &g in &conns[ci].path {
+                let i = cell_of(g);
+                index[s][i].push(ci as u32);
+                if grid.is_overflowed(side, g) {
+                    for &cj in &index[s][i] {
+                        if cj as usize > ci && queued[cj as usize] != round_stamp {
+                            queued[cj as usize] = round_stamp;
+                            queue.push(Reverse(cj));
+                        }
+                    }
+                }
+            }
+            if !changed[ci] {
+                changed[ci] = true;
+                changed_list.push(ci as u32);
+            }
             rerouted += 1;
         }
         let overflow = grid.total_overflow();
@@ -150,20 +225,28 @@ pub fn route_nets_with_effort(
         round_span.close();
         ffet_obs::counter_add("route.rounds", 1);
         ffet_obs::counter_add("route.ripups", rerouted as i64);
+        ffet_obs::counter_add("route.dirty.visited", visited);
         if overflow < best_overflow {
             best_overflow = overflow;
-            best_paths = Some(conns.iter().map(|c| c.path.clone()).collect());
+            for &ci in &changed_list {
+                let ci = ci as usize;
+                saved[ci].clone_from(&conns[ci].path);
+                changed[ci] = false;
+            }
+            changed_list.clear();
         }
     }
     // Negotiated congestion can oscillate: restore the best solution seen.
-    if let Some(paths) = best_paths {
-        if grid.total_overflow() > best_overflow {
-            for (ci, path) in paths.into_iter().enumerate() {
-                let side = side_nets[conns[ci].side_net].side;
-                let old = std::mem::replace(&mut conns[ci].path, path);
-                commit(grid, side, &old, -1.0);
-                commit(grid, side, &conns[ci].path.clone(), 1.0);
-            }
+    // Every connection is re-committed (not just the changed ones) so the
+    // grid's demand totals go through the same remove/re-add floating-point
+    // sequence as the historical implementation — overflow and congestion
+    // metrics stay bit-identical.
+    if grid.total_overflow() > best_overflow {
+        for (ci, path) in saved.into_iter().enumerate() {
+            let side = side_nets[conns[ci].side_net].side;
+            let old = std::mem::replace(&mut conns[ci].path, path);
+            commit(grid, side, &old, -1.0);
+            commit(grid, side, &conns[ci].path, 1.0);
         }
     }
 
@@ -257,45 +340,20 @@ fn mst_edges(pins: &[Point]) -> Vec<(Point, Point)> {
     edges
 }
 
-/// Cost of one step between adjacent GCells.
-fn step_cost(grid: &RoutingGrid, side: Side, a: GCell, b: GCell) -> f64 {
-    let axis = if a.y == b.y {
-        Axis::Horizontal
-    } else {
-        Axis::Vertical
-    };
-    0.5 * (grid.step_cost(side, a, axis) + grid.step_cost(side, b, axis))
-}
-
-/// Total cost of a path.
-fn path_cost(grid: &RoutingGrid, side: Side, path: &[GCell]) -> f64 {
-    path.windows(2)
-        .map(|w| step_cost(grid, side, w[0], w[1]))
-        .sum()
-}
-
 /// Straight run of GCells from `a` towards `b` along one axis (inclusive).
 fn straight(a: GCell, b: GCell) -> Vec<GCell> {
-    let mut v = Vec::new();
-    if a.y == b.y {
-        let (x0, x1) = (a.x, b.x);
-        let range: Box<dyn Iterator<Item = u16>> = if x0 <= x1 {
-            Box::new(x0..=x1)
-        } else {
-            Box::new((x1..=x0).rev())
-        };
-        for x in range {
-            v.push(GCell { x, y: a.y });
+    let span = (a.x.abs_diff(b.x) + a.y.abs_diff(b.y)) as usize + 1;
+    let mut v = Vec::with_capacity(span);
+    let (mut x, mut y) = (a.x, a.y);
+    loop {
+        v.push(GCell { x, y });
+        if (x, y) == (b.x, b.y) {
+            break;
         }
-    } else {
-        let (y0, y1) = (a.y, b.y);
-        let range: Box<dyn Iterator<Item = u16>> = if y0 <= y1 {
-            Box::new(y0..=y1)
+        if a.y == b.y {
+            x = if b.x > x { x + 1 } else { x - 1 };
         } else {
-            Box::new((y1..=y0).rev())
-        };
-        for y in range {
-            v.push(GCell { x: a.x, y });
+            y = if b.y > y { y + 1 } else { y - 1 };
         }
     }
     v
@@ -314,20 +372,80 @@ fn join(runs: &[Vec<GCell>]) -> Vec<GCell> {
     out
 }
 
+/// Up to four corner GCells describing one rectilinear pattern candidate
+/// (`len` of them are meaningful; consecutive equal corners mark a
+/// degenerate leg).
+type Corners = ([GCell; 4], usize);
+
+/// Cost of the candidate described by `corners`, accumulated leg by leg
+/// through [`RoutingGrid::run_cost`] — no cell materialization. The
+/// accumulator threads through the legs so the floating-point rounding
+/// sequence matches summing the materialized path pair-by-pair.
+fn corners_cost(grid: &RoutingGrid, side: Side, corners: &Corners) -> f64 {
+    let (pts, len) = corners;
+    let mut acc = 0.0;
+    for w in pts[..*len].windows(2) {
+        let (p, q) = (w[0], w[1]);
+        if p == q {
+            continue;
+        }
+        let axis = if p.y == q.y {
+            Axis::Horizontal
+        } else {
+            Axis::Vertical
+        };
+        acc = grid.run_cost(side, p, q, axis, acc);
+    }
+    acc
+}
+
+/// Materializes a candidate's GCell path (corners → joined straight runs).
+fn corners_path(corners: &Corners) -> Vec<GCell> {
+    let (pts, len) = corners;
+    let runs: Vec<Vec<GCell>> = pts[..*len]
+        .windows(2)
+        .map(|w| straight(w[0], w[1]))
+        .collect();
+    join(&runs)
+}
+
 /// Candidate-pattern routing: both L-shapes plus Z-shapes through sampled
-/// intermediate columns/rows inside the bounding box. Returns the cheapest.
-fn best_path(grid: &RoutingGrid, side: Side, from: Point, to: Point) -> Vec<GCell> {
+/// intermediate columns/rows inside the bounding box. Costs every
+/// candidate incrementally and materializes only the winner.
+pub(crate) fn best_path(grid: &RoutingGrid, side: Side, from: Point, to: Point) -> Vec<GCell> {
+    best_path_impl(grid, side, from, to)
+}
+
+/// Pattern (L/Z-candidate) routing, exposed for benches and equivalence
+/// tests. Identical to the router's internal first-pass candidate search.
+#[must_use]
+pub fn pattern_path(grid: &RoutingGrid, side: Side, from: Point, to: Point) -> Vec<GCell> {
+    best_path_impl(grid, side, from, to)
+}
+
+fn best_path_impl(grid: &RoutingGrid, side: Side, from: Point, to: Point) -> Vec<GCell> {
     let a = grid.gcell_at(from);
     let b = grid.gcell_at(to);
     if a == b {
         return vec![a];
     }
-    let mut candidates: Vec<Vec<GCell>> = Vec::new();
+    let mut best: Option<(f64, Corners)> = None;
+    // Candidate order matters for tie-breaking (first minimum wins, as
+    // `min_by` over the materialized candidates chose).
+    let mut consider = |corners: Corners| {
+        let cost = corners_cost(grid, side, &corners);
+        if best
+            .as_ref()
+            .is_none_or(|(bc, _)| cost.total_cmp(bc) == std::cmp::Ordering::Less)
+        {
+            best = Some((cost, corners));
+        }
+    };
     // L-shapes.
     let corner1 = GCell { x: b.x, y: a.y };
     let corner2 = GCell { x: a.x, y: b.y };
-    candidates.push(join(&[straight(a, corner1), straight(corner1, b)]));
-    candidates.push(join(&[straight(a, corner2), straight(corner2, b)]));
+    consider(([a, corner1, b, b], 3));
+    consider(([a, corner2, b, b], 3));
     // Z-shapes through intermediate columns.
     let (xl, xr) = (a.x.min(b.x), a.x.max(b.x));
     if xr - xl >= 2 {
@@ -338,7 +456,7 @@ fn best_path(grid: &RoutingGrid, side: Side, from: Point, to: Point) -> Vec<GCel
             }
             let m1 = GCell { x: xm, y: a.y };
             let m2 = GCell { x: xm, y: b.y };
-            candidates.push(join(&[straight(a, m1), straight(m1, m2), straight(m2, b)]));
+            consider(([a, m1, m2, b], 4));
         }
     }
     // Z-shapes through intermediate rows.
@@ -351,98 +469,11 @@ fn best_path(grid: &RoutingGrid, side: Side, from: Point, to: Point) -> Vec<GCel
             }
             let m1 = GCell { x: a.x, y: ym };
             let m2 = GCell { x: b.x, y: ym };
-            candidates.push(join(&[straight(a, m1), straight(m1, m2), straight(m2, b)]));
+            consider(([a, m1, m2, b], 4));
         }
     }
-    candidates
-        .into_iter()
-        .min_by(|p, q| path_cost(grid, side, p).total_cmp(&path_cost(grid, side, q)))
-        .expect("at least the L candidates exist")
-}
-
-/// A* maze routing over the full grid with congestion-aware step costs.
-/// Used by rip-up-and-reroute so detours can leave the net bounding box.
-fn maze_path(grid: &RoutingGrid, side: Side, from: Point, to: Point) -> Vec<GCell> {
-    let start = grid.gcell_at(from);
-    let goal = grid.gcell_at(to);
-    if start == goal {
-        return vec![start];
-    }
-    let cols = grid.cols;
-    let rows = grid.rows;
-    let idx = |g: GCell| g.y as usize * cols + g.x as usize;
-    let mut best = vec![f64::INFINITY; cols * rows];
-    let mut prev: Vec<u32> = vec![u32::MAX; cols * rows];
-    let heuristic = |g: GCell| -> f64 {
-        ((g.x as i64 - goal.x as i64).abs() + (g.y as i64 - goal.y as i64).abs()) as f64
-    };
-    // Binary heap over (cost+h) with deterministic tie-breaking on index.
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-    #[derive(PartialEq)]
-    struct Node(f64, u32);
-    impl Eq for Node {}
-    impl PartialOrd for Node {
-        fn partial_cmp(&self, o: &Node) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(o))
-        }
-    }
-    impl Ord for Node {
-        fn cmp(&self, o: &Node) -> std::cmp::Ordering {
-            self.0.total_cmp(&o.0).then(self.1.cmp(&o.1))
-        }
-    }
-    let mut heap: BinaryHeap<Reverse<Node>> = BinaryHeap::new();
-    best[idx(start)] = 0.0;
-    heap.push(Reverse(Node(heuristic(start), idx(start) as u32)));
-    while let Some(Reverse(Node(_, u))) = heap.pop() {
-        let u = u as usize;
-        let g = GCell {
-            x: (u % cols) as u16,
-            y: (u / cols) as u16,
-        };
-        if g == goal {
-            break;
-        }
-        let gcost = best[u];
-        for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
-            let nx = g.x as i64 + dx;
-            let ny = g.y as i64 + dy;
-            if nx < 0 || ny < 0 || nx >= cols as i64 || ny >= rows as i64 {
-                continue;
-            }
-            let ng = GCell {
-                x: nx as u16,
-                y: ny as u16,
-            };
-            let cost = gcost + step_cost(grid, side, g, ng);
-            let ni = idx(ng);
-            if cost + 1e-12 < best[ni] {
-                best[ni] = cost;
-                prev[ni] = u as u32;
-                heap.push(Reverse(Node(cost + heuristic(ng), ni as u32)));
-            }
-        }
-    }
-    if prev[idx(goal)] == u32::MAX && start != goal {
-        // Unreachable should not happen on a connected grid; fall back to
-        // the pattern router.
-        return best_path(grid, side, from, to);
-    }
-    let mut path = vec![goal];
-    let mut cur = idx(goal);
-    while cur != idx(start) {
-        cur = prev[cur] as usize;
-        path.push(GCell {
-            x: (cur % cols) as u16,
-            y: (cur / cols) as u16,
-        });
-        if path.len() > cols * rows {
-            return best_path(grid, side, from, to);
-        }
-    }
-    path.reverse();
-    path
+    let (_, corners) = best.expect("at least the L candidates exist");
+    corners_path(&corners)
 }
 
 /// Adds (`amount = 1.0`) or removes (`-1.0`) a path's demand, scaled by

@@ -19,10 +19,9 @@ mod spef;
 
 pub use spef::write_spef;
 
-use ffet_geom::Point;
+use ffet_geom::{FxHashMap, FxHashSet, Point};
 use ffet_lefdef::DefNet;
-use ffet_tech::{Technology, VIA_CAPACITANCE_FF, VIA_RESISTANCE_OHM};
-use std::collections::HashMap;
+use ffet_tech::{LayerId, Technology, VIA_CAPACITANCE_FF, VIA_RESISTANCE_OHM};
 
 /// Extracted parasitics of one net.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +53,30 @@ struct Edge {
     cap: f64,
 }
 
+/// Reusable hash-map scratch for [`extract_net_with`].
+///
+/// The node-interning and via-dedup maps are the only allocations whose
+/// size tracks net geometry; holding one scratch across a batch of nets
+/// lets every net after the first reuse the tables grown by its
+/// predecessors. The maps use the deterministic [`FxHashMap`] hasher —
+/// they are never iterated, so bucket order cannot leak into results
+/// either way, but the fixed seed also removes per-process hashing cost
+/// variation.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    node_ids: FxHashMap<Point, usize>,
+    via_res_at: FxHashMap<Point, f64>,
+    seen_vias: FxHashSet<(Point, LayerId, LayerId)>,
+}
+
+impl ExtractScratch {
+    /// An empty scratch; cleared (not shrunk) by every extraction call.
+    #[must_use]
+    pub fn new() -> ExtractScratch {
+        ExtractScratch::default()
+    }
+}
+
 /// Extracts the RC tree of one routed net.
 ///
 /// `source` and `sinks` are the physical pin positions (the router anchors
@@ -70,12 +93,26 @@ pub fn extract_net(
     source: Point,
     sinks: &[Point],
 ) -> NetParasitics {
+    extract_net_with(net, tech, source, sinks, &mut ExtractScratch::new())
+}
+
+/// [`extract_net`] with caller-owned scratch, so batch drivers can reuse
+/// the hash tables across nets. Results are identical to [`extract_net`].
+#[must_use]
+pub fn extract_net_with(
+    net: &DefNet,
+    tech: &Technology,
+    source: Point,
+    sinks: &[Point],
+    scratch: &mut ExtractScratch,
+) -> NetParasitics {
     ffet_obs::counter_add("rcx.nets", 1);
     ffet_obs::counter_add("rcx.segments", net.wires.len() as i64);
     // ---- Build the node graph from segment endpoints ----
-    let mut node_ids: HashMap<Point, usize> = HashMap::new();
+    let node_ids = &mut scratch.node_ids;
+    node_ids.clear();
     let mut points: Vec<Point> = Vec::new();
-    let intern = |node_ids: &mut HashMap<Point, usize>, points: &mut Vec<Point>, p: Point| {
+    let intern = |node_ids: &mut FxHashMap<Point, usize>, points: &mut Vec<Point>, p: Point| {
         *node_ids.entry(p).or_insert_with(|| {
             points.push(p);
             points.len() - 1
@@ -92,15 +129,17 @@ pub fn extract_net(
         let res = rc.r_ohm_per_nm * len / 1000.0; // Ω → kΩ
         let cap = rc.c_ff_per_nm * len;
         total_cap += cap;
-        let a = intern(&mut node_ids, &mut points, w.from);
-        let b = intern(&mut node_ids, &mut points, w.to);
+        let a = intern(node_ids, &mut points, w.from);
+        let b = intern(node_ids, &mut points, w.to);
         edges.push(Edge { a, b, res, cap });
     }
     // Vias: series resistance at their landing point, capacitance lumped.
     // The router emits one pin via stack per 2-pin connection, so shared
     // MST pins carry duplicate vias — dedupe them before accumulating.
-    let mut via_res_at: HashMap<Point, f64> = HashMap::new();
-    let mut seen_vias: std::collections::HashSet<(Point, _, _)> = std::collections::HashSet::new();
+    let via_res_at = &mut scratch.via_res_at;
+    via_res_at.clear();
+    let seen_vias = &mut scratch.seen_vias;
+    seen_vias.clear();
     for v in &net.vias {
         if !seen_vias.insert((v.at, v.from_layer, v.to_layer)) {
             continue;
