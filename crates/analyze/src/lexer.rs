@@ -1,0 +1,539 @@
+//! A hand-rolled Rust lexer, in the spirit of the workspace's other
+//! zero-dependency infrastructure (`Rng64`, `ffet-obs`): just enough of the
+//! language to walk token streams reliably — idents, punctuation, string /
+//! char / numeric literals, nested block comments, raw strings, lifetimes —
+//! without a syntax tree. Rules pattern-match the token stream; comments are
+//! captured separately so waiver tags can be resolved against code lines.
+
+/// One lexed token. Comments are not tokens — see [`Lexed::comments`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Token payload.
+    pub kind: TokKind,
+}
+
+/// Token payload. Literal *contents* are kept only for strings (rule M001
+/// matches metric names); other literals collapse to markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` is two `:` tokens).
+    Punct(char),
+    /// String literal (plain, raw, or byte) with its uninterpreted body.
+    Str(String),
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+impl Tok {
+    /// True if this token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(i) if i == name)
+    }
+
+    /// True if this token is the punctuation `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// The identifier text, if this token is an identifier.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// One `//` comment, kept for waiver-tag resolution.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Text after the `//` (including any further `/` or `!`).
+    pub text: String,
+}
+
+/// Lexer output: the code token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Line comments in source order (block comments are discarded — the
+    /// waiver syntax is line-comment only, so it cannot hide in `/* */`).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unrecognized bytes are skipped, an unterminated
+/// literal runs to end of input. The analyzer scans code that `rustc` has
+/// already accepted, so graceful degradation beats diagnostics here.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Counts newlines in b[from..to] into `line`.
+    let count_lines = |from: usize, to: usize, line: &mut u32| {
+        *line += b[from..to].iter().filter(|&&c| c == b'\n').count() as u32;
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let end = b[start..]
+                    .iter()
+                    .position(|&c| c == b'\n')
+                    .map_or(b.len(), |p| start + p);
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..end].to_owned(),
+                });
+                i = end; // the `\n` is handled by the match arm above
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                count_lines(start, i, &mut line);
+            }
+            b'"' => {
+                let (end, body) = lex_string(src, i + 1, /* raw= */ false);
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Str(body),
+                });
+                count_lines(i, end, &mut line);
+                i = end;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is `'` + ident with
+                // no closing quote; a char literal always closes.
+                let is_char = match b.get(i + 1) {
+                    Some(b'\\') => true,
+                    Some(&n) if n == b'_' || n.is_ascii_alphanumeric() => {
+                        // `'a'` is a char, `'a` (next non-ident char != `'`)
+                        // is a lifetime.
+                        let mut j = i + 1;
+                        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                            j += 1;
+                        }
+                        b.get(j) == Some(&b'\'')
+                    }
+                    Some(_) => true, // `'('`, `' '`, …
+                    None => false,
+                };
+                if is_char {
+                    i = lex_char_body(b, i + 1);
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Char,
+                    });
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Lifetime,
+                    });
+                    i = j;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // Raw / byte string prefixes: r" r#" b" br" rb" b'.
+                let next = b.get(i).copied();
+                let is_str_prefix = matches!(ident, "r" | "b" | "br" | "rb");
+                if is_str_prefix && (next == Some(b'"') || next == Some(b'#')) {
+                    let raw = ident.contains('r');
+                    let lstart = i;
+                    let mut hashes = 0usize;
+                    if raw {
+                        while b.get(i) == Some(&b'#') {
+                            hashes += 1;
+                            i += 1;
+                        }
+                    }
+                    if b.get(i) == Some(&b'"') {
+                        let (end, body) = if raw {
+                            lex_raw_string(src, i + 1, hashes)
+                        } else {
+                            lex_string(src, i + 1, false)
+                        };
+                        out.toks.push(Tok {
+                            line,
+                            kind: TokKind::Str(body),
+                        });
+                        count_lines(lstart, end, &mut line);
+                        i = end;
+                    } else {
+                        // `r#raw_ident` — keep the ident, drop the `#`s.
+                        out.toks.push(Tok {
+                            line,
+                            kind: TokKind::Ident(ident.to_owned()),
+                        });
+                    }
+                } else if ident == "b" && next == Some(b'\'') {
+                    i = lex_char_body(b, i + 1);
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Char,
+                    });
+                } else {
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Ident(ident.to_owned()),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    // Exponent sign: `1e-6`, `2E+3`.
+                    if (b[i] == b'e' || b[i] == b'E')
+                        && matches!(b.get(i + 1), Some(b'+' | b'-'))
+                        && matches!(b.get(i + 2), Some(d) if d.is_ascii_digit())
+                    {
+                        i += 2;
+                    }
+                    i += 1;
+                }
+                // Fractional part — but not the `..` of a range.
+                if b.get(i) == Some(&b'.') && matches!(b.get(i + 1), Some(d) if d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        if (b[i] == b'e' || b[i] == b'E')
+                            && matches!(b.get(i + 1), Some(b'+' | b'-'))
+                            && matches!(b.get(i + 2), Some(d) if d.is_ascii_digit())
+                        {
+                            i += 2;
+                        }
+                        i += 1;
+                    }
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Num,
+                });
+            }
+            c if c.is_ascii() => {
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c as char),
+                });
+                i += 1;
+            }
+            // Non-ASCII outside strings/comments: not produced by this
+            // workspace's code; skip rather than guess.
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Consumes a (non-raw) string body starting after the opening `"`.
+/// Returns (index past the closing quote, body text).
+fn lex_string(src: &str, start: usize, _raw: bool) -> (usize, String) {
+    let b = src.as_bytes();
+    let mut i = start;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, src[start..i].to_owned()),
+            _ => i += 1,
+        }
+    }
+    (b.len(), src[start.min(b.len())..].to_owned())
+}
+
+/// Consumes a raw string body (`r##"…"##`) starting after the opening `"`.
+fn lex_raw_string(src: &str, start: usize, hashes: usize) -> (usize, String) {
+    let b = src.as_bytes();
+    let mut i = start;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return (i + 1 + hashes, src[start..i].to_owned());
+        }
+        i += 1;
+    }
+    (b.len(), src[start.min(b.len())..].to_owned())
+}
+
+/// Consumes a char/byte-char body starting after the opening `'`.
+/// Returns the index past the closing quote.
+fn lex_char_body(b: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Strips test-only regions from a token stream: any item annotated
+/// `#[cfg(test)]` or `#[test]` (the module body, function, or `use` it
+/// guards) is removed, so rules only see code compiled into the shipping
+/// pipeline. Handles attribute stacks (`#[cfg(test)] #[allow(…)] fn …`).
+#[must_use]
+pub fn strip_test_regions(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && matches!(toks.get(i + 1), Some(t) if t.is_punct('[')) {
+            // Scan the attribute's bracket group.
+            let (attr_end, is_test) = scan_attr(&toks, i + 1);
+            if is_test {
+                // Consume any further attributes on the same item…
+                let mut j = attr_end;
+                while j < toks.len()
+                    && toks[j].is_punct('#')
+                    && matches!(toks.get(j + 1), Some(t) if t.is_punct('['))
+                {
+                    let (e, _) = scan_attr(&toks, j + 1);
+                    j = e;
+                }
+                // …then the item itself: up to a top-level `;` or through
+                // a top-level balanced `{ … }`.
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('(' | '[') => depth += 1,
+                        TokKind::Punct(')' | ']') => depth -= 1,
+                        TokKind::Punct(';') if depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        TokKind::Punct('{') if depth == 0 => {
+                            j = skip_braces(&toks, j);
+                            break;
+                        }
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            // Non-test attribute: keep its tokens.
+            out.extend(toks[i..attr_end].iter().cloned());
+            i = attr_end;
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Scans an attribute bracket group starting at the `[` index. Returns
+/// (index past the closing `]`, whether it is exactly `[test]`,
+/// `[cfg(test)]`, or a `cfg_attr(test, …)`).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let inner = &toks[open + 1..j.saturating_sub(1).max(open + 1)];
+    // `[test]`
+    let bare_test = inner.len() == 1 && inner[0].is_ident("test");
+    // `[cfg(test)]` — exactly, so `cfg(not(test))` keeps its code visible.
+    let cfg_test = inner.len() == 4
+        && inner[0].is_ident("cfg")
+        && inner[1].is_punct('(')
+        && inner[2].is_ident("test")
+        && inner[3].is_punct(')');
+    (j, bare_test || cfg_test)
+}
+
+/// Given the index of a `{` token, returns the index past its matching `}`.
+fn skip_braces(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a /* nested */ block */
+            let s = "HashMap<String, u32>";
+            let r = r#"HashMap"#;
+            let real = FxHashMap::default();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_owned()));
+        assert!(ids.contains(&"FxHashMap".to_owned()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' } const B: u8 = b'F'; const Q: char = '\\'';";
+        let lexed = lex(src);
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        let lifetimes = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(chars, 3, "'x', b'F', '\\''");
+        assert_eq!(lifetimes, 2, "<'a> and &'a");
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "a\n/* two\nlines */\nb\n\"str\nacross\"\nc";
+        let lexed = lex(src);
+        let line_of = |name: &str| lexed.toks.iter().find(|t| t.is_ident(name)).map(|t| t.line);
+        assert_eq!(line_of("a"), Some(1));
+        assert_eq!(line_of("b"), Some(4));
+        assert_eq!(line_of("c"), Some(7));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let src = "for i in 0..100 { let x = 1.5e-3; }";
+        let lexed = lex(src);
+        let dots = lexed.toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the two dots of `..`");
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Num).count(),
+            3,
+            "0, 100, 1.5e-3"
+        );
+    }
+
+    #[test]
+    fn strip_removes_cfg_test_modules_and_test_fns() {
+        let src = "
+            fn keep() { a.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn gone() { b.unwrap(); }
+            }
+            #[test]
+            fn also_gone() { c.unwrap(); }
+            #[cfg(test)]
+            use std::collections::HashMap;
+            fn keep2() {}
+        ";
+        let toks = strip_test_regions(lex(src).toks);
+        let ids: Vec<&str> = toks.iter().filter_map(Tok::ident).collect();
+        assert!(ids.contains(&"keep"));
+        assert!(ids.contains(&"keep2"));
+        assert!(ids.contains(&"a"));
+        assert!(!ids.contains(&"gone"));
+        assert!(!ids.contains(&"also_gone"));
+        assert!(!ids.contains(&"HashMap"));
+    }
+
+    #[test]
+    fn strip_keeps_cfg_not_test() {
+        let src = "#[cfg(not(test))] fn prod() { x.unwrap(); } fn after() {}";
+        let toks = strip_test_regions(lex(src).toks);
+        let ids: Vec<&str> = toks.iter().filter_map(Tok::ident).collect();
+        assert!(ids.contains(&"prod"));
+        assert!(ids.contains(&"after"));
+    }
+
+    #[test]
+    fn strip_handles_attribute_stacks() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn gone() {}\nfn kept() {}";
+        let toks = strip_test_regions(lex(src).toks);
+        let ids: Vec<&str> = toks.iter().filter_map(Tok::ident).collect();
+        assert!(!ids.contains(&"gone"));
+        assert!(ids.contains(&"kept"));
+    }
+}

@@ -1,0 +1,104 @@
+//! The analyzer analyzing its own workspace: the tree must be clean, the
+//! report must be byte-stable, and an injected violation must fail the gate.
+
+use ffet_analyze::baseline::Baseline;
+use ffet_analyze::{analyze_workspace, BASELINE_PATH};
+use std::path::{Path, PathBuf};
+
+/// The real workspace root (two levels above this crate).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze sits two levels below the root")
+        .to_path_buf()
+}
+
+fn load_baseline(root: &Path) -> Baseline {
+    let text = std::fs::read_to_string(root.join(BASELINE_PATH)).expect("baseline is checked in");
+    Baseline::parse(&text).expect("checked-in baseline parses")
+}
+
+#[test]
+fn workspace_is_clean_under_its_own_gate() {
+    let root = workspace_root();
+    let ws = analyze_workspace(&root, &load_baseline(&root)).expect("workspace analyzes");
+    assert!(
+        ws.analysis.is_clean(),
+        "the workspace must pass its own gate:\n{}",
+        ws.analysis.render_text()
+    );
+    assert!(ws.analysis.files_scanned > 50, "the walk found the tree");
+}
+
+#[test]
+fn report_is_byte_identical_across_runs() {
+    let root = workspace_root();
+    let baseline = load_baseline(&root);
+    let a = analyze_workspace(&root, &baseline).expect("first run");
+    let b = analyze_workspace(&root, &baseline).expect("second run");
+    assert_eq!(a.analysis.render_text(), b.analysis.render_text());
+    assert_eq!(a.analysis.render_json(), b.analysis.render_json());
+    assert_eq!(a.r001_counts, b.r001_counts);
+}
+
+#[test]
+fn blessed_baseline_matches_reality() {
+    // The checked-in baseline must be exactly what --bless-baseline would
+    // write today — neither understating debt (gate failure) nor
+    // overstating it (stale entries).
+    let root = workspace_root();
+    let ws = analyze_workspace(&root, &Baseline::default()).expect("workspace analyzes");
+    let checked_in =
+        std::fs::read_to_string(root.join(BASELINE_PATH)).expect("baseline is checked in");
+    assert_eq!(
+        Baseline::render(&ws.r001_counts),
+        checked_in,
+        "r001.baseline is stale — re-bless with: cargo run -p ffet-analyze -- --bless-baseline"
+    );
+}
+
+#[test]
+fn injected_violations_fail_the_gate() {
+    // A synthetic workspace with one hazard of each kind; the gate must
+    // report every one and exit dirty.
+    let dir = std::env::temp_dir().join(format!("ffet-analyze-selfcheck-{}", std::process::id()));
+    let src = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("temp tree");
+    std::fs::write(
+        dir.join("DESIGN.md"),
+        "# doc\n\n```metrics\ndemo.known\n```\n",
+    )
+    .expect("write DESIGN.md");
+    std::fs::write(
+        src.join("lib.rs"),
+        r#"
+use std::collections::HashMap;
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let v = m.get(&1).unwrap();
+    let t = std::time::Instant::now();
+    std::thread::spawn(|| {});
+    ffet_obs::counter_add("demo.unknown", 1);
+    ffet_obs::counter_add("demo.known", 1);
+}
+"#,
+    )
+    .expect("write lib.rs");
+
+    let ws = analyze_workspace(&dir, &Baseline::default()).expect("synthetic tree analyzes");
+    let codes: Vec<&str> = ws
+        .analysis
+        .findings
+        .iter()
+        .map(|f| f.code.as_str())
+        .collect();
+    for expected in ["D001", "R001", "D003", "D004", "M001"] {
+        assert!(
+            codes.contains(&expected),
+            "expected {expected} among {codes:?}"
+        );
+    }
+    assert!(!ws.analysis.is_clean());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -16,7 +16,7 @@ fn main() {
             back_pin_ratio: bp,
             ..FlowConfig::baseline(TechKind::Ffet3p5t)
         };
-        let library = config.build_library();
+        let library = config.build_library().expect("valid config");
         let netlist = designs::counter_pipeline(&library, 24);
         group.bench_function(&format!("doe_bp{bp:.2}"), || {
             run_flow(&netlist, &library, &config).expect("flow runs")

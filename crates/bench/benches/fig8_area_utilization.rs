@@ -22,7 +22,7 @@ fn main() {
             },
         ),
     ] {
-        let library = config.build_library();
+        let library = config.build_library().expect("valid config");
         let netlist = designs::counter_pipeline(&library, 24);
         group.bench_function(&format!("flow_{name}_util70"), || {
             run_flow(&netlist, &library, &config).expect("flow runs")

@@ -16,7 +16,7 @@ fn main() {
             target_freq_ghz: target,
             ..FlowConfig::baseline(TechKind::Ffet3p5t)
         };
-        let library = config.build_library();
+        let library = config.build_library().expect("valid config");
         let netlist = designs::counter_pipeline(&library, 24);
         group.bench_function(&format!("ffet_fm12_target_{target}ghz"), || {
             run_flow(&netlist, &library, &config).expect("flow runs")

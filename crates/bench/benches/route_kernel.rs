@@ -102,7 +102,7 @@ fn main() {
         back_pin_ratio: 0.5,
         ..FlowConfig::baseline(TechKind::Ffet3p5t)
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     let flow_med = group.bench_function_timed("fig11_flow", || {
         run_flow(&netlist, &library, &config).expect("flow runs")

@@ -289,7 +289,7 @@ fn calib() {
     ];
     println!("config      util  drv(route+place)  overflow  peak  wl_mm  freq  power");
     for (label, base) in configs {
-        let library = base.build_library();
+        let library = base.build_library().expect("valid config");
         let netlist = designs::rv32_core(&library);
         for util in [0.60, 0.68, 0.72, 0.76, 0.80, 0.84, 0.88, 0.92] {
             let mut rows: Vec<(u32, u32, f64, f64, f64, f64, f64)> = Vec::new();
@@ -347,7 +347,7 @@ fn sanity() {
         ),
     ] {
         let t = Instant::now();
-        let library = config.build_library();
+        let library = config.build_library().expect("valid config");
         let netlist = designs::rv32_core(&library);
         let r = run_flow_resilient(&netlist, &library, &config);
         match r.recovery.disposition {
@@ -417,7 +417,7 @@ fn hotspots() {
         back_pin_ratio: bp,
         ..FlowConfig::baseline(TechKind::Ffet3p5t)
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::rv32_core(&library);
     let o = run_flow(&netlist, &library, &config).expect("flow");
     let grid_info = &o.pnr.routing;
@@ -437,7 +437,7 @@ fn critpath() {
         utilization: 0.76,
         ..FlowConfig::baseline(TechKind::Ffet3p5t)
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::rv32_core(&library);
     let o = run_flow(&netlist, &library, &config).expect("flow");
     println!(

@@ -2,9 +2,9 @@ use crate::drive::DriveStrength;
 use crate::electrical::electrical;
 use crate::function::CellFunction;
 use crate::geometry::{default_pins, width_cpp, PinDirection, PinShape, PinSides};
+use ffet_geom::FxHashMap;
 use ffet_liberty::{characterize, CellTiming, CharacterizeConfig};
 use ffet_tech::{Side, Technology};
-use std::collections::HashMap;
 
 /// Identifies a library cell template (index into [`Library::cells`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -119,7 +119,7 @@ impl std::error::Error for RedistributeError {}
 pub struct Library {
     tech: Technology,
     cells: Vec<Cell>,
-    index: HashMap<CellKind, CellId>,
+    index: FxHashMap<CellKind, CellId>,
     back_ratio: f64,
 }
 
@@ -130,7 +130,7 @@ impl Library {
     pub fn new(tech: Technology) -> Library {
         let cfg = CharacterizeConfig::default();
         let mut cells = Vec::new();
-        let mut index = HashMap::new();
+        let mut index = FxHashMap::default();
         for function in ALL_FUNCTIONS {
             for drive in drives_for(function) {
                 let kind = CellKind::new(function, drive);

@@ -343,6 +343,12 @@ type FlowPoint = (PpaReport, StageTimes, PointRecovery);
 /// need, dropping the heavy DEF/parasitics artifacts so large DoE grids stay
 /// memory-bounded. A clean point takes exactly one attempt, so sweeps with
 /// no injected faults behave byte-for-byte as before.
+/// Wraps a [`FlowError`] from library construction (before any flow
+/// attempt ran) as a zero-attempt [`PointFailure`].
+fn config_failure(error: crate::FlowError) -> PointFailure {
+    PointFailure { error, attempts: 0 }
+}
+
 fn flow_job(
     netlist: &Netlist,
     library: &Library,
@@ -519,7 +525,7 @@ fn run_sweeps(
     // Phase 1: contexts (library + netlist) per spec, in parallel.
     let contexts: Vec<(Library, Netlist)> = pool
         .run(specs.iter().collect(), |spec: &&SweepSpec| {
-            let library = spec.base.build_library();
+            let library = spec.base.build_library()?;
             let netlist = build_design(&library, design);
             Ok::<_, crate::FlowError>((library, netlist))
         })
@@ -788,7 +794,7 @@ pub fn fig9_on(design: DesignKind, pool: &Pool) -> Fig9 {
     let mut runlog = Vec::new();
     let contexts: Vec<(Library, Netlist)> = pool
         .run(configs.iter().collect(), |job: &&(&str, FlowConfig)| {
-            let library = job.1.build_library();
+            let library = job.1.build_library()?;
             let netlist = build_design(&library, design);
             Ok::<_, crate::FlowError>((library, netlist))
         })
@@ -1128,7 +1134,9 @@ pub fn table3_on(design: DesignKind, pool: &Pool) -> Table3 {
         utilization: 0.72,
         ..FlowConfig::baseline(TechKind::Ffet3p5t)
     };
-    let base_lib = base_cfg.build_library();
+    let base_lib = base_cfg
+        .build_library()
+        .expect("baseline config has no pin redistribution");
     let netlist = build_design(&base_lib, design);
 
     // The baseline and every DoE row share one netlist but build their own
@@ -1146,7 +1154,7 @@ pub fn table3_on(design: DesignKind, pool: &Pool) -> Table3 {
         )
     }));
     let outcomes = pool.run(jobs.clone(), |(_, config)| {
-        let library = config.build_library();
+        let library = config.build_library().map_err(config_failure)?;
         flow_job(&netlist, &library, config)
     });
     let mut runlog = Vec::new();
@@ -1316,7 +1324,7 @@ pub fn fig13_on(design: DesignKind, pool: &Pool) -> Fig13 {
             utilization: 0.76,
             ..FlowConfig::baseline(TechKind::Ffet3p5t)
         };
-        let library = config.build_library();
+        let library = config.build_library().map_err(config_failure)?;
         let netlist = build_design(&library, design);
         flow_job(&netlist, &library, &config)
     });
@@ -1419,7 +1427,7 @@ pub fn bridging_ablation_on(design: DesignKind, pool: &Pool) -> BridgingAblation
         ),
     ];
     let outcomes = pool.run(configs.to_vec(), |(_, config)| {
-        let library = config.build_library();
+        let library = config.build_library().map_err(config_failure)?;
         let netlist = build_design(&library, design);
         flow_job(&netlist, &library, config)
     });

@@ -17,12 +17,12 @@
 //! ladder in [`crate::recover`] has transient failures to recover from.
 
 use ffet_cells::{CellFunction, CellKind, DriveStrength, Library};
+use ffet_geom::{FxHashMap, FxHashSet};
 use ffet_geom::{Orientation, Point, Rng64};
 use ffet_lefdef::{Def, DefComponent, DefConnection, DefNet, DefVia, DefWire};
 use ffet_netlist::{InstId, NetId, Netlist, PinRef, PortDirection};
 use ffet_pnr::{PnrResult, RoutedNet};
 use ffet_tech::{LayerId, Side};
-use std::collections::{HashMap, HashSet};
 
 /// The stage boundaries of [`crate::run_flow`] where faults are injected
 /// (and where [`FaultKind::StagePanic`] panics).
@@ -445,7 +445,7 @@ fn apply_pnr_fault(
             rn.vias.clear();
         }
         FaultKind::RoutePhantom => {
-            let routed: HashSet<(u32, Side)> = pnr
+            let routed: FxHashSet<(u32, Side)> = pnr
                 .routing
                 .nets
                 .iter()
@@ -645,7 +645,7 @@ fn apply_def_fault(
 ) {
     // Only netlist-backed components are corrupted: tap/filler rows have
     // their own LVS exemptions and would not map to a unique rule.
-    let macro_of: HashMap<&str, &str> = netlist
+    let macro_of: FxHashMap<&str, &str> = netlist
         .instances()
         .iter()
         .map(|inst| (inst.name.as_str(), library.cell(inst.cell).name.as_str()))
@@ -698,7 +698,7 @@ fn apply_def_fault(
             });
         }
         FaultKind::DefDropNet => {
-            let required: HashSet<&str> = netlist
+            let required: FxHashSet<&str> = netlist
                 .nets()
                 .iter()
                 .filter(|n| n.driver.is_some() && !n.sinks.is_empty())

@@ -7,6 +7,7 @@ use crate::recover::max_attempts_from_env;
 use crate::report::PpaReport;
 use crate::synth::{synthesize, SynthConfig};
 use ffet_cells::Library;
+use ffet_geom::FxHashMap;
 use ffet_lefdef::{merge_defs, Def};
 use ffet_netlist::Netlist;
 use ffet_pnr::{pin_position, run_pnr, PnrConfig, PnrError, PnrResult};
@@ -14,7 +15,6 @@ use ffet_rcx::{extract_net_with, NetParasitics};
 use ffet_sta::{analyze_power, analyze_timing, StaConfig};
 use ffet_tech::{RoutingPattern, TechKind, Technology};
 use ffet_verify::{run_signoff, SignoffReport};
-use std::collections::HashMap;
 
 /// Full flow configuration — one DoE point.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,7 +56,7 @@ impl FlowConfig {
     pub fn baseline(tech: TechKind) -> FlowConfig {
         FlowConfig {
             tech,
-            pattern: RoutingPattern::new(12, 0).expect("static"),
+            pattern: RoutingPattern::max_single_sided(),
             back_pin_ratio: 0.0,
             utilization: 0.7,
             // Narrower-than-square: the row-based placement makes block
@@ -78,12 +78,12 @@ impl FlowConfig {
 
     /// Builds the (possibly pin-redistributed) library for this config.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `back_pin_ratio` is invalid for the technology — configs
-    /// are programmer-constructed, so this indicates an experiment bug.
-    #[must_use]
-    pub fn build_library(&self) -> Library {
+    /// Returns [`FlowError::Config`] if `back_pin_ratio` is invalid for the
+    /// technology (outside 0..=1, or nonzero on a stack without backside
+    /// pins).
+    pub fn build_library(&self) -> Result<Library, FlowError> {
         let tech = match self.tech {
             TechKind::Ffet3p5t => Technology::ffet_3p5t(),
             TechKind::Cfet4t => Technology::cfet_4t(),
@@ -91,9 +91,9 @@ impl FlowConfig {
         let mut lib = Library::new(tech);
         if self.back_pin_ratio > 0.0 {
             lib.redistribute_input_pins(self.back_pin_ratio, self.seed)
-                .expect("valid DoE pin ratio");
+                .map_err(|e| FlowError::Config(e.to_string()))?;
         }
-        lib
+        Ok(lib)
     }
 }
 
@@ -166,6 +166,9 @@ impl FlowOutcome {
 /// Error from [`run_flow`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlowError {
+    /// The configuration itself is invalid for the technology (bad DoE
+    /// pin ratio, backside pins on a stack without them).
+    Config(String),
     /// Physical implementation failed structurally.
     Pnr(PnrError),
     /// The netlist has a combinational loop.
@@ -184,6 +187,7 @@ pub enum FlowError {
 impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            FlowError::Config(e) => write!(f, "invalid flow config: {e}"),
             FlowError::Pnr(e) => write!(f, "physical implementation: {e}"),
             FlowError::CombLoop(i) => write!(f, "combinational loop through {i}"),
             FlowError::Merge(e) => write!(f, "DEF merge: {e}"),
@@ -375,7 +379,7 @@ fn extract_all(
     merged: &Def,
 ) -> Vec<Option<NetParasitics>> {
     let tech = library.tech();
-    let by_name: HashMap<&str, &ffet_lefdef::DefNet> =
+    let by_name: FxHashMap<&str, &ffet_lefdef::DefNet> =
         merged.nets.iter().map(|n| (n.name.as_str(), n)).collect();
     let extract_one = |net: &ffet_netlist::Net, scratch: &mut ffet_rcx::ExtractScratch| {
         let def_net = by_name.get(net.name.as_str())?;

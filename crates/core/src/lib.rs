@@ -21,7 +21,7 @@
 //! use ffet_tech::TechKind;
 //!
 //! let config = FlowConfig::baseline(TechKind::Ffet3p5t);
-//! let library = config.build_library();
+//! let library = config.build_library()?;
 //! let netlist = designs::rv32_core(&library);
 //! let outcome = run_flow(&netlist, &library, &config)?;
 //! println!("{}", outcome.report.summary());
@@ -58,7 +58,7 @@ mod tests {
         config.pattern = RoutingPattern::new(6, 6).unwrap();
         config.back_pin_ratio = 0.5;
         config.utilization = 0.6;
-        let library = config.build_library();
+        let library = config.build_library().expect("valid config");
         let netlist = designs::counter_pipeline(&library, 16);
         let outcome = run_flow(&netlist, &library, &config).expect("flow completes");
         let r = &outcome.report;
@@ -74,7 +74,7 @@ mod tests {
     fn cfet_flow_runs_end_to_end() {
         let mut config = FlowConfig::baseline(TechKind::Cfet4t);
         config.utilization = 0.6;
-        let library = config.build_library();
+        let library = config.build_library().expect("valid config");
         let netlist = designs::counter_pipeline(&library, 16);
         let outcome = run_flow(&netlist, &library, &config).expect("flow completes");
         assert_eq!(outcome.report.back_wirelength_mm, 0.0);
@@ -85,7 +85,7 @@ mod tests {
     fn flow_is_deterministic() {
         let mut config = FlowConfig::baseline(TechKind::Ffet3p5t);
         config.utilization = 0.55;
-        let library = config.build_library();
+        let library = config.build_library().expect("valid config");
         let netlist = designs::counter_pipeline(&library, 12);
         let a = run_flow(&netlist, &library, &config).unwrap();
         let b = run_flow(&netlist, &library, &config).unwrap();

@@ -16,6 +16,8 @@
 //! assert_eq!(m.get(&Point::new(1, 2)), Some(&7));
 //! ```
 
+// ffet-analyze: allow(D001) -- this module DEFINES the deterministic aliases;
+// the std types appear here only to be re-parameterized with FxBuildHasher.
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -113,9 +115,11 @@ impl Hasher for FxHasher {
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` with the deterministic [`FxHasher`].
+// ffet-analyze: allow(D001) -- the alias being defined: hasher is FxBuildHasher
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 /// A `HashSet` with the deterministic [`FxHasher`].
+// ffet-analyze: allow(D001) -- the alias being defined: hasher is FxBuildHasher
 pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
 #[cfg(test)]

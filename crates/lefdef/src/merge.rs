@@ -1,5 +1,5 @@
 use crate::def::{Def, DefNet};
-use std::collections::HashMap;
+use ffet_geom::{FxHashMap, FxHashSet};
 
 /// Error from [`merge_defs`]: the two sides disagree on something that must
 /// be identical (they describe the same placed die).
@@ -52,8 +52,7 @@ pub fn merge_defs(front: &Def, back: &Def) -> Result<Def, MergeError> {
         return Err(MergeError::DieMismatch);
     }
     if front.components.len() != back.components.len() {
-        let front_names: std::collections::HashSet<_> =
-            front.components.iter().map(|c| &c.name).collect();
+        let front_names: FxHashSet<_> = front.components.iter().map(|c| &c.name).collect();
         let missing = back
             .components
             .iter()
@@ -61,7 +60,7 @@ pub fn merge_defs(front: &Def, back: &Def) -> Result<Def, MergeError> {
             .map_or_else(|| "<count mismatch>".to_owned(), |c| c.name.clone());
         return Err(MergeError::ComponentMismatch(missing));
     }
-    let back_by_name: HashMap<&str, &crate::def::DefComponent> = back
+    let back_by_name: FxHashMap<&str, &crate::def::DefComponent> = back
         .components
         .iter()
         .map(|c| (c.name.as_str(), c))
@@ -82,7 +81,7 @@ pub fn merge_defs(front: &Def, back: &Def) -> Result<Def, MergeError> {
         .extend(back.special_nets.iter().cloned());
 
     // Merge nets by name: connections deduplicated, routing concatenated.
-    let mut by_name: HashMap<String, DefNet> = HashMap::new();
+    let mut by_name: FxHashMap<String, DefNet> = FxHashMap::default();
     let mut order: Vec<String> = Vec::new();
     for net in front.nets.iter().chain(&back.nets) {
         let entry = by_name.entry(net.name.clone()).or_insert_with(|| {

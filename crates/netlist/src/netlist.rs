@@ -1,6 +1,6 @@
 use crate::ids::{InstId, NetId, PinRef, PortId};
 use ffet_cells::{CellId, Library, PinDirection};
-use std::collections::HashMap;
+use ffet_geom::FxHashMap;
 
 /// Direction of a top-level port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,7 +70,7 @@ pub struct Netlist {
     instances: Vec<Instance>,
     nets: Vec<Net>,
     ports: Vec<Port>,
-    net_names: HashMap<String, NetId>,
+    net_names: FxHashMap<String, NetId>,
 }
 
 impl Netlist {
@@ -82,7 +82,7 @@ impl Netlist {
             instances: Vec::new(),
             nets: Vec::new(),
             ports: Vec::new(),
-            net_names: HashMap::new(),
+            net_names: FxHashMap::default(),
         }
     }
 

@@ -1,6 +1,6 @@
 use crate::netlist::{Netlist, PortDirection};
 use ffet_cells::Library;
-use std::collections::HashMap;
+use ffet_geom::FxHashMap;
 
 /// Error from [`from_verilog`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +37,7 @@ impl std::error::Error for ParseVerilogError {}
 /// cells, or connection mistakes (duplicate drivers surface as panics in
 /// the netlist builder — the writer never produces them).
 pub fn from_verilog(text: &str, library: &Library) -> Result<Netlist, ParseVerilogError> {
-    let cell_by_name: HashMap<&str, ffet_cells::CellId> = library
+    let cell_by_name: FxHashMap<&str, ffet_cells::CellId> = library
         .cells()
         .iter()
         .enumerate()
@@ -46,7 +46,7 @@ pub fn from_verilog(text: &str, library: &Library) -> Result<Netlist, ParseVeril
 
     let mut netlist: Option<Netlist> = None;
     let mut pending_ports: Vec<(String, PortDirection)> = Vec::new();
-    let mut declared: HashMap<String, crate::ids::NetId> = HashMap::new();
+    let mut declared: FxHashMap<String, crate::ids::NetId> = FxHashMap::default();
 
     for (ln, raw) in text.lines().enumerate() {
         let line = ln + 1;

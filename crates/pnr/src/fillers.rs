@@ -130,8 +130,10 @@ pub fn check_legality(
     let mut violations = Vec::new();
 
     // Per-row sweep for overlaps: collect (start, end, index) per row.
-    let mut by_row: std::collections::HashMap<i64, Vec<(i64, i64, usize)>> =
-        std::collections::HashMap::new();
+    // Ordered map: violations are reported in ascending row order, never
+    // hash order.
+    let mut by_row: std::collections::BTreeMap<i64, Vec<(i64, i64, usize)>> =
+        std::collections::BTreeMap::new();
     for (i, inst) in netlist.instances().iter().enumerate() {
         let o = placement.origins[i];
         let w = library.cell(inst.cell).width_cpp * cpp;

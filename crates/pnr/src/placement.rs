@@ -413,7 +413,7 @@ fn hpwl(
 ) -> i64 {
     let cpp = library.tech().cpp();
     let mut total = 0i64;
-    let port_net: std::collections::HashMap<u32, Point> = netlist
+    let port_net: ffet_geom::FxHashMap<u32, Point> = netlist
         .ports()
         .iter()
         .enumerate()

@@ -33,7 +33,7 @@ impl QpNets {
     /// dominate.
     #[must_use]
     pub fn build(netlist: &Netlist, port_positions: &[Point]) -> QpNets {
-        let port_of_net: std::collections::HashMap<u32, Point> = netlist
+        let port_of_net: ffet_geom::FxHashMap<u32, Point> = netlist
             .ports()
             .iter()
             .enumerate()

@@ -429,22 +429,20 @@ fn best_path_impl(grid: &RoutingGrid, side: Side, from: Point, to: Point) -> Vec
     if a == b {
         return vec![a];
     }
-    let mut best: Option<(f64, Corners)> = None;
+    // Seeded with the first L-shape, so a best candidate always exists.
     // Candidate order matters for tie-breaking (first minimum wins, as
     // `min_by` over the materialized candidates chose).
+    let corner1 = GCell { x: b.x, y: a.y };
+    let first: Corners = ([a, corner1, b, b], 3);
+    let mut best: (f64, Corners) = (corners_cost(grid, side, &first), first);
     let mut consider = |corners: Corners| {
         let cost = corners_cost(grid, side, &corners);
-        if best
-            .as_ref()
-            .is_none_or(|(bc, _)| cost.total_cmp(bc) == std::cmp::Ordering::Less)
-        {
-            best = Some((cost, corners));
+        if cost.total_cmp(&best.0) == std::cmp::Ordering::Less {
+            best = (cost, corners);
         }
     };
-    // L-shapes.
-    let corner1 = GCell { x: b.x, y: a.y };
+    // The second L-shape.
     let corner2 = GCell { x: a.x, y: b.y };
-    consider(([a, corner1, b, b], 3));
     consider(([a, corner2, b, b], 3));
     // Z-shapes through intermediate columns.
     let (xl, xr) = (a.x.min(b.x), a.x.max(b.x));
@@ -472,7 +470,7 @@ fn best_path_impl(grid: &RoutingGrid, side: Side, from: Point, to: Point) -> Vec
             consider(([a, m1, m2, b], 4));
         }
     }
-    let (_, corners) = best.expect("at least the L candidates exist");
+    let (_, corners) = best;
     corners_path(&corners)
 }
 

@@ -4,8 +4,8 @@
 use crate::core::Rv32Core;
 use crate::iss::{Iss, IssError, Retire};
 use ffet_cells::Library;
+use ffet_geom::FxHashMap;
 use ffet_netlist::{CombLoopError, Simulator};
-use std::collections::HashMap;
 
 /// A mismatch between the gate-level core and the reference model.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,7 +86,7 @@ pub fn cosimulate(
     let mut iss = Iss::new();
     iss.load_program(0, program);
 
-    let mut mem: HashMap<u32, u32> = HashMap::new();
+    let mut mem: FxHashMap<u32, u32> = FxHashMap::default();
     for (i, &w) in program.iter().enumerate() {
         mem.insert(4 * i as u32, w);
     }

@@ -1,5 +1,5 @@
 use crate::isa::{Instr, Opcode};
-use std::collections::HashMap;
+use ffet_geom::FxHashMap;
 
 /// Architectural effect of retiring one instruction — the golden record the
 /// cosimulation compares against the gate-level core.
@@ -73,7 +73,7 @@ impl std::error::Error for IssError {}
 pub struct Iss {
     regs: [u32; 32],
     pc: u32,
-    mem: HashMap<u32, u32>,
+    mem: FxHashMap<u32, u32>,
 }
 
 impl Iss {

@@ -1,8 +1,8 @@
 use crate::StaConfig;
 use ffet_cells::{CellFunction, Library};
+use ffet_geom::FxHashMap;
 use ffet_netlist::{levelize, CombLoopError, Netlist, PinRef, PortDirection};
 use ffet_rcx::NetParasitics;
-use std::collections::HashMap;
 
 /// One stage of the reported critical path.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,7 +64,7 @@ pub fn analyze_timing(
     let n_nets = netlist.nets().len();
 
     // Sink index of every input pin on its net.
-    let mut sink_index: HashMap<PinRef, usize> = HashMap::new();
+    let mut sink_index: FxHashMap<PinRef, usize> = FxHashMap::default();
     for net in netlist.nets() {
         for (k, &s) in net.sinks.iter().enumerate() {
             sink_index.insert(s, k);

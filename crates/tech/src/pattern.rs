@@ -38,6 +38,14 @@ impl RoutingPattern {
         Ok(RoutingPattern { front, back })
     }
 
+    /// The maximal single-sided pattern, `FM12BM0` — the paper's "FFET
+    /// FM12" baseline. Infallible by construction (12 front layers is the
+    /// full stack, 0 back layers is always legal).
+    #[must_use]
+    pub const fn max_single_sided() -> RoutingPattern {
+        RoutingPattern { front: 12, back: 0 }
+    }
+
     /// Number of frontside routing layers (`n` in `FMn`).
     #[must_use]
     pub fn front_layers(&self) -> u8 {

@@ -8,7 +8,7 @@ use ffet_cells::{CellFunction, CellKind, DriveStrength, Library};
 use ffet_lefdef::Def;
 use ffet_netlist::{Netlist, PortDirection};
 use ffet_pnr::PnrResult;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Compares the merged DEF against the netlist it implements.
 #[must_use]
@@ -45,7 +45,9 @@ fn check_components(
         .cell_by_kind(CellKind::new(CellFunction::PowerTap, DriveStrength::D1))
         .map_or_else(|| "PWRTAP".to_owned(), |c| c.name.clone());
 
-    let mut seen: HashMap<&str, &str> = HashMap::new(); // name -> macro
+    // Ordered map: the leftovers loop below reports extra components in
+    // name order, never hash order.
+    let mut seen: BTreeMap<&str, &str> = BTreeMap::new(); // name -> macro
     for c in &merged.components {
         if seen.insert(&c.name, &c.macro_name).is_some() {
             out.push(lvs_error(
@@ -109,7 +111,9 @@ fn check_nets(netlist: &Netlist, library: &Library, merged: &Def, out: &mut Vec<
         }
     }
 
-    let mut def_nets: HashMap<&str, &ffet_lefdef::DefNet> = HashMap::new();
+    // Ordered map: the extra-net loop below reports leftovers in name
+    // order, never hash order.
+    let mut def_nets: BTreeMap<&str, &ffet_lefdef::DefNet> = BTreeMap::new();
     for n in &merged.nets {
         if def_nets.insert(&n.name, n).is_some() {
             out.push(lvs_error(

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         utilization: 0.72,
         ..FlowConfig::baseline(TechKind::Ffet3p5t)
     };
-    let library = base_cfg.build_library();
+    let library = base_cfg.build_library().expect("valid config");
     let netlist = designs::rv32_core(&library);
     let baseline = run_flow(&netlist, &library, &base_cfg)?.report;
     println!(
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 back_pin_ratio: bp,
                 ..base_cfg.clone()
             };
-            let library = config.build_library();
+            let library = config.build_library().expect("valid config");
             let outcome = run_flow(&netlist, &library, &config)?;
             let r = outcome.report;
             let df = pct_diff(r.achieved_freq_ghz, baseline.achieved_freq_ghz);

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Build the library (characterized cells, redistributed pins) and
     //    the benchmark netlist.
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 16);
     println!(
         "design `{}`: {} instances, {} nets",

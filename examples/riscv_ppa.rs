@@ -18,7 +18,7 @@ use ffet_tech::{RoutingPattern, TechKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Prove the benchmark core actually works before measuring its PPA.
-    let check_lib = FlowConfig::baseline(TechKind::Ffet3p5t).build_library();
+    let check_lib = FlowConfig::baseline(TechKind::Ffet3p5t).build_library().expect("valid config");
     let core = build_core(&check_lib, "rv32_core");
     let report = cosimulate(&core, &check_lib, &programs::fibonacci(12), 3_000)?;
     println!(
@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "config", "area µm²", "freq GHz", "power mW", "DRV"
     );
     for (label, config) in configs {
-        let library = config.build_library();
+        let library = config.build_library().expect("valid config");
         let netlist = designs::rv32_core(&library);
         let outcome = run_flow(&netlist, &library, &config)?;
         let r = outcome.report;

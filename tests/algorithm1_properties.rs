@@ -23,7 +23,7 @@ fn decomposition_conserves_sinks() {
             seed,
             ..FlowConfig::baseline(TechKind::Ffet3p5t)
         };
-        let library = config.build_library();
+        let library = config.build_library().expect("valid config");
         let netlist = designs::counter_pipeline(&library, 12);
         let fp = floorplan(&netlist, &library, 0.6, 1.0).expect("floorplan");
         let pp = powerplan(&fp, &library, config.pattern);
@@ -73,7 +73,7 @@ fn flow_reports_well_formed() {
             utilization: util,
             ..FlowConfig::baseline(TechKind::Ffet3p5t)
         };
-        let library = config.build_library();
+        let library = config.build_library().expect("valid config");
         let netlist = designs::counter_pipeline(&library, 12);
         let o = run_flow(&netlist, &library, &config).expect("flow");
         assert!(o.report.core_area_um2 > 0.0);

@@ -47,7 +47,7 @@ fn run_flow_reproduces_signoff_and_timing_reports() {
         back_pin_ratio: 0.5,
         ..FlowConfig::baseline(TechKind::Ffet3p5t)
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 16);
     let a = run_flow(&netlist, &library, &config).expect("flow completes");
     let b = run_flow(&netlist, &library, &config).expect("flow completes");

@@ -17,7 +17,7 @@ fn verified_core_flows_to_valid_ppa() {
         back_pin_ratio: 0.3,
         ..FlowConfig::baseline(TechKind::Ffet3p5t)
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
 
     // Functional proof first.
     let core = build_core(&library, "rv32_core");
@@ -45,7 +45,7 @@ fn merged_def_roundtrips_and_carries_both_sides() {
         back_pin_ratio: 0.5,
         ..FlowConfig::baseline(TechKind::Ffet3p5t)
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 16);
     let outcome = run_flow(&netlist, &library, &config).expect("flow completes");
 
@@ -72,8 +72,8 @@ fn same_netlist_smaller_ffet_core() {
         utilization: 0.6,
         ..FlowConfig::baseline(TechKind::Ffet3p5t)
     };
-    let cfet_lib = cfet_cfg.build_library();
-    let ffet_lib = ffet_cfg.build_library();
+    let cfet_lib = cfet_cfg.build_library().expect("valid config");
+    let ffet_lib = ffet_cfg.build_library().expect("valid config");
     // One netlist, built once, implemented twice.
     let netlist = designs::counter_pipeline(&cfet_lib, 16);
     let c = run_flow(&netlist, &cfet_lib, &cfet_cfg).expect("cfet flow");
@@ -100,7 +100,7 @@ fn full_flow_is_deterministic() {
         back_pin_ratio: 0.5,
         ..FlowConfig::baseline(TechKind::Ffet3p5t)
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 12);
     let a = run_flow(&netlist, &library, &config).expect("flow");
     let b = run_flow(&netlist, &library, &config).expect("flow");

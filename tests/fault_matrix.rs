@@ -28,7 +28,7 @@ fn base_config() -> FlowConfig {
 }
 
 fn run_with_plan(config: &FlowConfig) -> Result<FlowOutcome, FlowError> {
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     run_flow(&netlist, &library, config)
 }
@@ -174,7 +174,7 @@ fn pool_contains_stage_panics() {
         faults: vec![Fault::always(FaultKind::StagePanic(FlowStage::Pnr))],
         ..FaultPlan::default()
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     let pool = Pool::new(2);
     let outcomes = pool.run(vec![0u8], |_| {
@@ -201,7 +201,7 @@ fn transient_fault_recovers_on_first_retry() {
         faults: vec![Fault::until(FaultKind::RouteOpen, 1)],
         ..FaultPlan::default()
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     let r = run_flow_resilient(&netlist, &library, &config);
     assert!(r.outcome.is_ok(), "recovered outcome: {:?}", r.recovery);
@@ -228,7 +228,7 @@ fn persistent_fault_exhausts_the_whole_ladder() {
         faults: vec![Fault::always(FaultKind::RouteOpen)],
         ..FaultPlan::default()
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     let r = run_flow_resilient(&netlist, &library, &config);
     assert_eq!(r.recovery.disposition, PointDisposition::Failed(3));
@@ -271,7 +271,7 @@ fn invalid_point_recovers_when_fault_clears() {
         faults: vec![Fault::until(FaultKind::DrvInflate, 1)],
         ..FaultPlan::default()
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     let r = run_flow_resilient(&netlist, &library, &config);
     assert_eq!(r.recovery.disposition, PointDisposition::Recovered(1));
@@ -288,7 +288,7 @@ fn exhausted_invalid_point_returns_best_attempt() {
         faults: vec![Fault::always(FaultKind::DrvInflate)],
         ..FaultPlan::default()
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     let r = run_flow_resilient(&netlist, &library, &config);
     assert_eq!(r.recovery.disposition, PointDisposition::Failed(1));
@@ -305,7 +305,7 @@ fn panicking_stage_is_contained_and_recovered() {
         faults: vec![Fault::until(FaultKind::StagePanic(FlowStage::Merge), 1)],
         ..FaultPlan::default()
     };
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     let r = run_flow_resilient(&netlist, &library, &config);
     assert_eq!(r.recovery.disposition, PointDisposition::Recovered(1));
@@ -328,7 +328,7 @@ fn recovered_sweep_is_identical_across_pool_widths() {
         faults: vec![Fault::until(FaultKind::RouteOpen, 1)],
         ..FaultPlan::default()
     };
-    let library = base.build_library();
+    let library = base.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     let utils = [0.56, 0.60];
 

@@ -25,7 +25,7 @@ fn base_config() -> FlowConfig {
 /// Runs the small two-point sweep at the given pool width and collects its
 /// traces into artifacts, exactly as the `repro` binary does.
 fn sweep_artifacts(width: usize, base: &FlowConfig) -> RunArtifacts {
-    let library = base.build_library();
+    let library = base.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     let pool = Pool::new(width);
     let utils = [0.56, 0.60];
@@ -139,7 +139,7 @@ fn emitted_trace_validates_against_schema() {
 fn tracing_overhead_is_under_five_percent() {
     use std::time::Instant;
     let config = base_config();
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 24);
     let run = || ffet_core::run_flow(&netlist, &library, &config).expect("flow");
     // Warm-up.

@@ -6,7 +6,7 @@ use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_tech::{RoutingPattern, TechKind};
 
 fn assert_clean(label: &str, config: &FlowConfig) {
-    let library = config.build_library();
+    let library = config.build_library().expect("valid config");
     let netlist = designs::counter_pipeline(&library, 16);
     let outcome = run_flow(&netlist, &library, config)
         .unwrap_or_else(|e| panic!("{label}: flow fails signoff: {e}"));
