@@ -9,7 +9,7 @@
 //! - **D001** no default-hasher `HashMap`/`HashSet` in pipeline crates;
 //! - **D002** no unsorted hash-map iteration in artifact-producing crates;
 //! - **D003** no wall-clock reads outside the timing modules;
-//! - **D004** no thread spawning outside `ffet_core::runner`;
+//! - **D004** no thread spawning outside the `ffet-pool` work-stealing pool;
 //! - **R001** no `unwrap()`/`expect()`/`panic!` outside tests (existing
 //!   debt frozen in a checked-in baseline, see [`baseline`]);
 //! - **M001** metric/span names in code ⇆ the DESIGN §9 catalog.

@@ -5,7 +5,7 @@
 //! | D001 | determinism | no default-hasher `HashMap`/`HashSet` in pipeline crates |
 //! | D002 | determinism | no unsorted iteration over hash maps in artifact-producing crates |
 //! | D003 | determinism | no `Instant::now`/`SystemTime` outside the timing modules |
-//! | D004 | determinism | no thread spawning outside `ffet_core::runner` |
+//! | D004 | determinism | no thread spawning outside the `ffet-pool` work-stealing pool |
 //! | R001 | robustness  | no `unwrap()`/`expect()`/`panic!` outside tests (baseline-frozen) |
 //! | M001 | observability | metric/span names ⇆ DESIGN §9 catalog, both directions |
 //!
@@ -32,8 +32,9 @@ const NON_PIPELINE_CRATES: &[&str] = &["bench"];
 /// the bench harness — timing is their purpose.
 const TIMING_CRATES: &[&str] = &["obs", "bench"];
 
-/// Files allowed to read wall clocks and spawn threads: the DoE pool.
-const RUNNER_FILES: &[&str] = &["crates/core/src/runner.rs"];
+/// Files allowed to read wall clocks and spawn threads: the shared
+/// work-stealing pool and its historical home in the DoE runner.
+const RUNNER_FILES: &[&str] = &["crates/core/src/runner.rs", "crates/pool/src/lib.rs"];
 
 /// Hash-map/-set type names for D001/D002 tracking.
 const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
@@ -387,7 +388,7 @@ fn d003(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
-/// D004: thread spawning outside `ffet_core::runner`.
+/// D004: thread spawning outside the `ffet-pool` work-stealing pool.
 fn d004(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     for (i, t) in toks.iter().enumerate() {
         if t.is_ident("thread")
@@ -404,7 +405,7 @@ fn d004(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
                 t.line,
                 "D004",
                 format!(
-                    "`thread::{m}` outside ffet_core::runner: all parallelism goes through \
+                    "`thread::{m}` outside ffet-pool: all parallelism goes through \
                      the deterministic work-stealing pool"
                 ),
             ));
@@ -690,6 +691,11 @@ mod tests {
     fn d004_allows_runner() {
         assert!(scan(
             "crates/core/src/runner.rs",
+            "fn f() { std::thread::scope(|s| {}); }",
+        )
+        .is_empty());
+        assert!(scan(
+            "crates/pool/src/lib.rs",
             "fn f() { std::thread::scope(|s| {}); }",
         )
         .is_empty());

@@ -9,8 +9,9 @@
 use ffet_bench::BenchGroup;
 use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_geom::{Axis, Point, Rect, Rng64};
+use ffet_netlist::NetId;
 use ffet_pnr::maze::{self, MazeScratch};
-use ffet_pnr::{pattern_path, RoutingGrid};
+use ffet_pnr::{pattern_path, route_nets_opts, RouteOpts, RoutingGrid, SideNet};
 use ffet_tech::{RoutingPattern, Side, TechKind, Technology};
 use std::time::Duration;
 
@@ -52,6 +53,56 @@ fn reroute_pairs(die_w: i64, die_h: i64, rng: &mut Rng64, n: usize) -> Vec<(Poin
             (from, to)
         })
         .collect()
+}
+
+/// A batched-router workload: many seeded multi-pin nets over a congested
+/// narrow-pattern grid, dense enough that the negotiation loop forms real
+/// rip-up batches (the regime the `route_jobs` knob parallelizes).
+fn batch_workload() -> (Technology, RoutingPattern, RoutingGrid, Vec<SideNet>) {
+    let tech = Technology::ffet_3p5t();
+    let pattern = RoutingPattern::new(2, 2).expect("legal");
+    let (die_w, die_h) = (400_000i64, 300_000i64);
+    let mut rng = Rng64::new(0xba7c4);
+    let mut grid = RoutingGrid::new(&tech, Rect::new(0, 0, die_w, die_h), pattern);
+    for _ in 0..2_000 {
+        let at = Point::new(rng.range_i64(0, die_w - 1), rng.range_i64(0, die_h - 1));
+        let side = if rng.next_u64() & 1 == 0 {
+            Side::Front
+        } else {
+            Side::Back
+        };
+        let axis = if rng.next_u64() & 1 == 0 {
+            Axis::Horizontal
+        } else {
+            Axis::Vertical
+        };
+        let amount = if rng.next_u64().is_multiple_of(4) {
+            30.0
+        } else {
+            2.0
+        };
+        let g = grid.gcell_at(at);
+        grid.add_demand(side, g, axis, amount);
+    }
+    let nets = (0..260)
+        .map(|i| {
+            let side = if rng.next_u64() & 3 == 0 {
+                Side::Back
+            } else {
+                Side::Front
+            };
+            let pins = (0..rng.range_usize(2, 4))
+                .map(|_| Point::new(rng.range_i64(0, die_w - 1), rng.range_i64(0, die_h - 1)))
+                .collect();
+            SideNet {
+                net: NetId(i as u32),
+                side,
+                pins,
+                is_clock: false,
+            }
+        })
+        .collect();
+    (tech, pattern, grid, nets)
 }
 
 #[allow(clippy::print_stdout, clippy::print_stderr)] // bench harness output
@@ -130,6 +181,53 @@ fn main() {
         .and_then(|()| std::fs::write(out_dir.join("BENCH_route.json"), &json))
     {
         eprintln!("route_kernel: could not write BENCH_route.json: {e}");
+    }
+
+    // Parallel-batch leg: the full negotiated-congestion router on a
+    // batch-forming workload, sequential vs 2 and 4 batch workers. The
+    // routed result is bit-identical at every worker count (the
+    // differential tests in crates/pnr/tests/parallel_route.rs prove it);
+    // this leg records what the parallelism buys in wall-clock.
+    let (tech, bpattern, bgrid, bnets) = batch_workload();
+    let mut pgroup = BenchGroup::new("route_parallel");
+    pgroup.sample_size(10);
+    let mut batch_meds: Vec<(usize, Duration)> = Vec::new();
+    for route_jobs in [1usize, 2, 4] {
+        let opts = RouteOpts {
+            route_jobs,
+            ..RouteOpts::default()
+        };
+        let med = pgroup.bench_function_timed(&format!("batch_jobs_{route_jobs}"), || {
+            let mut g = bgrid.clone();
+            route_nets_opts(&tech, &mut g, &bnets, bpattern, &opts).via_count
+        });
+        batch_meds.push((route_jobs, med));
+    }
+    pgroup.finish();
+
+    let seq_ms = ms(batch_meds[0].1);
+    let legs = batch_meds
+        .iter()
+        .map(|&(jobs, med)| {
+            format!(
+                "    {{\"route_jobs\": {jobs}, \"median_ms\": {:.4}, \"speedup_vs_sequential\": {:.3}}}",
+                ms(med),
+                seq_ms / ms(med).max(1e-9),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    // Speedup is only meaningful relative to the cores the machine
+    // actually had — on a single-core host the parallel legs measure pure
+    // dispatch overhead, so the artifact records the denominator.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let pjson = format!(
+        "{{\n  \"nets\": {},\n  \"batch_size\": {},\n  \"host_cores\": {cores},\n  \"legs\": [\n{legs}\n  ]\n}}\n",
+        bnets.len(),
+        RouteOpts::default().batch_size,
+    );
+    if let Err(e) = std::fs::write(out_dir.join("BENCH_route_parallel.json"), &pjson) {
+        eprintln!("route_kernel: could not write BENCH_route_parallel.json: {e}");
     }
 }
 

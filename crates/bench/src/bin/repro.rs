@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--jobs N] [--design counter|rv32] [--max-attempts N] <experiment>
+//! repro [--jobs N] [--route-jobs N] [--design counter|rv32] [--max-attempts N] <experiment>
 //!                      # table1 table2 fig4 fig8 fig9 fig10 fig11 table3 fig12 fig13 ablation
 //! repro all            # everything
 //! repro sanity         # one FFET + one CFET baseline run, printed verbosely
@@ -10,8 +10,11 @@
 //!
 //! Flow experiments run on the parallel DoE engine; `--jobs` (or the
 //! `FFET_JOBS` env var) sets the worker count, defaulting to the machine's
-//! available parallelism. Tables and CSVs are byte-identical for every
-//! worker count; per-job telemetry lands in `results/runlog.csv`, and every
+//! available parallelism. `--route-jobs` (or `FFET_ROUTE_JOBS`) sets the
+//! *intra-point* worker count of the router's batched rip-up rounds,
+//! defaulting to the DoE pool width. Tables and CSVs are byte-identical for
+//! every combination of both worker counts; per-job telemetry lands in
+//! `results/runlog.csv`, and every
 //! flow point's spans + metrics land in `results/trace.jsonl` and
 //! `results/metrics.json` (schema in DESIGN.md §9). `--design counter`
 //! (or `FFET_DESIGN=counter`) switches the flow experiments to the fast
@@ -106,7 +109,7 @@ const ALL: [&str; 11] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--jobs N] [--design counter|rv32] [--max-attempts N] \
+        "usage: repro [--jobs N] [--route-jobs N] [--design counter|rv32] [--max-attempts N] \
          <sanity|calib|hotspots|critpath|table1|table2|fig4|fig8|fig9|fig10|fig11|table3|fig12|fig13|ablation|all>\n\
          \x20      repro trace [point]   # render one point of results/trace.jsonl"
     );
@@ -207,6 +210,10 @@ fn main() {
             // aliases.
             "--max-attempts" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(n) if n >= 1 => env::set_var(ffet_core::MAX_ATTEMPTS_ENV, n.to_string()),
+                _ => usage(),
+            },
+            "--route-jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => env::set_var(ffet_core::ROUTE_JOBS_ENV, n.to_string()),
                 _ => usage(),
             },
             name if !name.starts_with('-') => positional.push(name.to_owned()),

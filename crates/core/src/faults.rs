@@ -12,7 +12,9 @@
 //! The taxonomy is the coverage contract of the signoff gate: each
 //! error-severity rule in [`ffet_verify::ERROR_RULES`] is triggerable by at
 //! least one [`FaultKind`] (proved by the `fault_matrix` test), and
-//! [`FaultKind::StagePanic`] exercises the DoE pool's panic containment.
+//! [`FaultKind::StagePanic`] exercises the DoE pool's panic containment
+//! ([`FaultKind::RoutePanic`] the routing pool's, through the batched
+//! parallel path inside P&R).
 //! Faults can be windowed with [`Fault::until_attempt`] so the recovery
 //! ladder in [`crate::recover`] has transient failures to recover from.
 
@@ -131,6 +133,12 @@ pub enum FaultKind {
     /// Panic at the named stage boundary → the pool's `panicked:` /
     /// the recovery ladder's per-attempt containment.
     StagePanic(FlowStage),
+    /// Panic *inside* a router batch worker (not at a stage boundary):
+    /// exercises the routing pool's panic containment through the batched
+    /// parallel path. The payload is re-raised on the flow thread, so the
+    /// ladder sees the same disposition as [`FaultKind::StagePanic`] at
+    /// any `route_jobs`.
+    RoutePanic,
 }
 
 /// One fault plus its activity window.
@@ -240,6 +248,13 @@ impl FaultPlan {
             .filter(|f| f.until_attempt.is_none_or(|u| self.attempt < u))
     }
 
+    /// Whether an active [`FaultKind::RoutePanic`] should arm the router's
+    /// batch-worker panic (plumbed into `PnrConfig::route_panic`).
+    #[must_use]
+    pub fn has_route_panic(&self) -> bool {
+        self.active().any(|f| f.kind == FaultKind::RoutePanic)
+    }
+
     /// Panics when an active [`FaultKind::StagePanic`] names `stage`.
     pub fn maybe_panic(&self, stage: FlowStage) {
         if self
@@ -320,6 +335,7 @@ fn kind_from_name(name: &str) -> Option<FaultKind> {
         "panic-pnr" => FaultKind::StagePanic(FlowStage::Pnr),
         "panic-merge" => FaultKind::StagePanic(FlowStage::Merge),
         "panic-signoff" => FaultKind::StagePanic(FlowStage::Signoff),
+        "panic-route" => FaultKind::RoutePanic,
         _ => return None,
     })
 }
@@ -544,6 +560,7 @@ fn apply_pnr_fault(
             pnr.routing.drv_count += DRV_INFLATE;
         }
         FaultKind::StagePanic(_) => {} // handled at stage boundaries
+        FaultKind::RoutePanic => {}    // armed via PnrConfig::route_panic before P&R runs
         _ => {}                        // merged-DEF faults are applied in apply_def_fault
     }
 }

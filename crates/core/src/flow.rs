@@ -45,8 +45,32 @@ pub struct FlowConfig {
     /// Attempt budget for [`crate::run_flow_resilient`] (≥ 1; plain
     /// [`run_flow`] ignores it).
     pub max_attempts: u32,
+    /// Worker count for the router's batched rip-up rounds
+    /// (`--route-jobs` / `FFET_ROUTE_JOBS`; 1 = fully inline). Intra-point
+    /// parallelism, orthogonal to the DoE pool's `--jobs`: it changes
+    /// wall-clock only, never an artifact byte.
+    pub route_jobs: usize,
     /// Seeded fault schedule (empty by default — the golden path).
     pub fault_plan: FaultPlan,
+}
+
+/// Environment variable carrying the router worker count for the `repro`
+/// driver (`--route-jobs`). Unset or invalid → the DoE pool width
+/// ([`crate::runner::JOBS_ENV`] / available parallelism).
+pub const ROUTE_JOBS_ENV: &str = "FFET_ROUTE_JOBS";
+
+/// The router worker count from `FFET_ROUTE_JOBS`, defaulting to the DoE
+/// pool width (so a machine-wide `FFET_JOBS=1` also serializes the
+/// router).
+#[must_use]
+pub fn route_jobs_from_env() -> usize {
+    std::env::var(ROUTE_JOBS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            crate::runner::width_from(std::env::var(crate::runner::JOBS_ENV).ok().as_deref())
+        })
 }
 
 impl FlowConfig {
@@ -69,9 +93,11 @@ impl FlowConfig {
             seed: 42,
             bridging_min_nm: None,
             extra_reroute_rounds: 0,
-            // The driver-facing knobs (`--max-attempts` / `FFET_FAULTS`)
-            // enter here; experiment code sets the fields directly.
+            // The driver-facing knobs (`--max-attempts` / `--route-jobs` /
+            // `FFET_FAULTS`) enter here; experiment code sets the fields
+            // directly.
             max_attempts: max_attempts_from_env(),
+            route_jobs: route_jobs_from_env(),
             fault_plan: FaultPlan::from_env(),
         }
     }
@@ -269,6 +295,8 @@ pub fn run_flow(
         seed: config.seed,
         bridging_min_nm: config.bridging_min_nm,
         extra_reroute_rounds: config.extra_reroute_rounds,
+        route_jobs: config.route_jobs,
+        route_panic: faults.has_route_panic(),
     };
     let sp = ffet_obs::span("flow.pnr");
     let mut pnr = run_pnr(&mut netlist, library, &pnr_config)?;

@@ -38,7 +38,9 @@ pub mod runner;
 mod synth;
 
 pub use faults::{Fault, FaultKind, FaultPlan, FlowStage, FAULTS_ENV};
-pub use flow::{run_flow, FlowConfig, FlowError, FlowOutcome, StageTimes};
+pub use flow::{
+    route_jobs_from_env, run_flow, FlowConfig, FlowError, FlowOutcome, StageTimes, ROUTE_JOBS_ENV,
+};
 pub use recover::{
     run_flow_resilient, AttemptLog, AttemptRecord, PointDisposition, PointFailure, PointRecovery,
     RecoveryRung, ResilientOutcome, MAX_ATTEMPTS_ENV,

@@ -289,7 +289,13 @@ pub fn run_flow_resilient(
             recovery: recovery(relaxed),
         },
         None => ResilientOutcome {
-            outcome: Err(last_error.expect("at least one attempt ran")),
+            // `max_attempts >= 1`, so the loop ran and either banked a
+            // best-invalid outcome (handled above) or recorded an error;
+            // an absent error here can only be a ladder bug — surface it
+            // as a config-class failure instead of panicking.
+            outcome: Err(last_error.unwrap_or_else(|| {
+                FlowError::Config("recovery ladder finished without an outcome".to_owned())
+            })),
             log,
             recovery: recovery(false),
         },

@@ -1,15 +1,12 @@
-//! Parallel deterministic DoE execution engine.
+//! Parallel deterministic DoE execution plus its telemetry artifact.
 //!
 //! The paper's evaluation (§IV) is a grid of *independent* flow runs — every
 //! figure and table sweeps utilization/frequency/pin-density/layer-count DoE
-//! points through the full Fig. 7 flow. This module executes such grids on a
-//! dependency-free work-stealing pool built on [`std::thread::scope`]:
-//!
-//! * all job indices start in a shared **injector** queue;
-//! * each worker pulls batches from the injector into a local deque and
-//!   executes from its front;
-//! * a worker whose local deque and the injector are both empty **steals**
-//!   from the back of a sibling's deque, so stragglers never idle the pool.
+//! points through the full Fig. 7 flow. The execution engine itself lives in
+//! [`ffet_pool`] (one deterministic work-stealing pool shared by this DoE
+//! level and the batched intra-point router in `ffet-pnr`); this module
+//! re-exports it under its historical paths and keeps the DoE-specific
+//! [`RunLog`] artifact.
 //!
 //! **Determinism contract.** Results are reassembled in *submission order*
 //! (slot `i` of the output always holds job `i`), every job carries its own
@@ -24,266 +21,12 @@
 //! jobs. Pool width comes from `FFET_JOBS` (or `--jobs` in the `repro`
 //! driver), defaulting to the machine's available parallelism.
 
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 pub use crate::flow::StageTimes;
-
-/// Environment variable controlling the default pool width.
-pub const JOBS_ENV: &str = "FFET_JOBS";
-
-/// How a job ended, as recorded in the run log.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Disposition {
-    /// The job ran to completion and produced a result.
-    Completed,
-    /// The job returned an error (carried verbatim).
-    Failed(String),
-    /// The job panicked; the pool caught it and kept running.
-    Panicked(String),
-    /// The point was dropped at assembly time (e.g. no placement seed of a
-    /// sweep point produced a routable run); no flow was executed for it.
-    Skipped(String),
-}
-
-impl Disposition {
-    /// Whether the job completed successfully.
-    #[must_use]
-    pub fn is_ok(&self) -> bool {
-        matches!(self, Disposition::Completed)
-    }
-
-    /// Single-cell rendering for the run-log CSV.
-    #[must_use]
-    pub fn to_cell(&self) -> String {
-        match self {
-            Disposition::Completed => "ok".to_owned(),
-            Disposition::Failed(m) => format!("failed: {m}"),
-            Disposition::Panicked(m) => format!("panicked: {m}"),
-            Disposition::Skipped(m) => format!("skipped: {m}"),
-        }
-    }
-}
-
-/// Per-job telemetry: where and how long a job ran, and how it ended.
-///
-/// Stats are *observational* — two runs of the same experiment produce
-/// identical results but different stats. Nothing in the experiment tables
-/// may depend on them.
-#[derive(Debug, Clone, PartialEq)]
-pub struct JobStats {
-    /// Submission index (also the output slot).
-    pub index: usize,
-    /// Worker thread that executed the job.
-    pub worker: usize,
-    /// Wall-clock execution time.
-    pub wall: Duration,
-    /// How the job ended.
-    pub disposition: Disposition,
-}
-
-/// Why a job produced no result.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JobError<E> {
-    /// The job's own error, passed through.
-    Failed(E),
-    /// The job panicked with this message.
-    Panicked(String),
-}
-
-impl<E: std::fmt::Display> std::fmt::Display for JobError<E> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            JobError::Failed(e) => write!(f, "{e}"),
-            JobError::Panicked(m) => write!(f, "panic: {m}"),
-        }
-    }
-}
-
-/// One finished job: its result (or error) plus telemetry.
-#[derive(Debug, Clone)]
-pub struct JobOutcome<R, E> {
-    /// What the job returned, or why it did not.
-    pub result: Result<R, JobError<E>>,
-    /// Telemetry record.
-    pub stats: JobStats,
-    /// Everything the job's ambient [`ffet_obs::Collector`] recorded: span
-    /// events and the metrics snapshot. Metric values are deterministic
-    /// (each job runs single-threaded in its own collector); span timings
-    /// are wall-clock telemetry like [`JobStats`].
-    pub trace: ffet_obs::PointData,
-}
-
-/// The work-stealing pool. Cheap to construct; owns no threads between
-/// [`Pool::run`] calls (workers are scoped to each batch).
-#[derive(Debug, Clone)]
-pub struct Pool {
-    width: usize,
-}
-
-impl Pool {
-    /// A pool with exactly `width` workers (clamped to ≥ 1).
-    #[must_use]
-    pub fn new(width: usize) -> Pool {
-        Pool {
-            width: width.max(1),
-        }
-    }
-
-    /// A pool sized from the `FFET_JOBS` environment variable, falling back
-    /// to the machine's available parallelism.
-    #[must_use]
-    pub fn from_env() -> Pool {
-        Pool::new(width_from(std::env::var(JOBS_ENV).ok().as_deref()))
-    }
-
-    /// Worker count.
-    #[must_use]
-    pub fn width(&self) -> usize {
-        self.width
-    }
-
-    /// Executes every job, returning outcomes in **submission order**.
-    ///
-    /// Jobs run concurrently on up to `width` scoped worker threads and must
-    /// be independent: `f` only gets a shared reference to its job. A
-    /// panicking job is caught and reported as [`JobError::Panicked`] in its
-    /// own slot; all other jobs still run exactly once.
-    pub fn run<J, R, E, F>(&self, jobs: Vec<J>, f: F) -> Vec<JobOutcome<R, E>>
-    where
-        J: Sync,
-        R: Send,
-        E: Send + std::fmt::Display,
-        F: Fn(&J) -> Result<R, E> + Sync,
-    {
-        let n = jobs.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let width = self.width.min(n);
-        let injector: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
-        let locals: Vec<Mutex<VecDeque<usize>>> =
-            (0..width).map(|_| Mutex::new(VecDeque::new())).collect();
-        let slots: Vec<Mutex<Option<JobOutcome<R, E>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        // Batched injector pulls amortize the shared lock; small enough that
-        // the tail of a grid still spreads across workers.
-        let batch = (n / (width * 4)).max(1);
-        let (jobs, f, injector, locals, slots) = (&jobs, &f, &injector, &locals, &slots);
-        std::thread::scope(|scope| {
-            for w in 0..width {
-                scope.spawn(move || {
-                    while let Some(i) = next_job(w, injector, locals, batch) {
-                        let t0 = Instant::now();
-                        // Per-job collector: the job's instrumentation all
-                        // lands in a private buffer, merged later in
-                        // submission order — metric values stay identical
-                        // at any pool width.
-                        let collector = ffet_obs::Collector::new();
-                        let caught = {
-                            let _guard = collector.install();
-                            catch_unwind(AssertUnwindSafe(|| f(&jobs[i])))
-                        };
-                        let trace = collector.finish();
-                        let wall = t0.elapsed();
-                        let (result, disposition) = match caught {
-                            Ok(Ok(r)) => (Ok(r), Disposition::Completed),
-                            Ok(Err(e)) => {
-                                let msg = e.to_string();
-                                (Err(JobError::Failed(e)), Disposition::Failed(msg))
-                            }
-                            Err(payload) => {
-                                let msg = panic_message(payload.as_ref());
-                                (
-                                    Err(JobError::Panicked(msg.clone())),
-                                    Disposition::Panicked(msg),
-                                )
-                            }
-                        };
-                        *slots[i].lock().expect("slot lock") = Some(JobOutcome {
-                            result,
-                            stats: JobStats {
-                                index: i,
-                                worker: w,
-                                wall,
-                                disposition,
-                            },
-                            trace,
-                        });
-                    }
-                });
-            }
-        });
-        slots
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .expect("slot lock")
-                    .take()
-                    .expect("every job is claimed exactly once")
-            })
-            .collect()
-    }
-}
-
-/// Claims the next job for worker `w`: local deque front, else a batch from
-/// the injector, else steal from the back of a sibling's deque.
-fn next_job(
-    w: usize,
-    injector: &Mutex<VecDeque<usize>>,
-    locals: &[Mutex<VecDeque<usize>>],
-    batch: usize,
-) -> Option<usize> {
-    if let Some(i) = locals[w].lock().expect("local lock").pop_front() {
-        return Some(i);
-    }
-    {
-        let mut inj = injector.lock().expect("injector lock");
-        if !inj.is_empty() {
-            let mut local = locals[w].lock().expect("local lock");
-            for _ in 0..batch {
-                match inj.pop_front() {
-                    Some(i) => local.push_back(i),
-                    None => break,
-                }
-            }
-            return local.pop_front();
-        }
-    }
-    for offset in 1..locals.len() {
-        let victim = (w + offset) % locals.len();
-        if let Some(i) = locals[victim].lock().expect("victim lock").pop_back() {
-            return Some(i);
-        }
-    }
-    // Injector drained and nothing to steal: remaining jobs are owned by
-    // live workers (a worker never exits with a non-empty local deque), so
-    // this worker is done.
-    None
-}
-
-/// Renders a caught panic payload (`&str` and `String` payloads verbatim).
-pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
-}
-
-/// Pool width from an optional `FFET_JOBS`-style value: a positive integer
-/// wins; anything else falls back to available parallelism.
-fn width_from(var: Option<&str>) -> usize {
-    var.and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        })
-}
+pub use ffet_pool::{
+    panic_message, width_from, Disposition, JobError, JobOutcome, JobStats, Pool, JOBS_ENV,
+};
 
 // ---------------------------------------------------------------------
 // Run log — the machine-checkable telemetry artifact
@@ -463,59 +206,6 @@ impl RunLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn empty_job_list_returns_empty() {
-        let pool = Pool::new(4);
-        let out = pool.run(Vec::<u32>::new(), |_| Ok::<u32, String>(0));
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn width_is_clamped_to_one() {
-        assert_eq!(Pool::new(0).width(), 1);
-        assert_eq!(Pool::new(7).width(), 7);
-    }
-
-    #[test]
-    fn width_from_env_values() {
-        assert_eq!(width_from(Some("3")), 3);
-        assert_eq!(width_from(Some(" 2 ")), 2);
-        // Invalid / zero fall back to available parallelism (≥ 1).
-        assert!(width_from(Some("0")) >= 1);
-        assert!(width_from(Some("lots")) >= 1);
-        assert!(width_from(None) >= 1);
-    }
-
-    #[test]
-    fn results_come_back_in_submission_order() {
-        let pool = Pool::new(4);
-        let jobs: Vec<u64> = (0..97).collect();
-        let out = pool.run(jobs, |&j| Ok::<u64, String>(j * j));
-        assert_eq!(out.len(), 97);
-        for (i, o) in out.iter().enumerate() {
-            assert_eq!(o.stats.index, i);
-            assert_eq!(*o.result.as_ref().expect("ok"), (i * i) as u64);
-        }
-    }
-
-    #[test]
-    fn errors_are_carried_per_slot() {
-        let pool = Pool::new(2);
-        let out = pool.run(vec![1u32, 2, 3], |&j| {
-            if j == 2 {
-                Err(format!("job {j} refused"))
-            } else {
-                Ok(j)
-            }
-        });
-        assert!(out[0].result.is_ok() && out[2].result.is_ok());
-        match &out[1].result {
-            Err(JobError::Failed(m)) => assert_eq!(m, "job 2 refused"),
-            other => panic!("expected failure, got {other:?}"),
-        }
-        assert_eq!(out[1].stats.disposition.to_cell(), "failed: job 2 refused");
-    }
 
     #[test]
     fn runlog_csv_has_totals_and_notes() {

@@ -367,6 +367,18 @@ pub fn gauge_set(name: &str, value: f64) {
     });
 }
 
+/// Merge a previously captured metrics snapshot into the thread's ambient
+/// collector (counters/histograms add, gauges last-write-wins). No-op
+/// without a collector. This is how a nested job pool folds per-worker
+/// metrics back into its parent's registry: merging in submission order
+/// keeps the merged values deterministic at any worker count.
+pub fn merge_metrics(other: &MetricsSnapshot) {
+    if other.is_empty() {
+        return;
+    }
+    with_collector(|c| c.inner.borrow_mut().metrics.merge(other));
+}
+
 /// Record one observation into a histogram. No-op without a collector.
 pub fn observe(name: &str, value: f64) {
     with_collector(|c| {

@@ -44,6 +44,19 @@ pub const STEINER_SHARING: f64 = 0.61;
 /// Number of rip-up-and-reroute refinement iterations of the global router.
 pub const REROUTE_ITERATIONS: usize = 12;
 
+/// Connections per rip-up batch of the batched negotiated-congestion
+/// router: a batch is ripped up together, routed against the frozen grid
+/// (in parallel when `route_jobs > 1`), and committed in ascending
+/// connection-id order. Batch composition depends only on grid state —
+/// never on the worker count — so routing results are bit-identical at any
+/// `route_jobs`. The batch size itself *is* part of the algorithm: it
+/// controls how stale the congestion view of a batch member may be.
+/// Calibrated at 8: large batches (32+) let batch members pile onto the
+/// same cells blindly and measurably degrade congested dual-sided points
+/// (the Fig. 9/Table III class), while 8 keeps negotiation quality within
+/// noise of the sequential router and still amortizes pool dispatch.
+pub const ROUTE_BATCH: usize = 8;
+
 /// Initial margin (GCells) added around a net's bounding box to form the
 /// maze-search window. The windowed search only accepts a path it can
 /// prove equal to the full-grid answer, so this knob trades re-search work

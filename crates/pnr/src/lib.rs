@@ -31,6 +31,8 @@
 //!     seed: 42,
 //!     bridging_min_nm: None,
 //!     extra_reroute_rounds: 0,
+//!     route_jobs: 1,
+//!     route_panic: false,
 //! };
 //! let result = run_pnr(&mut netlist, &lib, &config)?;
 //! println!("DRVs: {}", result.drv_count());
@@ -62,7 +64,10 @@ pub use grid::{GCell, HotGcell, RoutingGrid};
 pub use integrity::{analyze_pdn, PdnReport};
 pub use placement::{place, Placement};
 pub use powerplan::{powerplan, PowerPlan, TapCell};
-pub use route::{pattern_path, route_nets, route_nets_with_effort, RoutedNet, RoutingResult};
+pub use route::{
+    pattern_path, route_nets, route_nets_opts, route_nets_with_effort, RouteOpts, RoutedNet,
+    RoutingResult,
+};
 
 use ffet_cells::{Library, PinSides};
 use ffet_lefdef::Def;
@@ -87,6 +92,13 @@ pub struct PnrConfig {
     /// Additional rip-up-and-reroute rounds beyond the calibrated budget
     /// (the recovery ladder's first escalation; 0 in normal runs).
     pub extra_reroute_rounds: u32,
+    /// Worker count for the router's batched rip-up rounds (`--route-jobs`
+    /// / `FFET_ROUTE_JOBS`; 1 = fully inline). Wall-clock only: routing
+    /// results are bit-identical at any value (see [`RouteOpts`]).
+    pub route_jobs: usize,
+    /// Deterministic fault injection (`FFET_FAULTS=panic-route`): panic
+    /// inside the router's batch workers. Never set in normal runs.
+    pub route_panic: bool,
 }
 
 /// Everything a finished P&R run produced.
@@ -231,12 +243,17 @@ pub fn run_pnr(
     let sp = ffet_obs::span("pnr.route");
     let mut grid = RoutingGrid::new(library.tech(), fp.die, config.pattern);
     add_pin_demand(netlist, library, &pl, &mut grid, config.pattern);
-    let routing = route_nets_with_effort(
+    let routing = route_nets_opts(
         library.tech(),
         &mut grid,
         &side_nets,
         config.pattern,
-        config.extra_reroute_rounds,
+        &RouteOpts {
+            extra_rounds: config.extra_reroute_rounds,
+            route_jobs: config.route_jobs,
+            fault_panic: config.route_panic,
+            ..RouteOpts::default()
+        },
     );
     sp.attr("drv", routing.drv_count)
         .attr("vias", routing.via_count)
@@ -340,6 +357,8 @@ mod tests {
             seed: 1,
             bridging_min_nm: None,
             extra_reroute_rounds: 0,
+            route_jobs: 1,
+            route_panic: false,
         };
         let result = run_pnr(&mut nl, &lib, &config).expect("pnr runs");
         assert!(result.is_valid(&lib), "drv = {}", result.drv_count());
@@ -363,6 +382,8 @@ mod tests {
             seed: 1,
             bridging_min_nm: None,
             extra_reroute_rounds: 0,
+            route_jobs: 1,
+            route_panic: false,
         };
         let result = run_pnr(&mut nl, &lib, &config).expect("pnr runs");
         assert!(result.is_valid(&lib));
@@ -381,6 +402,8 @@ mod tests {
             seed: 1,
             bridging_min_nm: None,
             extra_reroute_rounds: 0,
+            route_jobs: 1,
+            route_panic: false,
         };
         assert!(matches!(
             run_pnr(&mut nl, &lib, &config),

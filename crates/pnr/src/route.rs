@@ -6,6 +6,16 @@
 //! (PathFinder-style history costs). Residual overflow after the final round is
 //! the framework's DRV proxy: the detailed router would turn every track
 //! over capacity into a short or spacing violation.
+//!
+//! **Batched rounds.** Each rip-up round processes its worklist in
+//! fixed-size batches (see [`crate::calib::ROUTE_BATCH`]): the batch is
+//! selected against the live grid in ascending connection-id order, ripped
+//! up together, routed against the now-*frozen* grid — in parallel across
+//! an [`ffet_pool::Pool`] when [`RouteOpts::route_jobs`] > 1 — and
+//! committed serially in ascending id order. Because every batch member
+//! reads the same immutable snapshot and commits in a fixed order, the
+//! worker count changes wall-clock only, never a single path, cost, or
+//! counter (see DESIGN §7).
 
 use crate::calib::REROUTE_ITERATIONS;
 use crate::dualside::SideNet;
@@ -14,6 +24,7 @@ use crate::maze::{self, MazeScratch};
 use ffet_geom::{Axis, Nm, Point};
 use ffet_lefdef::{DefVia, DefWire};
 use ffet_netlist::NetId;
+use ffet_pool::{JobError, Pool};
 use ffet_tech::{LayerId, RoutingPattern, Side, Technology};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -62,6 +73,42 @@ struct Connection {
     path: Vec<GCell>,
 }
 
+/// Options of [`route_nets_opts`]: reroute effort plus the intra-point
+/// parallelism of the batched rip-up rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteOpts {
+    /// Additional rip-up rounds on top of [`REROUTE_ITERATIONS`] — the
+    /// first rung of the flow-recovery ladder.
+    pub extra_rounds: u32,
+    /// Worker count for routing a batch (`1` = inline on the caller
+    /// thread, no pool threads). Changes wall-clock only: every batch is
+    /// routed against the same frozen grid snapshot and committed in the
+    /// same ascending-id order at any value.
+    pub route_jobs: usize,
+    /// Connections per rip-up batch (clamped to ≥ 1). Unlike
+    /// `route_jobs` this *is* part of the algorithm: it decides which
+    /// grid snapshot each connection negotiates against, so changing it
+    /// changes the (still deterministic) result.
+    pub batch_size: usize,
+    /// Deterministic fault injection (`FFET_FAULTS=panic-route`): a
+    /// dedicated one-job batch panics inside a pool worker before the
+    /// first rip-up round, exercising the pool's panic containment
+    /// through the batched path regardless of congestion. Never set
+    /// outside fault-injection runs.
+    pub fault_panic: bool,
+}
+
+impl Default for RouteOpts {
+    fn default() -> RouteOpts {
+        RouteOpts {
+            extra_rounds: 0,
+            route_jobs: 1,
+            batch_size: crate::calib::ROUTE_BATCH,
+            fault_panic: false,
+        }
+    }
+}
+
 /// Routes all decomposed nets on the grid. `grid` must already carry the
 /// pin-access demand.
 #[must_use]
@@ -71,7 +118,7 @@ pub fn route_nets(
     side_nets: &[SideNet],
     pattern: RoutingPattern,
 ) -> RoutingResult {
-    route_nets_with_effort(tech, grid, side_nets, pattern, 0)
+    route_nets_opts(tech, grid, side_nets, pattern, &RouteOpts::default())
 }
 
 /// [`route_nets`] with `extra_rounds` additional rip-up-and-reroute
@@ -87,6 +134,24 @@ pub fn route_nets_with_effort(
     pattern: RoutingPattern,
     extra_rounds: u32,
 ) -> RoutingResult {
+    let opts = RouteOpts {
+        extra_rounds,
+        ..RouteOpts::default()
+    };
+    route_nets_opts(tech, grid, side_nets, pattern, &opts)
+}
+
+/// The full router entry point: [`route_nets`] plus every knob of the
+/// batched negotiated-congestion loop (see [`RouteOpts`]).
+#[must_use]
+pub fn route_nets_opts(
+    tech: &Technology,
+    grid: &mut RoutingGrid,
+    side_nets: &[SideNet],
+    pattern: RoutingPattern,
+    opts: &RouteOpts,
+) -> RoutingResult {
+    let extra_rounds = opts.extra_rounds;
     // MST decomposition into 2-pin connections.
     let mut conns: Vec<Connection> = Vec::new();
     for (si, sn) in side_nets.iter().enumerate() {
@@ -140,7 +205,18 @@ pub fn route_nets_with_effort(
     // best solution seen, and an improving round refreshes only the paths
     // in `changed` (connections rerouted since the previous snapshot)
     // instead of cloning every path.
-    let mut scratch = MazeScratch::new();
+    // One pool + one maze scratch per worker, reused across every batch of
+    // every round (the scratch is epoch-stamped, so reuse cannot leak state
+    // between searches — results are independent of which worker ran them).
+    let route_jobs = opts.route_jobs.max(1);
+    let batch_cap = opts.batch_size.max(1);
+    let pool = Pool::new(route_jobs);
+    let mut scratches: Vec<MazeScratch> = (0..route_jobs).map(|_| MazeScratch::new()).collect();
+    if opts.fault_panic {
+        inject_route_panic(&pool, &mut scratches);
+    }
+    let mut batch_ids: Vec<u32> = Vec::with_capacity(batch_cap);
+    let mut batch_jobs: Vec<(Side, Point, Point)> = Vec::with_capacity(batch_cap);
     let mut best_overflow = grid.total_overflow();
     let mut saved: Vec<Vec<GCell>> = conns.iter().map(|c| c.path.clone()).collect();
     let mut changed: Vec<bool> = vec![false; conns.len()];
@@ -177,46 +253,108 @@ pub fn route_nets_with_effort(
         }
         let mut rerouted = 0usize;
         let mut visited = 0i64;
-        while let Some(Reverse(ci)) = queue.pop() {
-            let ci = ci as usize;
-            visited += 1;
-            let side = side_nets[conns[ci].side_net].side;
-            // Live re-check: an earlier reroute this round may have
-            // relieved (or a stale index entry may never have crossed) the
-            // overflow — exactly the test the full scan applied per visit.
-            let crosses = conns[ci].path.iter().any(|&g| grid.is_overflowed(side, g));
-            if !crosses {
-                continue;
+        let mut batch_seq = 0usize;
+        loop {
+            // Batch selection, against the *live* grid: pop candidates in
+            // ascending id order and keep the ones whose current path still
+            // crosses an overflowed cell (an earlier batch this round may
+            // have relieved it, or a stale index entry may never have
+            // crossed). Selection never depends on `route_jobs`: the queue,
+            // the stamps, and the grid are all committed state.
+            batch_ids.clear();
+            while batch_ids.len() < batch_cap {
+                let Some(Reverse(ci)) = queue.pop() else {
+                    break;
+                };
+                visited += 1;
+                let c = ci as usize;
+                let side = side_nets[conns[c].side_net].side;
+                if conns[c].path.iter().any(|&g| grid.is_overflowed(side, g)) {
+                    batch_ids.push(ci);
+                }
             }
-            let old = std::mem::take(&mut conns[ci].path);
-            commit(grid, side, &old, -1.0);
-            let path = maze::maze_path(grid, side, conns[ci].from, conns[ci].to, &mut scratch)
-                .unwrap_or_else(|| best_path(grid, side, conns[ci].from, conns[ci].to));
-            commit(grid, side, &path, 1.0);
-            conns[ci].path = path;
-            // Index the new path, and propagate overflow it *created* to
-            // later connections in this round's visit order: only commits
-            // add demand, so these cells are the only places the dirty set
-            // can grow mid-round. Earlier ids (already visited) are
-            // excluded — the full scan would not have revisited them.
-            let s = side_of(side);
-            for &g in &conns[ci].path {
-                let i = cell_of(g);
-                index[s][i].push(ci as u32);
-                if grid.is_overflowed(side, g) {
-                    for &cj in &index[s][i] {
-                        if cj as usize > ci && queued[cj as usize] != round_stamp {
-                            queued[cj as usize] = round_stamp;
-                            queue.push(Reverse(cj));
+            if batch_ids.is_empty() {
+                // The selection loop only stops short of the cap when the
+                // queue is empty — the round's worklist is drained.
+                break;
+            }
+            // Rip up the whole batch, then freeze the grid: every batch
+            // member negotiates against the same immutable snapshot, so the
+            // paths are a pure function of (snapshot, endpoints) and can be
+            // computed in any order, on any worker.
+            batch_jobs.clear();
+            for &ci in &batch_ids {
+                let c = ci as usize;
+                let side = side_nets[conns[c].side_net].side;
+                let old = std::mem::take(&mut conns[c].path);
+                commit(grid, side, &old, -1.0);
+                batch_jobs.push((side, conns[c].from, conns[c].to));
+            }
+            let frozen: &RoutingGrid = grid;
+            let batch_span = ffet_obs::span("route.batch")
+                .attr("round", it)
+                .attr("batch", batch_seq)
+                .attr("size", batch_ids.len());
+            let outcomes = pool.run_with(&mut scratches, &batch_jobs, |scratch, job| {
+                let &(side, from, to) = job;
+                let path = maze::maze_path(frozen, side, from, to, scratch)
+                    .unwrap_or_else(|| best_path(frozen, side, from, to));
+                Ok::<Vec<GCell>, std::convert::Infallible>(path)
+            });
+            batch_span.close();
+            batch_seq += 1;
+            ffet_obs::counter_add("route.batch.count", 1);
+            ffet_obs::counter_add("route.batch.size", batch_ids.len() as i64);
+            // Merge worker-side metrics (maze counters) in submission
+            // order, then re-raise the first panic with its original
+            // payload: containment at the flow level is byte-identical to a
+            // panic on the caller thread, at any worker count.
+            for o in &outcomes {
+                ffet_obs::merge_metrics(&o.trace.metrics);
+            }
+            for o in &outcomes {
+                if let Err(JobError::Panicked(msg)) = &o.result {
+                    std::panic::resume_unwind(Box::new(msg.clone()));
+                }
+            }
+            // Commit serially, ascending id — the one and only place batch
+            // results touch shared state, in an order fixed by net ids.
+            for (outcome, &ci) in outcomes.into_iter().zip(&batch_ids) {
+                let c = ci as usize;
+                let side = side_nets[conns[c].side_net].side;
+                let path = match outcome.result {
+                    Ok(path) => path,
+                    Err(JobError::Failed(never)) => match never {},
+                    Err(JobError::Panicked(_)) => unreachable!("panics re-raised above"),
+                };
+                commit(grid, side, &path, 1.0);
+                conns[c].path = path;
+                // Index the new path, and propagate overflow it *created*
+                // to later connections in this round's visit order: only
+                // commits add demand, so these cells are the only places
+                // the dirty set can grow mid-round. Earlier ids (already
+                // visited) are excluded — the full scan would not have
+                // revisited them.
+                let s = side_of(side);
+                for &g in &conns[c].path {
+                    let i = cell_of(g);
+                    index[s][i].push(ci);
+                    if grid.is_overflowed(side, g) {
+                        for &cj in &index[s][i] {
+                            if cj as usize > c && queued[cj as usize] != round_stamp {
+                                queued[cj as usize] = round_stamp;
+                                queue.push(Reverse(cj));
+                            }
                         }
                     }
                 }
+                if !changed[c] {
+                    changed[c] = true;
+                    changed_list.push(ci);
+                }
+                rerouted += 1;
             }
-            if !changed[ci] {
-                changed[ci] = true;
-                changed_list.push(ci as u32);
-            }
-            rerouted += 1;
+            ffet_obs::counter_add("route.batch.commits", batch_ids.len() as i64);
         }
         let overflow = grid.total_overflow();
         round_span.set_attr("rerouted", rerouted);
@@ -300,6 +438,29 @@ pub fn route_nets_with_effort(
         back_wirelength_nm: back_wirelength,
         hot_gcells: grid.worst_gcells(12),
     }
+}
+
+/// Fires `FaultKind::RoutePanic` through the batch-worker machinery: a
+/// dedicated one-job batch whose worker panics, so the payload travels the
+/// exact containment path a real batch would take (worker `catch_unwind` →
+/// outcome slot → re-raise on the routing thread). Dispatching it before
+/// the first rip-up round makes the fault fire deterministically even on
+/// landscapes that never form a congestion batch.
+fn inject_route_panic(pool: &Pool, scratches: &mut [MazeScratch]) {
+    let outcomes = pool.run_with(
+        scratches,
+        &[()],
+        |_scratch, (): &()| -> Result<(), std::convert::Infallible> {
+            // ffet-analyze: allow(R001) -- deliberate fault injection: this panic is the behavior under test
+            panic!("fault: injected panic in route batch worker")
+        },
+    );
+    for o in &outcomes {
+        if let Err(JobError::Panicked(msg)) = &o.result {
+            std::panic::resume_unwind(Box::new(msg.clone()));
+        }
+    }
+    unreachable!("the injected batch always panics");
 }
 
 /// Prim MST over pins (pin 0 = source), returning parent→child edges.

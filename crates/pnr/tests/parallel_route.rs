@@ -1,0 +1,276 @@
+//! Differential property tests of the batched parallel router.
+//!
+//! The claim under test is the determinism contract of DESIGN §7: every
+//! rip-up batch is routed against a *frozen* grid snapshot and committed in
+//! ascending connection-id order, so `route_jobs` changes which worker
+//! computes a read-only search and nothing else. These tests pin that claim
+//! on seeded random congestion landscapes — paths, geometry, overflow, via
+//! counts, and every observability counter must be *bit-identical* between
+//! the sequential router (`route_jobs = 1`) and the parallel one at worker
+//! counts 2, 4, and 7, for batch sizes 1, 3, and 64, including runs whose
+//! rounds grow their worklist mid-round (rip-up engaged).
+
+use ffet_geom::{Axis, Point, Rect, Rng64};
+use ffet_netlist::NetId;
+use ffet_pnr::{route_nets_opts, RouteOpts, RoutingGrid, RoutingResult, SideNet};
+use ffet_tech::{RoutingPattern, Side, Technology};
+
+const DIE_W: i64 = 60_000;
+const DIE_H: i64 = 50_000;
+
+/// Seeded random multi-pin nets across both sides of the die.
+fn random_nets(rng: &mut Rng64, n: usize, both_sides: bool) -> Vec<SideNet> {
+    (0..n)
+        .map(|i| {
+            let side = if both_sides && rng.next_u64() & 3 == 0 {
+                Side::Back
+            } else {
+                Side::Front
+            };
+            let pins = (0..rng.range_usize(2, 4))
+                .map(|_| Point::new(rng.range_i64(0, DIE_W - 1), rng.range_i64(0, DIE_H - 1)))
+                .collect();
+            SideNet {
+                net: NetId(i as u32),
+                side,
+                pins,
+                is_clock: false,
+            }
+        })
+        .collect()
+}
+
+/// A congestion landscape seeded from `seed`: background demand, a few
+/// saturated hotspots, and pin-access load — rebuilt identically for every
+/// routing run so only `opts` differs between compared runs.
+fn seeded_grid(tech: &Technology, pattern: RoutingPattern, seed: u64) -> RoutingGrid {
+    let mut rng = Rng64::new(seed);
+    let mut grid = RoutingGrid::new(tech, Rect::new(0, 0, DIE_W, DIE_H), pattern);
+    for _ in 0..150 {
+        let at = Point::new(rng.range_i64(0, DIE_W - 1), rng.range_i64(0, DIE_H - 1));
+        let side = if rng.next_u64() & 1 == 0 {
+            Side::Front
+        } else {
+            Side::Back
+        };
+        let axis = if rng.next_u64() & 1 == 0 {
+            Axis::Horizontal
+        } else {
+            Axis::Vertical
+        };
+        let amount = if rng.next_u64().is_multiple_of(4) {
+            30.0
+        } else {
+            2.0
+        };
+        let g = grid.gcell_at(at);
+        grid.add_demand(side, g, axis, amount);
+    }
+    for _ in 0..60 {
+        let at = Point::new(rng.range_i64(0, DIE_W - 1), rng.range_i64(0, DIE_H - 1));
+        grid.add_pin(Side::Front, at);
+    }
+    grid
+}
+
+/// One routing run under its own metrics collector: the full
+/// [`RoutingResult`] plus every counter/gauge/histogram it recorded.
+struct RunOut {
+    result: RoutingResult,
+    metrics: ffet_obs::MetricsSnapshot,
+}
+
+fn run(
+    tech: &Technology,
+    pattern: RoutingPattern,
+    nets: &[SideNet],
+    grid_seed: u64,
+    opts: &RouteOpts,
+) -> RunOut {
+    let mut grid = seeded_grid(tech, pattern, grid_seed);
+    let collector = ffet_obs::Collector::new();
+    let _guard = collector.install();
+    let result = route_nets_opts(tech, &mut grid, nets, pattern, opts);
+    let metrics = collector.finish().metrics;
+    RunOut { result, metrics }
+}
+
+/// Bit-level equality of two runs: geometry, counters, and every float
+/// compared by bits, not tolerance.
+fn assert_identical(a: &RunOut, b: &RunOut, label: &str) {
+    assert_eq!(a.result.nets, b.result.nets, "{label}: routed geometry");
+    assert_eq!(
+        a.result.overflow_tracks.to_bits(),
+        b.result.overflow_tracks.to_bits(),
+        "{label}: overflow_tracks"
+    );
+    assert_eq!(a.result.drv_count, b.result.drv_count, "{label}: drv_count");
+    assert_eq!(
+        a.result.wirelength_nm, b.result.wirelength_nm,
+        "{label}: wirelength"
+    );
+    assert_eq!(
+        a.result.back_wirelength_nm, b.result.back_wirelength_nm,
+        "{label}: back wirelength"
+    );
+    assert_eq!(a.result.via_count, b.result.via_count, "{label}: vias");
+    assert_eq!(
+        a.result.peak_congestion.to_bits(),
+        b.result.peak_congestion.to_bits(),
+        "{label}: peak congestion"
+    );
+    assert_eq!(
+        format!("{:?}", a.result.hot_gcells),
+        format!("{:?}", b.result.hot_gcells),
+        "{label}: hot gcells"
+    );
+    assert_eq!(a.metrics, b.metrics, "{label}: metrics snapshots");
+}
+
+fn counter(out: &RunOut, name: &str) -> i64 {
+    out.metrics.counters.get(name).copied().unwrap_or(0)
+}
+
+/// The core differential property on a congested landscape: for every
+/// batch size, the parallel router at 2/4/7 workers is bit-identical to
+/// the sequential router at the same batch size.
+#[test]
+fn parallel_routing_matches_sequential_bit_for_bit() {
+    let tech = Technology::ffet_3p5t();
+    let pattern = RoutingPattern::new(2, 2).expect("legal");
+    let mut rng = Rng64::new(0x9b1d);
+    let nets = random_nets(&mut rng, 220, true);
+
+    for batch_size in [1usize, 3, 64] {
+        let base = run(
+            &tech,
+            pattern,
+            &nets,
+            0xfeed,
+            &RouteOpts {
+                route_jobs: 1,
+                batch_size,
+                ..RouteOpts::default()
+            },
+        );
+        // The landscape must actually engage the negotiation machinery,
+        // otherwise the property is vacuous: rip-ups happened, and the
+        // round worklists were split into more than one batch.
+        assert!(
+            counter(&base, "route.ripups") > 0,
+            "batch {batch_size}: no rip-ups — landscape too easy"
+        );
+        assert!(
+            counter(&base, "route.batch.count") > 1,
+            "batch {batch_size}: a single batch routed everything"
+        );
+        assert_eq!(
+            counter(&base, "route.batch.size"),
+            counter(&base, "route.batch.commits"),
+            "batch {batch_size}: every selected connection must commit"
+        );
+        for route_jobs in [2usize, 4, 7] {
+            let par = run(
+                &tech,
+                pattern,
+                &nets,
+                0xfeed,
+                &RouteOpts {
+                    route_jobs,
+                    batch_size,
+                    ..RouteOpts::default()
+                },
+            );
+            assert_identical(
+                &base,
+                &par,
+                &format!("batch_size {batch_size}, route_jobs {route_jobs}"),
+            );
+        }
+    }
+}
+
+/// Mid-round rip-up growth: a round's commits can push *later* connections
+/// into the same round's worklist. Force that regime (many overlapping
+/// nets, tiny batches) and check the worklist bookkeeping and results stay
+/// identical at every worker count.
+#[test]
+fn mid_round_ripup_growth_stays_identical() {
+    let tech = Technology::ffet_3p5t();
+    let pattern = RoutingPattern::new(2, 0).expect("legal");
+    // Parallel long nets crammed through the same rows: every commit
+    // overflows cells shared with higher-id connections.
+    let nets: Vec<SideNet> = (0..140)
+        .map(|i| {
+            let y = 2_000 + (i as i64 % 12) * 150;
+            SideNet {
+                net: NetId(i as u32),
+                side: Side::Front,
+                pins: vec![
+                    Point::new(500, y),
+                    Point::new(DIE_W - 1_000, DIE_H - 2_000 - y),
+                ],
+                is_clock: false,
+            }
+        })
+        .collect();
+    let base = run(
+        &tech,
+        pattern,
+        &nets,
+        0xbeef,
+        &RouteOpts {
+            route_jobs: 1,
+            batch_size: 3,
+            ..RouteOpts::default()
+        },
+    );
+    // More pops than initially-dirty connections means the worklist grew
+    // mid-round — the regime this test exists to cover.
+    assert!(
+        counter(&base, "route.dirty.visited") > counter(&base, "route.ripups"),
+        "worklist never grew mid-round (visited {}, ripups {})",
+        counter(&base, "route.dirty.visited"),
+        counter(&base, "route.ripups"),
+    );
+    for route_jobs in [2usize, 4, 7] {
+        let par = run(
+            &tech,
+            pattern,
+            &nets,
+            0xbeef,
+            &RouteOpts {
+                route_jobs,
+                batch_size: 3,
+                ..RouteOpts::default()
+            },
+        );
+        assert_identical(&base, &par, &format!("mid-round growth, jobs {route_jobs}"));
+    }
+}
+
+/// A congestion-free landscape exits the rip-up loop before any batch is
+/// formed; the parallel and sequential routers must agree there too (the
+/// pool is constructed but never dispatches).
+#[test]
+fn uncongested_runs_are_identical_and_batch_free() {
+    let tech = Technology::ffet_3p5t();
+    let pattern = RoutingPattern::new(12, 12).expect("legal");
+    let mut rng = Rng64::new(0x51de);
+    let nets = random_nets(&mut rng, 40, true);
+    let base = run(&tech, pattern, &nets, 1, &RouteOpts::default());
+    assert_eq!(counter(&base, "route.batch.count"), 0, "no rip-up batches");
+    for route_jobs in [2usize, 7] {
+        let par = run(
+            &tech,
+            pattern,
+            &nets,
+            1,
+            &RouteOpts {
+                route_jobs,
+                ..RouteOpts::default()
+            },
+        );
+        assert_identical(&base, &par, &format!("uncongested, jobs {route_jobs}"));
+    }
+}

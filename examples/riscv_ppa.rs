@@ -18,7 +18,9 @@ use ffet_tech::{RoutingPattern, TechKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Prove the benchmark core actually works before measuring its PPA.
-    let check_lib = FlowConfig::baseline(TechKind::Ffet3p5t).build_library().expect("valid config");
+    let check_lib = FlowConfig::baseline(TechKind::Ffet3p5t)
+        .build_library()
+        .expect("valid config");
     let core = build_core(&check_lib, "rv32_core");
     let report = cosimulate(&core, &check_lib, &programs::fibonacci(12), 3_000)?;
     println!(

@@ -4,9 +4,12 @@
 //!   `PpaReport`s at every pool width (submission-order reassembly,
 //!   per-job seeds, no cross-job communication);
 //! * a single `run_flow` call is bit-reproducible, down to the signoff and
-//!   timing reports.
+//!   timing reports;
+//! * the DoE pool width (`FFET_JOBS`) and the router's intra-point worker
+//!   count (`FFET_ROUTE_JOBS`) are *independent* knobs — every point of
+//!   the {1,4} × {1,4} cross-matrix agrees byte for byte.
 
-use ffet_core::experiments::{self, DesignKind};
+use ffet_core::experiments::{self, utilization_sweep, DesignKind};
 use ffet_core::runner::Pool;
 use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_tech::{RoutingPattern, TechKind};
@@ -35,6 +38,40 @@ fn table3_is_pool_width_invariant() {
     let parallel = experiments::table3_on(DesignKind::CounterSmall, &Pool::new(4));
     assert_eq!(serial.table.to_csv(), parallel.table.to_csv());
     assert_eq!(serial.rows_data, parallel.rows_data);
+}
+
+/// The {`FFET_JOBS`} × {`FFET_ROUTE_JOBS`} cross-matrix: a sweep's full
+/// per-point results (reports, signoff, recovery dispositions) must be
+/// identical at every combination of DoE pool width and router worker
+/// count — the two levels of parallelism compose without touching a byte.
+#[test]
+fn sweep_is_invariant_across_jobs_and_route_jobs_matrix() {
+    let base = FlowConfig {
+        pattern: RoutingPattern::new(12, 12).expect("legal"),
+        back_pin_ratio: 0.5,
+        utilization: 0.6,
+        route_jobs: 1,
+        ..FlowConfig::baseline(TechKind::Ffet3p5t)
+    };
+    let library = base.build_library().expect("valid config");
+    let netlist = designs::counter_pipeline(&library, 16);
+    let utils = [0.58, 0.62];
+    let reference = utilization_sweep(&Pool::new(1), &netlist, &library, &base, &utils).1;
+    assert_eq!(reference.len(), utils.len(), "sweep closes at both points");
+    for jobs in [1usize, 4] {
+        for route_jobs in [1usize, 4] {
+            if (jobs, route_jobs) == (1, 1) {
+                continue;
+            }
+            let mut config = base.clone();
+            config.route_jobs = route_jobs;
+            let points = utilization_sweep(&Pool::new(jobs), &netlist, &library, &config, &utils).1;
+            assert_eq!(
+                reference, points,
+                "jobs={jobs} route_jobs={route_jobs} diverged from jobs=1 route_jobs=1"
+            );
+        }
+    }
 }
 
 /// Two `run_flow` calls with the same `FlowConfig` produce identical

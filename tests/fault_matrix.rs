@@ -317,6 +317,82 @@ fn panicking_stage_is_contained_and_recovered() {
     assert!(r.outcome.is_ok());
 }
 
+/// `FaultKind::RoutePanic` panics inside a routing *batch worker* — the
+/// panic crosses the batch pool's containment boundary (worker
+/// `catch_unwind` → re-raise on the routing thread) before the DoE pool
+/// sees it. The DoE pool must still contain it, and the disposition cell
+/// must carry the worker's message verbatim, identically at `route_jobs`
+/// 1 (inline batch execution) and 4 (pool threads).
+#[test]
+fn pool_contains_route_batch_panics_at_any_worker_count() {
+    let mut cells: Vec<String> = Vec::new();
+    for route_jobs in [1usize, 4] {
+        let mut config = base_config();
+        config.route_jobs = route_jobs;
+        config.fault_plan = FaultPlan {
+            faults: vec![Fault::always(FaultKind::RoutePanic)],
+            ..FaultPlan::default()
+        };
+        let library = config.build_library().expect("valid config");
+        let netlist = designs::counter_pipeline(&library, 24);
+        let pool = Pool::new(2);
+        let outcomes = pool.run(vec![0u8], |_| {
+            run_flow(&netlist, &library, &config).map(|o| o.report)
+        });
+        assert_eq!(outcomes.len(), 1);
+        let o = &outcomes[0];
+        assert!(
+            matches!(o.result, Err(JobError::Panicked(_))),
+            "route_jobs={route_jobs}: pool should contain the batch-worker panic"
+        );
+        let cell = o.stats.disposition.to_cell();
+        assert!(
+            cell.starts_with("panicked: fault: injected panic in route batch worker"),
+            "route_jobs={route_jobs}: disposition cell: {cell}"
+        );
+        cells.push(cell);
+    }
+    assert_eq!(cells[0], cells[1], "disposition is route_jobs-invariant");
+}
+
+/// A transient batch-worker panic rides the recovery ladder exactly like a
+/// flow-thread stage panic: attempt 0 is logged as panicked with the
+/// worker's message, attempt 1 recovers — and the whole `AttemptLog`
+/// disposition (rungs, outcome strings, final report) is byte-identical
+/// whether the panicking batch ran inline or on pool workers.
+#[test]
+fn route_batch_panic_recovery_is_route_jobs_invariant() {
+    let run = |route_jobs: usize| {
+        let mut config = base_config();
+        config.max_attempts = 2;
+        config.route_jobs = route_jobs;
+        config.fault_plan = FaultPlan {
+            faults: vec![Fault::until(FaultKind::RoutePanic, 1)],
+            ..FaultPlan::default()
+        };
+        let library = config.build_library().expect("valid config");
+        let netlist = designs::counter_pipeline(&library, 24);
+        let r = run_flow_resilient(&netlist, &library, &config);
+        assert_eq!(
+            r.recovery.disposition,
+            PointDisposition::Recovered(1),
+            "route_jobs={route_jobs}"
+        );
+        assert!(
+            r.log.attempts[0]
+                .outcome
+                .starts_with("panicked: fault: injected panic in route batch worker"),
+            "route_jobs={route_jobs}: attempt 0 outcome: {}",
+            r.log.attempts[0].outcome
+        );
+        let rungs: Vec<RecoveryRung> = r.log.attempts.iter().map(|a| a.rung).collect();
+        let outcomes: Vec<String> = r.log.attempts.iter().map(|a| a.outcome.clone()).collect();
+        let report = r.outcome.expect("second attempt is valid").report;
+        (r.recovery.disposition.to_cell(), rungs, outcomes, report)
+    };
+    assert_eq!(run(1), run(4), "recovery log diverged across route_jobs");
+}
+
 /// The tentpole determinism guarantee: a sweep whose points go through the
 /// recovery ladder (including a transient fault) produces byte-identical
 /// results and identical dispositions at every pool width.

@@ -64,16 +64,35 @@ fn span_skeletons(artifacts: &RunArtifacts) -> Vec<Vec<SpanSkeleton>> {
 
 #[test]
 fn metrics_and_spans_identical_across_pool_widths() {
-    let base = base_config();
+    // The full {FFET_JOBS} × {FFET_ROUTE_JOBS} cross-matrix: DoE pool
+    // width and router worker count are independent; the reference is the
+    // fully serial corner.
+    let mut base = base_config();
+    base.route_jobs = 1;
     let serial = sweep_artifacts(1, &base);
-    let parallel = sweep_artifacts(4, &base);
-    // metrics.json is byte-identical once the timing key is stripped.
-    assert_eq!(
-        strip_timing(&serial.metrics_json()).unwrap(),
-        strip_timing(&parallel.metrics_json()).unwrap()
-    );
-    // The span tree (names, ids, nesting, attrs, order) matches too.
-    assert_eq!(span_skeletons(&serial), span_skeletons(&parallel));
+    for jobs in [1usize, 4] {
+        for route_jobs in [1usize, 4] {
+            if (jobs, route_jobs) == (1, 1) {
+                continue;
+            }
+            let mut config = base.clone();
+            config.route_jobs = route_jobs;
+            let run = sweep_artifacts(jobs, &config);
+            // metrics.json is byte-identical once the timing key is
+            // stripped, and the span tree (names, ids, nesting, attrs,
+            // order) matches too.
+            assert_eq!(
+                strip_timing(&serial.metrics_json()).unwrap(),
+                strip_timing(&run.metrics_json()).unwrap(),
+                "metrics diverged at jobs={jobs} route_jobs={route_jobs}"
+            );
+            assert_eq!(
+                span_skeletons(&serial),
+                span_skeletons(&run),
+                "span tree diverged at jobs={jobs} route_jobs={route_jobs}"
+            );
+        }
+    }
     // And the traces actually carry the flow's signal, not empty shells.
     let merged = serial.merged_metrics();
     assert_eq!(merged.counters["flow.runs"], 6, "2 utils x 3 seeds");
@@ -94,21 +113,37 @@ fn metrics_and_spans_identical_across_pool_widths() {
 
 #[test]
 fn metrics_identical_across_pool_widths_with_fault_plan() {
-    // Same contract while the recovery ladder is exercised: a transient
-    // route-open makes every point take one retry, on both pool widths.
+    // Same cross-matrix contract while the recovery ladder is exercised: a
+    // transient route-open makes every point take one retry, at every
+    // combination of pool width and router worker count.
     let mut base = base_config();
     base.max_attempts = 2;
+    base.route_jobs = 1;
     base.fault_plan = FaultPlan {
         faults: vec![Fault::until(FaultKind::RouteOpen, 1)],
         ..FaultPlan::default()
     };
     let serial = sweep_artifacts(1, &base);
-    let parallel = sweep_artifacts(4, &base);
-    assert_eq!(
-        strip_timing(&serial.metrics_json()).unwrap(),
-        strip_timing(&parallel.metrics_json()).unwrap()
-    );
-    assert_eq!(span_skeletons(&serial), span_skeletons(&parallel));
+    for jobs in [1usize, 4] {
+        for route_jobs in [1usize, 4] {
+            if (jobs, route_jobs) == (1, 1) {
+                continue;
+            }
+            let mut config = base.clone();
+            config.route_jobs = route_jobs;
+            let run = sweep_artifacts(jobs, &config);
+            assert_eq!(
+                strip_timing(&serial.metrics_json()).unwrap(),
+                strip_timing(&run.metrics_json()).unwrap(),
+                "faulted metrics diverged at jobs={jobs} route_jobs={route_jobs}"
+            );
+            assert_eq!(
+                span_skeletons(&serial),
+                span_skeletons(&run),
+                "faulted span tree diverged at jobs={jobs} route_jobs={route_jobs}"
+            );
+        }
+    }
     let merged = serial.merged_metrics();
     assert_eq!(merged.counters["recover.attempts"], 12, "6 points x 2");
     assert_eq!(merged.counters["recover.recovered"], 6);
