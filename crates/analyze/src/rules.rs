@@ -7,6 +7,7 @@
 //! | D003 | determinism | no `Instant::now`/`SystemTime` outside the timing modules |
 //! | D004 | determinism | no thread spawning outside the `ffet-pool` work-stealing pool |
 //! | R001 | robustness  | no `unwrap()`/`expect()`/`panic!` outside tests (baseline-frozen) |
+//! | R002 | robustness  | no direct `fs::write`/`File::create` — artifacts go through `ckpt::atomic_write` |
 //! | M001 | observability | metric/span names ⇆ DESIGN §9 catalog, both directions |
 //!
 //! Every rule is a pattern walk over the lexed token stream with tests-
@@ -122,6 +123,7 @@ pub fn scan_tokens(relpath: &str, toks: &[Tok]) -> (Vec<Finding>, Vec<MetricUse>
     if !spawn_ok {
         d004(relpath, toks, &mut findings);
     }
+    r002(relpath, toks, &mut findings);
     collect_metric_uses(toks, &mut uses);
     (findings, uses)
 }
@@ -442,6 +444,46 @@ fn r001(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
+/// R002: direct non-atomic file creation. A kill between `create` and the
+/// final `write` leaves a torn artifact that downstream tooling reads as
+/// complete; every artifact write must go through
+/// `ffet_core::ckpt::atomic_write` (sibling tmp file + `rename`), which is
+/// itself the one waived call site. Applies to every scanned crate — the
+/// bench/CLI harness writes most of the artifacts.
+fn r002(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        let path_call = |target: &str, method: &str| {
+            t.is_ident(target)
+                && matches!(toks.get(i + 1), Some(t) if t.is_punct(':'))
+                && matches!(toks.get(i + 2), Some(t) if t.is_punct(':'))
+                && matches!(toks.get(i + 3), Some(t) if t.is_ident(method))
+                && matches!(toks.get(i + 4), Some(t) if t.is_punct('('))
+        };
+        if path_call("fs", "write") {
+            out.push(Finding::new(
+                path,
+                t.line,
+                "R002",
+                "direct `fs::write`: a mid-write kill leaves a torn artifact — publish \
+                 through `ffet_core::ckpt::atomic_write` (tmp + rename), or waive with a \
+                 crash-safety argument"
+                    .to_owned(),
+            ));
+        }
+        if path_call("File", "create") {
+            out.push(Finding::new(
+                path,
+                t.line,
+                "R002",
+                "direct `File::create`: a mid-write kill leaves a torn artifact — publish \
+                 through `ffet_core::ckpt::atomic_write` (tmp + rename), or waive with a \
+                 crash-safety argument"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
 /// M001 collection: string-literal names at `ffet_obs` recording calls.
 fn collect_metric_uses(toks: &[Tok], out: &mut Vec<MetricUse>) {
     for (i, t) in toks.iter().enumerate() {
@@ -722,6 +764,35 @@ mod tests {
         assert!(scan(
             "crates/sta/src/x.rs",
             "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.expect_err(\"e\"); }",
+        )
+        .is_empty());
+    }
+
+    // ---- R002 ----------------------------------------------------------
+
+    #[test]
+    fn r002_flags_direct_writes_everywhere() {
+        let src = "fn f() { std::fs::write(\"results/a.csv\", b).ok(); }";
+        assert_eq!(codes(&scan("crates/bench/src/x.rs", src)), vec!["R002"]);
+        assert_eq!(codes(&scan("crates/core/src/x.rs", src)), vec!["R002"]);
+        let f = scan(
+            "crates/lefdef/src/x.rs",
+            "fn f() { let out = std::fs::File::create(path)?; }",
+        );
+        assert_eq!(codes(&f), vec!["R002"]);
+    }
+
+    #[test]
+    fn r002_ignores_tests_reads_and_lookalikes() {
+        assert!(scan(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests { fn t() { std::fs::write(\"x\", \"y\").unwrap(); } }",
+        )
+        .is_empty());
+        assert!(scan(
+            "crates/core/src/x.rs",
+            "fn f() { let t = std::fs::read_to_string(p)?; fs::create_dir_all(d)?; \
+             let f = File::open(p)?; my_fs::write(p, b)?; }",
         )
         .is_empty());
     }

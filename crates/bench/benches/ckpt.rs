@@ -1,0 +1,80 @@
+//! Checkpoint overhead on a fig11-class sweep: the same experiment run
+//! bare vs with the full per-experiment checkpoint path (payload
+//! serialization, content-addressed blob store, journal append, atomic CSV
+//! publish). The sweep dominates; journaling one record per experiment is
+//! targeted to cost < 3% wall clock, and `results/BENCH_ckpt.json` records
+//! the measured overhead against that target.
+
+use ffet_bench::BenchGroup;
+use ffet_core::ckpt::{self, Journal, JournalFault, Store};
+use ffet_core::experiments::{self, DesignKind};
+use ffet_core::runner::Pool;
+use std::time::Duration;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[allow(clippy::print_stderr)] // bench harness output
+fn main() {
+    let scratch = std::env::temp_dir().join(format!("ffet-bench-ckpt-{}", std::process::id()));
+    let journal_path = scratch.join(ckpt::JOURNAL_FILE);
+    let store = Store::new(&scratch);
+    let pool = Pool::new(4);
+
+    let mut group = BenchGroup::new("ckpt");
+    group.sample_size(5);
+
+    let bare_med = group.bench_function_timed("fig11_counter_bare", || {
+        experiments::fig11_on(DesignKind::CounterSmall, &pool).means
+    });
+
+    let journaled_med = group.bench_function_timed("fig11_counter_journaled", || {
+        let r = experiments::fig11_on(DesignKind::CounterSmall, &pool);
+        let payload = ckpt::payload_json(
+            "fig11",
+            &r.table.to_csv(),
+            &r.runlog,
+            &ckpt::trace_fragment(&r.traces),
+        );
+        let addr = store.put(&payload).expect("store put");
+        let mut journal = Journal::default();
+        journal
+            .append(&journal_path, "fig11", "bench", &addr, JournalFault::None)
+            .expect("journal append");
+        ckpt::atomic_write(&scratch.join("fig11.csv"), r.table.to_csv().as_bytes())
+            .expect("atomic csv");
+        r.means
+    });
+
+    // Replay leg: what `--resume` pays instead of recomputing the sweep.
+    let replay_med = group.bench_function_timed("fig11_counter_replay", || {
+        let journal = Journal::recover(&journal_path).expect("recover");
+        let rec = journal.lookup("fig11", "bench").expect("record");
+        let body = store.get(&rec.blob).expect("blob");
+        ckpt::parse_payload("fig11", &body)
+            .expect("payload")
+            .rows
+            .len()
+    });
+    group.finish();
+
+    let overhead_pct = (ms(journaled_med) - ms(bare_med)) / ms(bare_med).max(1e-9) * 100.0;
+    let json = format!(
+        "{{\n  \"experiment\": \"fig11_counter\",\n  \"bare_median_ms\": {:.4},\n  \
+         \"journaled_median_ms\": {:.4},\n  \"replay_median_ms\": {:.4},\n  \
+         \"overhead_pct\": {overhead_pct:.3},\n  \"overhead_target_pct\": 3.0,\n  \
+         \"overhead_within_target\": {}\n}}\n",
+        ms(bare_med),
+        ms(journaled_med),
+        ms(replay_med),
+        overhead_pct <= 3.0,
+    );
+    let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    if let Err(e) = ckpt::atomic_write(&out_dir.join("BENCH_ckpt.json"), json.as_bytes()) {
+        eprintln!("ckpt: could not write BENCH_ckpt.json: {e}");
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -177,8 +177,8 @@ fn main() {
     let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("results");
-    if let Err(e) = std::fs::create_dir_all(&out_dir)
-        .and_then(|()| std::fs::write(out_dir.join("BENCH_route.json"), &json))
+    if let Err(e) =
+        ffet_core::ckpt::atomic_write(&out_dir.join("BENCH_route.json"), json.as_bytes())
     {
         eprintln!("route_kernel: could not write BENCH_route.json: {e}");
     }
@@ -226,7 +226,9 @@ fn main() {
         bnets.len(),
         RouteOpts::default().batch_size,
     );
-    if let Err(e) = std::fs::write(out_dir.join("BENCH_route_parallel.json"), &pjson) {
+    if let Err(e) =
+        ffet_core::ckpt::atomic_write(&out_dir.join("BENCH_route_parallel.json"), pjson.as_bytes())
+    {
         eprintln!("route_kernel: could not write BENCH_route_parallel.json: {e}");
     }
 }

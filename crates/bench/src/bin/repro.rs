@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--jobs N] [--route-jobs N] [--design counter|rv32] [--max-attempts N] <experiment>
+//! repro [--jobs N] [--route-jobs N] [--design counter|rv32] [--max-attempts N]
+//!       [--deadline SECS] [--resume] <experiment>
 //!                      # table1 table2 fig4 fig8 fig9 fig10 fig11 table3 fig12 fig13 ablation
 //! repro all            # everything
 //! repro sanity         # one FFET + one CFET baseline run, printed verbosely
@@ -24,15 +25,26 @@
 //! [`ffet_core::run_flow_resilient`]; `--max-attempts` (or the
 //! `FFET_MAX_ATTEMPTS` env var) bounds the attempts per point, and the
 //! `FFET_FAULTS` env var injects deterministic faults (see DESIGN.md §8).
+//! `--deadline SECS` (or `FFET_DEADLINE`) arms a cooperative per-attempt
+//! watchdog whose expiry lands a `timeout(stage)` disposition.
+//!
+//! Every artifact is written atomically (tmp + rename), and every
+//! completed experiment is journaled into the `results/ckpt/` checkpoint
+//! store. `--resume` replays experiments whose journal records validate,
+//! producing artifacts byte-identical (modulo the `timing` key) to an
+//! uninterrupted run — see DESIGN.md §12.
 
 // The repro binary is the user-facing CLI: stdout/stderr are its output
 // channel. Library crates must go through ffet-obs instead.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
+use ffet_core::ckpt::{self, Journal, JournalFault, Store};
 use ffet_core::experiments::{self, DesignKind, ExpTable};
 use ffet_core::runner::{Pool, RunLog, RunLogRow};
+use ffet_core::FaultPlan;
 use ffet_obs::{LabeledPoint, RunArtifacts};
 use std::env;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Prints the table and drops its CSV into `results/` for plotting.
@@ -40,9 +52,8 @@ use std::time::Instant;
 /// downstream plotting script.
 fn emit(name: &str, table: &ExpTable) -> std::io::Result<()> {
     print!("{}", table.render());
-    std::fs::create_dir_all("results")?;
     let path = format!("results/{name}.csv");
-    std::fs::write(&path, table.to_csv())?;
+    ckpt::atomic_write(Path::new(&path), table.to_csv().as_bytes())?;
     eprintln!("wrote {path}");
     Ok(())
 }
@@ -110,22 +121,54 @@ const ALL: [&str; 11] = [
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--jobs N] [--route-jobs N] [--design counter|rv32] [--max-attempts N] \
+         [--deadline SECS] [--resume] \
          <sanity|calib|hotspots|critpath|table1|table2|fig4|fig8|fig9|fig10|fig11|table3|fig12|fig13|ablation|all>\n\
          \x20      repro trace [point]   # render one point of results/trace.jsonl"
     );
     std::process::exit(2);
 }
 
-/// Writes one artifact file under `results/`, creating the directory first.
+/// Writes one artifact file under `results/` atomically (tmp + rename),
+/// creating the directory first.
 fn write_artifact(path: &str, body: &str, failed: &mut bool) {
-    let write = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, body));
-    match write {
+    match ckpt::atomic_write(Path::new(path), body.as_bytes()) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => {
             eprintln!("error: could not write {path}: {e}");
             *failed = true;
         }
     }
+}
+
+// --- checkpoint/resume plumbing (DESIGN.md §12) ---
+
+/// Everything the sweep loop needs to journal completed experiments and to
+/// replay them on `--resume`. Absent (`None`) for non-sweep subcommands so
+/// `repro sanity`/`repro trace` never touch the journal.
+struct Ckpt {
+    store: Store,
+    journal: Journal,
+    path: PathBuf,
+    /// Fault injected into journal appends (`ckpt-torn-write`/`ckpt-stale`).
+    fault: JournalFault,
+    /// Config-signature hash; records from a different config are ignored.
+    cfg: String,
+}
+
+/// Hash of everything that changes experiment *outputs*: design, recovery
+/// budget, fault plan, deadline, and the payload schema version. Worker
+/// counts (`FFET_JOBS`/`FFET_ROUTE_JOBS`) are deliberately excluded — the
+/// §7 determinism contract makes outputs identical across widths, so a
+/// sweep may be resumed under a different parallelism.
+fn config_signature(design: DesignKind) -> String {
+    let sig = format!(
+        "ckpt-{}|design={design:?}|max_attempts={}|faults={}|deadline={}",
+        ckpt::JOURNAL_VERSION,
+        env::var(ffet_core::MAX_ATTEMPTS_ENV).unwrap_or_default(),
+        env::var(ffet_core::FAULTS_ENV).unwrap_or_default(),
+        env::var(ffet_core::DEADLINE_ENV).unwrap_or_default(),
+    );
+    ckpt::hash_hex(ckpt::fnv1a64(sig.as_bytes()))
 }
 
 /// `repro trace [point]`: renders one point of `results/trace.jsonl` as a
@@ -188,6 +231,7 @@ fn trace_cmd(query: Option<&str>) -> i32 {
 
 fn main() {
     let mut jobs: Option<usize> = None;
+    let mut resume = false;
     let mut design = match env::var("FFET_DESIGN").as_deref() {
         Ok("counter") => DesignKind::CounterSmall,
         _ => DesignKind::Rv32,
@@ -216,6 +260,13 @@ fn main() {
                 Some(n) if n >= 1 => env::set_var(ffet_core::ROUTE_JOBS_ENV, n.to_string()),
                 _ => usage(),
             },
+            "--deadline" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s.is_finite() && s > 0.0 => {
+                    env::set_var(ffet_core::DEADLINE_ENV, s.to_string());
+                }
+                _ => usage(),
+            },
+            "--resume" => resume = true,
             name if !name.starts_with('-') => positional.push(name.to_owned()),
             _ => usage(),
         }
@@ -233,21 +284,117 @@ fn main() {
     let mut log = RunLog::new(pool.width());
     let mut artifacts = RunArtifacts::new(pool.width());
     let mut failed = false;
-    let run_and_emit =
-        |name: &str, log: &mut RunLog, artifacts: &mut RunArtifacts, failed: &mut bool| -> bool {
-            let t = Instant::now();
-            let Some(run) = run_one(name, design, &pool) else {
-                return false;
-            };
-            if let Err(e) = emit(name, &run.table) {
-                eprintln!("error: could not write results/{name}.csv: {e}");
-                *failed = true;
-            }
-            artifacts.extend(run.traces);
-            log.record_experiment(name, run.rows, t.elapsed());
-            eprintln!("[{name}: {:?}, {}]", t.elapsed(), log.summary(name));
-            true
+    // The journal only exists for sweep runs; `sanity`/`calib`/`trace`
+    // must neither reset nor extend it.
+    let mut ckpt_ctx: Option<Ckpt> = if arg == "all" || ALL.contains(&arg.as_str()) {
+        let path = Path::new(ckpt::CKPT_DIR).join(ckpt::JOURNAL_FILE);
+        let plan = FaultPlan::from_env();
+        let fault = if plan.has_ckpt_torn() {
+            JournalFault::TornWrite
+        } else if plan.has_ckpt_stale() {
+            JournalFault::StaleHash
+        } else {
+            JournalFault::None
         };
+        let journal = if resume {
+            let j = match Journal::recover(&path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!(
+                        "warning: could not recover {}: {e}; starting fresh",
+                        path.display()
+                    );
+                    Journal::default()
+                }
+            };
+            if j.torn + j.corrupt > 0 {
+                eprintln!(
+                    "ckpt: discarded {} torn + {} corrupt journal record(s)",
+                    j.torn, j.corrupt
+                );
+            }
+            eprintln!("ckpt: resuming with {} valid record(s)", j.records.len());
+            j
+        } else {
+            if let Err(e) = Journal::reset(&path) {
+                eprintln!("warning: could not reset {}: {e}", path.display());
+            }
+            Journal::default()
+        };
+        Some(Ckpt {
+            store: Store::new(ckpt::CKPT_DIR),
+            journal,
+            path,
+            fault,
+            cfg: config_signature(design),
+        })
+    } else {
+        None
+    };
+    let run_and_emit = |name: &str,
+                        log: &mut RunLog,
+                        artifacts: &mut RunArtifacts,
+                        ckpt_ctx: &mut Option<Ckpt>,
+                        failed: &mut bool|
+     -> bool {
+        let t = Instant::now();
+        // Resume path: a validated journal record short-circuits the whole
+        // experiment; its payload replays the exact CSV, runlog rows and
+        // trace fragment the original run produced.
+        if let Some(c) = ckpt_ctx.as_mut() {
+            if let Some(replayed) = c
+                .journal
+                .lookup(name, &c.cfg)
+                .and_then(|rec| c.store.get(&rec.blob))
+                .and_then(|body| ckpt::parse_payload(name, &body))
+            {
+                let path = format!("results/{name}.csv");
+                match ckpt::atomic_write(Path::new(&path), replayed.csv.as_bytes()) {
+                    Ok(()) => eprintln!("wrote {path} (replayed from checkpoint)"),
+                    Err(e) => {
+                        eprintln!("error: could not write {path}: {e}");
+                        *failed = true;
+                    }
+                }
+                artifacts.extend(replayed.traces);
+                log.record_experiment(name, replayed.rows, t.elapsed());
+                eprintln!(
+                    "[{name}: {:?}, {} (replayed)]",
+                    t.elapsed(),
+                    log.summary(name)
+                );
+                return true;
+            }
+        }
+        let Some(run) = run_one(name, design, &pool) else {
+            return false;
+        };
+        if let Err(e) = emit(name, &run.table) {
+            eprintln!("error: could not write results/{name}.csv: {e}");
+            *failed = true;
+        }
+        // Journal the completed experiment before its outputs are consumed.
+        // A journal failure degrades resumability but never the run itself.
+        if let Some(c) = ckpt_ctx.as_mut() {
+            let payload = ckpt::payload_json(
+                name,
+                &run.table.to_csv(),
+                &run.rows,
+                &ckpt::trace_fragment(&run.traces),
+            );
+            let journaled = c
+                .store
+                .put(&payload)
+                .and_then(|addr| c.journal.append(&c.path, name, &c.cfg, &addr, c.fault));
+            if let Err(e) = journaled {
+                eprintln!("warning: could not journal {name}: {e}");
+            }
+        }
+        artifacts.extend(run.traces);
+        log.record_experiment(name, run.rows, t.elapsed());
+        eprintln!("[{name}: {:?}, {}]", t.elapsed(), log.summary(name));
+        true
+    };
     match arg.as_str() {
         "sanity" => sanity(),
         "calib" => calib(),
@@ -255,10 +402,10 @@ fn main() {
         "critpath" => critpath(),
         "all" => {
             for name in ALL {
-                run_and_emit(name, &mut log, &mut artifacts, &mut failed);
+                run_and_emit(name, &mut log, &mut artifacts, &mut ckpt_ctx, &mut failed);
             }
         }
-        other if run_and_emit(other, &mut log, &mut artifacts, &mut failed) => {}
+        other if run_and_emit(other, &mut log, &mut artifacts, &mut ckpt_ctx, &mut failed) => {}
         _ => usage(),
     }
     if !log.rows.is_empty() {

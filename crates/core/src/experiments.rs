@@ -10,7 +10,7 @@
 //! fast smoke tests of the experiment plumbing.
 
 use crate::designs;
-use crate::flow::{FlowConfig, StageTimes};
+use crate::flow::{FlowConfig, FlowError, StageTimes};
 use crate::recover::{run_flow_resilient, PointFailure, PointRecovery};
 use crate::report::{pct_diff, PpaReport};
 use crate::runner::{JobError, JobOutcome, Pool, RunLogRow};
@@ -376,7 +376,14 @@ fn flow_row(experiment: &str, label: String, o: &JobOutcome<FlowPoint, PointFail
         }
         Err(JobError::Failed(pf)) => {
             row.attempts = pf.attempts;
-            row.disposition = format!("failed({}): {}", pf.attempts.saturating_sub(1), pf.error);
+            // A point whose last attempt hit the deadline gets the
+            // structured `timeout(stage)` disposition the watchdog
+            // contract promises (recovered timeouts render `recovered(n)`
+            // like any other recovered failure).
+            row.disposition = match &pf.error {
+                FlowError::Timeout(stage) => format!("timeout({stage})"),
+                e => format!("failed({}): {}", pf.attempts.saturating_sub(1), e),
+            };
         }
         // The pool already rendered the panic message; a contained panic
         // means the ladder never ran, so a single attempt is charged.

@@ -5,6 +5,7 @@
 use crate::faults::{FaultPlan, FlowStage};
 use crate::recover::max_attempts_from_env;
 use crate::report::PpaReport;
+use crate::runner::CancelToken;
 use crate::synth::{synthesize, SynthConfig};
 use ffet_cells::Library;
 use ffet_geom::FxHashMap;
@@ -50,6 +51,15 @@ pub struct FlowConfig {
     /// parallelism, orthogonal to the DoE pool's `--jobs`: it changes
     /// wall-clock only, never an artifact byte.
     pub route_jobs: usize,
+    /// Per-attempt wall-clock budget in milliseconds (`--deadline` /
+    /// `FFET_DEADLINE`, in seconds). `None` (the default) never expires.
+    /// Expiry is cooperative — checked at stage boundaries and inside the
+    /// router's rip-up/batch loops — and surfaces as
+    /// [`FlowError::Timeout`], which the recovery ladder retries with a
+    /// fresh budget. Real expiry depends on the host's wall clock and is
+    /// therefore outside the DESIGN §7 byte-identity contract; the
+    /// `stage-timeout` fault forces the same paths deterministically.
+    pub deadline_ms: Option<u64>,
     /// Seeded fault schedule (empty by default — the golden path).
     pub fault_plan: FaultPlan,
 }
@@ -71,6 +81,21 @@ pub fn route_jobs_from_env() -> usize {
         .unwrap_or_else(|| {
             crate::runner::width_from(std::env::var(crate::runner::JOBS_ENV).ok().as_deref())
         })
+}
+
+/// Environment variable carrying the per-attempt deadline (in seconds,
+/// fractional allowed) for the `repro` driver (`--deadline`).
+pub const DEADLINE_ENV: &str = "FFET_DEADLINE";
+
+/// The per-attempt deadline from `FFET_DEADLINE` (seconds → milliseconds),
+/// or `None` when unset, unparsable, or non-positive.
+#[must_use]
+pub fn deadline_ms_from_env() -> Option<u64> {
+    std::env::var(DEADLINE_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .map(|s| (s * 1000.0).ceil() as u64)
 }
 
 impl FlowConfig {
@@ -98,6 +123,7 @@ impl FlowConfig {
             // directly.
             max_attempts: max_attempts_from_env(),
             route_jobs: route_jobs_from_env(),
+            deadline_ms: deadline_ms_from_env(),
             fault_plan: FaultPlan::from_env(),
         }
     }
@@ -208,6 +234,10 @@ pub enum FlowError {
     /// The flow panicked; caught and carried by
     /// [`crate::run_flow_resilient`] (plain [`run_flow`] propagates).
     Panicked(String),
+    /// The per-attempt deadline expired (or a `stage-timeout` fault forced
+    /// expiry) at the named stage. Recoverable: the ladder retries with a
+    /// fresh budget, and `runlog.csv` renders it as `timeout(stage)`.
+    Timeout(String),
 }
 
 impl std::fmt::Display for FlowError {
@@ -232,6 +262,7 @@ impl std::fmt::Display for FlowError {
                 )
             }
             FlowError::Panicked(m) => write!(f, "flow panicked: {m}"),
+            FlowError::Timeout(stage) => write!(f, "deadline exceeded at {stage} stage"),
         }
     }
 }
@@ -263,6 +294,21 @@ pub fn run_flow(
     let mut stages = StageTimes::default();
     let faults = &config.fault_plan;
 
+    // Deadline watchdog: one cooperative token per attempt (the ladder
+    // retries a timed-out point with a fresh budget). A `stage-timeout`
+    // fault expires *at its named stage*, deterministically at any pool
+    // width; a real `FFET_DEADLINE` budget expires wherever the wall
+    // clock says it does.
+    let timeout_fault = faults.timeout_stage();
+    let deadline = CancelToken::with_deadline_ms(config.deadline_ms);
+    let check_deadline = |stage: FlowStage| -> Result<(), FlowError> {
+        if timeout_fault == Some(stage) || deadline.cancelled() {
+            ffet_obs::counter_add("flow.timeout", 1);
+            return Err(FlowError::Timeout(stage.to_string()));
+        }
+        Ok(())
+    };
+
     // Root span for the whole point. Declared first so that on an early
     // return it drops (and records) after every stage span. Seeds are
     // stringified: perturbed recovery seeds can exceed `i64`.
@@ -285,6 +331,7 @@ pub fn run_flow(
     stages.synth_ms = sp.close_ms();
     ffet_obs::gauge_set("flow.cells", netlist.instances().len() as f64);
     faults.maybe_panic(FlowStage::Synth);
+    check_deadline(FlowStage::Synth)?;
 
     // Physical implementation (floorplan → powerplan → place → CTS →
     // dual-sided route).
@@ -297,11 +344,26 @@ pub fn run_flow(
         extra_reroute_rounds: config.extra_reroute_rounds,
         route_jobs: config.route_jobs,
         route_panic: faults.has_route_panic(),
+        // The router polls this token at rip-up-round and batch
+        // boundaries; a forced P&R timeout rides the same plumbing so the
+        // deterministic fault exercises the real cancellation path.
+        cancel: if timeout_fault == Some(FlowStage::Pnr) {
+            CancelToken::forced()
+        } else {
+            deadline
+        },
     };
     let sp = ffet_obs::span("flow.pnr");
-    let mut pnr = run_pnr(&mut netlist, library, &pnr_config)?;
+    let mut pnr = match run_pnr(&mut netlist, library, &pnr_config) {
+        Err(PnrError::Cancelled) => {
+            ffet_obs::counter_add("flow.timeout", 1);
+            return Err(FlowError::Timeout(FlowStage::Pnr.to_string()));
+        }
+        r => r?,
+    };
     stages.pnr_ms = sp.close_ms();
     faults.maybe_panic(FlowStage::Pnr);
+    check_deadline(FlowStage::Pnr)?;
     if !faults.is_empty() {
         faults.apply_post_pnr(&mut netlist, &mut pnr, library, config.seed);
     }
@@ -312,6 +374,7 @@ pub fn run_flow(
         merge_defs(&pnr.front_def, &pnr.back_def).map_err(|e| FlowError::Merge(e.to_string()))?;
     stages.merge_ms = sp.close_ms();
     faults.maybe_panic(FlowStage::Merge);
+    check_deadline(FlowStage::Merge)?;
     if !faults.is_empty() {
         faults.apply_post_merge(&mut merged_def, &netlist, library, config.seed);
     }
@@ -325,6 +388,7 @@ pub fn run_flow(
     sp.set_attr("errors", signoff.error_count());
     sp.set_attr("warnings", signoff.warning_count());
     faults.maybe_panic(FlowStage::Signoff);
+    check_deadline(FlowStage::Signoff)?;
     if !signoff.is_clean() {
         // `sp` then `root` drop here, recording both spans.
         return Err(FlowError::Signoff(signoff));

@@ -28,6 +28,7 @@
 //! # Ok::<(), ffet_core::FlowError>(())
 //! ```
 
+pub mod ckpt;
 pub mod designs;
 pub mod experiments;
 pub mod faults;
@@ -39,7 +40,8 @@ mod synth;
 
 pub use faults::{Fault, FaultKind, FaultPlan, FlowStage, FAULTS_ENV};
 pub use flow::{
-    route_jobs_from_env, run_flow, FlowConfig, FlowError, FlowOutcome, StageTimes, ROUTE_JOBS_ENV,
+    deadline_ms_from_env, route_jobs_from_env, run_flow, FlowConfig, FlowError, FlowOutcome,
+    StageTimes, DEADLINE_ENV, ROUTE_JOBS_ENV,
 };
 pub use recover::{
     run_flow_resilient, AttemptLog, AttemptRecord, PointDisposition, PointFailure, PointRecovery,

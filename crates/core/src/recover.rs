@@ -81,7 +81,8 @@ pub struct AttemptRecord {
     pub utilization: f64,
     /// Extra reroute rounds the attempt ran with.
     pub extra_reroute_rounds: u32,
-    /// `valid`, `invalid (drv N)`, `error: …`, or `panicked: …`.
+    /// `valid`, `invalid (drv N)`, `error: …`, `panicked: …`, or
+    /// `timeout(stage)`.
     pub outcome: String,
 }
 
@@ -233,6 +234,10 @@ pub fn run_flow_resilient(
             Ok(o) if o.report.valid => "valid".to_owned(),
             Ok(o) => format!("invalid (drv {})", o.report.drv),
             Err(FlowError::Panicked(m)) => format!("panicked: {m}"),
+            Err(FlowError::Timeout(stage)) => {
+                ffet_obs::counter_add("recover.timeout", 1);
+                format!("timeout({stage})")
+            }
             Err(e) => format!("error: {e}"),
         };
         attempt_span.set_attr("outcome", outcome_cell.as_str());

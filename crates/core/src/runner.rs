@@ -25,7 +25,8 @@ use std::time::Duration;
 
 pub use crate::flow::StageTimes;
 pub use ffet_pool::{
-    panic_message, width_from, Disposition, JobError, JobOutcome, JobStats, Pool, JOBS_ENV,
+    panic_message, width_from, CancelToken, Disposition, JobError, JobOutcome, JobStats, Pool,
+    JOBS_ENV,
 };
 
 // ---------------------------------------------------------------------

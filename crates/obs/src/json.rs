@@ -245,11 +245,17 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Advance over one UTF-8 scalar, not one byte.
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
-                out.push(c);
-                *pos += c.len_utf8();
+                // Bulk-copy the run up to the next quote or escape. Multi-byte
+                // UTF-8 scalars contain no `"`/`\` bytes (continuation bytes
+                // are >= 0x80), so scanning bytewise never splits a scalar —
+                // and validating only the chunk keeps large strings linear
+                // instead of re-validating the whole tail per character.
+                let start = *pos;
+                while matches!(bytes.get(*pos), Some(b) if *b != b'"' && *b != b'\\') {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(chunk);
             }
         }
     }

@@ -15,6 +15,7 @@
 //! use ffet_cells::Library;
 //! use ffet_netlist::NetlistBuilder;
 //! use ffet_pnr::{run_pnr, PnrConfig};
+//! use ffet_pool::CancelToken;
 //! use ffet_tech::{RoutingPattern, Technology};
 //!
 //! let lib = Library::new(Technology::ffet_3p5t());
@@ -33,6 +34,7 @@
 //!     extra_reroute_rounds: 0,
 //!     route_jobs: 1,
 //!     route_panic: false,
+//!     cancel: CancelToken::none(),
 //! };
 //! let result = run_pnr(&mut netlist, &lib, &config)?;
 //! println!("DRVs: {}", result.drv_count());
@@ -72,6 +74,7 @@ pub use route::{
 use ffet_cells::{Library, PinSides};
 use ffet_lefdef::Def;
 use ffet_netlist::Netlist;
+pub use ffet_pool::CancelToken;
 use ffet_tech::{PatternError, RoutingPattern, Side};
 
 /// Configuration of one P&R run.
@@ -99,6 +102,10 @@ pub struct PnrConfig {
     /// Deterministic fault injection (`FFET_FAULTS=panic-route`): panic
     /// inside the router's batch workers. Never set in normal runs.
     pub route_panic: bool,
+    /// Cooperative deadline token, polled at rip-up-round and route-batch
+    /// boundaries and re-checked after routing. Expiry aborts the run with
+    /// [`PnrError::Cancelled`]. The default token never cancels.
+    pub cancel: CancelToken,
 }
 
 /// Everything a finished P&R run produced.
@@ -146,6 +153,10 @@ pub enum PnrError {
     Pattern(PatternError),
     /// Clock-tree synthesis failed (e.g. no clock buffer in the library).
     Cts(CtsError),
+    /// The run's [`PnrConfig::cancel`] token expired: the router stopped
+    /// cooperatively and the partial result was discarded. The flow maps
+    /// this to its `timeout(pnr)` disposition.
+    Cancelled,
 }
 
 impl std::fmt::Display for PnrError {
@@ -155,6 +166,7 @@ impl std::fmt::Display for PnrError {
             PnrError::Decompose(e) => write!(f, "net decomposition: {e}"),
             PnrError::Pattern(e) => write!(f, "routing pattern: {e}"),
             PnrError::Cts(e) => write!(f, "clock-tree synthesis: {e}"),
+            PnrError::Cancelled => f.write_str("deadline cancelled the run"),
         }
     }
 }
@@ -252,12 +264,18 @@ pub fn run_pnr(
             extra_rounds: config.extra_reroute_rounds,
             route_jobs: config.route_jobs,
             fault_panic: config.route_panic,
+            cancel: config.cancel,
             ..RouteOpts::default()
         },
     );
     sp.attr("drv", routing.drv_count)
         .attr("vias", routing.via_count)
         .close();
+    // The router exits cooperatively on expiry (best-effort partial
+    // state); a cancelled run must not masquerade as a routed one.
+    if config.cancel.cancelled() {
+        return Err(PnrError::Cancelled);
+    }
 
     let sp = ffet_obs::span("pnr.export");
     let (front_def, back_def) = export_defs(netlist, library, &fp, &pp, &pl, &routing);
@@ -359,6 +377,7 @@ mod tests {
             extra_reroute_rounds: 0,
             route_jobs: 1,
             route_panic: false,
+            cancel: CancelToken::none(),
         };
         let result = run_pnr(&mut nl, &lib, &config).expect("pnr runs");
         assert!(result.is_valid(&lib), "drv = {}", result.drv_count());
@@ -384,6 +403,7 @@ mod tests {
             extra_reroute_rounds: 0,
             route_jobs: 1,
             route_panic: false,
+            cancel: CancelToken::none(),
         };
         let result = run_pnr(&mut nl, &lib, &config).expect("pnr runs");
         assert!(result.is_valid(&lib));
@@ -404,6 +424,7 @@ mod tests {
             extra_reroute_rounds: 0,
             route_jobs: 1,
             route_panic: false,
+            cancel: CancelToken::none(),
         };
         assert!(matches!(
             run_pnr(&mut nl, &lib, &config),

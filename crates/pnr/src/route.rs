@@ -24,7 +24,7 @@ use crate::maze::{self, MazeScratch};
 use ffet_geom::{Axis, Nm, Point};
 use ffet_lefdef::{DefVia, DefWire};
 use ffet_netlist::NetId;
-use ffet_pool::{JobError, Pool};
+use ffet_pool::{CancelToken, JobError, Pool};
 use ffet_tech::{LayerId, RoutingPattern, Side, Technology};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -96,6 +96,11 @@ pub struct RouteOpts {
     /// through the batched path regardless of congestion. Never set
     /// outside fault-injection runs.
     pub fault_panic: bool,
+    /// Cooperative deadline token, polled at the top of every rip-up
+    /// round and every batch. On expiry the negotiation loop stops
+    /// best-effort (the caller discards the partial result via
+    /// `PnrError::Cancelled`); the default token never cancels.
+    pub cancel: CancelToken,
 }
 
 impl Default for RouteOpts {
@@ -105,6 +110,7 @@ impl Default for RouteOpts {
             route_jobs: 1,
             batch_size: crate::calib::ROUTE_BATCH,
             fault_panic: false,
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -228,6 +234,13 @@ pub fn route_nets_opts(
     let mut dirty_cells: Vec<(u8, u32)> = Vec::new();
     let rounds = REROUTE_ITERATIONS + extra_rounds as usize;
     for it in 0..rounds {
+        // Deadline watchdog: stop negotiating before the round starts.
+        // With a forced (fault-injected) token this fires before round 0
+        // at any `route_jobs`, keeping the timeout path deterministic.
+        if opts.cancel.cancelled() {
+            ffet_obs::counter_add("route.cancelled", 1);
+            break;
+        }
         let overflow_now = grid.total_overflow();
         if overflow_now <= 0.0 {
             break;
@@ -255,6 +268,12 @@ pub fn route_nets_opts(
         let mut visited = 0i64;
         let mut batch_seq = 0usize;
         loop {
+            // Deadline watchdog, between batches: the committed state is
+            // consistent here (ripped-up batches are always re-committed
+            // before this point), so stopping mid-round is safe.
+            if opts.cancel.cancelled() {
+                break;
+            }
             // Batch selection, against the *live* grid: pop candidates in
             // ascending id order and keep the ones whose current path still
             // crosses an overflowed cell (an earlier batch this round may

@@ -321,6 +321,68 @@ fn next_job(
     None
 }
 
+/// Cooperative cancellation token for deadline watchdogs.
+///
+/// A token is a pure value (`Copy`), so it can ride inside `Copy` configs
+/// (e.g. `PnrConfig`) and be checked from any thread without
+/// synchronization. Holders poll [`CancelToken::cancelled`] at natural
+/// yield points (stage boundaries, route-batch and rip-up-round tops) and
+/// unwind cooperatively — the pool itself never kills a worker.
+///
+/// Two flavors:
+///
+/// - **Deadline** ([`CancelToken::with_deadline_ms`]): expires once the
+///   wall clock passes `start + budget`. Inherently nondeterministic (the
+///   same sweep may or may not expire on different hardware) — outside the
+///   DESIGN §7 byte-identity contract, which is why tests use…
+/// - **Forced** ([`CancelToken::forced`]): already expired at birth. The
+///   `stage-timeout` fault kind uses this to exercise every timeout path
+///   deterministically at any pool width.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    forced: bool,
+}
+
+impl CancelToken {
+    /// A token that never cancels (the default).
+    #[must_use]
+    pub fn none() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that cancels `budget_ms` from now. `None` never cancels.
+    #[must_use]
+    pub fn with_deadline_ms(budget_ms: Option<u64>) -> CancelToken {
+        CancelToken {
+            deadline: budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            forced: false,
+        }
+    }
+
+    /// A token that is already expired — deterministic timeout injection.
+    #[must_use]
+    pub fn forced() -> CancelToken {
+        CancelToken {
+            deadline: None,
+            forced: true,
+        }
+    }
+
+    /// Whether the holder should stop at the next yield point.
+    #[must_use]
+    pub fn cancelled(&self) -> bool {
+        self.forced || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether this token can ever cancel (used to skip bookkeeping on the
+    /// default token).
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.forced || self.deadline.is_some()
+    }
+}
+
 /// Renders a caught panic payload (`&str` and `String` payloads verbatim).
 #[must_use]
 pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -449,6 +511,21 @@ mod tests {
             Err(JobError::Panicked(m)) => assert_eq!(m, "job 2 exploded"),
             other => panic!("expected contained panic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cancel_token_flavors() {
+        assert!(!CancelToken::none().cancelled());
+        assert!(!CancelToken::none().is_armed());
+        assert!(CancelToken::forced().cancelled());
+        assert!(CancelToken::forced().is_armed());
+        // A generous deadline is armed but not yet expired; an elapsed one
+        // (zero budget) cancels immediately.
+        let far = CancelToken::with_deadline_ms(Some(3_600_000));
+        assert!(far.is_armed() && !far.cancelled());
+        let now = CancelToken::with_deadline_ms(Some(0));
+        assert!(now.cancelled());
+        assert!(!CancelToken::with_deadline_ms(None).is_armed());
     }
 
     #[test]

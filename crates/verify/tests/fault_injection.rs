@@ -57,6 +57,7 @@ fn build(kind: TechKind, pattern: RoutingPattern, back_pin_ratio: f64) -> Impl {
         extra_reroute_rounds: 0,
         route_jobs: 1,
         route_panic: false,
+        cancel: ffet_pnr::CancelToken::none(),
     };
     let pnr = run_pnr(&mut netlist, &library, &config).expect("small block implements");
     let merged = merge_defs(&pnr.front_def, &pnr.back_def).expect("sides merge");

@@ -393,6 +393,150 @@ fn route_batch_panic_recovery_is_route_jobs_invariant() {
     assert_eq!(run(1), run(4), "recovery log diverged across route_jobs");
 }
 
+/// `stage-timeout` forces the cooperative deadline watchdog to fire at the
+/// named stage boundary: the attempt is logged with the structured
+/// `timeout(stage)` outcome, and a later fault-free attempt recovers the
+/// point through the normal ladder.
+#[test]
+fn stage_timeout_lands_structured_outcome_and_recovers() {
+    let mut config = base_config();
+    config.max_attempts = 2;
+    config.fault_plan = FaultPlan {
+        faults: vec![Fault::until(FaultKind::StageTimeout(FlowStage::Pnr), 1)],
+        ..FaultPlan::default()
+    };
+    let library = config.build_library().expect("valid config");
+    let netlist = designs::counter_pipeline(&library, 24);
+    let r = run_flow_resilient(&netlist, &library, &config);
+    assert_eq!(r.recovery.disposition, PointDisposition::Recovered(1));
+    assert_eq!(r.log.attempts[0].outcome, "timeout(pnr)");
+    assert_eq!(r.log.attempts[1].outcome, "valid");
+    assert!(r.outcome.is_ok());
+}
+
+/// A persistent timeout exhausts the ladder and surfaces as
+/// `FlowError::Timeout` with the stage name intact — never a panic.
+#[test]
+fn persistent_stage_timeout_exhausts_ladder_without_panicking() {
+    for (kind, stage) in [
+        (FaultKind::StageTimeout(FlowStage::Synth), "synth"),
+        (FaultKind::StageTimeout(FlowStage::Pnr), "pnr"),
+        (FaultKind::StageTimeout(FlowStage::Merge), "merge"),
+        (FaultKind::StageTimeout(FlowStage::Signoff), "signoff"),
+    ] {
+        let mut config = base_config();
+        config.max_attempts = 2;
+        config.fault_plan = FaultPlan {
+            faults: vec![Fault::always(kind)],
+            ..FaultPlan::default()
+        };
+        let library = config.build_library().expect("valid config");
+        let netlist = designs::counter_pipeline(&library, 24);
+        let r = run_flow_resilient(&netlist, &library, &config);
+        assert_eq!(
+            r.recovery.disposition,
+            PointDisposition::Failed(1),
+            "{stage}"
+        );
+        for a in &r.log.attempts {
+            assert_eq!(a.outcome, format!("timeout({stage})"));
+        }
+        match r.outcome {
+            Err(FlowError::Timeout(s)) => assert_eq!(s, stage),
+            other => panic!(
+                "{stage}: expected FlowError::Timeout, got {}",
+                match other {
+                    Ok(_) => "Ok".to_owned(),
+                    Err(e) => format!("Err({e})"),
+                }
+            ),
+        }
+    }
+}
+
+/// The forced cancellation fires at the router's round boundary, which is
+/// reached identically whether batches run inline or on pool workers: the
+/// whole recovery log and final report are `route_jobs`-invariant.
+#[test]
+fn stage_timeout_recovery_is_route_jobs_invariant() {
+    let run = |route_jobs: usize| {
+        let mut config = base_config();
+        config.max_attempts = 2;
+        config.route_jobs = route_jobs;
+        config.fault_plan = FaultPlan {
+            faults: vec![Fault::until(FaultKind::StageTimeout(FlowStage::Pnr), 1)],
+            ..FaultPlan::default()
+        };
+        let library = config.build_library().expect("valid config");
+        let netlist = designs::counter_pipeline(&library, 24);
+        let r = run_flow_resilient(&netlist, &library, &config);
+        let rungs: Vec<RecoveryRung> = r.log.attempts.iter().map(|a| a.rung).collect();
+        let outcomes: Vec<String> = r.log.attempts.iter().map(|a| a.outcome.clone()).collect();
+        let report = r.outcome.expect("second attempt is valid").report;
+        (r.recovery.disposition.to_cell(), rungs, outcomes, report)
+    };
+    let one = run(1);
+    assert_eq!(one.2[0], "timeout(pnr)", "attempt 0 timed out: {:?}", one.2);
+    assert_eq!(
+        one,
+        run(4),
+        "timeout disposition diverged across route_jobs"
+    );
+}
+
+/// A persistent timeout's `timeout(stage)` disposition reaches the sweep
+/// runlog rows identically at every pool width — the runlog column the
+/// `repro` CSV renders is exactly this string.
+#[test]
+fn stage_timeout_disposition_reaches_runlog_at_any_width() {
+    let mut base = base_config();
+    base.fault_plan = FaultPlan {
+        faults: vec![Fault::always(FaultKind::StageTimeout(FlowStage::Pnr))],
+        ..FaultPlan::default()
+    };
+    let library = base.build_library().expect("valid config");
+    let netlist = designs::counter_pipeline(&library, 24);
+    let utils = [0.56, 0.60];
+    let run = |width: usize| {
+        let pool = Pool::new(width);
+        let (_, _, log, _) =
+            ffet_core::experiments::utilization_sweep(&pool, &netlist, &library, &base, &utils);
+        log.iter()
+            .map(|r| (r.label.clone(), r.attempts, r.disposition.clone()))
+            .collect::<Vec<_>>()
+    };
+    let rows = run(1);
+    // One row per (util × seed) plus one skipped row per util whose seeds
+    // all timed out.
+    let (timed_out, skipped): (Vec<_>, Vec<_>) =
+        rows.iter().partition(|(_, attempts, _)| *attempts > 0);
+    assert_eq!(skipped.len(), utils.len(), "rows: {rows:?}");
+    for (label, attempts, disposition) in &timed_out {
+        assert_eq!(*attempts, 1, "{label}");
+        assert_eq!(disposition, "timeout(pnr)", "{label}");
+    }
+    assert!(
+        skipped.iter().all(|(_, _, d)| d.starts_with("skipped")),
+        "rows: {rows:?}"
+    );
+    assert_eq!(rows, run(4), "timeout rows diverged across pool widths");
+}
+
+/// `ckpt-torn-write` and `ckpt-stale` corrupt the *journal layer* only:
+/// carried in the flow's fault plan they must be inert, producing a
+/// signoff-clean report identical to a fault-free run. (Their journal-side
+/// behavior is proven in `ffet_core::ckpt`'s unit tests and the
+/// crash-resume integration test.)
+#[test]
+fn ckpt_faults_are_flow_neutral() {
+    let clean = run_with_plan(&base_config()).expect("baseline is clean");
+    for kind in [FaultKind::CkptTornWrite, FaultKind::CkptStale] {
+        let o = run_with(kind).unwrap_or_else(|e| panic!("{kind:?} perturbed the flow: {e}"));
+        assert!(o.signoff.is_clean(), "{kind:?} dirtied signoff");
+        assert_eq!(o.report, clean.report, "{kind:?} changed the PPA report");
+    }
+}
+
 /// The tentpole determinism guarantee: a sweep whose points go through the
 /// recovery ladder (including a transient fault) produces byte-identical
 /// results and identical dispositions at every pool width.
