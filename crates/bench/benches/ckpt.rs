@@ -9,7 +9,7 @@ use ffet_bench::BenchGroup;
 use ffet_core::ckpt::{self, Journal, JournalFault, Store};
 use ffet_core::experiments::{self, DesignKind};
 use ffet_core::runner::Pool;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -17,6 +17,7 @@ fn ms(d: Duration) -> f64 {
 
 #[allow(clippy::print_stderr)] // bench harness output
 fn main() {
+    let t0 = Instant::now();
     let scratch = std::env::temp_dir().join(format!("ffet-bench-ckpt-{}", std::process::id()));
     let journal_path = scratch.join(ckpt::JOURNAL_FILE);
     let store = Store::new(&scratch);
@@ -57,7 +58,7 @@ fn main() {
             .rows
             .len()
     });
-    group.finish();
+    let legs = group.finish();
 
     let overhead_pct = (ms(journaled_med) - ms(bare_med)) / ms(bare_med).max(1e-9) * 100.0;
     let json = format!(
@@ -76,5 +77,6 @@ fn main() {
     if let Err(e) = ckpt::atomic_write(&out_dir.join("BENCH_ckpt.json"), json.as_bytes()) {
         eprintln!("ckpt: could not write BENCH_ckpt.json: {e}");
     }
+    ffet_bench::append_bench_ledger("ckpt", legs, t0.elapsed());
     let _ = std::fs::remove_dir_all(&scratch);
 }

@@ -8,8 +8,10 @@
 use ffet_bench::BenchGroup;
 use ffet_core::experiments::{self, DesignKind};
 use ffet_core::runner::Pool;
+use std::time::Instant;
 
 fn main() {
+    let t0 = Instant::now();
     let mut group = BenchGroup::new("doe_runner");
     group.sample_size(5);
 
@@ -29,5 +31,6 @@ fn main() {
     group.bench_function("dispatch_256_noop_jobs4", || {
         Pool::new(4).run((0..256usize).collect(), |&i| Ok::<usize, String>(i))
     });
-    group.finish();
+    let legs = group.finish();
+    ffet_bench::append_bench_ledger("doe_runner", legs, t0.elapsed());
 }

@@ -5,8 +5,10 @@
 use ffet_bench::BenchGroup;
 use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_tech::{RoutingPattern, TechKind};
+use std::time::Instant;
 
 fn main() {
+    let t0 = Instant::now();
     let mut group = BenchGroup::new("fig11_pin_density");
     group.sample_size(10);
 
@@ -29,5 +31,6 @@ fn main() {
             .expect("ffet supports backside");
         lib
     });
-    group.finish();
+    let legs = group.finish();
+    ffet_bench::append_bench_ledger("fig11_pin_density", legs, t0.elapsed());
 }

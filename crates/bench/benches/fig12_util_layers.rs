@@ -4,8 +4,10 @@
 use ffet_bench::BenchGroup;
 use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_tech::{RoutingPattern, TechKind};
+use std::time::Instant;
 
 fn main() {
+    let t0 = Instant::now();
     let mut group = BenchGroup::new("fig12_util_layers");
     group.sample_size(10);
 
@@ -21,5 +23,6 @@ fn main() {
             run_flow(&netlist, &library, &config).expect("flow runs")
         });
     }
-    group.finish();
+    let legs = group.finish();
+    ffet_bench::append_bench_ledger("fig12_util_layers", legs, t0.elapsed());
 }

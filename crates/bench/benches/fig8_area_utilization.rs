@@ -5,8 +5,10 @@
 use ffet_bench::BenchGroup;
 use ffet_core::{designs, run_flow, FlowConfig};
 use ffet_tech::{RoutingPattern, TechKind};
+use std::time::Instant;
 
 fn main() {
+    let t0 = Instant::now();
     let mut group = BenchGroup::new("fig8_area_utilization");
     group.sample_size(10);
 
@@ -28,5 +30,6 @@ fn main() {
             run_flow(&netlist, &library, &config).expect("flow runs")
         });
     }
-    group.finish();
+    let legs = group.finish();
+    ffet_bench::append_bench_ledger("fig8_area_utilization", legs, t0.elapsed());
 }

@@ -14,8 +14,10 @@ use ffet_pnr::{
 use ffet_rcx::extract_net;
 use ffet_sta::{analyze_timing, StaConfig};
 use ffet_tech::{RoutingPattern, Technology};
+use std::time::Instant;
 
 fn main() {
+    let t0 = Instant::now();
     let mut group = BenchGroup::new("flow_stages");
     group.sample_size(10);
 
@@ -85,5 +87,6 @@ fn main() {
     group.bench_function("sta_rv32_no_wires", || {
         analyze_timing(&netlist, &library, &parasitics, &StaConfig::default()).expect("levelizes")
     });
-    group.finish();
+    let legs = group.finish();
+    ffet_bench::append_bench_ledger("flow_stages", legs, t0.elapsed());
 }

@@ -13,7 +13,7 @@ use ffet_netlist::NetId;
 use ffet_pnr::maze::{self, MazeScratch};
 use ffet_pnr::{pattern_path, route_nets_opts, RouteOpts, RoutingGrid, SideNet};
 use ffet_tech::{RoutingPattern, Side, TechKind, Technology};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A large congested grid: smooth background demand plus saturated
 /// hotspot walls that force maze detours, seeded for reproducibility.
@@ -107,6 +107,7 @@ fn batch_workload() -> (Technology, RoutingPattern, RoutingGrid, Vec<SideNet>) {
 
 #[allow(clippy::print_stdout, clippy::print_stderr)] // bench harness output
 fn main() {
+    let t0 = Instant::now();
     let (die_w, die_h) = (600_000i64, 400_000i64);
     let mut rng = Rng64::new(0x50_07e5);
     let grid = congested_grid(die_w, die_h, &mut rng);
@@ -158,7 +159,7 @@ fn main() {
     let flow_med = group.bench_function_timed("fig11_flow", || {
         run_flow(&netlist, &library, &config).expect("flow runs")
     });
-    group.finish();
+    let mut ledger_legs = group.finish();
 
     let speedup = reference_med.as_secs_f64() / windowed_med.as_secs_f64().max(1e-12);
     println!("route_kernel: windowed vs reference speedup {speedup:.2}x");
@@ -203,7 +204,7 @@ fn main() {
         });
         batch_meds.push((route_jobs, med));
     }
-    pgroup.finish();
+    ledger_legs.extend(pgroup.finish());
 
     let seq_ms = ms(batch_meds[0].1);
     let legs = batch_meds
@@ -231,6 +232,7 @@ fn main() {
     {
         eprintln!("route_kernel: could not write BENCH_route_parallel.json: {e}");
     }
+    ffet_bench::append_bench_ledger("route_kernel", ledger_legs, t0.elapsed());
 }
 
 fn ms(d: Duration) -> f64 {

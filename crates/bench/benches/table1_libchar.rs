@@ -7,8 +7,10 @@
 use ffet_bench::BenchGroup;
 use ffet_cells::Library;
 use ffet_tech::Technology;
+use std::time::Instant;
 
 fn main() {
+    let t0 = Instant::now();
     let mut group = BenchGroup::new("table1_libchar");
     group.sample_size(20);
 
@@ -19,5 +21,6 @@ fn main() {
         Library::new(Technology::cfet_4t())
     });
     group.bench_function("table1_kpi_diffs", ffet_core::experiments::table1);
-    group.finish();
+    let legs = group.finish();
+    ffet_bench::append_bench_ledger("table1_libchar", legs, t0.elapsed());
 }

@@ -33,6 +33,12 @@
 //! store. `--resume` replays experiments whose journal records validate,
 //! producing artifacts byte-identical (modulo the `timing` key) to an
 //! uninterrupted run — see DESIGN.md §12.
+//!
+//! Every sweep invocation additionally appends one checksummed record to
+//! the cross-run performance ledger (`results/ledger/ledger.jsonl`): the
+//! timing-stripped metric snapshot and its digest, plus pool widths and
+//! wall/stage times under a `timing` key. The `ffet` binary's
+//! `perf compare`/`perf report` subcommands consume it — see DESIGN.md §13.
 
 // The repro binary is the user-facing CLI: stdout/stderr are its output
 // channel. Library crates must go through ffet-obs instead.
@@ -155,20 +161,72 @@ struct Ckpt {
     cfg: String,
 }
 
-/// Hash of everything that changes experiment *outputs*: design, recovery
-/// budget, fault plan, deadline, and the payload schema version. Worker
-/// counts (`FFET_JOBS`/`FFET_ROUTE_JOBS`) are deliberately excluded — the
-/// §7 determinism contract makes outputs identical across widths, so a
-/// sweep may be resumed under a different parallelism.
-fn config_signature(design: DesignKind) -> String {
-    let sig = format!(
-        "ckpt-{}|design={design:?}|max_attempts={}|faults={}|deadline={}",
-        ckpt::JOURNAL_VERSION,
-        env::var(ffet_core::MAX_ATTEMPTS_ENV).unwrap_or_default(),
-        env::var(ffet_core::FAULTS_ENV).unwrap_or_default(),
-        env::var(ffet_core::DEADLINE_ENV).unwrap_or_default(),
+/// One performance-ledger record for this invocation (DESIGN §13):
+/// deterministic metric snapshot + digest outside `timing`, pool widths
+/// and wall/stage times inside it. Appended for every sweep run so
+/// `results/ledger/ledger.jsonl` accumulates the cross-run trajectory
+/// that `ffet perf compare`/`report` consume.
+fn ledger_entry(
+    arg: &str,
+    design: DesignKind,
+    cfg: &str,
+    pool: &Pool,
+    log: &RunLog,
+    artifacts: &RunArtifacts,
+) -> ffet_obs::LedgerEntry {
+    let metrics_body = artifacts.metrics_json();
+    let digest = match ffet_obs::strip_timing(&metrics_body) {
+        Ok(stripped) => ffet_obs::hash_hex(ffet_obs::fnv1a64(stripped.as_bytes())),
+        Err(e) => {
+            eprintln!("warning: could not strip timing for ledger digest: {e}");
+            String::new()
+        }
+    };
+    let mut entry = ffet_obs::LedgerEntry::from_metrics(
+        "repro",
+        arg,
+        &format!("{design:?}"),
+        cfg,
+        &digest,
+        &artifacts.merged_metrics(),
     );
-    ckpt::hash_hex(ckpt::fnv1a64(sig.as_bytes()))
+    entry.timing.jobs = pool.width() as i64;
+    entry.timing.route_jobs = env::var(ffet_core::ROUTE_JOBS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(pool.width() as i64);
+    entry.timing.host_cores = std::thread::available_parallelism().map_or(1, |n| n.get() as i64);
+    entry.timing.wall_ms = artifacts.wall_ms;
+    // Aggregate per-stage wall time across every flow point that reported
+    // stage telemetry.
+    let mut stages: [(&str, f64); 6] = [
+        ("synth_ms", 0.0),
+        ("pnr_ms", 0.0),
+        ("merge_ms", 0.0),
+        ("signoff_ms", 0.0),
+        ("rcx_ms", 0.0),
+        ("sta_ms", 0.0),
+    ];
+    for row in &log.rows {
+        if let Some(s) = &row.stages {
+            for (name, total) in &mut stages {
+                *total += match *name {
+                    "synth_ms" => s.synth_ms,
+                    "pnr_ms" => s.pnr_ms,
+                    "merge_ms" => s.merge_ms,
+                    "signoff_ms" => s.signoff_ms,
+                    "rcx_ms" => s.rcx_ms,
+                    _ => s.sta_ms,
+                };
+            }
+        }
+    }
+    entry.timing.stages = stages
+        .iter()
+        .filter(|(_, total)| *total > 0.0)
+        .map(|&(name, total)| (name.to_owned(), total))
+        .collect();
+    entry
 }
 
 /// `repro trace [point]`: renders one point of `results/trace.jsonl` as a
@@ -326,7 +384,7 @@ fn main() {
             journal,
             path,
             fault,
-            cfg: config_signature(design),
+            cfg: ckpt::config_signature(design),
         })
     } else {
         None
@@ -419,6 +477,17 @@ fn main() {
             &artifacts.metrics_json(),
             &mut failed,
         );
+    }
+    // Every sweep invocation appends one record to the cross-run ledger
+    // (DESIGN §13). A ledger failure degrades observability, not the run.
+    if let Some(c) = &ckpt_ctx {
+        artifacts.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let entry = ledger_entry(&arg, design, &c.cfg, &pool, &log, &artifacts);
+        let path = Path::new(ffet_obs::ledger::LEDGER_PATH);
+        match ffet_obs::Ledger::append(path, &entry) {
+            Ok(()) => eprintln!("appended ledger entry to {}", path.display()),
+            Err(e) => eprintln!("warning: could not append to {}: {e}", path.display()),
+        }
     }
     eprintln!("[{:?}] done", t0.elapsed());
     if failed {

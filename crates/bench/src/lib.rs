@@ -7,21 +7,25 @@
 //! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
 //! record.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// A named group of timed kernels. Each kernel is warmed up once, then run
 /// `sample_size` times; min / median / max wall-clock times are printed in
-/// a fixed-width table line per kernel.
+/// a fixed-width table line per kernel, and every leg's median is retained
+/// so [`BenchGroup::finish`] can hand them to the performance ledger.
 ///
 /// ```
 /// let mut g = ffet_bench::BenchGroup::new("example");
 /// g.sample_size(5);
 /// g.bench_function("sum", || (0..1000u64).sum::<u64>());
-/// g.finish();
+/// let legs = g.finish();
+/// assert_eq!(legs[0].0, "example/sum");
 /// ```
 pub struct BenchGroup {
     name: String,
     samples: usize,
+    legs: Vec<(String, f64)>,
 }
 
 impl BenchGroup {
@@ -31,6 +35,7 @@ impl BenchGroup {
         BenchGroup {
             name: name.to_owned(),
             samples: 10,
+            legs: Vec::new(),
         }
     }
 
@@ -64,21 +69,62 @@ impl BenchGroup {
             .collect();
         times.sort_unstable();
         let median = times[times.len() / 2];
+        let leg = format!("{}/{}", self.name, label);
         println!(
-            "{:<48} min {:>12}  median {:>12}  max {:>12}  ({} samples)",
-            format!("{}/{}", self.name, label),
+            "{leg:<48} min {:>12}  median {:>12}  max {:>12}  ({} samples)",
             format_duration(times[0]),
             format_duration(median),
             format_duration(*times.last().expect("samples > 0")),
             self.samples,
         );
+        self.legs.push((leg, median.as_secs_f64() * 1e3));
         median
     }
 
-    /// Ends the group (prints a separating blank line).
+    /// Ends the group (prints a separating blank line) and returns every
+    /// leg's `(group/label, median_ms)` pair in bench order, ready for
+    /// [`append_bench_ledger`].
     #[allow(clippy::print_stdout)] // bench-harness output, see bench_function
-    pub fn finish(self) {
+    pub fn finish(self) -> Vec<(String, f64)> {
         println!();
+        self.legs
+    }
+}
+
+/// The workspace-root `results/` directory, overridable with
+/// `FFET_RESULTS_DIR` (tests point it at a scratch directory).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("FFET_RESULTS_DIR").map_or_else(
+        || {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        },
+        PathBuf::from,
+    )
+}
+
+/// Appends one `kind:"bench"` record to the cross-run performance ledger
+/// (`results/ledger/ledger.jsonl`, DESIGN §13) for a finished bench
+/// harness: the leg medians land under the nondeterministic `timing` key.
+/// Errors degrade observability, never the bench — they go to stderr.
+#[allow(clippy::print_stderr)] // bench-harness diagnostics, like BenchGroup
+pub fn append_bench_ledger(key: &str, legs: Vec<(String, f64)>, wall: Duration) {
+    // Benches carry no flow metric snapshot; the digest is the hash of the
+    // empty snapshot so bench entries compare clean against each other.
+    let empty = ffet_obs::MetricsSnapshot::default();
+    let digest = ffet_obs::hash_hex(ffet_obs::fnv1a64(empty.to_json().render().as_bytes()));
+    let cfg = ffet_obs::hash_hex(ffet_obs::fnv1a64(format!("bench-v1|{key}").as_bytes()));
+    let mut entry = ffet_obs::LedgerEntry::from_metrics("bench", key, "", &cfg, &digest, &empty);
+    entry.timing.jobs = 1;
+    entry.timing.route_jobs = 1;
+    entry.timing.host_cores = std::thread::available_parallelism().map_or(1, |n| n.get() as i64);
+    entry.timing.wall_ms = wall.as_secs_f64() * 1e3;
+    entry.timing.bench = legs;
+    let path = results_dir().join("ledger").join("ledger.jsonl");
+    if let Err(e) = ffet_obs::Ledger::append(&path, &entry) {
+        eprintln!("{key}: could not append to {}: {e}", path.display());
     }
 }
 

@@ -96,18 +96,21 @@ fn assert_bytes_identical(reference: &Path, resumed: &Path, what: &str) {
     };
     assert_eq!(strip(reference), strip(resumed), "{what}: metrics diverged");
     // Span lines carry wall-clock timings, so a recomputed experiment's
-    // trace bytes legitimately differ from a separate reference run's:
-    // require the same points in the same order, and a valid schema.
-    let labels = |dir: &Path| {
+    // trace bytes legitimately differ from a separate reference run's.
+    // The structural comparator (`ffet_obs::trace::diff`) checks exactly
+    // the deterministic part: point order, span trees, metric snapshots.
+    let trace = |dir: &Path| {
         let text =
             std::fs::read_to_string(dir.join("results/trace.jsonl")).expect("read trace.jsonl");
         ffet_obs::validate_trace(&text).expect("trace schema is valid");
-        ffet_obs::point_labels(&text)
+        text
     };
-    assert_eq!(
-        labels(reference),
-        labels(resumed),
-        "{what}: trace points diverged"
+    let diffs = ffet_obs::trace::diff::diff_traces(&trace(reference), &trace(resumed))
+        .expect("traces parse");
+    assert!(
+        diffs.is_empty(),
+        "{what}: traces structurally diverged:\n{}",
+        diffs.join("\n")
     );
 }
 

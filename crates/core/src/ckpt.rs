@@ -38,23 +38,28 @@ pub const CKPT_DIR: &str = "results/ckpt";
 /// Journal file name inside [`CKPT_DIR`].
 pub const JOURNAL_FILE: &str = "journal.jsonl";
 
-/// FNV-1a 64-bit hash — the workspace's content-addressing and record
-/// checksum primitive. Stable across platforms and releases by
-/// construction (pure integer arithmetic over bytes).
-#[must_use]
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// The FNV-1a content-addressing/checksum primitive is shared with the
+// cross-run ledger and lives in `ffet-obs` (the dependency arrow points
+// core -> obs); re-exported here so every historical `ckpt::fnv1a64`
+// call site keeps compiling.
+pub use ffet_obs::{fnv1a64, hash_hex};
 
-/// 16-digit zero-padded lowercase hex rendering of a hash.
+/// Hash of everything that changes experiment *outputs*: design, recovery
+/// budget, fault plan, deadline, and the payload schema version. Worker
+/// counts (`FFET_JOBS`/`FFET_ROUTE_JOBS`) are deliberately excluded — the
+/// §7 determinism contract makes outputs identical across widths, so a
+/// sweep may be resumed (and its ledger entries compared) under a
+/// different parallelism. Shared by the journal's replay matching and the
+/// performance ledger's baseline matching (DESIGN §12.3, §13).
 #[must_use]
-pub fn hash_hex(h: u64) -> String {
-    format!("{h:016x}")
+pub fn config_signature(design: crate::experiments::DesignKind) -> String {
+    let sig = format!(
+        "ckpt-{JOURNAL_VERSION}|design={design:?}|max_attempts={}|faults={}|deadline={}",
+        std::env::var(crate::MAX_ATTEMPTS_ENV).unwrap_or_default(),
+        std::env::var(crate::FAULTS_ENV).unwrap_or_default(),
+        std::env::var(crate::DEADLINE_ENV).unwrap_or_default(),
+    );
+    hash_hex(fnv1a64(sig.as_bytes()))
 }
 
 /// Writes `bytes` to `path` atomically: the parent directory is created,

@@ -618,7 +618,7 @@ fn fig8_configs() -> Vec<(&'static str, FlowConfig)> {
         (
             "3.5T FFET FM12BM12 (FP0.5BP0.5)",
             FlowConfig {
-                pattern: RoutingPattern::new(12, 12).expect("static"),
+                pattern: RoutingPattern::fixed(12, 12),
                 back_pin_ratio: 0.5,
                 ..FlowConfig::baseline(TechKind::Ffet3p5t)
             },
@@ -1022,7 +1022,7 @@ pub fn fig11_on(design: DesignKind, pool: &Pool) -> Fig11 {
         .map(|&bp| SweepSpec {
             label: format!("FP{:.2}BP{bp:.2}", 1.0 - bp),
             base: FlowConfig {
-                pattern: RoutingPattern::new(12, 12).expect("static"),
+                pattern: RoutingPattern::fixed(12, 12),
                 back_pin_ratio: bp,
                 ..FlowConfig::baseline(TechKind::Ffet3p5t)
             },
@@ -1154,7 +1154,7 @@ pub fn table3_on(design: DesignKind, pool: &Pool) -> Table3 {
         (
             bp,
             FlowConfig {
-                pattern: RoutingPattern::new(fm, bm).expect("table entries are legal"),
+                pattern: RoutingPattern::fixed(fm, bm),
                 back_pin_ratio: bp,
                 ..base_cfg.clone()
             },
@@ -1258,7 +1258,7 @@ pub fn fig12_on(design: DesignKind, pool: &Pool) -> Fig12 {
         .map(|&n| SweepSpec {
             label: format!("FM{n}BM{n}"),
             base: FlowConfig {
-                pattern: RoutingPattern::new(n, n).expect("n in 2..=12"),
+                pattern: RoutingPattern::fixed(n, n),
                 back_pin_ratio: 0.5,
                 ..FlowConfig::baseline(TechKind::Ffet3p5t)
             },
@@ -1326,7 +1326,7 @@ pub fn fig13_on(design: DesignKind, pool: &Pool) -> Fig13 {
     // whole figure parallelizes including the context builds.
     let outcomes = pool.run(layers.clone(), |&n| {
         let config = FlowConfig {
-            pattern: RoutingPattern::new(n, n).expect("n in 3..=12"),
+            pattern: RoutingPattern::fixed(n, n),
             back_pin_ratio: 0.5,
             utilization: 0.76,
             ..FlowConfig::baseline(TechKind::Ffet3p5t)
@@ -1417,7 +1417,7 @@ pub fn bridging_ablation_on(design: DesignKind, pool: &Pool) -> BridgingAblation
             "Algorithm 1: FM6BM6 FP0.5BP0.5",
             FlowConfig {
                 utilization: 0.7,
-                pattern: RoutingPattern::new(6, 6).expect("static"),
+                pattern: RoutingPattern::fixed(6, 6),
                 back_pin_ratio: 0.5,
                 ..FlowConfig::baseline(TechKind::Ffet3p5t)
             },
@@ -1426,7 +1426,7 @@ pub fn bridging_ablation_on(design: DesignKind, pool: &Pool) -> BridgingAblation
             "bridging cells: FM6BM6 FP1.0",
             FlowConfig {
                 utilization: 0.7,
-                pattern: RoutingPattern::new(6, 6).expect("static"),
+                pattern: RoutingPattern::fixed(6, 6),
                 back_pin_ratio: 0.0,
                 bridging_min_nm: Some(2_000),
                 ..FlowConfig::baseline(TechKind::Ffet3p5t)

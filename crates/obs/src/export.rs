@@ -1,0 +1,219 @@
+//! Chrome `trace_event` JSON export: renders one traced point as a
+//! document loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! Field mapping (DESIGN §13):
+//!
+//! | `trace.jsonl` span field | Chrome event field                     |
+//! |--------------------------|----------------------------------------|
+//! | `name`                   | `name` of a `ph:"X"` complete event    |
+//! | `start_us` / `dur_us`    | `ts` / `dur` (both already in µs)      |
+//! | `attrs` + `depth`        | `args`                                 |
+//! | point label              | `ph:"M"` `thread_name` metadata        |
+//! | counters / gauges        | `ph:"C"` counter events at `ts:0`      |
+//!
+//! Span nesting is reconstructed by the viewer from `ts`/`dur` overlap on
+//! the single `pid:1`/`tid:1` track, which is exactly how the spans nested
+//! at runtime. Histograms have no Chrome counterpart and are exported as
+//! one counter event per histogram carrying its `count`.
+
+use crate::json::{parse_json, Json};
+use crate::{AttrValue, PointData};
+
+fn attr_json(value: &AttrValue) -> Json {
+    match value {
+        AttrValue::Str(s) => Json::Str(s.clone()),
+        AttrValue::Int(i) => Json::Int(*i),
+        AttrValue::Float(x) => Json::Num(*x),
+        AttrValue::Bool(b) => Json::Bool(*b),
+    }
+}
+
+fn event(ph: &str, name: &str, ts: f64, args: Vec<(String, Json)>) -> Json {
+    Json::Obj(vec![
+        ("ph".into(), Json::Str(ph.into())),
+        ("name".into(), Json::Str(name.into())),
+        ("ts".into(), Json::Num(ts)),
+        ("pid".into(), Json::Int(1)),
+        ("tid".into(), Json::Int(1)),
+        ("args".into(), Json::Obj(args)),
+    ])
+}
+
+/// Renders one point as a complete Chrome trace-event JSON document
+/// (object form, `displayTimeUnit: "ms"`, timestamps in µs as the format
+/// requires).
+#[must_use]
+pub fn chrome_trace(label: &str, point: &PointData) -> String {
+    let mut events = vec![
+        event(
+            "M",
+            "process_name",
+            0.0,
+            vec![("name".into(), Json::Str("ffet".into()))],
+        ),
+        event(
+            "M",
+            "thread_name",
+            0.0,
+            vec![("name".into(), Json::Str(label.into()))],
+        ),
+    ];
+    for span in &point.events {
+        let mut args: Vec<(String, Json)> = span
+            .attrs
+            .iter()
+            .map(|(k, v)| (k.clone(), attr_json(v)))
+            .collect();
+        args.push(("depth".into(), Json::Int(i64::from(span.depth))));
+        let mut obj = event("X", &span.name, span.start_us, args);
+        if let Json::Obj(fields) = &mut obj {
+            // `dur` belongs right after `ts` by convention; insert before
+            // pid (index 3).
+            fields.insert(3, ("dur".into(), Json::Num(span.dur_us)));
+        }
+        events.push(obj);
+    }
+    for (name, value) in &point.metrics.counters {
+        events.push(event(
+            "C",
+            name,
+            0.0,
+            vec![("value".into(), Json::Int(*value))],
+        ));
+    }
+    for (name, value) in &point.metrics.gauges {
+        events.push(event(
+            "C",
+            name,
+            0.0,
+            vec![("value".into(), Json::Num(*value))],
+        ));
+    }
+    for (name, hist) in &point.metrics.histograms {
+        events.push(event(
+            "C",
+            &format!("{name}.count"),
+            0.0,
+            vec![("value".into(), Json::Int(hist.count as i64))],
+        ));
+    }
+    let doc = Json::Obj(vec![
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+        ("traceEvents".into(), Json::Arr(events)),
+    ]);
+    let mut out = doc.render();
+    out.push('\n');
+    out
+}
+
+/// Event counts returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChromeTraceStats {
+    pub complete_events: usize,
+    pub counter_events: usize,
+    pub metadata_events: usize,
+}
+
+/// Validates a Chrome trace-event JSON document (object form): a
+/// `traceEvents` array whose every event carries a string `ph`/`name`,
+/// numeric `ts`, integer `pid`/`tid`, an object `args`, and — for `ph:"X"`
+/// complete events — a numeric `dur`.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
+    let doc = parse_json(text.trim_end())?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("document has no \"traceEvents\" array".into()),
+    };
+    let mut stats = ChromeTraceStats::default();
+    for (idx, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {idx}: missing string \"ph\""))?;
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {idx}: missing string \"name\""))?;
+        ev.get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {idx}: missing number \"ts\""))?;
+        for key in ["pid", "tid"] {
+            ev.get(key)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("event {idx}: missing integer {key:?}"))?;
+        }
+        if !matches!(ev.get("args"), Some(Json::Obj(_))) {
+            return Err(format!("event {idx}: missing object \"args\""));
+        }
+        match ph {
+            "X" => {
+                ev.get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {idx}: complete event missing \"dur\""))?;
+                stats.complete_events += 1;
+            }
+            "C" => stats.counter_events += 1,
+            "M" => stats.metadata_events += 1,
+            other => return Err(format!("event {idx}: unsupported phase {other:?}")),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span, Collector};
+
+    fn traced_point() -> PointData {
+        let collector = Collector::new();
+        let guard = collector.install();
+        let root = span("flow").attr("seed", "42");
+        let child = span("flow.route").attr("layer", 2_i64);
+        crate::counter_add("route.ripups", 3);
+        crate::gauge_set("place.hpwl_nm", 500.0);
+        crate::observe("sta.slack_ps", 12.0);
+        child.close();
+        root.close();
+        drop(guard);
+        collector.finish()
+    }
+
+    #[test]
+    fn export_validates_and_counts_match() {
+        let point = traced_point();
+        let doc = chrome_trace("fig9/FFET/s42", &point);
+        let stats = validate_chrome_trace(&doc).expect("valid chrome trace");
+        assert_eq!(stats.complete_events, point.events.len());
+        // route.ripups + place.hpwl_nm + sta.slack_ps.count
+        assert_eq!(stats.counter_events, 3);
+        assert_eq!(stats.metadata_events, 2);
+        assert!(doc.contains("\"displayTimeUnit\":\"ms\""));
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("fig9/FFET/s42"));
+    }
+
+    #[test]
+    fn span_timings_map_to_ts_and_dur() {
+        let mut point = traced_point();
+        point.events[0].start_us = 125.5;
+        point.events[0].dur_us = 40.25;
+        let doc = chrome_trace("p", &point);
+        assert!(doc.contains("\"ts\":125.5,\"dur\":40.25"), "{doc}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+        // Complete event without dur.
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[{"ph":"X","name":"a","ts":0.0,"pid":1,"tid":1,"args":{}}]}"#
+        )
+        .is_err());
+        // Unknown phase.
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[{"ph":"Q","name":"a","ts":0.0,"pid":1,"tid":1,"args":{}}]}"#
+        )
+        .is_err());
+    }
+}

@@ -14,16 +14,22 @@
 //! offsets are wall-clock and are not. Artifact emission keeps the two
 //! separated so tests can diff the deterministic part byte-for-byte.
 
+pub mod diff;
+pub mod export;
 mod json;
+pub mod ledger;
 mod metrics;
+pub mod perf;
 mod render;
-mod trace;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
+pub use export::{chrome_trace, validate_chrome_trace, ChromeTraceStats};
 pub use json::{parse_json, Json};
+pub use ledger::{fnv1a64, hash_hex, Ledger, LedgerEntry, LedgerTiming};
 pub use metrics::{Histogram, MetricsSnapshot, BUCKET_EDGES};
 pub use render::render_point;
 pub use trace::{

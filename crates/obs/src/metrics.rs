@@ -182,6 +182,35 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundaries_are_inclusive_upper_edges() {
+        // Every edge value lands in its own bucket (the `v <= edge` bucket),
+        // and the next representable value above it spills into the next.
+        for (i, &edge) in BUCKET_EDGES.iter().enumerate() {
+            let mut h = Histogram::default();
+            h.observe(edge);
+            assert_eq!(h.buckets[i], 1, "edge {edge} must land in bucket {i}");
+            let above = if edge == 0.0 {
+                f64::MIN_POSITIVE
+            } else {
+                edge + edge.abs() * f64::EPSILON * 2.0
+            };
+            let mut h = Histogram::default();
+            h.observe(above);
+            assert_eq!(
+                h.buckets[i + 1],
+                1,
+                "just above edge {edge} must land in bucket {}",
+                i + 1
+            );
+        }
+        // Everything beyond the last edge shares the overflow bucket.
+        let mut h = Histogram::default();
+        h.observe(f64::INFINITY);
+        assert_eq!(h.buckets[BUCKET_EDGES.len()], 1);
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
     fn histogram_stats() {
         let mut h = Histogram::default();
         h.observe(2.0);

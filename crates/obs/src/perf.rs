@@ -1,0 +1,441 @@
+//! The regression sentinel: compares ledger entries across runs and
+//! renders the performance trajectory report.
+//!
+//! ## Matching and noise policy (DESIGN §13)
+//!
+//! Entries form groups keyed by `(kind, key, design)`. Within a group the
+//! latest entry is compared against a baseline chosen by config
+//! signature: the N-back-th earlier entry with the *same* `cfg`. When no
+//! same-`cfg` baseline exists the latest earlier entry is used anyway,
+//! flagged as config drift — a perturbed config (say an injected fault
+//! plan) legitimately changes both `cfg` and the counters, and silently
+//! skipping the comparison would let exactly the drift the sentinel
+//! exists to catch pass unexamined.
+//!
+//! The determinism contract splits the checks:
+//! - **Hard** (exit 1): counters, gauges, and the metric-snapshot digest
+//!   must be *exactly* equal — these are deterministic, so any delta is a
+//!   real behavior change, not noise.
+//! - **Soft**: wall clock and bench-leg medians are compared against a
+//!   percentage noise band; violations fail unless the caller runs in
+//!   timings-report-only mode (CI on shared runners).
+
+use crate::ledger::{Ledger, LedgerEntry};
+
+/// How much wall-clock noise is tolerated before a timing delta is
+/// reported as a band violation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoisePolicy {
+    /// Allowed relative timing drift, percent (default 25).
+    pub timing_band_pct: f64,
+}
+
+impl Default for NoisePolicy {
+    fn default() -> Self {
+        NoisePolicy {
+            timing_band_pct: 25.0,
+        }
+    }
+}
+
+/// The sentinel's verdict over one ledger.
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    /// Groups that had a baseline and were actually compared.
+    pub checked: usize,
+    /// Determinism violations: counter/gauge/digest drift. Always fatal.
+    pub hard: Vec<String>,
+    /// Timing noise-band violations. Fatal unless timings-report-only.
+    pub soft: Vec<String>,
+    /// Informational: config-drift fallbacks, groups without baselines.
+    pub notes: Vec<String>,
+}
+
+/// Relative drift of `current` vs `baseline`, in percent.
+fn drift_pct(baseline: f64, current: f64) -> f64 {
+    if baseline.abs() < 1e-12 {
+        if current.abs() < 1e-12 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (current - baseline) / baseline.abs() * 100.0
+    }
+}
+
+/// Compares one entry against its baseline. Returns `(hard, soft)`
+/// violation messages, deterministically ordered.
+#[must_use]
+pub fn compare_entries(
+    baseline: &LedgerEntry,
+    current: &LedgerEntry,
+    policy: &NoisePolicy,
+) -> (Vec<String>, Vec<String>) {
+    let mut hard = Vec::new();
+    if baseline.digest != current.digest {
+        hard.push(format!(
+            "metric-snapshot digest drift: {} vs {}",
+            baseline.digest, current.digest
+        ));
+    }
+    for name in baseline.counters.keys().chain(current.counters.keys()) {
+        match (baseline.counters.get(name), current.counters.get(name)) {
+            (Some(b), Some(c)) if b != c => {
+                hard.push(format!(
+                    "counter {name}: {b} -> {c} (must be exactly equal)"
+                ));
+            }
+            (Some(b), None) => hard.push(format!("counter {name}: {b} -> absent")),
+            (None, Some(c)) => hard.push(format!("counter {name}: absent -> {c}")),
+            _ => {}
+        }
+    }
+    for name in baseline.gauges.keys().chain(current.gauges.keys()) {
+        match (baseline.gauges.get(name), current.gauges.get(name)) {
+            (Some(b), Some(c)) if b != c => {
+                hard.push(format!("gauge {name}: {b} -> {c} (must be exactly equal)"));
+            }
+            (Some(b), None) => hard.push(format!("gauge {name}: {b} -> absent")),
+            (None, Some(c)) => hard.push(format!("gauge {name}: absent -> {c}")),
+            _ => {}
+        }
+    }
+    hard.dedup();
+
+    let mut soft = Vec::new();
+    let mut band_check = |what: &str, b: f64, c: f64| {
+        let pct = drift_pct(b, c);
+        if pct.abs() > policy.timing_band_pct {
+            soft.push(format!(
+                "{what}: {b:.3} ms -> {c:.3} ms ({pct:+.1}% outside the ±{:.0}% band)",
+                policy.timing_band_pct
+            ));
+        }
+    };
+    band_check(
+        "wall clock",
+        baseline.timing.wall_ms,
+        current.timing.wall_ms,
+    );
+    for (leg, b) in &baseline.timing.bench {
+        if let Some((_, c)) = current.timing.bench.iter().find(|(name, _)| name == leg) {
+            band_check(&format!("bench leg {leg}"), *b, *c);
+        }
+    }
+    (hard, soft)
+}
+
+/// Runs the sentinel over a loaded ledger: every `(kind, key, design)`
+/// group's latest entry against its `n_back`-th prior same-config entry.
+#[must_use]
+pub fn compare_ledger(ledger: &Ledger, n_back: usize, policy: &NoisePolicy) -> CompareOutcome {
+    let n_back = n_back.max(1);
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (idx, entry) in ledger.entries.iter().enumerate() {
+        let key = format!("{}/{}/{}", entry.kind, entry.key, entry.design);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, indices)) => indices.push(idx),
+            None => groups.push((key, vec![idx])),
+        }
+    }
+
+    let mut outcome = CompareOutcome::default();
+    for (group, indices) in &groups {
+        let latest = indices[indices.len() - 1];
+        let current = &ledger.entries[latest];
+        let prior = &indices[..indices.len() - 1];
+        let same_cfg: Vec<usize> = prior
+            .iter()
+            .copied()
+            .filter(|&i| ledger.entries[i].cfg == current.cfg)
+            .collect();
+        let baseline_idx = if same_cfg.len() >= n_back {
+            Some(same_cfg[same_cfg.len() - n_back])
+        } else if let Some(&fallback) = prior.last() {
+            outcome.notes.push(format!(
+                "{group}: config drift — comparing against cfg {} (current {})",
+                ledger.entries[fallback].cfg, current.cfg
+            ));
+            Some(fallback)
+        } else {
+            outcome
+                .notes
+                .push(format!("{group}: no baseline entry in ledger"));
+            None
+        };
+        let Some(baseline_idx) = baseline_idx else {
+            continue;
+        };
+        outcome.checked += 1;
+        let (hard, soft) = compare_entries(&ledger.entries[baseline_idx], current, policy);
+        outcome
+            .hard
+            .extend(hard.into_iter().map(|m| format!("{group}: {m}")));
+        outcome
+            .soft
+            .extend(soft.into_iter().map(|m| format!("{group}: {m}")));
+    }
+    if !outcome.hard.is_empty() {
+        crate::counter_add("perf.compare.drift", outcome.hard.len() as i64);
+    }
+    outcome
+}
+
+/// Process exit code for a sentinel run: `0` clean, `1` drift or
+/// regression, `2` nothing to compare.
+#[must_use]
+pub fn exit_code(outcome: &CompareOutcome, timings_report_only: bool) -> i32 {
+    if outcome.checked == 0 {
+        2
+    } else if !outcome.hard.is_empty() || (!timings_report_only && !outcome.soft.is_empty()) {
+        1
+    } else {
+        0
+    }
+}
+
+/// Renders the markdown trajectory report. A pure function of the ledger
+/// bytes — re-running it over the same ledger reproduces the same report
+/// byte for byte.
+#[must_use]
+pub fn render_report(ledger: &Ledger) -> String {
+    let mut out = String::new();
+    out.push_str("# Performance report\n\n");
+    out.push_str(&format!(
+        "Ledger schema v1 · {} entries ({} torn, {} corrupt lines skipped). \
+         Generated by `ffet perf report`; counters and digests are \
+         deterministic, wall-clock columns are host-dependent.\n\n",
+        ledger.entries.len(),
+        ledger.torn,
+        ledger.corrupt
+    ));
+
+    out.push_str("## Trajectory\n\n");
+    out.push_str(
+        "| run | kind | key | design | cfg | digest | counters | jobs | host cores | wall ms |\n",
+    );
+    out.push_str(
+        "|----:|------|-----|--------|-----|--------|---------:|-----:|-----------:|--------:|\n",
+    );
+    for (idx, e) in ledger.entries.iter().enumerate() {
+        let short = |s: &str| s.chars().take(8).collect::<String>();
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | `{}` | `{}` | {} | {} | {} | {:.1} |\n",
+            idx,
+            e.kind,
+            e.key,
+            if e.design.is_empty() { "-" } else { &e.design },
+            short(&e.cfg),
+            short(&e.digest),
+            e.counters.len(),
+            e.timing.jobs,
+            e.timing.host_cores,
+            e.timing.wall_ms,
+        ));
+    }
+    out.push('\n');
+
+    // Latest bench legs, one table per bench key.
+    let mut latest_bench: Vec<(usize, &LedgerEntry)> = Vec::new();
+    for (idx, e) in ledger.entries.iter().enumerate() {
+        if e.kind != "bench" || e.timing.bench.is_empty() {
+            continue;
+        }
+        match latest_bench.iter_mut().find(|(_, prev)| prev.key == e.key) {
+            Some(slot) => *slot = (idx, e),
+            None => latest_bench.push((idx, e)),
+        }
+    }
+    if !latest_bench.is_empty() {
+        out.push_str("## Latest bench legs\n\n");
+        out.push_str("| bench | leg | median ms | run |\n");
+        out.push_str("|-------|-----|----------:|----:|\n");
+        for (idx, e) in &latest_bench {
+            for (leg, med) in &e.timing.bench {
+                out.push_str(&format!("| {} | {leg} | {med:.3} | {idx} |\n", e.key));
+            }
+        }
+        out.push('\n');
+    }
+
+    out.push_str("## Derived figures\n\n");
+    out.push_str(&derive_route_speedup(ledger));
+    out
+}
+
+/// The windowed-vs-reference routing speedup, derived from the latest
+/// ledger entry carrying both maze legs — the artifact-backed number the
+/// prose claims must match (DESIGN §10).
+fn derive_route_speedup(ledger: &Ledger) -> String {
+    let leg = |e: &LedgerEntry, suffix: &str| {
+        e.timing
+            .bench
+            .iter()
+            .find(|(name, _)| name.ends_with(suffix))
+            .map(|&(_, ms)| ms)
+    };
+    let latest = ledger.entries.iter().enumerate().rev().find_map(|(i, e)| {
+        match (leg(e, "maze_reference"), leg(e, "maze_windowed")) {
+            (Some(reference), Some(windowed)) if windowed > 0.0 => {
+                Some((i, e, reference, windowed))
+            }
+            _ => None,
+        }
+    });
+    match latest {
+        Some((idx, e, reference, windowed)) => format!(
+            "- windowed-vs-reference routing speedup: **{:.2}×** \
+             (run {idx}, legs {:.3} ms / {:.3} ms on {} host cores; \
+             wall-clock, host-dependent — see DESIGN §10).\n",
+            reference / windowed,
+            reference,
+            windowed,
+            e.timing.host_cores
+        ),
+        None => "- windowed-vs-reference routing speedup: not yet recorded in this \
+                 ledger (run `cargo bench --bench route_kernel`).\n"
+            .to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::LedgerTiming;
+
+    fn entry(key: &str, cfg: &str, ripups: i64, wall_ms: f64) -> LedgerEntry {
+        let mut e = LedgerEntry {
+            kind: "repro".into(),
+            key: key.into(),
+            design: "CounterSmall".into(),
+            cfg: cfg.into(),
+            digest: format!("digest-of-{ripups}"),
+            ..LedgerEntry::default()
+        };
+        e.counters.insert("route.ripups".into(), ripups);
+        e.timing = LedgerTiming {
+            jobs: 1,
+            route_jobs: 1,
+            host_cores: 1,
+            wall_ms,
+            stages: Vec::new(),
+            bench: Vec::new(),
+        };
+        e
+    }
+
+    fn ledger_of(entries: Vec<LedgerEntry>) -> Ledger {
+        Ledger {
+            entries,
+            torn: 0,
+            corrupt: 0,
+        }
+    }
+
+    #[test]
+    fn identical_runs_compare_clean() {
+        let ledger = ledger_of(vec![
+            entry("all", "cfgA", 7, 100.0),
+            entry("all", "cfgA", 7, 110.0),
+        ]);
+        let outcome = compare_ledger(&ledger, 1, &NoisePolicy::default());
+        assert_eq!(outcome.checked, 1);
+        assert!(outcome.hard.is_empty(), "{:?}", outcome.hard);
+        assert!(outcome.soft.is_empty(), "{:?}", outcome.soft);
+        assert_eq!(exit_code(&outcome, false), 0);
+    }
+
+    #[test]
+    fn counter_drift_is_hard_failure() {
+        let ledger = ledger_of(vec![
+            entry("all", "cfgA", 7, 100.0),
+            entry("all", "cfgA", 8, 100.0),
+        ]);
+        let outcome = compare_ledger(&ledger, 1, &NoisePolicy::default());
+        assert!(outcome.hard.iter().any(|m| m.contains("route.ripups")));
+        // Hard failures stay fatal even in timings-report-only mode.
+        assert_eq!(exit_code(&outcome, true), 1);
+    }
+
+    #[test]
+    fn config_drift_falls_back_with_note_and_still_checks_counters() {
+        // A fault-perturbed run changes both cfg and counters; the
+        // sentinel must flag it, not skip it for lack of a cfg match.
+        let ledger = ledger_of(vec![
+            entry("all", "cfgA", 7, 100.0),
+            entry("all", "cfgB", 9, 100.0),
+        ]);
+        let outcome = compare_ledger(&ledger, 1, &NoisePolicy::default());
+        assert!(outcome.notes.iter().any(|n| n.contains("config drift")));
+        assert!(outcome.hard.iter().any(|m| m.contains("route.ripups")));
+        assert_eq!(exit_code(&outcome, false), 1);
+    }
+
+    #[test]
+    fn timing_band_is_soft_and_report_only_mode_passes_it() {
+        let ledger = ledger_of(vec![
+            entry("all", "cfgA", 7, 100.0),
+            entry("all", "cfgA", 7, 200.0),
+        ]);
+        let outcome = compare_ledger(&ledger, 1, &NoisePolicy::default());
+        assert!(outcome.hard.is_empty());
+        assert!(outcome.soft.iter().any(|m| m.contains("wall clock")));
+        assert_eq!(exit_code(&outcome, false), 1);
+        assert_eq!(exit_code(&outcome, true), 0);
+    }
+
+    #[test]
+    fn n_back_selects_older_same_cfg_baseline() {
+        let ledger = ledger_of(vec![
+            entry("all", "cfgA", 5, 100.0),
+            entry("all", "cfgA", 7, 100.0),
+            entry("all", "cfgA", 7, 100.0),
+        ]);
+        // 2-back reaches the ripups=5 entry: hard drift.
+        let outcome = compare_ledger(&ledger, 2, &NoisePolicy::default());
+        assert!(outcome.hard.iter().any(|m| m.contains("5 -> 7")));
+        // 1-back compares the identical neighbors: clean.
+        let outcome = compare_ledger(&ledger, 1, &NoisePolicy::default());
+        assert!(outcome.hard.is_empty());
+    }
+
+    #[test]
+    fn empty_and_single_entry_ledgers_exit_2() {
+        let outcome = compare_ledger(&ledger_of(vec![]), 1, &NoisePolicy::default());
+        assert_eq!(exit_code(&outcome, false), 2);
+        let outcome = compare_ledger(
+            &ledger_of(vec![entry("all", "cfgA", 7, 100.0)]),
+            1,
+            &NoisePolicy::default(),
+        );
+        assert_eq!(outcome.checked, 0);
+        assert!(outcome.notes.iter().any(|n| n.contains("no baseline")));
+        assert_eq!(exit_code(&outcome, false), 2);
+    }
+
+    #[test]
+    fn report_is_deterministic_and_derives_speedup() {
+        let mut bench = LedgerEntry {
+            kind: "bench".into(),
+            key: "route_kernel".into(),
+            cfg: "b".into(),
+            digest: "d".into(),
+            ..LedgerEntry::default()
+        };
+        bench.timing.host_cores = 4;
+        bench.timing.bench = vec![
+            ("route_kernel/maze_reference".into(), 15.0),
+            ("route_kernel/maze_windowed".into(), 2.0),
+        ];
+        let ledger = ledger_of(vec![entry("all", "cfgA", 7, 100.0), bench]);
+        let report = render_report(&ledger);
+        assert_eq!(report, render_report(&ledger), "report must be pure");
+        assert!(report.contains("**7.50×**"), "{report}");
+        assert!(report.contains("| 0 | repro | all |"));
+        assert!(report.contains("route_kernel/maze_windowed"));
+
+        let empty = render_report(&ledger_of(vec![]));
+        assert!(empty.contains("not yet recorded"));
+    }
+}

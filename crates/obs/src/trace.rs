@@ -27,6 +27,10 @@ use crate::json::{parse_json, Json};
 use crate::metrics::{Histogram, MetricsSnapshot, BUCKET_EDGES};
 use crate::{PointData, SpanEvent};
 
+// Structural trace comparison lives in its own module but belongs to the
+// trace toolkit's public surface: `ffet_obs::trace::diff::diff_traces`.
+pub use crate::diff;
+
 /// Version stamped on every `trace.jsonl` line and on `metrics.json`.
 pub const TRACE_SCHEMA_VERSION: i64 = 1;
 
@@ -523,6 +527,39 @@ mod tests {
         other.jobs = 7;
         other.wall_ms = 9999.0;
         assert_eq!(strip_timing(&other.metrics_json()).unwrap(), stripped);
+    }
+
+    #[test]
+    fn strip_timing_is_stable_across_nested_span_timings() {
+        // Three levels of nesting, run twice: wall-clock differences on
+        // every nested span must be invisible to both the stripped
+        // metrics.json bytes and the structural point comparator.
+        let run = |work: fn()| {
+            let mut artifacts = RunArtifacts::new(1);
+            let collector = Collector::new();
+            let guard = collector.install();
+            let root = span("flow");
+            let mid = span("flow.pnr").attr("cells", 8_i64);
+            let leaf = span("flow.pnr.route");
+            crate::counter_add("route.rounds", 2);
+            work(); // perturb wall clock only
+            leaf.close();
+            mid.close();
+            root.close();
+            drop(guard);
+            artifacts.push("exp/nested".to_string(), collector.finish());
+            artifacts
+        };
+        let fast = run(|| {});
+        let slow = run(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        // Spans carry distinct depths and nest leaf-inside-mid-inside-root.
+        let depths: Vec<u16> = fast.points[0].data.events.iter().map(|e| e.depth).collect();
+        assert_eq!(depths.iter().max(), Some(&2));
+        assert_eq!(
+            strip_timing(&fast.metrics_json()).unwrap(),
+            strip_timing(&slow.metrics_json()).unwrap()
+        );
+        assert!(crate::diff::diff_points(&fast.points[0].data, &slow.points[0].data).is_empty());
     }
 
     #[test]

@@ -46,6 +46,27 @@ impl RoutingPattern {
         RoutingPattern { front: 12, back: 0 }
     }
 
+    /// Infallible constructor for statically-known-legal configurations —
+    /// experiment tables, fixed sweeps — where [`RoutingPattern::new`]'s
+    /// error path would only ever be reachable through a typo in a
+    /// literal. Out-of-range arguments are clamped into the legal stack
+    /// (`front` to `1..=12`, `back` to `0..=12`); debug builds assert the
+    /// arguments were legal to begin with, so the clamp never silently
+    /// rewrites a live configuration in tested code.
+    #[must_use]
+    pub const fn fixed(front: u8, back: u8) -> RoutingPattern {
+        debug_assert!(front >= 1 && front <= 12 && back <= 12);
+        let front = if front == 0 {
+            1
+        } else if front > 12 {
+            12
+        } else {
+            front
+        };
+        let back = if back > 12 { 12 } else { back };
+        RoutingPattern { front, back }
+    }
+
     /// Number of frontside routing layers (`n` in `FMn`).
     #[must_use]
     pub fn front_layers(&self) -> u8 {
@@ -143,6 +164,22 @@ mod tests {
             RoutingPattern::new(13, 0),
             Err(PatternError::TooManyLayers { .. })
         ));
+    }
+
+    #[test]
+    fn fixed_matches_new_on_legal_input_and_clamps_illegal() {
+        assert_eq!(
+            RoutingPattern::fixed(8, 4),
+            RoutingPattern::new(8, 4).unwrap()
+        );
+        assert_eq!(
+            RoutingPattern::fixed(12, 0),
+            RoutingPattern::max_single_sided()
+        );
+        // Release-mode clamping (debug builds assert instead).
+        if !cfg!(debug_assertions) {
+            assert_eq!(RoutingPattern::fixed(0, 13), RoutingPattern::fixed(1, 12));
+        }
     }
 
     #[test]
