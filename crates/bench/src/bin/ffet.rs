@@ -6,6 +6,9 @@
 //! ffet perf report  [--ledger PATH] [--out PATH]
 //! ffet trace export <point> [--trace PATH] [--out PATH]
 //! ffet trace diff   <point> [--against POINT] [--trace PATH] [--against-trace PATH]
+//! ffet cache stats  [--root PATH]
+//! ffet cache verify [--root PATH]
+//! ffet cache gc     [--root PATH]
 //! ```
 //!
 //! `perf compare` matches the latest ledger entry of every
@@ -19,6 +22,14 @@
 //! `chrome://tracing`/Perfetto; `trace diff` structurally compares two
 //! points (span tree + metrics, wall-clock timings excluded) and exits
 //! non-zero when they differ.
+//!
+//! `cache stats` sizes the content-addressed stage cache (DESIGN §14):
+//! blob/link counts, total and per-stage bytes, unattributed blobs and
+//! crashed-writer temp files. `cache verify` re-hashes every blob and
+//! resolves every key link, exiting non-zero when anything is poisoned or
+//! dangling. `cache gc` removes everything unreachable or invalid
+//! (poisoned blobs, unreferenced blobs, dangling links, orphan temps) and
+//! rewrites the size manifest to cover only survivors.
 
 // The ffet binary is a user-facing CLI: stdout/stderr are its output
 // channel, like the repro binary.
@@ -30,13 +41,15 @@ use std::path::Path;
 const DEFAULT_LEDGER: &str = "results/ledger/ledger.jsonl";
 const DEFAULT_TRACE: &str = "results/trace.jsonl";
 const DEFAULT_REPORT: &str = "results/PERF_REPORT.md";
+const DEFAULT_CACHE_ROOT: &str = "results/ckpt/objects";
 
 fn usage() -> ! {
     eprintln!(
         "usage: ffet perf compare [--ledger PATH] [--baseline N] [--band PCT] [--timings-report-only]\n\
          \x20      ffet perf report  [--ledger PATH] [--out PATH]\n\
          \x20      ffet trace export <point> [--trace PATH] [--out PATH]\n\
-         \x20      ffet trace diff   <point> [--against POINT] [--trace PATH] [--against-trace PATH]"
+         \x20      ffet trace diff   <point> [--against POINT] [--trace PATH] [--against-trace PATH]\n\
+         \x20      ffet cache <stats|verify|gc> [--root PATH]"
     );
     std::process::exit(2);
 }
@@ -318,6 +331,86 @@ fn trace_diff(args: &ParsedArgs) -> i32 {
     }
 }
 
+/// `ffet cache stats|verify|gc`: size accounting, integrity check, and
+/// orphan sweep over the content-addressed stage cache (DESIGN §14).
+fn cache_cmd(verb: &str, args: &ParsedArgs) -> i32 {
+    use ffet_core::stagecache;
+    let root = Path::new(args.flag("--root").unwrap_or(DEFAULT_CACHE_ROOT));
+    match verb {
+        "stats" => match stagecache::stats(root) {
+            Ok(s) => {
+                println!(
+                    "stage cache at {}: {} blob(s), {} byte(s), {} link(s)",
+                    root.display(),
+                    s.blobs,
+                    s.blob_bytes,
+                    s.links
+                );
+                for (stage, (count, bytes)) in &s.per_stage {
+                    println!("  {stage:8} {count:6} blob(s)  {bytes:10} byte(s)");
+                }
+                if s.unattributed > 0 {
+                    println!(
+                        "  {} blob(s) unattributed (no manifest record)",
+                        s.unattributed
+                    );
+                }
+                if s.tmp_orphans > 0 {
+                    println!(
+                        "  {} orphan tmp file(s) (run `ffet cache gc`)",
+                        s.tmp_orphans
+                    );
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("error: cannot scan {}: {e}", root.display());
+                2
+            }
+        },
+        "verify" => match stagecache::verify(root) {
+            Ok(v) => {
+                println!(
+                    "stage cache at {}: {} blob(s) verified, {} link(s) ok",
+                    root.display(),
+                    v.blobs_ok,
+                    v.links_ok
+                );
+                for addr in &v.corrupt {
+                    println!("  corrupt blob {addr}");
+                }
+                if v.dangling > 0 {
+                    println!("  {} dangling link(s)", v.dangling);
+                }
+                i32::from(!v.corrupt.is_empty() || v.dangling > 0)
+            }
+            Err(e) => {
+                eprintln!("error: cannot scan {}: {e}", root.display());
+                2
+            }
+        },
+        "gc" => match stagecache::gc(root) {
+            Ok(g) => {
+                println!(
+                    "stage cache at {}: removed {} blob(s) ({} byte(s)), {} link(s), {} tmp file(s); kept {} blob(s)",
+                    root.display(),
+                    g.removed_blobs,
+                    g.freed_bytes,
+                    g.removed_links,
+                    g.removed_tmp,
+                    g.kept_blobs
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("error: cannot sweep {}: {e}", root.display());
+                2
+            }
+        },
+        _ => usage(),
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match (
@@ -340,6 +433,9 @@ fn main() {
             &["--trace", "--against", "--against-trace"],
             &[],
         )),
+        (Some("cache"), Some(verb @ ("stats" | "verify" | "gc"))) => {
+            cache_cmd(verb, &parse_args(&argv[2..], &["--root"], &[]))
+        }
         _ => usage(),
     };
     std::process::exit(code);

@@ -69,13 +69,31 @@ pub fn config_signature(design: crate::experiments::DesignKind) -> String {
 /// The tmp name is deterministic per target, so a crashed writer's orphan
 /// is overwritten by the next attempt rather than accumulating.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    atomic_write_via(path, bytes, ".tmp")
+}
+
+/// [`atomic_write`] with a writer-unique tmp name. Use when *concurrent
+/// processes or threads* may publish the same target path: the shared
+/// deterministic `.tmp` of [`atomic_write`] lets one writer rename another
+/// writer's half-written sibling into place, whereas a pid+sequence-unique
+/// sibling makes the final `rename` the only shared step — last writer wins
+/// with a complete body. The stage cache publishes content-addressed blobs
+/// this way (same address ⇒ same bytes, so any winner is correct).
+pub fn atomic_write_unique(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    atomic_write_via(path, bytes, &format!(".{}-{seq}.tmp", std::process::id()))
+}
+
+fn atomic_write_via(path: &Path, bytes: &[u8], suffix: &str) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
         }
     }
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(suffix);
     let tmp = PathBuf::from(tmp);
     fs::write(&tmp, bytes)?; // ffet-analyze: allow(R002) -- the atomic-write primitive itself; the tmp file is renamed over the target below
     fs::rename(&tmp, path)

@@ -190,8 +190,10 @@ pub fn table1() -> Table1 {
         let mut row = vec![name.to_owned()];
         for (func, drive, cell_name) in cells {
             let kind = CellKind::new(func, drive);
-            let fc = ffet.cell_by_kind(kind).expect("ffet cell");
-            let cc = cfet.cell_by_kind(kind).expect("cfet cell");
+            // Both libraries carry the full kind set by construction.
+            let (Some(fc), Some(cc)) = (ffet.cell_by_kind(kind), cfet.cell_by_kind(kind)) else {
+                continue;
+            };
             let load = 4.0 * drive.multiple();
             let d = pct_diff(f(fc, slew, load), f(cc, slew, load));
             diffs.push((cell_name.to_owned(), name.to_owned(), d));
@@ -472,7 +474,8 @@ fn assemble_sweep(
     for &u in utils {
         let mut runs: Vec<(PpaReport, PointRecovery)> = Vec::new();
         for &seed in &SWEEP_SEEDS {
-            let o = outcomes.next().expect("length checked above");
+            // Length asserted on entry; the iterator cannot run dry.
+            let Some(o) = outcomes.next() else { break };
             let point_label = format!("{label}u{u:.2}/s{seed}");
             record_point(experiment, point_label, &o, runlog, traces);
             if let Ok((report, _, rec)) = o.result {

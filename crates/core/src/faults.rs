@@ -416,11 +416,10 @@ fn apply_pnr_fault(
                 return;
             }
             let ni = victims[pick(rng, victims.len())];
-            let driver = netlist
-                .net_mut(NetId(ni as u32))
-                .driver
-                .take()
-                .expect("victim has a driver");
+            // Victims were filtered on `driver.is_some()` above.
+            let Some(driver) = netlist.net_mut(NetId(ni as u32)).driver.take() else {
+                return;
+            };
             netlist.instance_mut(driver.inst).conns[driver.pin] = None;
         }
         FaultKind::NetMultiDriven => {
@@ -452,9 +451,11 @@ fn apply_pnr_fault(
                 return;
             }
             let pin = victims[pick(rng, victims.len())];
-            let net = netlist.instance_mut(pin.inst).conns[pin.pin]
-                .take()
-                .expect("victim pin is connected");
+            // Victims came from `connected_input_pins`, so the slot is
+            // occupied.
+            let Some(net) = netlist.instance_mut(pin.inst).conns[pin.pin].take() else {
+                return;
+            };
             netlist.net_mut(net).sinks.retain(|&s| s != pin);
         }
         FaultKind::CombLoop => {

@@ -62,6 +62,15 @@ pub struct FlowConfig {
     pub deadline_ms: Option<u64>,
     /// Seeded fault schedule (empty by default — the golden path).
     pub fault_plan: FaultPlan,
+    /// Root directory of the content-addressed stage cache
+    /// (`FFET_STAGE_CACHE` for drivers; DESIGN §14). `None` (the default
+    /// outside the `repro` driver) runs every stage inline, byte-identical
+    /// to the pre-cache flow. Like `route_jobs`/`deadline_ms` this knob
+    /// never changes an artifact byte — a warm run rehydrates exactly what
+    /// a cold run computes — so it is excluded from cache keys and
+    /// checkpoint signatures. Ignored (forced off) when `fault_plan` is
+    /// non-empty: faulted artifacts must never enter or leave the cache.
+    pub stage_cache: Option<std::path::PathBuf>,
 }
 
 /// Environment variable carrying the router worker count for the `repro`
@@ -125,6 +134,7 @@ impl FlowConfig {
             route_jobs: route_jobs_from_env(),
             deadline_ms: deadline_ms_from_env(),
             fault_plan: FaultPlan::from_env(),
+            stage_cache: crate::stagecache::root_from_env(),
         }
     }
 
@@ -221,6 +231,9 @@ pub enum FlowError {
     /// The configuration itself is invalid for the technology (bad DoE
     /// pin ratio, backside pins on a stack without them).
     Config(String),
+    /// Synthesis-lite failed structurally (the library lacks a cell the
+    /// transform relies on — a malformed library, not a design property).
+    Synth(String),
     /// Physical implementation failed structurally.
     Pnr(PnrError),
     /// The netlist has a combinational loop.
@@ -244,6 +257,7 @@ impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FlowError::Config(e) => write!(f, "invalid flow config: {e}"),
+            FlowError::Synth(e) => write!(f, "synthesis: {e}"),
             FlowError::Pnr(e) => write!(f, "physical implementation: {e}"),
             FlowError::CombLoop(i) => write!(f, "combinational loop through {i}"),
             FlowError::Merge(e) => write!(f, "DEF merge: {e}"),
@@ -280,6 +294,13 @@ impl From<PnrError> for FlowError {
 /// The library must come from [`FlowConfig::build_library`] (or otherwise
 /// match `config.tech` and `config.back_pin_ratio`).
 ///
+/// The body is an explicit stage DAG ([`crate::stagecache::Stage`]): each
+/// stage runs through [`crate::stagecache::run_stage`], which either
+/// replays a memoized artifact (when `config.stage_cache` is set and the
+/// stage's input key hits) or computes it inline. With the cache off the
+/// event stream and artifacts are byte-identical to the pre-cache flow;
+/// with it on, only wall clock and the `cached` span attribute change.
+///
 /// # Errors
 ///
 /// [`FlowError`] on structural failures. Congestion/placement violations
@@ -290,9 +311,20 @@ pub fn run_flow(
     library: &Library,
     config: &FlowConfig,
 ) -> Result<FlowOutcome, FlowError> {
-    let mut netlist = netlist.clone();
+    use crate::stagecache::{self, run_stage, StageCache};
+
     let mut stages = StageTimes::default();
     let faults = &config.fault_plan;
+
+    // The stage cache is forcibly off under any fault plan: faulted or
+    // recovery-perturbed artifacts must never enter it, and fault-injected
+    // panics must unwind the plain inline path.
+    let cache: Option<StageCache> = if faults.is_empty() {
+        config.stage_cache.as_deref().map(StageCache::new)
+    } else {
+        None
+    };
+    let cache = cache.as_ref();
 
     // Deadline watchdog: one cooperative token per attempt (the ladder
     // retries a timed-out point with a fresh budget). A `stage-timeout`
@@ -321,20 +353,37 @@ pub fn run_flow(
         .attr("seed", config.seed.to_string());
     ffet_obs::counter_add("flow.runs", 1);
 
-    // Synthesis-lite toward the target frequency.
-    let sp = ffet_obs::span("flow.synth");
-    let _synth = synthesize(
-        &mut netlist,
-        library,
-        &SynthConfig::for_target(config.target_freq_ghz),
-    );
-    stages.synth_ms = sp.close_ms();
-    ffet_obs::gauge_set("flow.cells", netlist.instances().len() as f64);
+    // Synthesis-lite toward the target frequency. The key omits
+    // `back_pin_ratio` and `seed` (synthesis never sees pin geometry), so
+    // every point of a BP/seed axis shares one entry.
+    let synth_cache_key = cache.map(|_| stagecache::synth_key(config, netlist));
+    let (netlist, synth_ms, synth_addr) = run_stage::<_, FlowError>(
+        cache,
+        synth_cache_key,
+        stagecache::Stage::Synth.name(),
+        stagecache::encode_synth,
+        stagecache::decode_synth,
+        || {
+            let mut netlist = netlist.clone();
+            let sp = ffet_obs::span("flow.synth");
+            synthesize(
+                &mut netlist,
+                library,
+                &SynthConfig::for_target(config.target_freq_ghz),
+            )
+            .map_err(FlowError::Synth)?;
+            let ms = sp.close_ms();
+            ffet_obs::gauge_set("flow.cells", netlist.instances().len() as f64);
+            Ok((netlist, ms))
+        },
+    )?;
+    stages.synth_ms = synth_ms;
     faults.maybe_panic(FlowStage::Synth);
     check_deadline(FlowStage::Synth)?;
 
     // Physical implementation (floorplan → powerplan → place → CTS →
-    // dual-sided route).
+    // dual-sided route). CTS mutates the netlist (clock buffers), so the
+    // payload carries the post-CTS netlist alongside the P&R result.
     let pnr_config = PnrConfig {
         utilization: config.utilization,
         aspect_ratio: config.aspect_ratio,
@@ -353,26 +402,52 @@ pub fn run_flow(
             deadline
         },
     };
-    let sp = ffet_obs::span("flow.pnr");
-    let mut pnr = match run_pnr(&mut netlist, library, &pnr_config) {
-        Err(PnrError::Cancelled) => {
-            ffet_obs::counter_add("flow.timeout", 1);
-            return Err(FlowError::Timeout(FlowStage::Pnr.to_string()));
-        }
-        r => r?,
-    };
-    stages.pnr_ms = sp.close_ms();
+    let pnr_cache_key = synth_addr
+        .as_deref()
+        .map(|a| stagecache::pnr_key(config, a));
+    let ((mut netlist, mut pnr), pnr_ms, pnr_addr) = run_stage::<_, FlowError>(
+        cache,
+        pnr_cache_key,
+        stagecache::Stage::Pnr.name(),
+        stagecache::encode_pnr,
+        stagecache::decode_pnr,
+        || {
+            let mut netlist = netlist;
+            let sp = ffet_obs::span("flow.pnr");
+            let pnr = match run_pnr(&mut netlist, library, &pnr_config) {
+                Err(PnrError::Cancelled) => {
+                    ffet_obs::counter_add("flow.timeout", 1);
+                    return Err(FlowError::Timeout(FlowStage::Pnr.to_string()));
+                }
+                r => r?,
+            };
+            Ok(((netlist, pnr), sp.close_ms()))
+        },
+    )?;
+    stages.pnr_ms = pnr_ms;
     faults.maybe_panic(FlowStage::Pnr);
     check_deadline(FlowStage::Pnr)?;
     if !faults.is_empty() {
         faults.apply_post_pnr(&mut netlist, &mut pnr, library, config.seed);
     }
 
-    // DEF merge (paper: "we first merged the two DEFs into one DEF").
-    let sp = ffet_obs::span("flow.merge");
-    let mut merged_def =
-        merge_defs(&pnr.front_def, &pnr.back_def).map_err(|e| FlowError::Merge(e.to_string()))?;
-    stages.merge_ms = sp.close_ms();
+    // DEF merge (paper: "we first merged the two DEFs into one DEF"). A
+    // pure function of the two side DEFs, so the key is the pnr address
+    // alone.
+    let (mut merged_def, merge_ms, merge_addr) = run_stage::<_, FlowError>(
+        cache,
+        pnr_addr.as_deref().map(stagecache::merge_key),
+        stagecache::Stage::Merge.name(),
+        stagecache::encode_merge,
+        stagecache::decode_merge,
+        || {
+            let sp = ffet_obs::span("flow.merge");
+            let merged = merge_defs(&pnr.front_def, &pnr.back_def)
+                .map_err(|e| FlowError::Merge(e.to_string()))?;
+            Ok((merged, sp.close_ms()))
+        },
+    )?;
+    stages.merge_ms = merge_ms;
     faults.maybe_panic(FlowStage::Merge);
     check_deadline(FlowStage::Merge)?;
     if !faults.is_empty() {
@@ -383,22 +458,53 @@ pub fn run_flow(
     // placement DRC, LVS-lite of the merged DEF. Error severity means the
     // implementation is structurally broken — congestion and legality
     // overflow stay warnings and feed the DRV validity proxy instead.
-    let mut sp = ffet_obs::span("flow.signoff");
-    let signoff = run_signoff(&netlist, library, config.pattern, &pnr, &merged_def);
-    sp.set_attr("errors", signoff.error_count());
-    sp.set_attr("warnings", signoff.warning_count());
-    faults.maybe_panic(FlowStage::Signoff);
-    check_deadline(FlowStage::Signoff)?;
-    if !signoff.is_clean() {
-        // `sp` then `root` drop here, recording both spans.
-        return Err(FlowError::Signoff(signoff));
-    }
-    stages.signoff_ms = sp.close_ms();
+    // Failed signoff returns an error, which `run_stage` never stores, so
+    // only clean reports populate the cache.
+    let signoff_cache_key = match (pnr_addr.as_deref(), merge_addr.as_deref()) {
+        (Some(p), Some(m)) => Some(stagecache::signoff_key(config, p, m)),
+        _ => None,
+    };
+    let (signoff, signoff_ms, _signoff_addr) = run_stage::<_, FlowError>(
+        cache,
+        signoff_cache_key,
+        stagecache::Stage::Signoff.name(),
+        stagecache::encode_signoff_payload,
+        stagecache::decode_signoff_payload,
+        || {
+            let mut sp = ffet_obs::span("flow.signoff");
+            let signoff = run_signoff(&netlist, library, config.pattern, &pnr, &merged_def);
+            sp.set_attr("errors", signoff.error_count());
+            sp.set_attr("warnings", signoff.warning_count());
+            faults.maybe_panic(FlowStage::Signoff);
+            check_deadline(FlowStage::Signoff)?;
+            if !signoff.is_clean() {
+                // `sp` drops here, recording the span.
+                return Err(FlowError::Signoff(signoff));
+            }
+            let ms = sp.close_ms();
+            Ok((signoff, ms))
+        },
+    )?;
+    stages.signoff_ms = signoff_ms;
 
     // Dual-sided RC extraction from the merged DEF.
-    let sp = ffet_obs::span("flow.rcx");
-    let parasitics = extract_all(&netlist, library, &pnr, &merged_def);
-    stages.rcx_ms = sp.close_ms();
+    let rcx_cache_key = match (pnr_addr.as_deref(), merge_addr.as_deref()) {
+        (Some(p), Some(m)) => Some(stagecache::rcx_key(config, p, m)),
+        _ => None,
+    };
+    let (parasitics, rcx_ms, rcx_addr) = run_stage::<_, FlowError>(
+        cache,
+        rcx_cache_key,
+        stagecache::Stage::Rcx.name(),
+        |parasitics, data| stagecache::encode_rcx(parasitics, data),
+        stagecache::decode_rcx,
+        || {
+            let sp = ffet_obs::span("flow.rcx");
+            let parasitics = extract_all(&netlist, library, &pnr, &merged_def);
+            Ok((parasitics, sp.close_ms()))
+        },
+    )?;
+    stages.rcx_ms = rcx_ms;
 
     // STA + power at the achieved frequency.
     let sta_config = StaConfig {
@@ -406,22 +512,37 @@ pub fn run_flow(
         activity: config.activity,
         input_slew_ps: 10.0,
     };
-    let sp = ffet_obs::span("flow.sta");
-    let timing = analyze_timing(&netlist, library, &parasitics, &sta_config)
-        .map_err(|e| FlowError::CombLoop(e.instance))?;
-    // Power is evaluated at the synthesis target clock (the block's
-    // operating point); the achieved frequency is the timing margin. This
-    // matches the paper's Table III, where dual-sided DoEs gain >10%
-    // frequency with ~±1% power: power reflects capacitance and cell
-    // composition, not the maximum speed.
-    let power = analyze_power(
-        &netlist,
-        library,
-        &parasitics,
-        &sta_config,
-        config.target_freq_ghz,
-    );
-    stages.sta_ms = sp.close_ms();
+    let sta_cache_key = match (pnr_addr.as_deref(), rcx_addr.as_deref()) {
+        (Some(p), Some(r)) => Some(stagecache::sta_key(config, p, r)),
+        _ => None,
+    };
+    let ((timing, power), sta_ms, _sta_addr) = run_stage::<_, FlowError>(
+        cache,
+        sta_cache_key,
+        stagecache::Stage::Sta.name(),
+        stagecache::encode_sta,
+        stagecache::decode_sta,
+        || {
+            let sp = ffet_obs::span("flow.sta");
+            let timing = analyze_timing(&netlist, library, &parasitics, &sta_config)
+                .map_err(|e| FlowError::CombLoop(e.instance))?;
+            // Power is evaluated at the synthesis target clock (the
+            // block's operating point); the achieved frequency is the
+            // timing margin. This matches the paper's Table III, where
+            // dual-sided DoEs gain >10% frequency with ~±1% power: power
+            // reflects capacitance and cell composition, not the maximum
+            // speed.
+            let power = analyze_power(
+                &netlist,
+                library,
+                &parasitics,
+                &sta_config,
+                config.target_freq_ghz,
+            );
+            Ok(((timing, power), sp.close_ms()))
+        },
+    )?;
+    stages.sta_ms = sta_ms;
 
     let report = PpaReport {
         tech: library.tech().to_string(),

@@ -36,6 +36,7 @@ mod flow;
 pub mod recover;
 mod report;
 pub mod runner;
+pub mod stagecache;
 mod synth;
 
 pub use faults::{Fault, FaultKind, FaultPlan, FlowStage, FAULTS_ENV};
@@ -49,6 +50,9 @@ pub use recover::{
 };
 pub use report::{pct_diff, PpaReport};
 pub use runner::{JobError, JobOutcome, JobStats, Pool, RunLog, RunLogRow};
+pub use stagecache::{
+    CacheStatsReport, GcReport, Stage, StageCache, VerifyReport, STAGE_CACHE_ENV,
+};
 pub use synth::{synthesize, SynthConfig, SynthStats};
 
 #[cfg(test)]

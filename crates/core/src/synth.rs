@@ -53,21 +53,34 @@ const LOAD_PER_DRIVE_FF: f64 = 2.4;
 const WIRE_CAP_PER_FANOUT_FF: f64 = 0.28;
 
 /// Runs fanout buffering then load-based sizing, mutating `netlist`.
-#[must_use]
-pub fn synthesize(netlist: &mut Netlist, library: &Library, config: &SynthConfig) -> SynthStats {
-    SynthStats {
-        buffers_inserted: buffer_high_fanout(netlist, library, config.max_fanout),
+///
+/// # Errors
+///
+/// Returns a message if the library lacks the cells synthesis relies on
+/// (e.g. no BUFD4 for fanout buffering) — a malformed library, not a
+/// design property.
+pub fn synthesize(
+    netlist: &mut Netlist,
+    library: &Library,
+    config: &SynthConfig,
+) -> Result<SynthStats, String> {
+    Ok(SynthStats {
+        buffers_inserted: buffer_high_fanout(netlist, library, config.max_fanout)?,
         cells_upsized: size_cells(netlist, library, config.target_freq_ghz),
-    }
+    })
 }
 
 /// Splits nets with more than `max_fanout` sinks by inserting one BUFD4
 /// per sink group. One level suffices for this design scale; pathological
 /// fanouts would recurse via repeated calls.
-fn buffer_high_fanout(netlist: &mut Netlist, library: &Library, max_fanout: usize) -> usize {
+fn buffer_high_fanout(
+    netlist: &mut Netlist,
+    library: &Library,
+    max_fanout: usize,
+) -> Result<usize, String> {
     let buf = library
         .id(CellKind::new(CellFunction::Buf, DriveStrength::D4))
-        .expect("BUFD4 in library");
+        .ok_or_else(|| "library has no BUFD4 for fanout buffering".to_owned())?;
     let mut inserted = 0;
     let net_count = netlist.nets().len();
     for ni in 0..net_count {
@@ -93,7 +106,7 @@ fn buffer_high_fanout(netlist: &mut Netlist, library: &Library, max_fanout: usiz
             inserted += 1;
         }
     }
-    inserted
+    Ok(inserted)
 }
 
 /// Upsizes every cell whose estimated output load exceeds what its drive
@@ -122,19 +135,16 @@ fn size_cells(netlist: &mut Netlist, library: &Library, target_ghz: f64) -> usiz
             load += scell.input_cap(s.pin.min(scell.timing.input_caps.len().saturating_sub(1)));
         }
         let mut drive = cell.kind.drive;
-        let mut changed = false;
+        let mut new_cell = None;
         while load > drive.multiple() * allowable_per_drive {
             let Some(next) = drive.upsized() else { break };
-            if library.id(CellKind::new(function, next)).is_none() {
+            let Some(id) = library.id(CellKind::new(function, next)) else {
                 break;
-            }
+            };
             drive = next;
-            changed = true;
+            new_cell = Some(id);
         }
-        if changed {
-            let new_cell = library
-                .id(CellKind::new(function, drive))
-                .expect("checked above");
+        if let Some(new_cell) = new_cell {
             swap_cell(netlist, library, ii, new_cell);
             upsized += 1;
         }
@@ -176,7 +186,7 @@ mod tests {
     fn buffers_split_high_fanout_nets() {
         let lib = Library::new(Technology::ffet_3p5t());
         let mut nl = fanout_heavy(&lib, 50);
-        let stats = synthesize(&mut nl, &lib, &SynthConfig::default());
+        let stats = synthesize(&mut nl, &lib, &SynthConfig::default()).unwrap();
         assert!(stats.buffers_inserted >= 2, "{stats:?}");
         nl.check_consistency(&lib).unwrap();
         for net in nl.nets() {
@@ -201,7 +211,8 @@ mod tests {
                 target_freq_ghz: 0.5,
                 max_fanout: 16,
             },
-        );
+        )
+        .unwrap();
         let s2 = synthesize(
             &mut fast,
             &lib,
@@ -209,7 +220,8 @@ mod tests {
                 target_freq_ghz: 3.0,
                 max_fanout: 16,
             },
-        );
+        )
+        .unwrap();
         assert!(s2.cells_upsized >= s1.cells_upsized, "{s1:?} vs {s2:?}");
         let area = |nl: &Netlist| -> i64 {
             nl.instances()
@@ -259,7 +271,7 @@ mod tests {
         }
         b.output("q", q);
         let mut nl = b.finish();
-        let stats = synthesize(&mut nl, &lib, &SynthConfig::default());
+        let stats = synthesize(&mut nl, &lib, &SynthConfig::default()).unwrap();
         assert_eq!(stats.buffers_inserted, 0, "CTS owns the clock");
         let clk_net = nl.net_by_name("clk").unwrap();
         assert_eq!(nl.net(clk_net).sinks.len(), 40);

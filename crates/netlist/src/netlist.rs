@@ -86,6 +86,40 @@ impl Netlist {
         }
     }
 
+    /// Reassembles a netlist from its component lists, rebuilding the
+    /// name→net index. This is the deserialization entry point for the
+    /// stage cache: the lists must already satisfy the structural
+    /// invariants (`check_consistency` holds for them under the library
+    /// they were built with) — only name uniqueness is revalidated here,
+    /// because a violated index invariant cannot be represented.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first duplicate net name.
+    pub fn from_parts(
+        name: String,
+        instances: Vec<Instance>,
+        nets: Vec<Net>,
+        ports: Vec<Port>,
+    ) -> Result<Netlist, String> {
+        let mut net_names = FxHashMap::default();
+        for (i, net) in nets.iter().enumerate() {
+            if net_names
+                .insert(net.name.clone(), NetId(i as u32))
+                .is_some()
+            {
+                return Err(format!("duplicate net name {}", net.name));
+            }
+        }
+        Ok(Netlist {
+            name,
+            instances,
+            nets,
+            ports,
+            net_names,
+        })
+    }
+
     /// Design name.
     #[must_use]
     pub fn name(&self) -> &str {

@@ -8,7 +8,11 @@
 //! (`start_us`/`dur_us`) are explicitly outside the comparison: the
 //! determinism contract (DESIGN §7) promises everything *but* them, so a
 //! non-empty diff between two runs of the same config is a contract
-//! violation, not noise.
+//! violation, not noise. The `cached` span attribute (stage-cache hit/miss
+//! provenance, DESIGN §14) is likewise excluded: whether a stage replayed
+//! from the cache is a property of prior disk state and scheduling, not of
+//! the artifact, and warm-vs-cold comparisons are exactly what this diff
+//! exists for.
 
 use crate::metrics::MetricsSnapshot;
 use crate::trace::{parse_point, point_labels};
@@ -37,12 +41,24 @@ pub fn diff_points(a: &PointData, b: &PointData) -> Vec<String> {
                 ea.name, ea.id, ea.parent, ea.depth, eb.id, eb.parent, eb.depth
             ));
         }
-        if ea.attrs != eb.attrs {
+        if !attrs_eq(&ea.attrs, &eb.attrs) {
             out.push(format!("span #{idx} ({}): attrs differ", ea.name));
         }
     }
     diff_metrics(&a.metrics, &b.metrics, &mut out);
     out
+}
+
+/// Attr-list equality modulo the `cached` provenance attribute.
+fn attrs_eq(a: &[(String, crate::AttrValue)], b: &[(String, crate::AttrValue)]) -> bool {
+    let significant = |attrs: &[(String, crate::AttrValue)]| -> Vec<(String, crate::AttrValue)> {
+        attrs
+            .iter()
+            .filter(|(k, _)| k != "cached")
+            .cloned()
+            .collect()
+    };
+    significant(a) == significant(b)
 }
 
 fn diff_metrics(a: &MetricsSnapshot, b: &MetricsSnapshot, out: &mut Vec<String>) {
@@ -171,6 +187,24 @@ mod tests {
         let mut d = traced_point(0);
         d.events.pop();
         assert!(diff_points(&a, &d).iter().any(|d| d.contains("span count")));
+    }
+
+    #[test]
+    fn cached_attr_is_invisible_but_other_attrs_diff() {
+        let a = traced_point(0);
+        let mut b = traced_point(0);
+        // A warm run marks replayed roots `cached=true`; a cold run marks
+        // them `cached=false` (or not at all, inline). All invisible.
+        b.events[1]
+            .attrs
+            .push(("cached".into(), crate::AttrValue::Bool(true)));
+        assert!(diff_points(&a, &b).is_empty(), "cached attr must not diff");
+        b.events[0]
+            .attrs
+            .push(("layer".into(), crate::AttrValue::Int(9)));
+        assert!(diff_points(&a, &b)
+            .iter()
+            .any(|d| d.contains("attrs differ")));
     }
 
     #[test]

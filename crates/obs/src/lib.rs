@@ -24,7 +24,9 @@ mod render;
 pub mod trace;
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub use export::{chrome_trace, validate_chrome_trace, ChromeTraceStats};
@@ -396,6 +398,122 @@ pub fn observe(name: &str, value: f64) {
             .or_default()
             .observe(value);
     });
+}
+
+/// Run `f` under a fresh, temporarily installed collector and return its
+/// result together with everything that collector recorded. The previous
+/// ambient collector (if any) is restored afterwards; `f`'s instrumentation
+/// lands only in the returned [`PointData`]. This is the recording half of
+/// the stage-cache protocol: a stage computes under `capture`, the capture
+/// is persisted alongside the artifact, and [`replay`] splices it back into
+/// whichever collector is ambient — identically whether the stage ran fresh
+/// or was rehydrated from the cache.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, PointData) {
+    let collector = Collector::new();
+    let guard = collector.install();
+    let value = f();
+    drop(guard);
+    (value, collector.finish())
+}
+
+/// Wall-clock microseconds since the ambient collector's epoch; `0.0` when
+/// no collector is installed. Callers of [`replay`] use this as the
+/// `offset_us` so spliced spans slot into the surrounding timeline.
+pub fn ambient_elapsed_us() -> f64 {
+    with_collector(|c| c.inner.borrow().epoch.elapsed().as_secs_f64() * 1e6).unwrap_or(0.0)
+}
+
+/// Zero every wall-clock field of a captured point, leaving only the
+/// deterministic structure (ids, parents, depths, names, attrs, metric
+/// values). Stage-cache payloads are stripped before hashing/storing so the
+/// same computation always serializes to the same bytes.
+pub fn strip_point_timing(data: &mut PointData) {
+    for event in &mut data.events {
+        event.start_us = 0.0;
+        event.dur_us = 0.0;
+    }
+}
+
+/// Splice a previously [`capture`]d point into the thread's ambient
+/// collector, as if its spans had just run here: ids are rebased onto the
+/// collector's id counter, root events are re-parented under the currently
+/// open span (and get `root_attrs` appended), depths shift by the current
+/// stack depth, and metrics merge. Because a capture's event ids are dense
+/// (`finish` force-closes every opened id), replay reproduces exactly the
+/// ids/parents/depths/order a native run would have recorded. `start_us`
+/// values are offset by `offset_us`; durations are replayed verbatim — both
+/// are outside the determinism contract. No-op without a collector.
+pub fn replay(data: &PointData, offset_us: f64, root_attrs: &[(String, AttrValue)]) {
+    with_collector(|c| {
+        let mut inner = c.inner.borrow_mut();
+        let base = inner.next_id;
+        let anchor = inner.stack.last().copied();
+        let extra_depth = inner.stack.len() as u16;
+        for event in &data.events {
+            let mut attrs = event.attrs.clone();
+            let parent = match event.parent {
+                Some(p) => Some(base + p),
+                None => {
+                    for (key, value) in root_attrs {
+                        match attrs.iter_mut().find(|(k, _)| k == key) {
+                            Some(slot) => slot.1 = value.clone(),
+                            None => attrs.push((key.clone(), value.clone())),
+                        }
+                    }
+                    anchor
+                }
+            };
+            inner.events.push(SpanEvent {
+                id: base + event.id,
+                parent,
+                depth: event.depth + extra_depth,
+                name: event.name.clone(),
+                start_us: event.start_us + offset_us,
+                dur_us: event.dur_us,
+                attrs,
+            });
+        }
+        inner.next_id = base + data.events.len() as u32;
+        inner.metrics.merge(&data.metrics);
+    });
+}
+
+/// Process-global stage-cache event registry, deliberately *outside* the
+/// collector metrics plane: cache hit/miss counts depend on what previous
+/// runs left on disk, so folding them into per-point metrics would break
+/// the cold-vs-warm byte-identity of `metrics.json`'s deterministic part.
+/// They surface only through the timing-stripped side of artifacts.
+static CACHE_STATS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
+fn cache_stats_lock() -> std::sync::MutexGuard<'static, BTreeMap<String, u64>> {
+    CACHE_STATS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Record one stage-cache event. `name` is one of the catalog literals
+/// `cache.hit` / `cache.miss` / `cache.store`; `stage` is the flow stage it
+/// happened for (`synth`, `pnr`, ...). Events accumulate process-wide under
+/// the key `<name>.<stage>`.
+pub fn cache_event(name: &str, stage: &str) {
+    *cache_stats_lock()
+        .entry(format!("{name}.{stage}"))
+        .or_insert(0) += 1;
+}
+
+/// Sorted snapshot of every stage-cache event recorded since the last
+/// [`cache_stats_reset`].
+#[must_use]
+pub fn cache_stats() -> Vec<(String, u64)> {
+    cache_stats_lock()
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Clear the process-global stage-cache event registry.
+pub fn cache_stats_reset() {
+    cache_stats_lock().clear();
 }
 
 #[cfg(test)]

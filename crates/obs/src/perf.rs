@@ -213,15 +213,27 @@ pub fn render_report(ledger: &Ledger) -> String {
 
     out.push_str("## Trajectory\n\n");
     out.push_str(
-        "| run | kind | key | design | cfg | digest | counters | jobs | host cores | wall ms |\n",
+        "| run | kind | key | design | cfg | digest | counters | jobs | host cores | wall ms | cache |\n",
     );
     out.push_str(
-        "|----:|------|-----|--------|-----|--------|---------:|-----:|-----------:|--------:|\n",
+        "|----:|------|-----|--------|-----|--------|---------:|-----:|-----------:|--------:|------:|\n",
     );
     for (idx, e) in ledger.entries.iter().enumerate() {
         let short = |s: &str| s.chars().take(8).collect::<String>();
+        // Aggregate stage-cache hit-rate recorded by the repro driver as a
+        // `cache_hit_rate` pair inside `timing.stages` (DESIGN §14);
+        // entries predating the stage cache simply show `-`.
+        let cache = e
+            .timing
+            .stages
+            .iter()
+            .find(|(name, _)| name == "cache_hit_rate")
+            .map_or_else(
+                || "-".to_owned(),
+                |&(_, rate)| format!("{:.0}%", rate * 100.0),
+            );
         out.push_str(&format!(
-            "| {} | {} | {} | {} | `{}` | `{}` | {} | {} | {} | {:.1} |\n",
+            "| {} | {} | {} | {} | `{}` | `{}` | {} | {} | {} | {:.1} | {} |\n",
             idx,
             e.kind,
             e.key,
@@ -232,6 +244,7 @@ pub fn render_report(ledger: &Ledger) -> String {
             e.timing.jobs,
             e.timing.host_cores,
             e.timing.wall_ms,
+            cache,
         ));
     }
     out.push('\n');
@@ -428,12 +441,21 @@ mod tests {
             ("route_kernel/maze_reference".into(), 15.0),
             ("route_kernel/maze_windowed".into(), 2.0),
         ];
-        let ledger = ledger_of(vec![entry("all", "cfgA", 7, 100.0), bench]);
+        let mut warm = entry("all", "cfgA", 7, 80.0);
+        warm.timing.stages = vec![
+            ("cache_hit_rate_synth".into(), 1.0),
+            ("cache_hit_rate".into(), 0.75),
+        ];
+        let ledger = ledger_of(vec![entry("all", "cfgA", 7, 100.0), warm, bench]);
         let report = render_report(&ledger);
         assert_eq!(report, render_report(&ledger), "report must be pure");
         assert!(report.contains("**7.50×**"), "{report}");
         assert!(report.contains("| 0 | repro | all |"));
         assert!(report.contains("route_kernel/maze_windowed"));
+        // The cache column renders the aggregate hit-rate pair when the
+        // driver recorded one and `-` otherwise.
+        assert!(report.contains("| 100.0 | - |"), "{report}");
+        assert!(report.contains("| 80.0 | 75% |"), "{report}");
 
         let empty = render_report(&ledger_of(vec![]));
         assert!(empty.contains("not yet recorded"));

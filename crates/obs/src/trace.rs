@@ -20,8 +20,12 @@
 //! ## `metrics.json`
 //!
 //! A single object: `{"v":1,"points":{label:metrics},"merged":metrics,
-//! "timing":{"jobs":N,"wall_ms":F}}`. Everything except the `timing` key
-//! is deterministic; [`strip_timing`] removes it for byte-level diffing.
+//! "timing":{"jobs":N,"wall_ms":F,"cache":{K:N}?}}`. Everything except the
+//! `timing` key is deterministic; [`strip_timing`] removes it for
+//! byte-level diffing. The optional `cache` sub-object carries the run's
+//! stage-cache hit/miss/store counters ([`crate::cache_stats`]) — inside
+//! `timing` because cache behavior depends on prior disk state, exactly
+//! the kind of run-to-run variation the deterministic plane excludes.
 
 use crate::json::{parse_json, Json};
 use crate::metrics::{Histogram, MetricsSnapshot, BUCKET_EDGES};
@@ -51,6 +55,10 @@ pub struct RunArtifacts {
     /// `timing` key only.
     pub jobs: usize,
     pub wall_ms: f64,
+    /// Stage-cache event counters (`cache.{hit,miss,store}.<stage>` →
+    /// count), typically a [`crate::cache_stats`] snapshot taken by the
+    /// driver. Rendered under the `timing` key when non-empty.
+    pub cache: Vec<(String, u64)>,
 }
 
 impl RunArtifacts {
@@ -59,6 +67,7 @@ impl RunArtifacts {
             points: Vec::new(),
             jobs,
             wall_ms: 0.0,
+            cache: Vec::new(),
         }
     }
 
@@ -104,17 +113,26 @@ impl RunArtifacts {
             .iter()
             .map(|p| (p.label.clone(), p.data.metrics.to_json()))
             .collect();
+        let mut timing = vec![
+            ("jobs".into(), Json::Int(self.jobs as i64)),
+            ("wall_ms".into(), Json::Num(self.wall_ms)),
+        ];
+        if !self.cache.is_empty() {
+            timing.push((
+                "cache".into(),
+                Json::Obj(
+                    self.cache
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                        .collect(),
+                ),
+            ));
+        }
         let doc = Json::Obj(vec![
             ("v".into(), Json::Int(TRACE_SCHEMA_VERSION)),
             ("points".into(), Json::Obj(points)),
             ("merged".into(), self.merged_metrics().to_json()),
-            (
-                "timing".into(),
-                Json::Obj(vec![
-                    ("jobs".into(), Json::Int(self.jobs as i64)),
-                    ("wall_ms".into(), Json::Num(self.wall_ms)),
-                ]),
-            ),
+            ("timing".into(), Json::Obj(timing)),
         ]);
         doc.render()
     }
@@ -522,10 +540,13 @@ mod tests {
         assert!(!stripped.contains("\"timing\""));
         assert!(stripped.contains("\"merged\""));
         assert!(stripped.contains("\"route.ripups\""));
-        // A differently-timed run strips to the same bytes.
+        // A differently-timed run — including one with cache counters, a
+        // pure disk-state artifact — strips to the same bytes.
         let mut other = sample_artifacts();
         other.jobs = 7;
         other.wall_ms = 9999.0;
+        other.cache = vec![("cache.hit.synth".into(), 3)];
+        assert!(other.metrics_json().contains("cache.hit.synth"));
         assert_eq!(strip_timing(&other.metrics_json()).unwrap(), stripped);
     }
 

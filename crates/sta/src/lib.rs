@@ -32,7 +32,7 @@ mod power;
 mod timing;
 
 pub use power::{analyze_power, PowerReport};
-pub use timing::{analyze_timing, TimingReport};
+pub use timing::{analyze_timing, PathStep, TimingReport};
 
 /// Analysis conditions.
 #[derive(Debug, Clone, PartialEq)]
